@@ -1,0 +1,86 @@
+//! Ablation benchmarks for the design choices documented in DESIGN.md:
+//! each variant runs the same 500-packet link workload so throughput
+//! differences between modeling choices are directly comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_bench::micro_config;
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+use wsn_link_sim::traffic::TrafficModel;
+use wsn_radio::channel::ChannelConfig;
+use wsn_radio::noise::NoiseModel;
+use wsn_radio::per::{DsssPer, PerBackend};
+use wsn_radio::shadowing::SigmaProfile;
+
+fn run_with(channel: ChannelConfig, traffic: TrafficModel) -> u64 {
+    let outcome = LinkSimulation::new(
+        micro_config(),
+        SimOptions {
+            record_packets: false,
+            ..SimOptions::quick(500)
+        }
+        .with_channel(channel)
+        .with_traffic(traffic),
+    )
+    .run();
+    outcome.metrics().delivered
+}
+
+fn bench_channel_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_channel");
+    group.sample_size(20);
+
+    group.bench_function("empirical_per_backend", |b| {
+        b.iter(|| {
+            black_box(run_with(
+                ChannelConfig::paper_hallway(),
+                TrafficModel::Periodic,
+            ))
+        })
+    });
+
+    group.bench_function("dsss_per_backend", |b| {
+        let mut channel = ChannelConfig::paper_hallway();
+        channel.per_backend = PerBackend::Dsss(DsssPer);
+        b.iter(|| black_box(run_with(channel, TrafficModel::Periodic)))
+    });
+
+    group.bench_function("constant_noise", |b| {
+        let mut channel = ChannelConfig::paper_hallway();
+        channel.noise = NoiseModel::constant_default();
+        b.iter(|| black_box(run_with(channel, TrafficModel::Periodic)))
+    });
+
+    group.bench_function("no_fading", |b| {
+        let mut channel = ChannelConfig::paper_hallway();
+        channel.sigma_profile = SigmaProfile::none();
+        b.iter(|| black_box(run_with(channel, TrafficModel::Periodic)))
+    });
+
+    group.bench_function("no_ack_loss", |b| {
+        let mut channel = ChannelConfig::paper_hallway();
+        channel.ack_loss = false;
+        b.iter(|| black_box(run_with(channel, TrafficModel::Periodic)))
+    });
+    group.finish();
+}
+
+fn bench_traffic_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_traffic");
+    group.sample_size(20);
+
+    for (name, traffic) in [
+        ("periodic", TrafficModel::Periodic),
+        ("poisson", TrafficModel::Poisson),
+        ("saturating", TrafficModel::Saturating),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_with(ChannelConfig::paper_hallway(), traffic)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel_ablations, bench_traffic_ablations);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! One Criterion benchmark per reproduced table and figure.
+//!
+//! Each benchmark regenerates the corresponding paper artifact end-to-end
+//! (simulation campaign + analysis + rendering) at the tiny `Scale::Bench`
+//! packet count, so `cargo bench --bench figures` both times the harness
+//! and smoke-tests every reproduction path in release mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_experiments::campaign::Scale;
+use wsn_experiments::run_experiment;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    for (id, _) in wsn_experiments::all_experiments() {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let report =
+                    run_experiment(black_box(id), Scale::Bench).expect("known experiment id");
+                black_box(report.sections.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Microbenchmarks of the hot simulation and model paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_bench::micro_config;
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+use wsn_models::goodput::GoodputModel;
+use wsn_models::optimize::{Metric, Optimizer};
+use wsn_models::predict::Predictor;
+use wsn_models::service_time::ServiceTimeModel;
+use wsn_params::grid::ParamGrid;
+use wsn_params::types::{MaxTries, PayloadSize, RetryDelay};
+use wsn_radio::channel::{Channel, ChannelConfig};
+use wsn_radio::per::{DsssPer, EmpiricalPer, PerModel};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(20);
+
+    group.bench_function("link_sim_500_packets", |b| {
+        let cfg = micro_config();
+        b.iter(|| {
+            let outcome = LinkSimulation::new(
+                black_box(cfg),
+                SimOptions {
+                    record_packets: false,
+                    ..SimOptions::quick(500)
+                },
+            )
+            .run();
+            black_box(outcome.metrics().delivered)
+        })
+    });
+
+    group.bench_function("channel_observe", |b| {
+        let mut channel = Channel::new(
+            ChannelConfig::paper_hallway(),
+            micro_config().power,
+            micro_config().distance,
+        );
+        let mut fading = StdRng::seed_from_u64(1);
+        let mut noise = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(channel.observe(&mut fading, &mut noise).snr_db))
+    });
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("models");
+    let payload = PayloadSize::new(110).expect("valid");
+
+    group.bench_function("per_empirical", |b| {
+        let model = EmpiricalPer::paper();
+        b.iter(|| black_box(model.per(black_box(12.5), payload)))
+    });
+
+    group.bench_function("per_dsss", |b| {
+        let model = DsssPer;
+        b.iter(|| black_box(model.per(black_box(2.5), payload)))
+    });
+
+    group.bench_function("service_time_expected", |b| {
+        let model = ServiceTimeModel::paper();
+        b.iter(|| {
+            black_box(model.expected_service_time_s(
+                black_box(12.5),
+                payload,
+                MaxTries::new(8).expect("valid"),
+                RetryDelay::from_millis(30),
+            ))
+        })
+    });
+
+    group.bench_function("max_goodput", |b| {
+        let model = GoodputModel::paper();
+        b.iter(|| {
+            black_box(model.max_goodput_bps(
+                black_box(9.0),
+                payload,
+                MaxTries::new(3).expect("valid"),
+                RetryDelay::ZERO,
+            ))
+        })
+    });
+
+    group.bench_function("predict_config", |b| {
+        let predictor = Predictor::paper();
+        let cfg = micro_config();
+        b.iter(|| black_box(predictor.evaluate(black_box(&cfg)).max_goodput_bps))
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    let grid = ParamGrid {
+        distances_m: vec![35.0],
+        queue_caps: vec![30],
+        packet_intervals_ms: vec![30],
+        ..ParamGrid::paper()
+    };
+
+    group.bench_function("evaluate_grid_576", |b| {
+        let opt = Optimizer::paper();
+        b.iter(|| black_box(opt.evaluate_grid(black_box(&grid)).len()))
+    });
+
+    group.bench_function("pareto_front_energy_goodput", |b| {
+        let opt = Optimizer::paper();
+        b.iter(|| {
+            black_box(
+                opt.pareto_front(black_box(&grid), &[Metric::Energy, Metric::Goodput])
+                    .len(),
+            )
+        })
+    });
+
+    group.bench_function("epsilon_constraint", |b| {
+        let opt = Optimizer::paper();
+        b.iter(|| {
+            black_box(opt.epsilon_constraint(
+                black_box(&grid),
+                Metric::Goodput,
+                &[(Metric::Energy, 0.5)],
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_models, bench_optimizer);
+criterion_main!(benches);

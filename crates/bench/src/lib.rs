@@ -1,0 +1,37 @@
+//! # wsn-bench
+//!
+//! Criterion benchmark harness for the reproduction:
+//!
+//! * `benches/figures.rs` — one benchmark per reproduced table/figure,
+//!   regenerating the artifact at [`Scale::Bench`] packet counts
+//!   (`cargo bench -p wsn-bench --bench figures`),
+//! * `benches/micro.rs` — microbenchmarks of the hot simulation and model
+//!   paths (event loop, PER backends, service-time model, optimizer),
+//! * `benches/ablations.rs` — design-choice ablations called out in
+//!   DESIGN.md (channel backend, noise model, fading, arrival process).
+//!
+//! [`Scale::Bench`]: wsn_experiments::campaign::Scale::Bench
+
+/// The standard per-packet simulation workload used by microbenchmarks:
+/// a mid-quality 20 m link with retransmissions enabled.
+pub fn micro_config() -> wsn_params::config::StackConfig {
+    wsn_params::config::StackConfig::builder()
+        .distance_m(20.0)
+        .power_level(19)
+        .payload_bytes(80)
+        .max_tries(3)
+        .retry_delay_ms(30)
+        .queue_cap(30)
+        .packet_interval_ms(30)
+        .build()
+        .expect("constants are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn micro_config_is_valid() {
+        let cfg = super::micro_config();
+        assert_eq!(cfg.payload.bytes(), 80);
+    }
+}

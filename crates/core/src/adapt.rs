@@ -1,0 +1,282 @@
+//! Closed-loop adaptive tuning.
+//!
+//! Sec. IV-B of the paper concludes that "adapting the payload size to the
+//! varying link quality can be an efficient way to minimize energy
+//! consumption in dynamic channel conditions", and Sec. III-A motivates
+//! adaptation from the measured RSSI instability. This module closes that
+//! loop: an EWMA link-quality estimator plus a hysteresis-guarded retuner
+//! that reads the empirical models at the estimated SNR and adjusts
+//! payload and retransmission budget (and optionally power).
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::types::{MaxTries, PayloadSize, PowerLevel};
+
+use crate::constants::GREY_ZONE_MAX_SNR_DB;
+use crate::energy::EnergyModel;
+use crate::goodput::GoodputModel;
+
+/// Exponentially-weighted moving-average SNR estimator.
+///
+/// ```
+/// use wsn_models::adapt::SnrEstimator;
+///
+/// let mut est = SnrEstimator::new(0.2);
+/// for _ in 0..50 {
+///     est.update(10.0);
+/// }
+/// assert!((est.value().unwrap() - 10.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnrEstimator {
+    alpha: f64,
+    ewma: Option<f64>,
+    samples: u64,
+}
+
+impl SnrEstimator {
+    /// Creates an estimator with smoothing factor `alpha` (weight of the
+    /// newest sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        SnrEstimator {
+            alpha,
+            ewma: None,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one SNR observation (dB) and returns the updated estimate.
+    pub fn update(&mut self, snr_db: f64) -> f64 {
+        let next = match self.ewma {
+            None => snr_db,
+            Some(prev) => prev + self.alpha * (snr_db - prev),
+        };
+        self.ewma = Some(next);
+        self.samples += 1;
+        next
+    }
+
+    /// The current estimate, if any sample has arrived.
+    pub fn value(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// What the tuner optimizes for when it re-reads the models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuneObjective {
+    /// Minimize energy per information bit (Sec. IV-C policy).
+    Energy,
+    /// Maximize goodput (Sec. V-C policy).
+    Goodput,
+}
+
+/// A hysteresis-guarded, model-driven link tuner.
+///
+/// The tuner keeps the last SNR it acted on; a retune is only proposed when
+/// the estimate moved by more than `hysteresis_db`, avoiding configuration
+/// flapping on fading noise (the concern raised by Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveTuner {
+    /// The tuning goal.
+    pub objective: TuneObjective,
+    /// Minimum estimate movement before acting, dB.
+    pub hysteresis_db: f64,
+    energy: EnergyModel,
+    goodput: GoodputModel,
+    acted_at_db: Option<f64>,
+}
+
+impl AdaptiveTuner {
+    /// Creates a tuner with the paper's models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis_db` is negative or not finite.
+    pub fn new(objective: TuneObjective, hysteresis_db: f64) -> Self {
+        assert!(
+            hysteresis_db.is_finite() && hysteresis_db >= 0.0,
+            "hysteresis must be finite and non-negative, got {hysteresis_db}"
+        );
+        AdaptiveTuner {
+            objective,
+            hysteresis_db,
+            energy: EnergyModel::paper(),
+            goodput: GoodputModel::paper(),
+            acted_at_db: None,
+        }
+    }
+
+    /// The SNR the current configuration was chosen for, if any.
+    pub fn acted_at_db(&self) -> Option<f64> {
+        self.acted_at_db
+    }
+
+    /// Proposes a new configuration for the estimated SNR, or `None` when
+    /// the estimate has not moved past the hysteresis band.
+    pub fn retune(&mut self, snr_db: f64, current: &StackConfig) -> Option<StackConfig> {
+        if let Some(prev) = self.acted_at_db {
+            if (snr_db - prev).abs() < self.hysteresis_db {
+                return None;
+            }
+        }
+        self.acted_at_db = Some(snr_db);
+        let mut next = *current;
+        match self.objective {
+            TuneObjective::Energy => {
+                next.payload = self.energy.optimal_payload(snr_db, current.power);
+                // Grey zone: allow the MAC to recover losses; clean link:
+                // a light budget suffices.
+                next.max_tries = if snr_db < GREY_ZONE_MAX_SNR_DB {
+                    MaxTries::new(8).expect("valid")
+                } else {
+                    MaxTries::new(3).expect("valid")
+                };
+            }
+            TuneObjective::Goodput => {
+                next.payload = if snr_db >= GREY_ZONE_MAX_SNR_DB {
+                    PayloadSize::MAX
+                } else {
+                    self.goodput.optimal_payload(
+                        snr_db,
+                        MaxTries::new(8).expect("valid"),
+                        current.retry_delay,
+                    )
+                };
+                next.max_tries = MaxTries::new(8).expect("valid");
+            }
+        }
+        if next == *current {
+            None
+        } else {
+            Some(next)
+        }
+    }
+
+    /// Convenience: the power level the tuner would pick from `candidates`
+    /// for a distance-implied SNR table (Sec. IV-C power rule, delegated to
+    /// the energy model).
+    pub fn pick_power(&self, snr_by_level: &[(PowerLevel, f64)]) -> Option<PowerLevel> {
+        snr_by_level
+            .iter()
+            .filter(|(_, snr)| *snr >= GREY_ZONE_MAX_SNR_DB)
+            .min_by_key(|(p, _)| p.level())
+            .map(|(p, _)| *p)
+            .or_else(|| {
+                snr_by_level
+                    .iter()
+                    .max_by_key(|(p, _)| p.level())
+                    .map(|(p, _)| *p)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StackConfig {
+        // Starts with a non-optimal retry budget so the first retune has
+        // something to change even on a clean link.
+        StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(31)
+            .payload_bytes(114)
+            .max_tries(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn estimator_converges_and_smooths() {
+        let mut est = SnrEstimator::new(0.25);
+        assert!(est.value().is_none());
+        for _ in 0..40 {
+            est.update(12.0);
+        }
+        assert!((est.value().unwrap() - 12.0).abs() < 0.05);
+        // A single outlier moves the estimate by only alpha of the jump.
+        let moved = est.update(22.0);
+        assert!((moved - 14.5).abs() < 0.1, "moved={moved}");
+        assert_eq!(est.samples(), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn estimator_rejects_bad_alpha() {
+        let _ = SnrEstimator::new(0.0);
+    }
+
+    #[test]
+    fn tuner_shrinks_payload_when_link_degrades() {
+        let mut tuner = AdaptiveTuner::new(TuneObjective::Energy, 1.0);
+        let good = tuner.retune(25.0, &cfg()).expect("first call acts");
+        assert_eq!(good.payload.bytes(), 114);
+        let degraded = tuner.retune(6.0, &good).expect("large move acts");
+        assert!(
+            degraded.payload.bytes() < 60,
+            "payload={}",
+            degraded.payload.bytes()
+        );
+        assert_eq!(degraded.max_tries.get(), 8);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_flapping() {
+        let mut tuner = AdaptiveTuner::new(TuneObjective::Energy, 3.0);
+        let first = tuner.retune(20.0, &cfg());
+        assert!(first.is_some() || tuner.acted_at_db().is_some());
+        // Small wiggles inside the band do nothing.
+        assert!(tuner.retune(21.5, &cfg()).is_none());
+        assert!(tuner.retune(18.6, &cfg()).is_none());
+        // A real shift acts.
+        assert!(tuner.retune(9.0, &cfg()).is_some());
+    }
+
+    #[test]
+    fn goodput_objective_prefers_max_payload_outside_grey_zone() {
+        let mut tuner = AdaptiveTuner::new(TuneObjective::Goodput, 0.0);
+        let base = StackConfig::builder()
+            .payload_bytes(20)
+            .max_tries(1)
+            .build()
+            .unwrap();
+        let tuned = tuner.retune(15.0, &base).expect("acts");
+        assert_eq!(tuned.payload.bytes(), 114);
+        assert_eq!(tuned.max_tries.get(), 8);
+    }
+
+    #[test]
+    fn retune_returns_none_when_nothing_changes() {
+        let mut tuner = AdaptiveTuner::new(TuneObjective::Energy, 0.0);
+        let tuned = tuner.retune(25.0, &cfg()).expect("first act changes tries");
+        // Same SNR again: configuration already optimal → no proposal.
+        assert!(tuner.retune(25.0, &tuned).is_none());
+    }
+
+    #[test]
+    fn pick_power_takes_cheapest_clear_level() {
+        let tuner = AdaptiveTuner::new(TuneObjective::Energy, 1.0);
+        let lv = |l: u8| PowerLevel::new(l).unwrap();
+        let table = [(lv(3), 6.0), (lv(11), 14.0), (lv(31), 26.0)];
+        assert_eq!(tuner.pick_power(&table).unwrap().level(), 11);
+        // Nothing clears the grey zone: fall back to maximum power.
+        let weak = [(lv(3), 2.0), (lv(31), 8.0)];
+        assert_eq!(tuner.pick_power(&weak).unwrap().level(), 31);
+        assert!(tuner.pick_power(&[]).is_none());
+    }
+}

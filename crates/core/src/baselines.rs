@@ -1,0 +1,125 @@
+//! Single-parameter tuning baselines from the literature, as compared in
+//! the paper's Fig. 1 / Table IV.
+//!
+//! The paper contrasts its joint multi-parameter optimization against three
+//! representative single-knob guidelines:
+//!
+//! * **\[11\] Tuning output power** — raise `Ptx` to reduce loss and thus
+//!   lift throughput (Son et al. style power tuning).
+//! * **\[6\] Tuning retransmissions** — allow (more) retransmissions to
+//!   maximize throughput.
+//! * **\[1\] Tuning payload size** — pick a small payload under bad links /
+//!   the maximum payload under good links.
+//!
+//! Each baseline takes the *current* operating point and changes exactly
+//! one parameter, exactly as the comparison in Sec. VIII-C does.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::types::{MaxTries, PayloadSize, PowerLevel};
+
+/// A named single-parameter tuning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Baseline {
+    /// \[11\]: set the output power to the maximum PA level (31).
+    TunePower,
+    /// \[6\]: enable retransmissions (raise `NmaxTries`), here to 8.
+    TuneRetransmissions,
+    /// \[1\]: use the minimum grid payload (5 bytes) — the "high
+    /// interference" branch of the payload guideline.
+    TunePayloadMin,
+    /// \[1\]: use the maximum payload (114 bytes) — the "good link" branch.
+    TunePayloadMax,
+}
+
+impl Baseline {
+    /// All four baselines in the paper's Table IV order.
+    pub fn all() -> [Baseline; 4] {
+        [
+            Baseline::TunePower,
+            Baseline::TuneRetransmissions,
+            Baseline::TunePayloadMin,
+            Baseline::TunePayloadMax,
+        ]
+    }
+
+    /// The literature citation label used in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Baseline::TunePower => "[11]-Tuning power",
+            Baseline::TuneRetransmissions => "[6]-Tuning retx times",
+            Baseline::TunePayloadMin => "[1]-Minimal lD",
+            Baseline::TunePayloadMax => "[1]-Maximum lD",
+        }
+    }
+
+    /// Applies the single-parameter change to `base`, leaving every other
+    /// parameter untouched.
+    pub fn apply(self, base: &StackConfig) -> StackConfig {
+        let mut cfg = *base;
+        match self {
+            Baseline::TunePower => {
+                cfg.power = PowerLevel::MAX;
+            }
+            Baseline::TuneRetransmissions => {
+                cfg.max_tries = MaxTries::new(8).expect("8 tries is valid");
+            }
+            Baseline::TunePayloadMin => {
+                cfg.payload = PayloadSize::new(5).expect("5 bytes is valid");
+            }
+            Baseline::TunePayloadMax => {
+                cfg.payload = PayloadSize::MAX;
+            }
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> StackConfig {
+        // The paper's case-study starting point: 35 m, Ptx = 23, lD = 114,
+        // one transmission.
+        StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(23)
+            .payload_bytes(114)
+            .max_tries(1)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(30)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn each_baseline_changes_exactly_one_parameter() {
+        let b = base();
+        let power = Baseline::TunePower.apply(&b);
+        assert_eq!(power.power.level(), 31);
+        assert_eq!(power.payload, b.payload);
+        assert_eq!(power.max_tries, b.max_tries);
+
+        let retx = Baseline::TuneRetransmissions.apply(&b);
+        assert_eq!(retx.max_tries.get(), 8);
+        assert_eq!(retx.power, b.power);
+
+        let min_ld = Baseline::TunePayloadMin.apply(&b);
+        assert_eq!(min_ld.payload.bytes(), 5);
+        assert_eq!(min_ld.power, b.power);
+
+        let max_ld = Baseline::TunePayloadMax.apply(&b);
+        assert_eq!(max_ld.payload.bytes(), 114);
+    }
+
+    #[test]
+    fn labels_match_table_iv() {
+        assert!(Baseline::TunePower.label().contains("[11]"));
+        assert!(Baseline::TuneRetransmissions.label().contains("[6]"));
+        assert!(Baseline::TunePayloadMin.label().contains("[1]"));
+        assert_eq!(Baseline::all().len(), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Battery-lifetime estimation — the deployment question behind every
+//! energy number in the paper.
+//!
+//! A TelosB runs on 2 × AA cells (≈ 2500 mAh at 3 V). Given a stack
+//! configuration, a link quality and a traffic rate, the whole-radio
+//! power model ([`EnergyModel::total_uj_per_bit`] components) converts
+//! directly into node lifetime, for both the paper's always-on MAC and
+//! the LPL extension.
+//!
+//! [`EnergyModel::total_uj_per_bit`]: crate::energy::EnergyModel::total_uj_per_bit
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_radio::cc2420;
+
+use crate::lpl::{LplConfig, LplModel};
+use crate::service_time::ServiceTimeModel;
+
+/// A battery as capacity at the radio's supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    /// Usable capacity, milliamp-hours.
+    pub capacity_mah: f64,
+}
+
+impl Battery {
+    /// Two alkaline AA cells: ~2500 mAh usable.
+    pub fn two_aa() -> Self {
+        Battery {
+            capacity_mah: 2500.0,
+        }
+    }
+
+    /// A CR2032 coin cell: ~220 mAh.
+    pub fn coin_cell() -> Self {
+        Battery {
+            capacity_mah: 220.0,
+        }
+    }
+
+    /// Usable energy, joules (at the CC2420 3 V supply).
+    pub fn energy_j(&self) -> f64 {
+        self.capacity_mah * 1e-3 * 3600.0 * cc2420::SUPPLY_VOLTAGE
+    }
+
+    /// Lifetime in days at a constant drain, `None` for zero/invalid drain.
+    pub fn lifetime_days(&self, drain_w: f64) -> Option<f64> {
+        if !(drain_w.is_finite() && drain_w > 0.0) {
+            return None;
+        }
+        Some(self.energy_j() / drain_w / 86_400.0)
+    }
+}
+
+impl Default for Battery {
+    fn default() -> Self {
+        Battery::two_aa()
+    }
+}
+
+/// Time-averaged sender radio power for a configuration at a link
+/// quality, W — the always-on (paper) MAC.
+///
+/// Uses the expected service-time decomposition: TX power during frames,
+/// RX power while listening (an always-on radio listens whenever it is
+/// not transmitting), idle only during the SPI load and retry gaps.
+pub fn always_on_drain_w(snr_db: f64, config: &StackConfig) -> f64 {
+    let service = ServiceTimeModel::paper();
+    let attempts = service.expected_attempts(snr_db, config.payload, config.max_tries);
+    let frame_s = wsn_mac::timing::frame_time(config.payload).as_secs_f64();
+    let interval_s = config.packet_interval.as_secs_f64();
+
+    let tx_s = attempts * frame_s;
+    let spi_s = service.t_spi_s(config.payload);
+    let retry_idle_s = (attempts - 1.0) * config.retry_delay.as_secs_f64();
+    // Everything else in the interval the radio spends in RX.
+    let rx_s = (interval_s - tx_s - spi_s - retry_idle_s).max(0.0);
+
+    (tx_s * cc2420::tx_power_w(config.power)
+        + rx_s * cc2420::rx_power_w()
+        + (spi_s + retry_idle_s) * cc2420::idle_power_w())
+        / interval_s
+}
+
+/// Time-averaged sender+receiver power with LPL at the given wake
+/// interval, W (delegates to [`LplModel`]).
+pub fn lpl_drain_w(config: &StackConfig, lpl: &LplConfig) -> f64 {
+    let model = LplModel::new(config.power, config.payload);
+    model
+        .power_budget(lpl, config.packet_interval.rate_pps())
+        .total_w()
+}
+
+/// Lifetime comparison for one configuration: always-on vs LPL, days.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeEstimate {
+    /// Always-on (the paper's measured stack), days.
+    pub always_on_days: f64,
+    /// Duty-cycled with the given LPL configuration, days.
+    pub lpl_days: f64,
+}
+
+/// Estimates both lifetimes on a battery.
+pub fn estimate(
+    battery: &Battery,
+    snr_db: f64,
+    config: &StackConfig,
+    lpl: &LplConfig,
+) -> LifetimeEstimate {
+    LifetimeEstimate {
+        always_on_days: battery
+            .lifetime_days(always_on_drain_w(snr_db, config))
+            .unwrap_or(f64::INFINITY),
+        lpl_days: battery
+            .lifetime_days(lpl_drain_w(config, lpl))
+            .unwrap_or(f64::INFINITY),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(tpkt: u32) -> StackConfig {
+        StackConfig::builder()
+            .distance_m(20.0)
+            .power_level(31)
+            .payload_bytes(50)
+            .max_tries(3)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(tpkt)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn battery_energy_arithmetic() {
+        let b = Battery::two_aa();
+        // 2.5 Ah × 3600 s × 3 V = 27 kJ.
+        assert!((b.energy_j() - 27_000.0).abs() < 1.0);
+        assert!(b.lifetime_days(0.0).is_none());
+        assert!(b.lifetime_days(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn always_on_lifetime_is_radio_bound() {
+        // An always-on CC2420 draws ~56 mW listening: 2×AA last ~5.5 days
+        // regardless of traffic — the paper's stack is a battery hog.
+        let drain = always_on_drain_w(25.0, &cfg(1000));
+        assert!(drain > 0.050 && drain < 0.060, "drain={drain}");
+        let days = Battery::two_aa().lifetime_days(drain).unwrap();
+        assert!(days > 4.0 && days < 7.0, "days={days}");
+    }
+
+    #[test]
+    fn lpl_extends_lifetime_by_an_order_of_magnitude_at_low_rate() {
+        // A monitoring workload: one packet every 10 s.
+        let lpl = LplConfig::tinyos_default();
+        let est = estimate(&Battery::two_aa(), 25.0, &cfg(10_000), &lpl);
+        assert!(
+            est.lpl_days > 10.0 * est.always_on_days,
+            "always-on {} days vs LPL {} days",
+            est.always_on_days,
+            est.lpl_days
+        );
+        // And LPL still keeps the node alive for months, not days.
+        assert!(est.lpl_days > 60.0, "lpl_days={}", est.lpl_days);
+    }
+
+    #[test]
+    fn heavier_traffic_drains_faster() {
+        let lpl = LplConfig::tinyos_default();
+        let light = lpl_drain_w(&cfg(1000), &lpl);
+        let heavy = lpl_drain_w(&cfg(50), &lpl);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    fn always_on_drain_is_dominated_by_listening() {
+        // CC2420 quirk: RX (56.4 mW) costs *more* than TX at full power
+        // (52.2 mW), so an always-on radio's drain barely moves with link
+        // quality — retransmissions just swap listen time for (slightly
+        // cheaper) transmit time.
+        let strong = always_on_drain_w(25.0, &cfg(100));
+        let weak = always_on_drain_w(6.0, &cfg(100));
+        let rel = (weak - strong).abs() / strong;
+        assert!(rel < 0.05, "relative drain change {rel}");
+        assert!(strong > 0.9 * cc2420::rx_power_w() * 0.5, "strong={strong}");
+    }
+
+    #[test]
+    fn coin_cell_is_proportionally_smaller() {
+        let aa = Battery::two_aa();
+        let coin = Battery::coin_cell();
+        let drain = 0.001;
+        let ratio = aa.lifetime_days(drain).unwrap() / coin.lifetime_days(drain).unwrap();
+        assert!((ratio - 2500.0 / 220.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! The fitted constants the paper publishes (summarised in its Table III).
+
+use serde::{Deserialize, Serialize};
+
+use crate::surface::ExpSurface;
+
+/// The paper's three fitted exponential surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperConstants {
+    /// Eq. 3 — packet error rate: α = 0.0128, β = −0.15.
+    pub per: ExpSurface,
+    /// Eq. 7 — mean transmissions minus one: α = 0.02, β = −0.18.
+    pub ntries: ExpSurface,
+    /// Eq. 8 — per-attempt loss base of the radio loss rate:
+    /// α = 0.011, β = −0.145.
+    pub plr_radio: ExpSurface,
+}
+
+impl PaperConstants {
+    /// The constants exactly as published.
+    pub fn published() -> Self {
+        PaperConstants {
+            per: ExpSurface::new(0.0128, -0.15),
+            ntries: ExpSurface::new(0.02, -0.18),
+            plr_radio: ExpSurface::new(0.011, -0.145),
+        }
+    }
+}
+
+impl Default for PaperConstants {
+    fn default() -> Self {
+        PaperConstants::published()
+    }
+}
+
+/// SNR threshold below which the paper calls the link the "grey zone", dB.
+pub const GREY_ZONE_MAX_SNR_DB: f64 = 12.0;
+
+/// SNR at and above which payload size stops mattering for PER
+/// ("low-impact zone"), dB.
+pub const LOW_IMPACT_MIN_SNR_DB: f64 = 19.0;
+
+/// The paper's observed low-SNR boundary of its measurements, dB.
+pub const MEASURED_MIN_SNR_DB: f64 = 5.0;
+
+/// SNR above which the maximum payload is energy-optimal according to the
+/// empirical energy model (Sec. IV-B), dB.
+pub const ENERGY_MAX_PAYLOAD_SNR_DB: f64 = 17.0;
+
+/// SNR above which the maximum payload is goodput-optimal (Sec. VIII-A), dB.
+pub const GOODPUT_MAX_PAYLOAD_SNR_DB: f64 = 9.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_constants_match_the_paper() {
+        let c = PaperConstants::published();
+        assert_eq!(c.per.alpha, 0.0128);
+        assert_eq!(c.per.beta, -0.15);
+        assert_eq!(c.ntries.alpha, 0.02);
+        assert_eq!(c.ntries.beta, -0.18);
+        assert_eq!(c.plr_radio.alpha, 0.011);
+        assert_eq!(c.plr_radio.beta, -0.145);
+    }
+
+    #[test]
+    fn zone_thresholds_are_ordered() {
+        let thresholds = [
+            MEASURED_MIN_SNR_DB,
+            GREY_ZONE_MAX_SNR_DB,
+            ENERGY_MAX_PAYLOAD_SNR_DB,
+            LOW_IMPACT_MIN_SNR_DB,
+        ];
+        assert!(thresholds.windows(2).all(|w| w[0] < w[1]), "{thresholds:?}");
+    }
+}

@@ -1,0 +1,328 @@
+//! From-scratch curve fitting used to re-derive the paper's model
+//! constants from (simulated) measurements.
+//!
+//! Two fitters are provided:
+//!
+//! * [`fit_exp_surface`] — fits `y = α · lD · exp(β · SNR)` to a point
+//!   cloud by exploiting that, for a fixed β, the optimal α has a closed
+//!   form (the model is linear in α). A coarse grid over β followed by
+//!   golden-section refinement gives a robust global fit without the
+//!   fragility of a general Levenberg–Marquardt implementation.
+//! * [`linear_fit`] — ordinary least squares for straight lines, used for
+//!   the path-loss fit of Fig. 3 (`RSSI` vs `10·log10(d)`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::surface::ExpSurface;
+
+/// One observation for the exponential-surface fitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfacePoint {
+    /// Payload size, bytes.
+    pub payload_bytes: f64,
+    /// Signal-to-noise ratio, dB.
+    pub snr_db: f64,
+    /// Observed value (PER, `N̄tries − 1`, per-attempt loss, …).
+    pub value: f64,
+}
+
+/// Result of an exponential-surface fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SurfaceFit {
+    /// The fitted surface.
+    pub surface: ExpSurface,
+    /// Residual sum of squares at the optimum.
+    pub rss: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+/// For a fixed β, the least-squares α is closed-form; returns `(alpha, rss)`.
+fn best_alpha_for_beta(points: &[SurfacePoint], beta: f64) -> (f64, f64) {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for p in points {
+        let x = p.payload_bytes * (beta * p.snr_db).exp();
+        num += x * p.value;
+        den += x * x;
+    }
+    let alpha = if den > 0.0 { (num / den).max(0.0) } else { 0.0 };
+    let rss = points
+        .iter()
+        .map(|p| {
+            let pred = alpha * p.payload_bytes * (beta * p.snr_db).exp();
+            (pred - p.value).powi(2)
+        })
+        .sum();
+    (alpha, rss)
+}
+
+/// Fits `y = α · lD · exp(β · SNR)` with α ≥ 0 and β ∈ [−2, 0].
+///
+/// # Errors
+///
+/// Returns [`FitError::TooFewPoints`] with fewer than 3 points and
+/// [`FitError::NonFinite`] if any coordinate is not finite.
+///
+/// ```
+/// use wsn_models::fit::{fit_exp_surface, SurfacePoint};
+///
+/// // Plant the paper's Eq. 3 constants and recover them noiselessly.
+/// let mut points = Vec::new();
+/// for ld in [5.0, 50.0, 110.0] {
+///     for snr in [6.0, 10.0, 14.0, 18.0] {
+///         points.push(SurfacePoint {
+///             payload_bytes: ld,
+///             snr_db: snr,
+///             value: 0.0128 * ld * (-0.15f64 * snr).exp(),
+///         });
+///     }
+/// }
+/// let fit = fit_exp_surface(&points)?;
+/// assert!((fit.surface.alpha - 0.0128).abs() < 1e-4);
+/// assert!((fit.surface.beta - -0.15).abs() < 1e-3);
+/// # Ok::<(), wsn_models::fit::FitError>(())
+/// ```
+pub fn fit_exp_surface(points: &[SurfacePoint]) -> Result<SurfaceFit, FitError> {
+    if points.len() < 3 {
+        return Err(FitError::TooFewPoints {
+            got: points.len(),
+            need: 3,
+        });
+    }
+    if points
+        .iter()
+        .any(|p| !(p.payload_bytes.is_finite() && p.snr_db.is_finite() && p.value.is_finite()))
+    {
+        return Err(FitError::NonFinite);
+    }
+
+    // Coarse grid over β.
+    const BETA_MIN: f64 = -2.0;
+    const BETA_MAX: f64 = 0.0;
+    const GRID: usize = 400;
+    let mut best_beta = BETA_MIN;
+    let mut best_rss = f64::INFINITY;
+    for i in 0..=GRID {
+        let beta = BETA_MIN + (BETA_MAX - BETA_MIN) * i as f64 / GRID as f64;
+        let (_, rss) = best_alpha_for_beta(points, beta);
+        if rss < best_rss {
+            best_rss = rss;
+            best_beta = beta;
+        }
+    }
+
+    // Golden-section refinement around the best grid cell.
+    let step = (BETA_MAX - BETA_MIN) / GRID as f64;
+    let mut lo = (best_beta - step).max(BETA_MIN);
+    let mut hi = (best_beta + step).min(BETA_MAX);
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..60 {
+        let m1 = hi - PHI * (hi - lo);
+        let m2 = lo + PHI * (hi - lo);
+        let (_, r1) = best_alpha_for_beta(points, m1);
+        let (_, r2) = best_alpha_for_beta(points, m2);
+        if r1 < r2 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let beta = 0.5 * (lo + hi);
+    let (alpha, rss) = best_alpha_for_beta(points, beta);
+    Ok(SurfaceFit {
+        surface: ExpSurface::new(alpha, beta.min(0.0)),
+        rss,
+        n: points.len(),
+    })
+}
+
+/// Errors from the fitting routines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Not enough points to constrain the model.
+    TooFewPoints {
+        /// Points supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinite,
+}
+
+impl core::fmt::Display for FitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FitError::TooFewPoints { got, need } => {
+                write!(f, "too few points for fit: got {got}, need {need}")
+            }
+            FitError::NonFinite => write!(f, "non-finite coordinate in fit input"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// An ordinary-least-squares straight-line fit `y = slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard deviation of the residuals.
+    pub residual_std: f64,
+}
+
+/// Ordinary least squares on paired samples.
+///
+/// # Errors
+///
+/// Returns [`FitError::TooFewPoints`] with fewer than 2 points, and
+/// [`FitError::NonFinite`] for NaN/∞ inputs or a degenerate (constant) x.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, FitError> {
+    if x.len() != y.len() || x.len() < 2 {
+        return Err(FitError::TooFewPoints {
+            got: x.len().min(y.len()),
+            need: 2,
+        });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(FitError::NonFinite);
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx).powi(2)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    if sxx == 0.0 {
+        return Err(FitError::NonFinite);
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = y.iter().map(|v| (v - my).powi(2)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (b - (slope * a + intercept)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        residual_std: (ss_res / n).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn planted_points(alpha: f64, beta: f64, noise: f64, seed: u64) -> Vec<SurfacePoint> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        for ld in [5.0, 20.0, 50.0, 80.0, 110.0] {
+            for snr in [5.0, 8.0, 11.0, 14.0, 17.0, 20.0] {
+                let clean = alpha * ld * (beta * snr).exp();
+                let jitter = 1.0 + noise * (rng.gen::<f64>() - 0.5);
+                points.push(SurfacePoint {
+                    payload_bytes: ld,
+                    snr_db: snr,
+                    value: clean * jitter,
+                });
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn recovers_planted_constants_noiselessly() {
+        let fit = fit_exp_surface(&planted_points(0.02, -0.18, 0.0, 1)).unwrap();
+        assert!(
+            (fit.surface.alpha - 0.02).abs() < 1e-5,
+            "alpha={}",
+            fit.surface.alpha
+        );
+        assert!(
+            (fit.surface.beta - -0.18).abs() < 1e-4,
+            "beta={}",
+            fit.surface.beta
+        );
+        assert!(fit.rss < 1e-12);
+    }
+
+    #[test]
+    fn recovers_planted_constants_under_noise() {
+        let fit = fit_exp_surface(&planted_points(0.011, -0.145, 0.2, 7)).unwrap();
+        assert!(
+            (fit.surface.alpha - 0.011).abs() < 0.002,
+            "alpha={}",
+            fit.surface.alpha
+        );
+        assert!(
+            (fit.surface.beta - -0.145).abs() < 0.02,
+            "beta={}",
+            fit.surface.beta
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(
+            fit_exp_surface(&[]),
+            Err(FitError::TooFewPoints { got: 0, need: 3 })
+        );
+        let mut pts = planted_points(0.01, -0.1, 0.0, 1);
+        pts[0].value = f64::NAN;
+        assert_eq!(fit_exp_surface(&pts), Err(FitError::NonFinite));
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| -2.19 * v + 5.0).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - -2.19).abs() < 1e-12);
+        assert!((fit.intercept - 5.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.residual_std < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_pathloss_shape() {
+        // RSSI(d) = P − 32.2 − 21.9·log10(d): fitting against 10·log10(d)
+        // must recover slope −2.19 (the path-loss exponent).
+        let distances = [5.0f64, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0];
+        let x: Vec<f64> = distances.iter().map(|d| 10.0 * d.log10()).collect();
+        let y: Vec<f64> = distances
+            .iter()
+            .map(|d| -3.0 - 32.2 - 21.9 * d.log10())
+            .collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.slope - -2.19).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_errors() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_err());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_err()); // constant x
+        assert!(linear_fit(&[1.0, f64::NAN], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn fit_error_display() {
+        let e = FitError::TooFewPoints { got: 1, need: 3 };
+        assert!(e.to_string().contains("too few"));
+        assert!(FitError::NonFinite.to_string().contains("non-finite"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The maximum-goodput model (Eq. 4, Sec. V-B) and the goodput-optimal
+//! payload rules of Sec. V-C.
+//!
+//! ```text
+//! maxGoodput = lD / T̄service · (1 − PLR_radio)
+//! ```
+//!
+//! with `T̄service` from Eqs. 5–7 and `PLR_radio` from Eq. 8. `lD` is read
+//! in bits so the result is in bits per second.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::types::{MaxTries, PayloadSize, RetryDelay};
+
+use crate::loss::RadioLossModel;
+use crate::service_time::ServiceTimeModel;
+
+/// The empirical maximum-goodput model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoodputModel {
+    /// Service-time part (Eqs. 5–7).
+    pub service: ServiceTimeModel,
+    /// Radio-loss part (Eq. 8).
+    pub loss: RadioLossModel,
+}
+
+impl GoodputModel {
+    /// The model with the paper's published constants.
+    pub fn paper() -> Self {
+        GoodputModel {
+            service: ServiceTimeModel::paper(),
+            loss: RadioLossModel::paper(),
+        }
+    }
+
+    /// Maximum goodput in bits per second (Eq. 4).
+    ///
+    /// ```
+    /// use wsn_models::goodput::GoodputModel;
+    /// use wsn_params::types::{MaxTries, PayloadSize, RetryDelay};
+    ///
+    /// let g = GoodputModel::paper();
+    /// let bps = g.max_goodput_bps(
+    ///     25.0,
+    ///     PayloadSize::new(114)?,
+    ///     MaxTries::new(3)?,
+    ///     RetryDelay::ZERO,
+    /// );
+    /// // A clean link moves ~45-50 kb/s of payload through this stack.
+    /// assert!(bps > 40_000.0 && bps < 60_000.0);
+    /// # Ok::<(), wsn_params::error::InvalidParam>(())
+    /// ```
+    pub fn max_goodput_bps(
+        &self,
+        snr_db: f64,
+        payload: PayloadSize,
+        max_tries: MaxTries,
+        retry_delay: RetryDelay,
+    ) -> f64 {
+        let t_service = self
+            .service
+            .plugin_service_time_s(snr_db, payload, max_tries, retry_delay);
+        let plr = self.loss.rate(snr_db, payload, max_tries);
+        payload.bits() as f64 / t_service * (1.0 - plr)
+    }
+
+    /// The goodput-optimal payload size: integer argmax over 1..=114
+    /// bytes (Sec. V-C / Fig. 13).
+    pub fn optimal_payload(
+        &self,
+        snr_db: f64,
+        max_tries: MaxTries,
+        retry_delay: RetryDelay,
+    ) -> PayloadSize {
+        let mut best = PayloadSize::new(1).expect("1 byte is valid");
+        let mut best_g = f64::NEG_INFINITY;
+        for bytes in 1..=114u16 {
+            let payload = PayloadSize::new(bytes).expect("1..=114 is valid");
+            let g = self.max_goodput_bps(snr_db, payload, max_tries, retry_delay);
+            if g > best_g {
+                best_g = g;
+                best = payload;
+            }
+        }
+        best
+    }
+}
+
+impl Default for GoodputModel {
+    fn default() -> Self {
+        GoodputModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(b: u16) -> PayloadSize {
+        PayloadSize::new(b).unwrap()
+    }
+    fn mt(n: u8) -> MaxTries {
+        MaxTries::new(n).unwrap()
+    }
+
+    #[test]
+    fn goodput_increases_with_snr_then_saturates() {
+        let g = GoodputModel::paper();
+        let g5 = g.max_goodput_bps(5.0, pl(110), mt(3), RetryDelay::ZERO);
+        let g12 = g.max_goodput_bps(12.0, pl(110), mt(3), RetryDelay::ZERO);
+        let g19 = g.max_goodput_bps(19.0, pl(110), mt(3), RetryDelay::ZERO);
+        let g30 = g.max_goodput_bps(30.0, pl(110), mt(3), RetryDelay::ZERO);
+        assert!(g5 < g12 && g12 < g19 && g19 < g30);
+        // Paper Sec. V-A: beyond ~19 dB extra power buys little goodput.
+        let grey_gain = (g19 - g12) / g12;
+        let clean_gain = (g30 - g19) / g19;
+        assert!(clean_gain < grey_gain / 2.0, "{clean_gain} vs {grey_gain}");
+    }
+
+    #[test]
+    fn max_payload_optimal_outside_grey_zone() {
+        // Sec. V-C: outside the grey zone, max payload + retransmissions
+        // maximise goodput.
+        let g = GoodputModel::paper();
+        for snr in [12.0, 15.0, 20.0, 30.0] {
+            assert_eq!(
+                g.optimal_payload(snr, mt(3), RetryDelay::ZERO).bytes(),
+                114,
+                "snr={snr}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_payload_shrinks_deep_in_grey_zone_without_retx() {
+        let g = GoodputModel::paper();
+        let best5 = g.optimal_payload(3.0, mt(1), RetryDelay::ZERO);
+        assert!(best5.bytes() < 114, "best={}", best5.bytes());
+    }
+
+    #[test]
+    fn retransmissions_increase_optimal_payload_in_grey_zone() {
+        // Sec. V-C: "Larger NmaxTries increases the optimal payload size."
+        let g = GoodputModel::paper();
+        let snr = 3.0;
+        let without = g.optimal_payload(snr, mt(1), RetryDelay::ZERO).bytes();
+        let with = g.optimal_payload(snr, mt(8), RetryDelay::ZERO).bytes();
+        assert!(with >= without, "with={with} without={without}");
+    }
+
+    #[test]
+    fn retransmissions_raise_goodput_in_grey_zone() {
+        let g = GoodputModel::paper();
+        let snr = 8.0;
+        let g1 = g.max_goodput_bps(snr, pl(110), mt(1), RetryDelay::ZERO);
+        let g3 = g.max_goodput_bps(snr, pl(110), mt(3), RetryDelay::ZERO);
+        assert!(g3 > g1, "{g3} !> {g1}");
+    }
+
+    #[test]
+    fn retry_delay_reduces_goodput_when_retrying() {
+        let g = GoodputModel::paper();
+        let snr = 8.0;
+        let fast = g.max_goodput_bps(snr, pl(110), mt(3), RetryDelay::ZERO);
+        let slow = g.max_goodput_bps(snr, pl(110), mt(3), RetryDelay::from_millis(100));
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn goodput_is_positive_and_below_phy_rate() {
+        let g = GoodputModel::paper();
+        for snr in [0.0, 5.0, 10.0, 20.0, 40.0] {
+            for bytes in [5u16, 50, 114] {
+                let bps = g.max_goodput_bps(snr, pl(bytes), mt(3), RetryDelay::ZERO);
+                assert!(bps >= 0.0);
+                assert!(bps < 250_000.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! The paper's per-metric parameter-optimization guidelines
+//! (Secs. IV-C, V-C, VI-B, VII-B) as executable recommendations.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::types::{Distance, MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap};
+
+use crate::constants::{ENERGY_MAX_PAYLOAD_SNR_DB, GREY_ZONE_MAX_SNR_DB};
+use crate::energy::EnergyModel;
+use crate::goodput::GoodputModel;
+use crate::loss::LossModel;
+use crate::predict::LinkBudget;
+use crate::service_time::ServiceTimeModel;
+
+/// An energy recommendation (Sec. IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAdvice {
+    /// Recommended PA level.
+    pub power: PowerLevel,
+    /// Recommended payload size.
+    pub payload: PayloadSize,
+    /// The SNR expected at that level.
+    pub snr_db: f64,
+    /// True when the link reaches the ≥17 dB region where the maximum
+    /// payload is optimal.
+    pub reaches_low_impact: bool,
+}
+
+/// The executable guideline set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Guidelines {
+    /// Energy model (Sec. IV).
+    pub energy: EnergyModel,
+    /// Goodput model (Sec. V).
+    pub goodput: GoodputModel,
+    /// Loss model (Sec. VII).
+    pub loss: LossModel,
+    /// Service-time model (Sec. VI).
+    pub service: ServiceTimeModel,
+    /// Link budget for SNR prediction.
+    pub budget: LinkBudget,
+}
+
+impl Guidelines {
+    /// Guidelines backed by the paper's published constants.
+    pub fn paper() -> Self {
+        Guidelines {
+            energy: EnergyModel::paper(),
+            goodput: GoodputModel::paper(),
+            loss: LossModel::paper(),
+            service: ServiceTimeModel::paper(),
+            budget: LinkBudget::paper_hallway(),
+        }
+    }
+
+    /// Sec. IV-C: choose the smallest output power that lifts the link
+    /// into the low-impact region (SNR ≥ 17 dB by the empirical model) and
+    /// use the maximum payload there; if no candidate reaches it, use the
+    /// maximum power with the model-optimal (smaller) payload.
+    pub fn energy_advice(
+        &self,
+        distance: Distance,
+        candidates: &[PowerLevel],
+    ) -> Option<EnergyAdvice> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let reaching = candidates
+            .iter()
+            .copied()
+            .filter(|&p| self.budget.snr_db(p, distance) >= ENERGY_MAX_PAYLOAD_SNR_DB)
+            .min_by_key(|p| p.level());
+        match reaching {
+            Some(power) => Some(EnergyAdvice {
+                power,
+                payload: PayloadSize::MAX,
+                snr_db: self.budget.snr_db(power, distance),
+                reaches_low_impact: true,
+            }),
+            None => {
+                let power = candidates
+                    .iter()
+                    .copied()
+                    .max_by_key(|p| p.level())
+                    .expect("non-empty candidates");
+                let snr_db = self.budget.snr_db(power, distance);
+                Some(EnergyAdvice {
+                    power,
+                    payload: self.energy.optimal_payload(snr_db, power),
+                    snr_db,
+                    reaches_low_impact: false,
+                })
+            }
+        }
+    }
+
+    /// Sec. V-C: the goodput-optimal payload. Outside the grey zone this
+    /// is the maximum size; inside, the model argmax (which grows with
+    /// `NmaxTries`).
+    pub fn goodput_payload(&self, snr_db: f64, max_tries: MaxTries) -> PayloadSize {
+        if snr_db >= GREY_ZONE_MAX_SNR_DB {
+            PayloadSize::MAX
+        } else {
+            self.goodput
+                .optimal_payload(snr_db, max_tries, wsn_params::types::RetryDelay::ZERO)
+        }
+    }
+
+    /// Sec. VI-B: the smallest packet interval (searched in 1 ms steps up
+    /// to `limit_ms`) that keeps the system utilization under `rho_target`
+    /// for the rest of the configuration, avoiding queueing delay blow-up.
+    pub fn min_stable_interval(
+        &self,
+        snr_db: f64,
+        config: &StackConfig,
+        rho_target: f64,
+        limit_ms: u32,
+    ) -> Option<PacketInterval> {
+        let t_service_s = self.service.plugin_service_time_s(
+            snr_db,
+            config.payload,
+            config.max_tries,
+            config.retry_delay,
+        );
+        let needed_ms = (t_service_s * 1e3 / rho_target).ceil() as u32;
+        if needed_ms == 0 || needed_ms > limit_ms {
+            return None;
+        }
+        Some(PacketInterval::from_millis(needed_ms).expect("needed_ms >= 1"))
+    }
+
+    /// Sec. VII-B: the retransmission budget that minimizes radio loss
+    /// while keeping ρ < 1; falls back to a queue-size recommendation when
+    /// even one attempt saturates the link.
+    pub fn loss_advice(
+        &self,
+        snr_db: f64,
+        config: &StackConfig,
+        tries_limit: u8,
+        queue_limit: u16,
+    ) -> LossAdvice {
+        match self
+            .loss
+            .max_tries_within_capacity(snr_db, config, tries_limit)
+        {
+            Some(tries) => LossAdvice::Retransmit { tries },
+            None => {
+                let queue = self
+                    .loss
+                    .min_queue_for_loss(snr_db, config, 0.05, queue_limit)
+                    .unwrap_or(QueueCap::new(queue_limit.max(1)).expect("limit >= 1"));
+                LossAdvice::Buffer { queue }
+            }
+        }
+    }
+}
+
+impl Default for Guidelines {
+    fn default() -> Self {
+        Guidelines::paper()
+    }
+}
+
+/// A loss recommendation (Sec. VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossAdvice {
+    /// Stable link: use this retransmission budget.
+    Retransmit {
+        /// The recommended `NmaxTries`.
+        tries: MaxTries,
+    },
+    /// Overloaded link: buffer with (at least) this queue size instead.
+    Buffer {
+        /// The recommended `Qmax`.
+        queue: QueueCap,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn levels() -> Vec<PowerLevel> {
+        [3u8, 7, 11, 15, 19, 23, 27, 31]
+            .iter()
+            .map(|&l| PowerLevel::new(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn energy_advice_at_35m_prefers_interior_power_and_max_payload() {
+        let g = Guidelines::paper();
+        let advice = g
+            .energy_advice(Distance::from_meters(35.0).unwrap(), &levels())
+            .unwrap();
+        // Fig. 7: an interior PA level (≈11) reaches the low-impact zone.
+        assert!(advice.reaches_low_impact);
+        assert!(advice.power.level() <= 15, "power={}", advice.power.level());
+        assert_eq!(advice.payload.bytes(), 114);
+        assert!(advice.snr_db >= ENERGY_MAX_PAYLOAD_SNR_DB);
+    }
+
+    #[test]
+    fn energy_advice_far_link_falls_back_to_max_power_small_payload() {
+        let g = Guidelines::paper();
+        // 200 m: even max power cannot reach 17 dB on this budget.
+        let advice = g
+            .energy_advice(Distance::from_meters(200.0).unwrap(), &levels())
+            .unwrap();
+        assert!(!advice.reaches_low_impact);
+        assert_eq!(advice.power.level(), 31);
+        assert!(advice.payload.bytes() < 114);
+    }
+
+    #[test]
+    fn energy_advice_empty_candidates_is_none() {
+        let g = Guidelines::paper();
+        assert!(g
+            .energy_advice(Distance::from_meters(20.0).unwrap(), &[])
+            .is_none());
+    }
+
+    #[test]
+    fn goodput_payload_max_outside_grey_zone() {
+        let g = Guidelines::paper();
+        assert_eq!(
+            g.goodput_payload(15.0, MaxTries::new(3).unwrap()).bytes(),
+            114
+        );
+        // Deep grey zone without retransmissions: smaller.
+        assert!(g.goodput_payload(3.0, MaxTries::ONE).bytes() < 114);
+    }
+
+    #[test]
+    fn min_stable_interval_respects_target() {
+        let g = Guidelines::paper();
+        let cfg = StackConfig::default();
+        let interval = g.min_stable_interval(10.0, &cfg, 0.9, 1_000).unwrap();
+        let mut candidate = cfg;
+        candidate.packet_interval = interval;
+        assert!(g.service.utilization(10.0, &candidate) <= 0.9 + 1e-6);
+        // A 1 ms tighter interval would violate the target.
+        if interval.millis() > 1 {
+            candidate.packet_interval = PacketInterval::from_millis(interval.millis() - 1).unwrap();
+            assert!(g.service.utilization(10.0, &candidate) > 0.9 - 0.05);
+        }
+    }
+
+    #[test]
+    fn min_stable_interval_none_when_impossible() {
+        let g = Guidelines::paper();
+        let cfg = StackConfig::default();
+        assert!(g.min_stable_interval(5.0, &cfg, 0.9, 10).is_none());
+    }
+
+    #[test]
+    fn loss_advice_switches_to_buffering_under_overload() {
+        let g = Guidelines::paper();
+        let overloaded = StackConfig::builder()
+            .packet_interval_ms(10)
+            .payload_bytes(110)
+            .retry_delay_ms(100)
+            .build()
+            .unwrap();
+        match g.loss_advice(5.0, &overloaded, 8, 64) {
+            LossAdvice::Buffer { queue } => assert!(queue.get() >= 1),
+            LossAdvice::Retransmit { .. } => panic!("expected buffering advice"),
+        }
+        let stable = StackConfig::builder()
+            .packet_interval_ms(500)
+            .payload_bytes(50)
+            .build()
+            .unwrap();
+        match g.loss_advice(20.0, &stable, 8, 64) {
+            LossAdvice::Retransmit { tries } => assert!(tries.get() >= 3),
+            LossAdvice::Buffer { .. } => panic!("expected retransmission advice"),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Packet-loss models (Sec. VII): the radio loss rate of Eq. 8 and an
+//! analytic queue-loss estimator used to reason about the
+//! retransmission–queue trade-off.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::types::{MaxTries, PayloadSize, QueueCap};
+
+use crate::constants::PaperConstants;
+use crate::service_time::ServiceTimeModel;
+use crate::surface::ExpSurface;
+
+/// The empirical radio loss model (Eq. 8):
+/// `PLR_radio = (α · lD · exp(β · SNR))^NmaxTries` with α = 0.011,
+/// β = −0.145.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioLossModel {
+    /// The per-attempt loss surface (the base of the power).
+    pub attempt_loss: ExpSurface,
+}
+
+impl RadioLossModel {
+    /// The model with the paper's published constants.
+    pub fn paper() -> Self {
+        RadioLossModel {
+            attempt_loss: PaperConstants::published().plr_radio,
+        }
+    }
+
+    /// Radio loss probability after up to `max_tries` transmissions.
+    ///
+    /// ```
+    /// use wsn_models::loss::RadioLossModel;
+    /// use wsn_params::types::{MaxTries, PayloadSize};
+    ///
+    /// let m = RadioLossModel::paper();
+    /// let one = m.rate(8.0, PayloadSize::new(110)?, MaxTries::new(1)?);
+    /// let three = m.rate(8.0, PayloadSize::new(110)?, MaxTries::new(3)?);
+    /// assert!((three - one.powi(3)).abs() < 1e-12); // retx compounds
+    /// # Ok::<(), wsn_params::error::InvalidParam>(())
+    /// ```
+    pub fn rate(&self, snr_db: f64, payload: PayloadSize, max_tries: MaxTries) -> f64 {
+        self.attempt_loss
+            .eval_prob(payload, snr_db)
+            .powi(max_tries.get() as i32)
+    }
+}
+
+impl Default for RadioLossModel {
+    fn default() -> Self {
+        RadioLossModel::paper()
+    }
+}
+
+/// M/M/1/K blocking probability: the fraction of arrivals that find the
+/// K-slot system full, used as the analytic `PLR_queue` estimator.
+///
+/// Valid for any `rho > 0`, including overload (`rho > 1`), where it tends
+/// to `1 − 1/ρ`.
+///
+/// # Panics
+///
+/// Panics if `rho` is negative/non-finite or `k == 0`.
+pub fn mm1k_blocking(rho: f64, k: usize) -> f64 {
+    assert!(
+        rho.is_finite() && rho >= 0.0,
+        "rho must be finite and >= 0, got {rho}"
+    );
+    assert!(k >= 1, "system must have at least one slot");
+    if rho == 0.0 {
+        return 0.0;
+    }
+    if (rho - 1.0).abs() < 1e-9 {
+        return 1.0 / (k as f64 + 1.0);
+    }
+    let rk = rho.powi(k as i32);
+    (1.0 - rho) * rk / (1.0 - rho * rk)
+}
+
+/// Analytic loss decomposition for one configuration at one link quality.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossEstimate {
+    /// Predicted radio loss (Eq. 8).
+    pub plr_radio: f64,
+    /// Predicted queue-overflow loss (M/M/1/K with Eq. 9's ρ).
+    pub plr_queue: f64,
+    /// The utilization used for the queue estimate.
+    pub rho: f64,
+}
+
+impl LossEstimate {
+    /// Total predicted loss; queue loss happens first, radio loss applies
+    /// to admitted packets.
+    pub fn total(&self) -> f64 {
+        self.plr_queue + (1.0 - self.plr_queue) * self.plr_radio
+    }
+}
+
+/// The combined loss model: Eq. 8 for radio loss + queueing analysis for
+/// buffer overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LossModel {
+    /// Radio loss part.
+    pub radio: RadioLossModel,
+    /// Service-time model driving the utilization.
+    pub service: ServiceTimeModel,
+}
+
+impl LossModel {
+    /// The model with the paper's published constants.
+    pub fn paper() -> Self {
+        LossModel {
+            radio: RadioLossModel::paper(),
+            service: ServiceTimeModel::paper(),
+        }
+    }
+
+    /// Predicts the loss decomposition of `config` at `snr_db`.
+    pub fn estimate(&self, snr_db: f64, config: &StackConfig) -> LossEstimate {
+        let rho = self.service.utilization(snr_db, config);
+        let plr_queue = mm1k_blocking(rho, config.queue_cap.get() as usize);
+        let plr_radio = self.radio.rate(snr_db, config.payload, config.max_tries);
+        LossEstimate {
+            plr_radio,
+            plr_queue,
+            rho,
+        }
+    }
+
+    /// Sec. VII-B guideline: the largest `NmaxTries` (searched up to
+    /// `limit`) that minimises radio loss while keeping the system
+    /// utilization below 1. Returns `None` when even a single attempt
+    /// overloads the link.
+    pub fn max_tries_within_capacity(
+        &self,
+        snr_db: f64,
+        config: &StackConfig,
+        limit: u8,
+    ) -> Option<MaxTries> {
+        let mut best = None;
+        for n in 1..=limit.max(1) {
+            let tries = MaxTries::new(n).expect("n >= 1");
+            let mut candidate = *config;
+            candidate.max_tries = tries;
+            if self.service.utilization(snr_db, &candidate) < 1.0 {
+                best = Some(tries);
+            } else {
+                break; // utilization is monotone in NmaxTries
+            }
+        }
+        best
+    }
+
+    /// Sec. VII-B guideline: the smallest queue capacity (searched up to
+    /// `limit`) whose predicted overflow loss is below `target`; `None`
+    /// when even the largest queue cannot reach it (ρ ≥ 1 sustained).
+    pub fn min_queue_for_loss(
+        &self,
+        snr_db: f64,
+        config: &StackConfig,
+        target: f64,
+        limit: u16,
+    ) -> Option<QueueCap> {
+        let rho = self.service.utilization(snr_db, config);
+        (1..=limit.max(1))
+            .map(|k| QueueCap::new(k).expect("k >= 1"))
+            .find(|cap| mm1k_blocking(rho, cap.get() as usize) <= target)
+    }
+}
+
+impl Default for LossModel {
+    fn default() -> Self {
+        LossModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(b: u16) -> PayloadSize {
+        PayloadSize::new(b).unwrap()
+    }
+    fn mt(n: u8) -> MaxTries {
+        MaxTries::new(n).unwrap()
+    }
+
+    fn grey_zone_config() -> StackConfig {
+        StackConfig::builder()
+            .payload_bytes(110)
+            .packet_interval_ms(30)
+            .max_tries(3)
+            .retry_delay_ms(30)
+            .queue_cap(30)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn radio_loss_matches_eq8() {
+        let m = RadioLossModel::paper();
+        let base = 0.011 * 110.0 * (-0.145f64 * 10.0).exp();
+        assert!((m.rate(10.0, pl(110), mt(3)) - base.powi(3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retransmissions_reduce_radio_loss_exponentially() {
+        let m = RadioLossModel::paper();
+        let l1 = m.rate(8.0, pl(110), mt(1));
+        let l3 = m.rate(8.0, pl(110), mt(3));
+        let l8 = m.rate(8.0, pl(110), mt(8));
+        assert!(l1 > l3 && l3 > l8);
+        assert!(l8 < 1e-3);
+    }
+
+    #[test]
+    fn mm1k_limits() {
+        // Light load, big buffer: essentially no blocking.
+        assert!(mm1k_blocking(0.3, 30) < 1e-12);
+        // Critical load: 1/(K+1).
+        assert!((mm1k_blocking(1.0, 9) - 0.1).abs() < 1e-6);
+        // Overload tends to 1 − 1/ρ.
+        assert!((mm1k_blocking(2.0, 50) - 0.5).abs() < 1e-9);
+        // Tiny buffer at moderate load blocks noticeably.
+        assert!(mm1k_blocking(0.8, 1) > 0.3);
+    }
+
+    #[test]
+    fn mm1k_monotone_in_rho_and_buffer() {
+        assert!(mm1k_blocking(0.9, 5) > mm1k_blocking(0.5, 5));
+        assert!(mm1k_blocking(0.9, 5) > mm1k_blocking(0.9, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn mm1k_rejects_zero_slots() {
+        let _ = mm1k_blocking(0.5, 0);
+    }
+
+    #[test]
+    fn grey_zone_retx_trades_radio_loss_for_queue_loss() {
+        // Sec. VII: at high load in the grey zone, raising NmaxTries cuts
+        // radio loss but inflates queue loss.
+        let m = LossModel::paper();
+        let mut cfg1 = grey_zone_config();
+        cfg1.max_tries = mt(1);
+        let mut cfg8 = grey_zone_config();
+        cfg8.max_tries = mt(8);
+        let snr = 9.0;
+        let e1 = m.estimate(snr, &cfg1);
+        let e8 = m.estimate(snr, &cfg8);
+        assert!(
+            e8.plr_radio < e1.plr_radio,
+            "radio {} !< {}",
+            e8.plr_radio,
+            e1.plr_radio
+        );
+        assert!(
+            e8.plr_queue > e1.plr_queue,
+            "queue {} !> {}",
+            e8.plr_queue,
+            e1.plr_queue
+        );
+        assert!(e8.rho > e1.rho);
+    }
+
+    #[test]
+    fn estimate_total_combines_stages() {
+        let e = LossEstimate {
+            plr_radio: 0.2,
+            plr_queue: 0.5,
+            rho: 1.2,
+        };
+        assert!((e.total() - (0.5 + 0.5 * 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_tries_within_capacity_keeps_rho_below_one() {
+        let m = LossModel::paper();
+        let cfg = grey_zone_config();
+        // At 20 dB the 3-try configuration is stable (Table II: ρ=0.713);
+        // the search should find at least 3.
+        let best = m.max_tries_within_capacity(20.0, &cfg, 8).unwrap();
+        assert!(best.get() >= 3);
+        let mut candidate = cfg;
+        candidate.max_tries = best;
+        assert!(m.service.utilization(20.0, &candidate) < 1.0);
+    }
+
+    #[test]
+    fn max_tries_none_when_hopeless() {
+        let m = LossModel::paper();
+        let mut cfg = grey_zone_config();
+        cfg = StackConfig::builder()
+            .payload_bytes(cfg.payload.bytes())
+            .packet_interval_ms(10) // brutal load
+            .retry_delay_ms(100)
+            .build()
+            .unwrap();
+        // Deep grey zone + 10 ms arrivals: even one try exceeds capacity.
+        assert!(m.max_tries_within_capacity(5.0, &cfg, 8).is_none());
+    }
+
+    #[test]
+    fn min_queue_for_loss_grows_with_load() {
+        let m = LossModel::paper();
+        let cfg = grey_zone_config();
+        let q_easy = m.min_queue_for_loss(25.0, &cfg, 1e-3, 64).unwrap();
+        let q_hard = m.min_queue_for_loss(15.0, &cfg, 1e-3, 64).unwrap();
+        assert!(q_hard.get() >= q_easy.get());
+    }
+}

@@ -1,0 +1,307 @@
+//! Low-power listening (LPL) duty-cycling — the "periodic wake-up" MAC
+//! dimension the paper's discussion (Sec. VIII-D) flags as the next factor
+//! to model.
+//!
+//! The model follows BoX-MAC-2, the default LPL layer of the TinyOS 2.1
+//! stack the paper measured (with LPL disabled):
+//!
+//! * the **receiver** sleeps and wakes every `wake_interval` for a short
+//!   `check_duration` of CCA sampling; its radio duty cycle is
+//!   `check/wake`;
+//! * the **sender** retransmits the data frame back-to-back until the
+//!   receiver wakes and acknowledges: on average half a wake interval of
+//!   transmission (plus one frame), which is the classic sender-cost /
+//!   receiver-cost trade-off;
+//! * delivery latency gains `wake_interval/2` on average.
+//!
+//! Minimising the two-node energy over the wake interval has the textbook
+//! closed form `w* = sqrt(2 · P_rx · t_check / (rate · P_tx))`, reproduced
+//! by [`LplModel::optimal_wake_interval`] and cross-checked numerically.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::types::{PayloadSize, PowerLevel};
+use wsn_radio::cc2420;
+use wsn_sim_engine::time::SimDuration;
+
+/// LPL configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LplConfig {
+    /// Receiver sleep period between channel checks.
+    pub wake_interval: SimDuration,
+    /// Duration of each channel check (radio in RX).
+    pub check_duration: SimDuration,
+}
+
+impl LplConfig {
+    /// TinyOS-ish defaults: 512 ms wake interval, 11 ms check.
+    pub fn tinyos_default() -> Self {
+        LplConfig {
+            wake_interval: SimDuration::from_millis(512),
+            check_duration: SimDuration::from_millis(11),
+        }
+    }
+
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the check is zero or not shorter than the wake interval.
+    pub fn new(wake_interval: SimDuration, check_duration: SimDuration) -> Self {
+        assert!(!check_duration.is_zero(), "check duration must be positive");
+        assert!(
+            check_duration < wake_interval,
+            "check ({check_duration}) must be shorter than the wake interval ({wake_interval})"
+        );
+        LplConfig {
+            wake_interval,
+            check_duration,
+        }
+    }
+
+    /// Receiver radio duty cycle `check/wake`.
+    pub fn receiver_duty_cycle(&self) -> f64 {
+        self.check_duration.as_secs_f64() / self.wake_interval.as_secs_f64()
+    }
+}
+
+impl Default for LplConfig {
+    fn default() -> Self {
+        LplConfig::tinyos_default()
+    }
+}
+
+/// Energy breakdown of one LPL operating point, watts (time-averaged).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LplPowerBudget {
+    /// Sender transmit cost (preamble trains), W.
+    pub sender_tx_w: f64,
+    /// Receiver duty-cycled listening cost, W.
+    pub receiver_listen_w: f64,
+    /// Sleep-floor cost of both radios, W.
+    pub sleep_floor_w: f64,
+}
+
+impl LplPowerBudget {
+    /// Total two-node power, W.
+    pub fn total_w(&self) -> f64 {
+        self.sender_tx_w + self.receiver_listen_w + self.sleep_floor_w
+    }
+}
+
+/// Analytic LPL energy/latency model for one link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LplModel {
+    /// Transmit power level of the sender.
+    pub power: PowerLevel,
+    /// Payload carried by each packet.
+    pub payload: PayloadSize,
+}
+
+impl LplModel {
+    /// Creates the model for an operating point.
+    pub fn new(power: PowerLevel, payload: PayloadSize) -> Self {
+        LplModel { power, payload }
+    }
+
+    /// Expected sender transmission time per delivered packet: half a wake
+    /// interval of preamble frames plus the final data frame, seconds.
+    pub fn sender_tx_time_s(&self, lpl: &LplConfig) -> f64 {
+        let frame = wsn_mac::timing::frame_time(self.payload).as_secs_f64();
+        lpl.wake_interval.as_secs_f64() / 2.0 + frame
+    }
+
+    /// Expected added delivery latency (wake-up wait), seconds.
+    pub fn added_latency_s(&self, lpl: &LplConfig) -> f64 {
+        lpl.wake_interval.as_secs_f64() / 2.0
+    }
+
+    /// Time-averaged two-node power at a packet rate, W.
+    pub fn power_budget(&self, lpl: &LplConfig, rate_pps: f64) -> LplPowerBudget {
+        assert!(
+            rate_pps.is_finite() && rate_pps >= 0.0,
+            "rate must be finite and non-negative, got {rate_pps}"
+        );
+        let sender_tx_w = rate_pps * self.sender_tx_time_s(lpl) * cc2420::tx_power_w(self.power);
+        let receiver_listen_w = lpl.receiver_duty_cycle() * cc2420::rx_power_w();
+        let sleep_floor_w = 2.0 * cc2420::sleep_power_w();
+        LplPowerBudget {
+            sender_tx_w,
+            receiver_listen_w,
+            sleep_floor_w,
+        }
+    }
+
+    /// Always-on baseline: the receiver listens continuously (the paper's
+    /// measured stack), W.
+    pub fn always_on_power_w(&self, rate_pps: f64) -> f64 {
+        let frame = wsn_mac::timing::frame_time(self.payload).as_secs_f64();
+        rate_pps * frame * cc2420::tx_power_w(self.power) + cc2420::rx_power_w()
+    }
+
+    /// Closed-form energy-optimal wake interval for a packet rate:
+    /// `w* = sqrt(2 · P_rx · t_check / (rate · P_tx))`, clamped to
+    /// `[2 · check, max_interval]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is not positive and finite.
+    pub fn optimal_wake_interval(
+        &self,
+        check: SimDuration,
+        rate_pps: f64,
+        max_interval: SimDuration,
+    ) -> SimDuration {
+        assert!(
+            rate_pps.is_finite() && rate_pps > 0.0,
+            "rate must be positive, got {rate_pps}"
+        );
+        let w_star = (2.0 * cc2420::rx_power_w() * check.as_secs_f64()
+            / (rate_pps * cc2420::tx_power_w(self.power)))
+        .sqrt();
+        let lo = check.as_secs_f64() * 2.0;
+        let hi = max_interval.as_secs_f64();
+        SimDuration::from_secs_f64(w_star.clamp(lo, hi))
+    }
+
+    /// Numeric argmin of the total power over a millisecond grid; used to
+    /// cross-check the closed form (and by tests).
+    pub fn optimal_wake_interval_numeric(
+        &self,
+        check: SimDuration,
+        rate_pps: f64,
+        max_interval: SimDuration,
+    ) -> SimDuration {
+        let mut best = SimDuration::from_micros(check.as_micros() * 2);
+        let mut best_power = f64::INFINITY;
+        let mut w_ms = check.as_millis().max(1) * 2;
+        while w_ms <= max_interval.as_millis() {
+            let lpl = LplConfig::new(SimDuration::from_millis(w_ms), check);
+            let p = self.power_budget(&lpl, rate_pps).total_w();
+            if p < best_power {
+                best_power = p;
+                best = lpl.wake_interval;
+            }
+            w_ms += 1;
+        }
+        best
+    }
+
+    /// The largest wake interval whose added latency stays within
+    /// `max_latency` (delay-constrained tuning); `None` when even the
+    /// minimum interval violates the bound.
+    pub fn max_interval_for_latency(
+        &self,
+        check: SimDuration,
+        max_latency: SimDuration,
+    ) -> Option<SimDuration> {
+        // added latency = w/2  =>  w <= 2 * max_latency
+        let w = SimDuration::from_micros(max_latency.as_micros().saturating_mul(2));
+        if w <= check * 2 {
+            None
+        } else {
+            Some(w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LplModel {
+        LplModel::new(
+            PowerLevel::new(31).expect("valid"),
+            PayloadSize::new(50).expect("valid"),
+        )
+    }
+
+    fn check() -> SimDuration {
+        SimDuration::from_millis(11)
+    }
+
+    #[test]
+    fn duty_cycle_is_check_over_wake() {
+        let lpl = LplConfig::tinyos_default();
+        assert!((lpl.receiver_duty_cycle() - 11.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the wake interval")]
+    fn check_longer_than_wake_rejected() {
+        let _ = LplConfig::new(SimDuration::from_millis(10), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn lpl_beats_always_on_at_low_rates() {
+        let m = model();
+        let lpl = LplConfig::tinyos_default();
+        let rate = 0.1; // one packet every 10 s
+        let duty_cycled = m.power_budget(&lpl, rate).total_w();
+        let always_on = m.always_on_power_w(rate);
+        assert!(
+            duty_cycled < always_on / 10.0,
+            "LPL {duty_cycled} W vs always-on {always_on} W"
+        );
+    }
+
+    #[test]
+    fn sender_cost_grows_with_wake_interval() {
+        let m = model();
+        let short = LplConfig::new(SimDuration::from_millis(100), check());
+        let long = LplConfig::new(SimDuration::from_millis(1000), check());
+        let rate = 1.0;
+        assert!(m.power_budget(&long, rate).sender_tx_w > m.power_budget(&short, rate).sender_tx_w);
+        assert!(
+            m.power_budget(&long, rate).receiver_listen_w
+                < m.power_budget(&short, rate).receiver_listen_w
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_argmin() {
+        let m = model();
+        for rate in [0.2, 1.0, 5.0] {
+            let analytic = m.optimal_wake_interval(check(), rate, SimDuration::from_secs(4));
+            let numeric = m.optimal_wake_interval_numeric(check(), rate, SimDuration::from_secs(4));
+            let a = analytic.as_millis_f64();
+            let n = numeric.as_millis_f64();
+            assert!(
+                (a - n).abs() / n < 0.05,
+                "rate={rate}: analytic {a} ms vs numeric {n} ms"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_interval_shrinks_with_rate() {
+        let m = model();
+        let slow = m.optimal_wake_interval(check(), 0.1, SimDuration::from_secs(10));
+        let fast = m.optimal_wake_interval(check(), 10.0, SimDuration::from_secs(10));
+        assert!(slow > fast, "{slow} !> {fast}");
+    }
+
+    #[test]
+    fn latency_bound_caps_the_interval() {
+        let m = model();
+        let w = m
+            .max_interval_for_latency(check(), SimDuration::from_millis(250))
+            .expect("feasible");
+        assert_eq!(w.as_millis(), 500);
+        assert!((m.added_latency_s(&LplConfig::new(w, check())) - 0.25).abs() < 1e-9);
+        assert!(m
+            .max_interval_for_latency(check(), SimDuration::from_millis(5))
+            .is_none());
+    }
+
+    #[test]
+    fn budget_components_sum() {
+        let m = model();
+        let lpl = LplConfig::tinyos_default();
+        let b = m.power_budget(&lpl, 2.0);
+        assert!(
+            (b.total_w() - (b.sender_tx_w + b.receiver_listen_w + b.sleep_floor_w)).abs() < 1e-15
+        );
+        assert!(b.sender_tx_w > 0.0 && b.receiver_listen_w > 0.0 && b.sleep_floor_w > 0.0);
+    }
+}

@@ -1,0 +1,475 @@
+//! Multi-objective parameter optimization (Sec. VIII-B).
+//!
+//! The paper formulates joint tuning as a multi-objective optimization
+//! problem `min(M1(c), …, Mk(c))` over subsets of the seven stack
+//! parameters and solves instances with the epsilon-constraint method.
+//! Because the experimented grid is finite (8064 configurations per
+//! distance), both the exact Pareto front and epsilon-constrained optima
+//! are computed by exhaustive evaluation with the analytic
+//! [`Predictor`] — the same approach the paper's case study takes.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+
+use crate::predict::{Predicted, Predictor};
+
+/// One of the four performance metrics, in minimization sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    /// Minimize energy per information bit (`E`).
+    Energy,
+    /// Maximize maximum goodput (`G`, internally negated).
+    Goodput,
+    /// Minimize predicted delay (`D`).
+    Delay,
+    /// Minimize total packet loss rate (`L`).
+    Loss,
+}
+
+impl Metric {
+    /// The value of this metric for a prediction, in minimization sense
+    /// (goodput is negated so that smaller is always better).
+    pub fn value(self, p: &Predicted) -> f64 {
+        match self {
+            Metric::Energy => p.u_eng_uj_per_bit,
+            Metric::Goodput => -p.max_goodput_bps,
+            Metric::Delay => p.delay_ms,
+            Metric::Loss => p.plr_total(),
+        }
+    }
+
+    /// The natural-sense reading (goodput positive again).
+    pub fn display_value(self, p: &Predicted) -> f64 {
+        match self {
+            Metric::Goodput => p.max_goodput_bps,
+            other => other.value(p),
+        }
+    }
+}
+
+/// A configuration together with its predicted performance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The candidate configuration.
+    pub config: StackConfig,
+    /// Its model-predicted metrics.
+    pub predicted: Predicted,
+}
+
+/// Exhaustive multi-objective optimizer over a parameter grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Optimizer {
+    /// The analytic evaluator.
+    pub predictor: Predictor,
+}
+
+impl Optimizer {
+    /// An optimizer with the paper's published models and link budget.
+    pub fn paper() -> Self {
+        Optimizer {
+            predictor: Predictor::paper(),
+        }
+    }
+
+    /// Evaluates every configuration of the grid.
+    pub fn evaluate_grid(&self, grid: &ParamGrid) -> Vec<Evaluation> {
+        grid.iter()
+            .map(|config| Evaluation {
+                config,
+                predicted: self.predictor.evaluate(&config),
+            })
+            .collect()
+    }
+
+    /// The exact Pareto front of the grid under the given metrics
+    /// (all in minimization sense). Dominated and duplicate-valued points
+    /// are removed; the front is sorted by the first metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` is empty.
+    pub fn pareto_front(&self, grid: &ParamGrid, metrics: &[Metric]) -> Vec<Evaluation> {
+        assert!(!metrics.is_empty(), "need at least one metric");
+        let evals = self.evaluate_grid(grid);
+        let values: Vec<Vec<f64>> = evals
+            .iter()
+            .map(|e| metrics.iter().map(|m| m.value(&e.predicted)).collect())
+            .collect();
+        let mut front: Vec<usize> = Vec::new();
+        'candidate: for i in 0..evals.len() {
+            if values[i].iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            for j in 0..evals.len() {
+                if i != j && dominates(&values[j], &values[i]) {
+                    continue 'candidate;
+                }
+            }
+            // Skip exact duplicates already on the front.
+            if front.iter().any(|&k| values[k] == values[i]) {
+                continue;
+            }
+            front.push(i);
+        }
+        front.sort_by(|&a, &b| {
+            values[a][0]
+                .partial_cmp(&values[b][0])
+                .expect("finite values compare")
+        });
+        front.into_iter().map(|i| evals[i]).collect()
+    }
+
+    /// The epsilon-constraint method: minimizes `objective` subject to
+    /// `metric ≤ epsilon` for every `(metric, epsilon)` constraint.
+    /// Returns `None` when no grid point is feasible.
+    pub fn epsilon_constraint(
+        &self,
+        grid: &ParamGrid,
+        objective: Metric,
+        constraints: &[(Metric, f64)],
+    ) -> Option<Evaluation> {
+        self.evaluate_grid(grid)
+            .into_iter()
+            .filter(|e| {
+                constraints
+                    .iter()
+                    .all(|(m, eps)| m.value(&e.predicted) <= *eps)
+            })
+            .filter(|e| objective.value(&e.predicted).is_finite())
+            .min_by(|a, b| {
+                objective
+                    .value(&a.predicted)
+                    .partial_cmp(&objective.value(&b.predicted))
+                    .expect("finite objective values compare")
+            })
+    }
+
+    /// The paper's case-study formulation (Sec. VIII-B): maximize goodput
+    /// while keeping the energy per bit within `slack` (e.g. 1.1 = 10 %)
+    /// of the best energy achievable anywhere on the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slack < 1.0`.
+    pub fn joint_energy_goodput(&self, grid: &ParamGrid, slack: f64) -> Option<Evaluation> {
+        assert!(slack >= 1.0, "slack must be >= 1.0, got {slack}");
+        let best_energy = self
+            .evaluate_grid(grid)
+            .into_iter()
+            .map(|e| e.predicted.u_eng_uj_per_bit)
+            .filter(|u| u.is_finite())
+            .fold(f64::INFINITY, f64::min);
+        if !best_energy.is_finite() {
+            return None;
+        }
+        self.epsilon_constraint(
+            grid,
+            Metric::Goodput,
+            &[(Metric::Energy, best_energy * slack)],
+        )
+    }
+
+    /// Weighted-sum scalarization: minimizes `Σ wᵢ · norm(Mᵢ)` where each
+    /// metric is min–max normalized over the grid. A standard cross-check
+    /// for the epsilon-constraint method: with positive weights the
+    /// minimizer always lies on the Pareto front.
+    ///
+    /// Returns `None` for an empty grid or when no point has finite
+    /// values on every metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is non-positive.
+    pub fn weighted_sum(&self, grid: &ParamGrid, weights: &[(Metric, f64)]) -> Option<Evaluation> {
+        assert!(!weights.is_empty(), "need at least one weighted metric");
+        assert!(
+            weights.iter().all(|(_, w)| *w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
+        let evals = self.evaluate_grid(grid);
+        let values: Vec<Vec<f64>> = evals
+            .iter()
+            .map(|e| weights.iter().map(|(m, _)| m.value(&e.predicted)).collect())
+            .collect();
+        // Min-max bounds per metric over finite points.
+        let k = weights.len();
+        let mut lo = vec![f64::INFINITY; k];
+        let mut hi = vec![f64::NEG_INFINITY; k];
+        for v in &values {
+            if v.iter().all(|x| x.is_finite()) {
+                for i in 0..k {
+                    lo[i] = lo[i].min(v[i]);
+                    hi[i] = hi[i].max(v[i]);
+                }
+            }
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (idx, v) in values.iter().enumerate() {
+            if !v.iter().all(|x| x.is_finite()) {
+                continue;
+            }
+            let score: f64 = (0..k)
+                .map(|i| {
+                    let span = hi[i] - lo[i];
+                    let norm = if span > 0.0 {
+                        (v[i] - lo[i]) / span
+                    } else {
+                        0.0
+                    };
+                    weights[i].1 * norm
+                })
+                .sum();
+            if best.is_none_or(|(_, s)| score < s) {
+                best = Some((idx, score));
+            }
+        }
+        best.map(|(idx, _)| evals[idx])
+    }
+
+    /// The knee point of a two-metric Pareto front: the member with the
+    /// greatest normalized distance below the chord between the front's
+    /// endpoints — the "best bang for the buck" compromise.
+    ///
+    /// Returns `None` when the front has fewer than three points (no
+    /// interior point to pick).
+    pub fn knee_point(&self, grid: &ParamGrid, metrics: [Metric; 2]) -> Option<Evaluation> {
+        let front = self.pareto_front(grid, &metrics);
+        if front.len() < 3 {
+            return None;
+        }
+        let xy: Vec<(f64, f64)> = front
+            .iter()
+            .map(|e| {
+                (
+                    metrics[0].value(&e.predicted),
+                    metrics[1].value(&e.predicted),
+                )
+            })
+            .collect();
+        let (x0, y0) = xy[0];
+        let (x1, y1) = xy[xy.len() - 1];
+        let span_x = (x1 - x0).abs().max(f64::MIN_POSITIVE);
+        let span_y = (y0 - y1).abs().max(f64::MIN_POSITIVE);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &(x, y)) in xy.iter().enumerate().skip(1).take(xy.len() - 2) {
+            // Normalized signed distance below the chord.
+            let tx = (x - x0) / span_x;
+            let chord_y = y0 + (y1 - y0) * tx.clamp(0.0, 1.0);
+            let dist = (chord_y - y) / span_y;
+            if best.is_none_or(|(_, d)| dist > d) {
+                best = Some((i, dist));
+            }
+        }
+        best.map(|(i, _)| front[i])
+    }
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::paper()
+    }
+}
+
+/// True if `a` Pareto-dominates `b` (all coordinates ≤, at least one <).
+fn dominates(a: &[f64], b: &[f64]) -> bool {
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small grid on the 35 m link (the paper's case-study distance).
+    fn small_grid() -> ParamGrid {
+        ParamGrid {
+            distances_m: vec![35.0],
+            power_levels: vec![3, 11, 19, 23, 31],
+            max_tries: vec![1, 3, 8],
+            retry_delays_ms: vec![0],
+            queue_caps: vec![30],
+            packet_intervals_ms: vec![30],
+            payloads: vec![5, 35, 68, 110, 114],
+        }
+    }
+
+    #[test]
+    fn dominates_is_strict() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 1.0]));
+    }
+
+    #[test]
+    fn front_members_are_mutually_non_dominated() {
+        let opt = Optimizer::paper();
+        let metrics = [Metric::Energy, Metric::Goodput];
+        let front = opt.pareto_front(&small_grid(), &metrics);
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                let va: Vec<f64> = metrics.iter().map(|m| m.value(&a.predicted)).collect();
+                let vb: Vec<f64> = metrics.iter().map(|m| m.value(&b.predicted)).collect();
+                assert!(!dominates(&va, &vb), "front member dominated");
+            }
+        }
+    }
+
+    #[test]
+    fn front_dominates_or_ties_everything_else() {
+        let opt = Optimizer::paper();
+        let metrics = [Metric::Energy, Metric::Goodput];
+        let grid = small_grid();
+        let front = opt.pareto_front(&grid, &metrics);
+        for e in opt.evaluate_grid(&grid) {
+            let ve: Vec<f64> = metrics.iter().map(|m| m.value(&e.predicted)).collect();
+            if !ve.iter().all(|v| v.is_finite()) {
+                continue;
+            }
+            let covered = front.iter().any(|f| {
+                let vf: Vec<f64> = metrics.iter().map(|m| m.value(&f.predicted)).collect();
+                dominates(&vf, &ve) || vf == ve
+            });
+            assert!(covered, "grid point not covered by the front");
+        }
+    }
+
+    #[test]
+    fn epsilon_constraint_respects_constraints() {
+        let opt = Optimizer::paper();
+        let best = opt
+            .epsilon_constraint(&small_grid(), Metric::Goodput, &[(Metric::Energy, 0.5)])
+            .unwrap();
+        assert!(best.predicted.u_eng_uj_per_bit <= 0.5);
+        // Unconstrained goodput optimum is at least as fast.
+        let unconstrained = opt
+            .epsilon_constraint(&small_grid(), Metric::Goodput, &[])
+            .unwrap();
+        assert!(unconstrained.predicted.max_goodput_bps >= best.predicted.max_goodput_bps);
+    }
+
+    #[test]
+    fn epsilon_constraint_infeasible_returns_none() {
+        let opt = Optimizer::paper();
+        assert!(opt
+            .epsilon_constraint(&small_grid(), Metric::Goodput, &[(Metric::Energy, 1e-9)])
+            .is_none());
+    }
+
+    #[test]
+    fn joint_energy_goodput_beats_naive_min_payload() {
+        let opt = Optimizer::paper();
+        let grid = small_grid();
+        let joint = opt.joint_energy_goodput(&grid, 1.15).unwrap();
+        // Compare against the minimum-payload single-tuning point at the
+        // same distance (the paper's worst baseline).
+        let naive = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(23)
+            .payload_bytes(5)
+            .max_tries(1)
+            .packet_interval_ms(30)
+            .queue_cap(30)
+            .retry_delay_ms(0)
+            .build()
+            .unwrap();
+        let naive_pred = opt.predictor.evaluate(&naive);
+        assert!(joint.predicted.max_goodput_bps > naive_pred.max_goodput_bps * 2.0);
+    }
+
+    #[test]
+    fn metric_display_value_restores_sign() {
+        let p = Predictor::paper();
+        let pred = p.evaluate(&StackConfig::default());
+        assert_eq!(Metric::Goodput.display_value(&pred), pred.max_goodput_bps);
+        assert_eq!(Metric::Energy.display_value(&pred), pred.u_eng_uj_per_bit);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one metric")]
+    fn empty_metric_list_panics() {
+        let opt = Optimizer::paper();
+        let _ = opt.pareto_front(&small_grid(), &[]);
+    }
+
+    #[test]
+    fn weighted_sum_minimizer_is_on_the_pareto_front() {
+        let opt = Optimizer::paper();
+        let grid = small_grid();
+        let metrics = [Metric::Energy, Metric::Goodput];
+        let front = opt.pareto_front(&grid, &metrics);
+        for weights in [
+            [(Metric::Energy, 1.0), (Metric::Goodput, 1.0)],
+            [(Metric::Energy, 5.0), (Metric::Goodput, 1.0)],
+            [(Metric::Energy, 1.0), (Metric::Goodput, 5.0)],
+        ] {
+            let best = opt.weighted_sum(&grid, &weights).expect("non-empty grid");
+            let bv: Vec<f64> = metrics.iter().map(|m| m.value(&best.predicted)).collect();
+            let on_front = front.iter().any(|f| {
+                let fv: Vec<f64> = metrics.iter().map(|m| m.value(&f.predicted)).collect();
+                fv == bv
+            });
+            assert!(on_front, "weighted-sum optimum off the front: {bv:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_sum_follows_the_weights() {
+        let opt = Optimizer::paper();
+        let grid = small_grid();
+        let energy_heavy = opt
+            .weighted_sum(&grid, &[(Metric::Energy, 100.0), (Metric::Goodput, 1.0)])
+            .unwrap();
+        let goodput_heavy = opt
+            .weighted_sum(&grid, &[(Metric::Energy, 1.0), (Metric::Goodput, 100.0)])
+            .unwrap();
+        assert!(
+            energy_heavy.predicted.u_eng_uj_per_bit <= goodput_heavy.predicted.u_eng_uj_per_bit
+        );
+        assert!(goodput_heavy.predicted.max_goodput_bps >= energy_heavy.predicted.max_goodput_bps);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weighted_sum_rejects_non_positive_weights() {
+        let opt = Optimizer::paper();
+        let _ = opt.weighted_sum(&small_grid(), &[(Metric::Energy, 0.0)]);
+    }
+
+    #[test]
+    fn knee_point_is_an_interior_front_member() {
+        let opt = Optimizer::paper();
+        let grid = small_grid();
+        let metrics = [Metric::Energy, Metric::Goodput];
+        let front = opt.pareto_front(&grid, &metrics);
+        if front.len() < 3 {
+            return; // degenerate front: nothing to assert
+        }
+        let knee = opt.knee_point(&grid, metrics).expect("front has interior");
+        let kv = (
+            Metric::Energy.value(&knee.predicted),
+            Metric::Goodput.value(&knee.predicted),
+        );
+        let first = &front[0];
+        let last = &front[front.len() - 1];
+        assert!(front.iter().any(|f| {
+            (
+                Metric::Energy.value(&f.predicted),
+                Metric::Goodput.value(&f.predicted),
+            ) == kv
+        }));
+        // It is neither extreme.
+        assert_ne!(knee.config, first.config);
+        assert_ne!(knee.config, last.config);
+    }
+}

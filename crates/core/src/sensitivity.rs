@@ -1,0 +1,301 @@
+//! Local parameter-sensitivity analysis: which knob matters at a given
+//! operating point?
+//!
+//! The paper's core message is that parameter effects are *joint* — the
+//! impact of one knob depends on where the other six sit. This module
+//! makes that quantitative: for one configuration, perturb each parameter
+//! to its neighbouring grid values and record how much each performance
+//! metric moves. The resulting tornado ranking shows, e.g., that payload
+//! size dominates energy in the grey zone while it is nearly irrelevant
+//! above 19 dB (Fig. 6(d)'s zones, re-derived from the models).
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+use wsn_params::types::{MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap, RetryDelay};
+
+use crate::optimize::Metric;
+use crate::predict::Predictor;
+
+/// The tunable axes (distance excluded: it is environment, not a knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Knob {
+    /// CC2420 PA level.
+    Power,
+    /// Maximum transmissions.
+    MaxTries,
+    /// Retry delay.
+    RetryDelay,
+    /// Queue capacity.
+    QueueCap,
+    /// Packet interval.
+    PacketInterval,
+    /// Payload size.
+    Payload,
+}
+
+impl Knob {
+    /// All six tunable knobs.
+    pub fn all() -> [Knob; 6] {
+        [
+            Knob::Power,
+            Knob::MaxTries,
+            Knob::RetryDelay,
+            Knob::QueueCap,
+            Knob::PacketInterval,
+            Knob::Payload,
+        ]
+    }
+
+    /// Human-readable name (the paper's symbol).
+    pub fn name(self) -> &'static str {
+        match self {
+            Knob::Power => "Ptx",
+            Knob::MaxTries => "NmaxTries",
+            Knob::RetryDelay => "Dretry",
+            Knob::QueueCap => "Qmax",
+            Knob::PacketInterval => "Tpkt",
+            Knob::Payload => "lD",
+        }
+    }
+
+    /// The neighbouring values of this knob on `grid` around `config`:
+    /// the grid entries immediately below and above the current value.
+    fn neighbours(self, config: &StackConfig, grid: &ParamGrid) -> Vec<StackConfig> {
+        fn around<T: PartialOrd + Copy>(values: &[T], current: T) -> Vec<T> {
+            let mut sorted: Vec<T> = values.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("orderable"));
+            let mut out = Vec::new();
+            let below = sorted.iter().rev().find(|&&v| v < current);
+            let above = sorted.iter().find(|&&v| v > current);
+            if let Some(&v) = below {
+                out.push(v);
+            }
+            if let Some(&v) = above {
+                out.push(v);
+            }
+            out
+        }
+        let mut out = Vec::new();
+        match self {
+            Knob::Power => {
+                for v in around(&grid.power_levels, config.power.level()) {
+                    let mut c = *config;
+                    c.power = PowerLevel::new(v).expect("grid values valid");
+                    out.push(c);
+                }
+            }
+            Knob::MaxTries => {
+                for v in around(&grid.max_tries, config.max_tries.get()) {
+                    let mut c = *config;
+                    c.max_tries = MaxTries::new(v).expect("grid values valid");
+                    out.push(c);
+                }
+            }
+            Knob::RetryDelay => {
+                for v in around(&grid.retry_delays_ms, config.retry_delay.millis()) {
+                    let mut c = *config;
+                    c.retry_delay = RetryDelay::from_millis(v);
+                    out.push(c);
+                }
+            }
+            Knob::QueueCap => {
+                for v in around(&grid.queue_caps, config.queue_cap.get()) {
+                    let mut c = *config;
+                    c.queue_cap = QueueCap::new(v).expect("grid values valid");
+                    out.push(c);
+                }
+            }
+            Knob::PacketInterval => {
+                for v in around(&grid.packet_intervals_ms, config.packet_interval.millis()) {
+                    let mut c = *config;
+                    c.packet_interval = PacketInterval::from_millis(v).expect("grid values valid");
+                    out.push(c);
+                }
+            }
+            Knob::Payload => {
+                for v in around(&grid.payloads, config.payload.bytes()) {
+                    let mut c = *config;
+                    c.payload = PayloadSize::new(v).expect("grid values valid");
+                    out.push(c);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Sensitivity of one metric to one knob at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnobSensitivity {
+    /// The knob perturbed.
+    pub knob: Knob,
+    /// Largest relative metric change over the knob's grid neighbours,
+    /// `max |Δmetric| / |metric|` (0 when the metric is 0 or the knob has
+    /// no neighbours on the grid).
+    pub relative_impact: f64,
+}
+
+/// The normalization floor for a metric: relative changes are computed
+/// against `max(|baseline|, floor)` so that near-zero baselines (e.g. a
+/// 10⁻⁷ loss rate on a clean link) don't blow the ranking up. The floors
+/// are one "practically relevant" unit per metric: 0.01 µJ/bit, 1 kb/s,
+/// 1 ms, one loss percentage point.
+fn sensitivity_floor(metric: Metric) -> f64 {
+    match metric {
+        Metric::Energy => 0.01,
+        Metric::Goodput => 1_000.0,
+        Metric::Delay => 1.0,
+        Metric::Loss => 0.01,
+    }
+}
+
+/// Computes the tornado ranking of all knobs for `metric` at `config`,
+/// most impactful first.
+///
+/// Non-finite baseline metrics (e.g. infinite energy on a dead link)
+/// yield an empty ranking.
+pub fn tornado(
+    predictor: &Predictor,
+    config: &StackConfig,
+    grid: &ParamGrid,
+    metric: Metric,
+) -> Vec<KnobSensitivity> {
+    let base = metric.value(&predictor.evaluate(config));
+    if !base.is_finite() {
+        return Vec::new();
+    }
+    let scale = base.abs().max(sensitivity_floor(metric));
+    let mut out: Vec<KnobSensitivity> = Knob::all()
+        .into_iter()
+        .map(|knob| {
+            let impact = knob
+                .neighbours(config, grid)
+                .into_iter()
+                .map(|c| {
+                    let v = metric.value(&predictor.evaluate(&c));
+                    if v.is_finite() {
+                        (v - base).abs() / scale
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(0.0f64, f64::max);
+            KnobSensitivity {
+                knob,
+                relative_impact: impact,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.relative_impact
+            .partial_cmp(&a.relative_impact)
+            .expect("impacts ordered (NaN excluded)")
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ParamGrid {
+        ParamGrid::paper()
+    }
+
+    fn config(power: u8) -> StackConfig {
+        StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(power)
+            .payload_bytes(65)
+            .max_tries(3)
+            .retry_delay_ms(30)
+            .queue_cap(30)
+            .packet_interval_ms(100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn neighbours_are_adjacent_grid_values() {
+        let cfg = config(11);
+        let n = Knob::Power.neighbours(&cfg, &grid());
+        let levels: Vec<u8> = n.iter().map(|c| c.power.level()).collect();
+        assert_eq!(levels, vec![7, 15]);
+        // Edge of the axis: only one neighbour.
+        let edge = config(31);
+        let n = Knob::Power.neighbours(&edge, &grid());
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].power.level(), 27);
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_covers_all_knobs() {
+        let predictor = Predictor::paper();
+        let ranking = tornado(&predictor, &config(11), &grid(), Metric::Energy);
+        assert_eq!(ranking.len(), 6);
+        for pair in ranking.windows(2) {
+            assert!(pair[0].relative_impact >= pair[1].relative_impact);
+        }
+    }
+
+    #[test]
+    fn payload_matters_more_in_grey_zone_than_clean() {
+        let predictor = Predictor::paper();
+        let impact_of = |power: u8| {
+            tornado(&predictor, &config(power), &grid(), Metric::Energy)
+                .into_iter()
+                .find(|k| k.knob == Knob::Payload)
+                .unwrap()
+                .relative_impact
+        };
+        // Ptx=3 at 35 m is the grey zone; Ptx=31 is deep in the low-impact
+        // zone — exactly Fig. 6(d)'s structure. (The clean-link payload
+        // impact never reaches zero because of overhead amortisation.)
+        assert!(
+            impact_of(3) > 2.0 * impact_of(31),
+            "grey {} vs clean {}",
+            impact_of(3),
+            impact_of(31)
+        );
+    }
+
+    #[test]
+    fn queue_does_not_affect_energy() {
+        let predictor = Predictor::paper();
+        let ranking = tornado(&predictor, &config(11), &grid(), Metric::Energy);
+        let q = ranking.iter().find(|k| k.knob == Knob::QueueCap).unwrap();
+        assert_eq!(q.relative_impact, 0.0);
+    }
+
+    #[test]
+    fn interval_dominates_delay_under_load() {
+        let predictor = Predictor::paper();
+        let mut cfg = config(7);
+        cfg.packet_interval = PacketInterval::from_millis(30).unwrap();
+        let ranking = tornado(&predictor, &cfg, &grid(), Metric::Delay);
+        let tpkt = ranking
+            .iter()
+            .position(|k| k.knob == Knob::PacketInterval)
+            .unwrap();
+        // Tpkt must rank among the top three delay levers near saturation.
+        assert!(tpkt < 3, "Tpkt ranked {tpkt} in {ranking:?}");
+    }
+
+    #[test]
+    fn dead_link_yields_empty_ranking() {
+        let predictor = Predictor::paper();
+        let mut cfg = config(3);
+        cfg.distance = wsn_params::types::Distance::from_meters(500.0).unwrap();
+        let ranking = tornado(&predictor, &cfg, &grid(), Metric::Energy);
+        assert!(ranking.is_empty());
+    }
+
+    #[test]
+    fn knob_names_match_paper_symbols() {
+        assert_eq!(Knob::Payload.name(), "lD");
+        assert_eq!(Knob::Power.name(), "Ptx");
+        assert_eq!(Knob::all().len(), 6);
+    }
+}

@@ -1,0 +1,292 @@
+//! The empirical service-time model (Eqs. 5–7) and system utilization
+//! (Eq. 9).
+//!
+//! The service time `T_service` is the interval from the MAC accepting a
+//! packet to the end of its transaction. The paper decomposes it into the
+//! TinyOS 2.1 timing constants (see [`wsn_mac::timing`]) plus the number of
+//! transmissions:
+//!
+//! * success after `N` tries (Eq. 5):
+//!   `T = T_SPI + T_succ + (N − 1) · T_retry`
+//! * failure after `NmaxTries` tries (Eq. 6):
+//!   `T = T_SPI + T_fail + (NmaxTries − 1) · T_retry`
+//!
+//! with `T_succ = T_MAC + T_frame + T_ACK`,
+//! `T_fail = T_MAC + T_frame + T_waitACK`,
+//! `T_retry = Dretry + T_MAC + T_frame + T_waitACK` and
+//! `T_MAC = T_TR + T_BO`.
+//!
+//! The average transmission count is modeled by Eq. 7:
+//! `N̄tries = 1 + α · lD · exp(β · SNR)` (α = 0.02, β = −0.18).
+
+use serde::{Deserialize, Serialize};
+
+use wsn_mac::timing;
+use wsn_params::config::StackConfig;
+use wsn_params::types::{MaxTries, PayloadSize, RetryDelay};
+
+use crate::constants::PaperConstants;
+use crate::surface::ExpSurface;
+
+/// The empirical service-time model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceTimeModel {
+    /// Eq. 7 surface for `N̄tries − 1`.
+    pub ntries: ExpSurface,
+    /// Per-attempt radio failure probability surface (the base of Eq. 8),
+    /// used for the exact truncated-geometric expectation.
+    pub attempt_loss: ExpSurface,
+}
+
+impl ServiceTimeModel {
+    /// The model with the paper's published constants.
+    pub fn paper() -> Self {
+        let c = PaperConstants::published();
+        ServiceTimeModel {
+            ntries: c.ntries,
+            attempt_loss: c.plr_radio,
+        }
+    }
+
+    /// Mean number of transmissions `N̄tries` (Eq. 7), **uncapped** — this
+    /// is the quantity Fig. 11 plots.
+    pub fn mean_tries(&self, snr_db: f64, payload: PayloadSize) -> f64 {
+        1.0 + self.ntries.eval(payload, snr_db)
+    }
+
+    /// `T_MAC = T_TR + T_BO` (turnaround + average initial backoff), s.
+    pub fn t_mac_s(&self) -> f64 {
+        timing::TURNAROUND.as_secs_f64() + timing::MEAN_INITIAL_BACKOFF.as_secs_f64()
+    }
+
+    /// `T_succ` for a payload, seconds.
+    pub fn t_succ_s(&self, payload: PayloadSize) -> f64 {
+        self.t_mac_s()
+            + timing::frame_time(payload).as_secs_f64()
+            + timing::ACK_RECEIVE.as_secs_f64()
+    }
+
+    /// `T_fail` for a payload, seconds.
+    pub fn t_fail_s(&self, payload: PayloadSize) -> f64 {
+        self.t_mac_s()
+            + timing::frame_time(payload).as_secs_f64()
+            + timing::ACK_TIMEOUT.as_secs_f64()
+    }
+
+    /// `T_retry` for a payload and retry delay, seconds.
+    pub fn t_retry_s(&self, payload: PayloadSize, retry_delay: RetryDelay) -> f64 {
+        retry_delay.as_secs_f64()
+            + self.t_mac_s()
+            + timing::frame_time(payload).as_secs_f64()
+            + timing::ACK_TIMEOUT.as_secs_f64()
+    }
+
+    /// `T_SPI` for a payload, seconds.
+    pub fn t_spi_s(&self, payload: PayloadSize) -> f64 {
+        timing::spi_load(payload).as_secs_f64()
+    }
+
+    /// Eq. 5 with a (possibly fractional) transmission count plugged in —
+    /// the paper's own way of turning Eq. 7 into an average service time.
+    ///
+    /// `tries` is clamped to `[1, max_tries]`.
+    pub fn plugin_service_time_s(
+        &self,
+        snr_db: f64,
+        payload: PayloadSize,
+        max_tries: MaxTries,
+        retry_delay: RetryDelay,
+    ) -> f64 {
+        let tries = self
+            .mean_tries(snr_db, payload)
+            .clamp(1.0, max_tries.get() as f64);
+        self.t_spi_s(payload)
+            + self.t_succ_s(payload)
+            + (tries - 1.0) * self.t_retry_s(payload, retry_delay)
+    }
+
+    /// Exact expected service time under a truncated-geometric attempt
+    /// process: each attempt independently fails with probability
+    /// `p = attempt_loss(lD, SNR)`, the budget is `NmaxTries`.
+    pub fn expected_service_time_s(
+        &self,
+        snr_db: f64,
+        payload: PayloadSize,
+        max_tries: MaxTries,
+        retry_delay: RetryDelay,
+    ) -> f64 {
+        let p = self.attempt_loss.eval_prob(payload, snr_db);
+        let q = 1.0 - p;
+        let n = max_tries.get() as u32;
+        let t_spi = self.t_spi_s(payload);
+        let t_succ = self.t_succ_s(payload);
+        let t_fail = self.t_fail_s(payload);
+        let t_retry = self.t_retry_s(payload, retry_delay);
+
+        let mut expectation = t_spi;
+        let mut p_pow = 1.0; // p^(k-1)
+        for k in 1..=n {
+            let p_success_at_k = p_pow * q;
+            expectation += p_success_at_k * (t_succ + (k - 1) as f64 * t_retry);
+            p_pow *= p;
+        }
+        // p_pow is now p^n: the all-attempts-failed branch (Eq. 6).
+        expectation += p_pow * (t_fail + (n - 1) as f64 * t_retry);
+        expectation
+    }
+
+    /// System utilization `ρ = T̄service / Tpkt` (Eq. 9) for a full stack
+    /// configuration at a given link quality, using the paper's plug-in
+    /// service time.
+    pub fn utilization(&self, snr_db: f64, config: &StackConfig) -> f64 {
+        let t_service = self.plugin_service_time_s(
+            snr_db,
+            config.payload,
+            config.max_tries,
+            config.retry_delay,
+        );
+        t_service / config.packet_interval.as_secs_f64()
+    }
+
+    /// Expected per-packet transmissions including failed packets, capped
+    /// by the budget (what a long simulation actually averages).
+    pub fn expected_attempts(&self, snr_db: f64, payload: PayloadSize, max_tries: MaxTries) -> f64 {
+        let p = self.attempt_loss.eval_prob(payload, snr_db);
+        let n = max_tries.get() as u32;
+        // E[attempts] = sum_{k=1}^{n} p^(k-1)  (standard truncated geometric)
+        let mut total = 0.0;
+        let mut p_pow = 1.0;
+        for _ in 1..=n {
+            total += p_pow;
+            p_pow *= p;
+        }
+        total
+    }
+}
+
+impl Default for ServiceTimeModel {
+    fn default() -> Self {
+        ServiceTimeModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(b: u16) -> PayloadSize {
+        PayloadSize::new(b).unwrap()
+    }
+    fn mt(n: u8) -> MaxTries {
+        MaxTries::new(n).unwrap()
+    }
+
+    #[test]
+    fn mean_tries_matches_eq7() {
+        let m = ServiceTimeModel::paper();
+        let expected = 1.0 + 0.02 * 110.0 * (-0.18f64 * 20.0).exp();
+        assert!((m.mean_tries(20.0, pl(110)) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_mac_is_5_504_ms() {
+        let m = ServiceTimeModel::paper();
+        assert!((m.t_mac_s() - 5.504e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_ii_row_snr20_is_close() {
+        // Paper Table II: Tpkt=30 ms, SNR=20 dB, lD=110, NmaxTries=3
+        // → T_service = 21.39 ms, ρ = 0.713.
+        let m = ServiceTimeModel::paper();
+        let cfg = StackConfig::builder()
+            .payload_bytes(110)
+            .max_tries(3)
+            .retry_delay_ms(30)
+            .packet_interval_ms(30)
+            .build()
+            .unwrap();
+        let t = m.plugin_service_time_s(20.0, cfg.payload, cfg.max_tries, cfg.retry_delay);
+        assert!((t * 1e3 - 21.39).abs() < 1.5, "T_service={}ms", t * 1e3);
+        let rho = m.utilization(20.0, &cfg);
+        assert!((rho - 0.713).abs() < 0.06, "rho={rho}");
+    }
+
+    #[test]
+    fn table_ii_row_snr10_exceeds_capacity() {
+        // Paper: SNR=10 dB row has ρ = 1.236 > 1 (queue blows up).
+        let m = ServiceTimeModel::paper();
+        let cfg = StackConfig::builder()
+            .payload_bytes(110)
+            .max_tries(3)
+            .retry_delay_ms(30)
+            .packet_interval_ms(30)
+            .build()
+            .unwrap();
+        let rho = m.utilization(10.0, &cfg);
+        assert!(rho > 1.0, "rho={rho}");
+        assert!(rho < 1.6, "rho={rho}");
+    }
+
+    #[test]
+    fn table_ii_rho_ordering_matches() {
+        let m = ServiceTimeModel::paper();
+        let cfg = StackConfig::builder()
+            .payload_bytes(110)
+            .max_tries(3)
+            .retry_delay_ms(30)
+            .packet_interval_ms(30)
+            .build()
+            .unwrap();
+        let rho10 = m.utilization(10.0, &cfg);
+        let rho20 = m.utilization(20.0, &cfg);
+        let rho30 = m.utilization(30.0, &cfg);
+        assert!(rho10 > rho20 && rho20 > rho30);
+        // At SNR 30 the paper reports 0.617.
+        assert!((rho30 - 0.617).abs() < 0.06, "rho30={rho30}");
+    }
+
+    #[test]
+    fn service_time_grows_with_payload_and_falls_with_snr() {
+        let m = ServiceTimeModel::paper();
+        let t_small = m.plugin_service_time_s(15.0, pl(5), mt(3), RetryDelay::from_millis(30));
+        let t_large = m.plugin_service_time_s(15.0, pl(110), mt(3), RetryDelay::from_millis(30));
+        assert!(t_large > t_small);
+        let t_low = m.plugin_service_time_s(6.0, pl(110), mt(3), RetryDelay::from_millis(30));
+        let t_high = m.plugin_service_time_s(25.0, pl(110), mt(3), RetryDelay::from_millis(30));
+        assert!(t_low > t_high);
+    }
+
+    #[test]
+    fn exact_expectation_close_to_plugin_at_high_snr() {
+        let m = ServiceTimeModel::paper();
+        let exact = m.expected_service_time_s(25.0, pl(110), mt(3), RetryDelay::ZERO);
+        let plugin = m.plugin_service_time_s(25.0, pl(110), mt(3), RetryDelay::ZERO);
+        assert!(
+            (exact - plugin).abs() / plugin < 0.05,
+            "{exact} vs {plugin}"
+        );
+    }
+
+    #[test]
+    fn single_attempt_has_no_retry_term() {
+        let m = ServiceTimeModel::paper();
+        let t = m.expected_service_time_s(10.0, pl(50), mt(1), RetryDelay::from_millis(100));
+        let p = m.attempt_loss.eval_prob(pl(50), 10.0);
+        let expected = m.t_spi_s(pl(50)) + (1.0 - p) * m.t_succ_s(pl(50)) + p * m.t_fail_s(pl(50));
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_attempts_bounds() {
+        let m = ServiceTimeModel::paper();
+        // Perfect channel: exactly 1 attempt.
+        assert!((m.expected_attempts(60.0, pl(5), mt(8)) - 1.0).abs() < 1e-3);
+        // Dead channel (PER=1): exactly the budget.
+        assert!((m.expected_attempts(-60.0, pl(114), mt(8)) - 8.0).abs() < 1e-9);
+        // In between, monotone in the budget.
+        let a3 = m.expected_attempts(8.0, pl(110), mt(3));
+        let a8 = m.expected_attempts(8.0, pl(110), mt(8));
+        assert!(a8 > a3 && a3 > 1.0);
+    }
+}

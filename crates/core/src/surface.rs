@@ -1,0 +1,136 @@
+//! The exponential payload–SNR surface underlying all three of the paper's
+//! loss-related models.
+//!
+//! Eq. 3 (PER), Eq. 7 (mean transmissions) and Eq. 8 (radio loss rate) all
+//! share the functional form
+//!
+//! ```text
+//! f(lD, SNR) = α · lD · exp(β · SNR)
+//! ```
+//!
+//! with different fitted constants. [`ExpSurface`] is that shared form.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::types::PayloadSize;
+
+/// An `α · lD · exp(β · SNR)` surface.
+///
+/// ```
+/// use wsn_models::surface::ExpSurface;
+/// use wsn_params::types::PayloadSize;
+///
+/// let per = ExpSurface::new(0.0128, -0.15); // the paper's Eq. 3
+/// let v = per.eval(PayloadSize::new(110)?, 10.0);
+/// assert!((v - 0.0128 * 110.0 * (-1.5f64).exp()).abs() < 1e-12);
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpSurface {
+    /// Payload coefficient α (per byte), non-negative.
+    pub alpha: f64,
+    /// SNR decay coefficient β (per dB), non-positive.
+    pub beta: f64,
+}
+
+impl ExpSurface {
+    /// Creates a surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0`, `beta > 0`, or either is non-finite: the
+    /// surface would lose the monotonicities every model relies on
+    /// (increasing in payload, decreasing in SNR).
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha >= 0.0,
+            "alpha must be finite and non-negative, got {alpha}"
+        );
+        assert!(
+            beta.is_finite() && beta <= 0.0,
+            "beta must be finite and non-positive, got {beta}"
+        );
+        ExpSurface { alpha, beta }
+    }
+
+    /// Evaluates the raw (unclamped) surface.
+    pub fn eval(&self, payload: PayloadSize, snr_db: f64) -> f64 {
+        self.alpha * payload.bytes() as f64 * (self.beta * snr_db).exp()
+    }
+
+    /// Evaluates the surface clamped to `[0, 1]` — the probability reading
+    /// used by the PER and loss models.
+    pub fn eval_prob(&self, payload: PayloadSize, snr_db: f64) -> f64 {
+        self.eval(payload, snr_db).clamp(0.0, 1.0)
+    }
+
+    /// The SNR at which the surface value drops to `target` for `payload`
+    /// (inverse in the SNR axis). Returns `None` when β = 0 or the target
+    /// is unreachable.
+    pub fn snr_for_value(&self, payload: PayloadSize, target: f64) -> Option<f64> {
+        if self.beta == 0.0 || self.alpha == 0.0 || target <= 0.0 {
+            return None;
+        }
+        let ratio = target / (self.alpha * payload.bytes() as f64);
+        Some(ratio.ln() / self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(b: u16) -> PayloadSize {
+        PayloadSize::new(b).unwrap()
+    }
+
+    #[test]
+    fn eval_matches_formula() {
+        let s = ExpSurface::new(0.02, -0.18);
+        let expected = 0.02 * 65.0 * (-0.18f64 * 12.0).exp();
+        assert!((s.eval(pl(65), 12.0) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn prob_clamps() {
+        let s = ExpSurface::new(0.0128, -0.15);
+        assert_eq!(s.eval_prob(pl(114), -50.0), 1.0);
+        assert!(s.eval_prob(pl(114), 60.0) > 0.0);
+        assert!(s.eval_prob(pl(114), 60.0) < 1e-3);
+    }
+
+    #[test]
+    fn monotonicities() {
+        let s = ExpSurface::new(0.0128, -0.15);
+        assert!(s.eval(pl(110), 10.0) > s.eval(pl(5), 10.0));
+        assert!(s.eval(pl(50), 5.0) > s.eval(pl(50), 15.0));
+    }
+
+    #[test]
+    fn snr_inverse_round_trips() {
+        let s = ExpSurface::new(0.0128, -0.15);
+        let snr = s.snr_for_value(pl(114), 0.1).unwrap();
+        assert!((s.eval(pl(114), snr) - 0.1).abs() < 1e-12);
+        // Paper quote: PER for max payload reaches 0.1 around 19 dB.
+        assert!((snr - 18.0).abs() < 1.5, "snr={snr}");
+    }
+
+    #[test]
+    fn inverse_edge_cases() {
+        assert!(ExpSurface::new(0.0, -0.1)
+            .snr_for_value(pl(50), 0.1)
+            .is_none());
+        assert!(ExpSurface::new(0.1, 0.0)
+            .snr_for_value(pl(50), 0.1)
+            .is_none());
+        assert!(ExpSurface::new(0.1, -0.1)
+            .snr_for_value(pl(50), 0.0)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn positive_beta_rejected() {
+        let _ = ExpSurface::new(0.01, 0.2);
+    }
+}

@@ -1,0 +1,109 @@
+//! The three SNR "joint-effect zones" of Fig. 6(d).
+//!
+//! The paper classifies the joint effect of SNR and payload size on PER
+//! into three regions:
+//!
+//! 1. **high-impact** (5–12 dB, the "grey zone"): high average PER, strongly
+//!    payload dependent;
+//! 2. **medium-impact** (12–19 dB): lower PER, still clearly payload
+//!    dependent;
+//! 3. **low-impact** (≥ 19 dB): neither SNR nor payload matters much.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::{GREY_ZONE_MAX_SNR_DB, LOW_IMPACT_MIN_SNR_DB};
+
+/// One of the paper's three joint-effect zones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Zone {
+    /// SNR < 12 dB — the grey zone; PER changes dramatically with payload.
+    HighImpact,
+    /// 12 dB ≤ SNR < 19 dB — PER relatively low but payload-sensitive.
+    MediumImpact,
+    /// SNR ≥ 19 dB — PER essentially flat in both SNR and payload.
+    LowImpact,
+}
+
+impl Zone {
+    /// Classifies an SNR value.
+    ///
+    /// ```
+    /// use wsn_models::zones::Zone;
+    ///
+    /// assert_eq!(Zone::of(8.0), Zone::HighImpact);
+    /// assert_eq!(Zone::of(15.0), Zone::MediumImpact);
+    /// assert_eq!(Zone::of(25.0), Zone::LowImpact);
+    /// ```
+    pub fn of(snr_db: f64) -> Zone {
+        if snr_db < GREY_ZONE_MAX_SNR_DB {
+            Zone::HighImpact
+        } else if snr_db < LOW_IMPACT_MIN_SNR_DB {
+            Zone::MediumImpact
+        } else {
+            Zone::LowImpact
+        }
+    }
+
+    /// True for the grey zone (the paper uses "grey zone" and
+    /// "high-impact zone" for the same region).
+    pub fn is_grey(self) -> bool {
+        self == Zone::HighImpact
+    }
+
+    /// The inclusive-exclusive SNR interval of this zone,
+    /// `(min_db, max_db)`; unbounded ends are ±∞.
+    pub fn snr_bounds_db(self) -> (f64, f64) {
+        match self {
+            Zone::HighImpact => (f64::NEG_INFINITY, GREY_ZONE_MAX_SNR_DB),
+            Zone::MediumImpact => (GREY_ZONE_MAX_SNR_DB, LOW_IMPACT_MIN_SNR_DB),
+            Zone::LowImpact => (LOW_IMPACT_MIN_SNR_DB, f64::INFINITY),
+        }
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Zone::HighImpact => "high-impact (grey zone, SNR < 12 dB)",
+            Zone::MediumImpact => "medium-impact (12-19 dB)",
+            Zone::LowImpact => "low-impact (SNR >= 19 dB)",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_half_open() {
+        assert_eq!(Zone::of(11.999), Zone::HighImpact);
+        assert_eq!(Zone::of(12.0), Zone::MediumImpact);
+        assert_eq!(Zone::of(18.999), Zone::MediumImpact);
+        assert_eq!(Zone::of(19.0), Zone::LowImpact);
+    }
+
+    #[test]
+    fn grey_zone_alias() {
+        assert!(Zone::of(5.0).is_grey());
+        assert!(!Zone::of(13.0).is_grey());
+    }
+
+    #[test]
+    fn bounds_cover_the_line() {
+        let (lo1, hi1) = Zone::HighImpact.snr_bounds_db();
+        let (lo2, hi2) = Zone::MediumImpact.snr_bounds_db();
+        let (lo3, hi3) = Zone::LowImpact.snr_bounds_db();
+        assert_eq!(hi1, lo2);
+        assert_eq!(hi2, lo3);
+        assert!(lo1.is_infinite() && hi3.is_infinite());
+    }
+
+    #[test]
+    fn display_names_the_zone() {
+        assert!(Zone::HighImpact.to_string().contains("grey"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Ablation 4: temporal correlation — why losses come in bursts.
+//!
+//! The paper's Sec. III-A RSSI-variation measurements imply temporally
+//! correlated link quality. This ablation holds the *mean* loss rate
+//! fixed and sweeps the AR(1) fading correlation: the average PER barely
+//! moves, but loss bursts lengthen dramatically — the property that
+//! decides whether `NmaxTries` retransmissions (spaced `Dretry` apart) can
+//! actually recover a loss.
+
+use wsn_link_sim::analysis::DeliverySequence;
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+use wsn_params::config::StackConfig;
+use wsn_radio::channel::ChannelConfig;
+use wsn_radio::per::{DsssPer, PerBackend};
+use wsn_radio::shadowing::SigmaProfile;
+
+use crate::campaign::Scale;
+use crate::report::{fnum, Report, Table};
+
+/// AR(1) correlations swept.
+pub const CORRELATIONS: [f64; 4] = [0.0, 0.5, 0.9, 0.99];
+
+fn config() -> StackConfig {
+    // Single transmission so the delivery sequence reflects raw channel
+    // behaviour; the link sits a few dB above the DSSS reception
+    // threshold so fades below it cause (deterministic) loss runs.
+    StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(3)
+        .payload_bytes(110)
+        .max_tries(1)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants")
+}
+
+/// Measures (PER, mean loss burst, lag-1 autocorr, burstiness) at a
+/// fading correlation.
+fn measure(correlation: f64, packets: u64, seed: u64) -> (f64, f64, f64, f64) {
+    let mut channel = ChannelConfig::paper_hallway();
+    channel.fading_correlation = correlation;
+    // The physics backend has a sharp reception threshold, so whether a
+    // packet survives is (almost) a deterministic function of the fade —
+    // the cleanest instrument for observing fade-induced bursts.
+    channel.per_backend = PerBackend::Dsss(DsssPer);
+    // A strong but equal sigma for all runs, so only correlation varies.
+    channel.sigma_profile = SigmaProfile {
+        base_db: 3.5,
+        shadowed_db: 3.5,
+        shadowed_from_m: 0.0,
+    };
+    let outcome = LinkSimulation::new(
+        config(),
+        SimOptions::quick(packets)
+            .with_seed(seed)
+            .with_channel(channel),
+    )
+    .run();
+    let records = outcome.records.as_ref().expect("records requested");
+    let sequence = DeliverySequence::from_records(records);
+    (
+        outcome.metrics().per,
+        sequence.mean_loss_burst(),
+        sequence.autocorrelation(1).unwrap_or(0.0),
+        sequence.burstiness().unwrap_or(0.0),
+    )
+}
+
+/// Runs the temporal-correlation ablation.
+pub fn run(scale: Scale) -> Report {
+    let packets = (scale.packets() * 4).max(800);
+    let mut table = Table::new(vec![
+        "fading_corr",
+        "per",
+        "mean_loss_burst",
+        "lag1_autocorr",
+        "burstiness",
+    ]);
+    for (i, &rho) in CORRELATIONS.iter().enumerate() {
+        let (per, burst, ac, b) = measure(rho, packets, 7 + i as u64);
+        table.push_row(vec![fnum(rho), fnum(per), fnum(burst), fnum(ac), fnum(b)]);
+    }
+
+    let mut report = Report::new(
+        "ablation04",
+        "Ablation: temporal fading correlation and loss burstiness",
+    );
+    report.push(
+        "Delivery-sequence statistics vs AR(1) correlation (equal mean SNR and sigma)",
+        table,
+        vec![
+            "Mean PER is set by the stationary SNR distribution and barely moves with correlation.".into(),
+            "Loss bursts lengthen with correlation: with rho=0.99 a fade outlives a whole retransmission burst, which is why Dretry exists.".into(),
+        ],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(report: &Report, col: usize) -> Vec<f64> {
+        report.sections[0]
+            .table
+            .rows
+            .iter()
+            .map(|r| r[col].parse().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn mean_per_is_insensitive_to_correlation() {
+        let report = run(Scale::Quick);
+        let pers = column(&report, 1);
+        let max = pers.iter().cloned().fold(f64::MIN, f64::max);
+        let min = pers.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.12, "PER spread too large: {pers:?}");
+    }
+
+    #[test]
+    fn bursts_lengthen_with_correlation() {
+        let report = run(Scale::Quick);
+        let bursts = column(&report, 2);
+        assert!(
+            bursts[3] > bursts[0] * 1.5,
+            "bursts did not lengthen: {bursts:?}"
+        );
+    }
+
+    #[test]
+    fn uncorrelated_losses_are_not_bursty() {
+        let report = run(Scale::Quick);
+        let burstiness = column(&report, 4);
+        assert!(
+            burstiness[0].abs() < 0.1,
+            "rho=0 burstiness {}",
+            burstiness[0]
+        );
+        assert!(burstiness[3] > 0.1, "rho=0.99 burstiness {}", burstiness[3]);
+    }
+}

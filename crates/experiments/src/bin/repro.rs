@@ -1,0 +1,189 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--full] [--out DIR]     run every experiment
+//! repro <id> [...]                   run selected experiments (fig06 table04 …)
+//! repro list                         list experiment ids
+//! repro campaign [--full]            run the whole ~48k-configuration grid
+//! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
+//! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
+//! ```
+//!
+//! `--full` switches from the quick scale (400 packets/config) to the
+//! paper's protocol (4500 packets/config). `--out DIR` additionally writes
+//! `<id>.txt`, `<id>.csv` and `<id>.json` into DIR.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wsn_experiments::campaign::{Campaign, Scale};
+use wsn_experiments::report::Report;
+use wsn_experiments::{all_experiments, run_experiment};
+use wsn_params::grid::ParamGrid;
+
+fn usage() -> String {
+    let ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: repro <all|list|campaign|verify|dataset|ID...> [--full] [--out DIR]\n  ids: {}",
+        ids.join(", ")
+    )
+}
+
+fn write_outputs(dir: &PathBuf, report: &Report) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(format!("{}.txt", report.id)), report.render())?;
+    let mut csv = String::new();
+    for section in &report.sections {
+        csv.push_str(&format!("# {}\n", section.heading));
+        csv.push_str(&section.table.to_csv());
+    }
+    std::fs::write(dir.join(format!("{}.csv", report.id)), csv)?;
+    let json = serde_json::to_string_pretty(report).expect("reports serialize");
+    std::fs::write(dir.join(format!("{}.json", report.id)), json)?;
+    Ok(())
+}
+
+fn run_campaign(scale: Scale) {
+    let grid = ParamGrid::paper();
+    eprintln!(
+        "running the full Table I grid: {} configurations × {} packets …",
+        grid.len(),
+        scale.packets()
+    );
+    let campaign = Campaign::new(scale);
+    let start = Instant::now();
+    let results = campaign.run_grid(&grid);
+    let elapsed = start.elapsed();
+    let delivered: u64 = results.iter().map(|r| r.metrics.delivered).sum();
+    let generated: u64 = results.iter().map(|r| r.metrics.generated).sum();
+    let mean_plr =
+        results.iter().map(|r| r.metrics.plr_total()).sum::<f64>() / results.len() as f64;
+    println!("configurations: {}", results.len());
+    println!("packets generated: {generated}, delivered: {delivered}");
+    println!("mean total loss rate across the grid: {mean_plr:.4}");
+    println!("wall-clock: {:.1}s", elapsed.as_secs_f64());
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut selections: Vec<String> = Vec::new();
+
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => selections.push(other.to_string()),
+        }
+    }
+
+    if selections.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    if selections.iter().any(|s| s == "list") {
+        for (id, _) in all_experiments() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if selections.iter().any(|s| s == "campaign") {
+        run_campaign(scale);
+        return ExitCode::SUCCESS;
+    }
+
+    if selections.iter().any(|s| s == "verify") {
+        let report = wsn_experiments::verify::run(scale);
+        print!("{}", report.render());
+        let failed = report.sections[0]
+            .table
+            .rows
+            .iter()
+            .filter(|r| r[0] == "FAIL")
+            .count();
+        return if failed == 0 {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("{failed} claim(s) failed");
+            ExitCode::FAILURE
+        };
+    }
+
+    if selections.iter().any(|s| s == "dataset") {
+        let Some(dir) = &out_dir else {
+            eprintln!("dataset export needs --out DIR");
+            return ExitCode::FAILURE;
+        };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("trace.csv");
+        let config = wsn_params::config::StackConfig::default();
+        let options = wsn_link_sim::simulation::SimOptions {
+            packets: scale.packets(),
+            ..wsn_link_sim::simulation::SimOptions::quick(scale.packets())
+        };
+        match wsn_experiments::dataset::export_to_file(config, options, &path) {
+            Ok(n) => {
+                println!("wrote {n} per-packet records to {}", path.display());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("dataset export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let ids: Vec<String> = if selections.iter().any(|s| s == "all") {
+        all_experiments()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect()
+    } else {
+        selections
+    };
+
+    for id in &ids {
+        let start = Instant::now();
+        match run_experiment(id, scale) {
+            Ok(report) => {
+                print!("{}", report.render());
+                println!(
+                    "[{} completed in {:.1}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = &out_dir {
+                    if let Err(e) = write_outputs(dir, &report) {
+                        eprintln!("failed to write outputs for {id}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

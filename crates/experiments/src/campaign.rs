@@ -1,0 +1,227 @@
+//! The experiment campaign runner: simulates sets of configurations with
+//! per-configuration derived seeds, optionally across threads.
+
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use wsn_link_sim::metrics::LinkMetrics;
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+use wsn_link_sim::traffic::TrafficModel;
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+use wsn_radio::channel::ChannelConfig;
+use wsn_sim_engine::rng::RngFactory;
+
+/// How much measurement to buy per experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny packet counts for benchmark harnesses and smoke tests.
+    Bench,
+    /// Reduced packet counts; sub-minute figure regeneration.
+    Quick,
+    /// The paper's protocol: 4500 packets per configuration.
+    Full,
+}
+
+impl Scale {
+    /// Packets per configuration at this scale.
+    pub fn packets(self) -> u64 {
+        match self {
+            Scale::Bench => 60,
+            Scale::Quick => 400,
+            Scale::Full => 4500,
+        }
+    }
+}
+
+/// One `(configuration, metrics)` measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigResult {
+    /// The simulated configuration.
+    pub config: StackConfig,
+    /// Its measured summary metrics.
+    pub metrics: LinkMetrics,
+}
+
+/// Campaign settings shared by all configurations of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Campaign {
+    /// Base experiment seed; each configuration derives its own streams.
+    pub seed: u64,
+    /// Packets per configuration.
+    pub packets: u64,
+    /// Propagation environment.
+    pub channel: ChannelConfig,
+    /// Arrival process.
+    pub traffic: TrafficModel,
+    /// Worker threads (1 = run inline).
+    pub threads: usize,
+}
+
+impl Campaign {
+    /// A campaign at the given scale on the paper's hallway channel.
+    pub fn new(scale: Scale) -> Self {
+        Campaign {
+            seed: 0x5EED,
+            packets: scale.packets(),
+            channel: ChannelConfig::paper_hallway(),
+            traffic: TrafficModel::Periodic,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Returns the campaign with a different channel (builder-style).
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Returns the campaign with a different traffic model.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns the campaign with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Simulation options for the configuration at `index`.
+    fn options_for(&self, index: u64) -> SimOptions {
+        SimOptions {
+            packets: self.packets,
+            seed: RngFactory::new(self.seed).derive(index).seed(),
+            channel: self.channel,
+            traffic: self.traffic,
+            record_packets: false,
+            horizon: None,
+            trajectory: wsn_radio::trajectory::Trajectory::Stationary,
+        }
+    }
+
+    /// Simulates one configuration (with the seed it would get inside a
+    /// grid run at `index`).
+    pub fn run_one(&self, config: StackConfig, index: u64) -> ConfigResult {
+        let outcome = LinkSimulation::new(config, self.options_for(index)).run();
+        ConfigResult {
+            config,
+            metrics: outcome.metrics().clone(),
+        }
+    }
+
+    /// Simulates every configuration in `configs`, preserving order.
+    pub fn run_configs(&self, configs: &[StackConfig]) -> Vec<ConfigResult> {
+        if self.threads <= 1 || configs.len() < 4 {
+            return configs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| self.run_one(c, i as u64))
+                .collect();
+        }
+        let next = Mutex::new(0usize);
+        let results: Mutex<Vec<Option<ConfigResult>>> = Mutex::new(vec![None; configs.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(configs.len()) {
+                scope.spawn(|| loop {
+                    let i = {
+                        let mut guard = next.lock().expect("index lock");
+                        let i = *guard;
+                        if i >= configs.len() {
+                            return;
+                        }
+                        *guard += 1;
+                        i
+                    };
+                    let result = self.run_one(configs[i], i as u64);
+                    results.lock().expect("results lock")[i] = Some(result);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("threads joined")
+            .into_iter()
+            .map(|r| r.expect("every index was processed"))
+            .collect()
+    }
+
+    /// Simulates every configuration of a grid.
+    pub fn run_grid(&self, grid: &ParamGrid) -> Vec<ConfigResult> {
+        let configs: Vec<StackConfig> = grid.iter().collect();
+        self.run_configs(&configs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> ParamGrid {
+        ParamGrid {
+            distances_m: vec![20.0, 35.0],
+            power_levels: vec![11, 31],
+            max_tries: vec![1, 3],
+            retry_delays_ms: vec![0],
+            queue_caps: vec![30],
+            packet_intervals_ms: vec![50],
+            payloads: vec![50],
+        }
+    }
+
+    #[test]
+    fn grid_run_preserves_order_and_length() {
+        let campaign = Campaign {
+            packets: 60,
+            threads: 4,
+            ..Campaign::new(Scale::Quick)
+        };
+        let grid = tiny_grid();
+        let results = campaign.run_grid(&grid);
+        assert_eq!(results.len(), grid.len());
+        for (r, expected) in results.iter().zip(grid.iter()) {
+            assert_eq!(r.config, expected);
+            assert!(r.metrics.conserves_packets());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let grid = tiny_grid();
+        let serial = Campaign {
+            packets: 60,
+            threads: 1,
+            ..Campaign::new(Scale::Quick)
+        }
+        .run_grid(&grid);
+        let parallel = Campaign {
+            packets: 60,
+            threads: 8,
+            ..Campaign::new(Scale::Quick)
+        }
+        .run_grid(&grid);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn per_config_seeds_differ_but_are_stable() {
+        let campaign = Campaign {
+            packets: 60,
+            ..Campaign::new(Scale::Quick)
+        };
+        let a = campaign.options_for(0).seed;
+        let b = campaign.options_for(1).seed;
+        assert_ne!(a, b);
+        assert_eq!(a, campaign.options_for(0).seed);
+    }
+
+    #[test]
+    fn scale_packet_counts() {
+        assert_eq!(Scale::Quick.packets(), 400);
+        assert_eq!(Scale::Full.packets(), 4500);
+    }
+}

@@ -1,0 +1,331 @@
+//! Per-packet dataset export/import.
+//!
+//! The paper publishes its raw measurement data (per-packet RSSI, LQI,
+//! transmission counts, queue sizes, timestamps). This module writes the
+//! simulator's per-packet records in an equivalent CSV schema and reads
+//! them back, so downstream analyses can treat the synthetic campaign
+//! exactly like the published dataset.
+
+use std::io::{BufRead, Write};
+
+use wsn_link_sim::record::{PacketFate, PacketRecord};
+use wsn_link_sim::simulation::SimOutcome;
+use wsn_params::config::StackConfig;
+use wsn_sim_engine::time::SimTime;
+
+/// The CSV header of the per-packet schema.
+pub const HEADER: &str = "seq,t_arrival_us,t_service_start_us,t_done_us,tries,queue_depth,fate,sender_acked,rssi_dbm,snr_db,lqi";
+
+/// Errors from dataset I/O.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (line number, description).
+    Parse(usize, String),
+    /// The outcome carried no records (run with `record_packets = true`).
+    NoRecords,
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            DatasetError::Parse(line, what) => {
+                write!(f, "dataset parse error at line {line}: {what}")
+            }
+            DatasetError::NoRecords => {
+                write!(f, "simulation outcome has no per-packet records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+fn fate_str(fate: PacketFate) -> &'static str {
+    match fate {
+        PacketFate::QueueDropped => "queue_dropped",
+        PacketFate::RadioLost => "radio_lost",
+        PacketFate::Delivered => "delivered",
+    }
+}
+
+fn fate_from(s: &str) -> Option<PacketFate> {
+    match s {
+        "queue_dropped" => Some(PacketFate::QueueDropped),
+        "radio_lost" => Some(PacketFate::RadioLost),
+        "delivered" => Some(PacketFate::Delivered),
+        _ => None,
+    }
+}
+
+/// Writes one record as a CSV line.
+fn write_record<W: Write>(out: &mut W, r: &PacketRecord) -> std::io::Result<()> {
+    let opt = |t: Option<SimTime>| t.map_or(String::new(), |v| v.as_micros().to_string());
+    let flt = |v: f64| {
+        if v.is_finite() {
+            format!("{v:.2}")
+        } else {
+            String::new()
+        }
+    };
+    writeln!(
+        out,
+        "{},{},{},{},{},{},{},{},{},{},{}",
+        r.seq,
+        r.t_arrival.as_micros(),
+        opt(r.t_service_start),
+        opt(r.t_done),
+        r.tries,
+        r.queue_depth,
+        fate_str(r.fate),
+        r.sender_acked,
+        flt(r.last_rssi_dbm),
+        flt(r.last_snr_db),
+        r.last_lqi,
+    )
+}
+
+/// Writes a full trace: a `# config: …` comment, the header, one line per
+/// packet.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::NoRecords`] when the outcome was produced with
+/// `record_packets = false`, or any I/O error.
+pub fn write_trace<W: Write>(out: &mut W, outcome: &SimOutcome) -> Result<usize, DatasetError> {
+    let records = outcome.records.as_ref().ok_or(DatasetError::NoRecords)?;
+    writeln!(out, "# config: {}", outcome.config)?;
+    writeln!(out, "{HEADER}")?;
+    for r in records {
+        write_record(out, r)?;
+    }
+    Ok(records.len())
+}
+
+/// A parsed trace: the config line (free text) and the records.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The `# config: …` description, if present.
+    pub config_line: Option<String>,
+    /// The per-packet records.
+    pub records: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// Aggregate delivery ratio over the trace.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let delivered = self
+            .records
+            .iter()
+            .filter(|r| r.fate == PacketFate::Delivered)
+            .count();
+        delivered as f64 / self.records.len() as f64
+    }
+
+    /// Mean transmissions over completed (non-queue-dropped) packets.
+    pub fn mean_tries(&self) -> f64 {
+        let completed: Vec<&PacketRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.fate != PacketFate::QueueDropped)
+            .collect();
+        if completed.is_empty() {
+            return 0.0;
+        }
+        completed.iter().map(|r| r.tries as f64).sum::<f64>() / completed.len() as f64
+    }
+}
+
+/// Reads a trace previously produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns a [`DatasetError::Parse`] carrying the first malformed line.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, DatasetError> {
+    let mut config_line = None;
+    let mut records = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        if line.starts_with("# config:") {
+            config_line = Some(line.trim_start_matches("# config:").trim().to_string());
+            continue;
+        }
+        if line.is_empty() || line == HEADER || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(DatasetError::Parse(
+                lineno,
+                format!("expected 11 fields, got {}", fields.len()),
+            ));
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, DatasetError> {
+            s.parse()
+                .map_err(|_| DatasetError::Parse(lineno, format!("bad {what}: '{s}'")))
+        };
+        let opt_time = |s: &str, what: &str| -> Result<Option<SimTime>, DatasetError> {
+            if s.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(SimTime::from_micros(parse_u64(s, what)?)))
+            }
+        };
+        let opt_f64 = |s: &str| -> f64 {
+            if s.is_empty() {
+                f64::NAN
+            } else {
+                s.parse().unwrap_or(f64::NAN)
+            }
+        };
+        let fate = fate_from(fields[6])
+            .ok_or_else(|| DatasetError::Parse(lineno, format!("bad fate '{}'", fields[6])))?;
+        records.push(PacketRecord {
+            seq: parse_u64(fields[0], "seq")?,
+            t_arrival: SimTime::from_micros(parse_u64(fields[1], "t_arrival")?),
+            t_service_start: opt_time(fields[2], "t_service_start")?,
+            t_done: opt_time(fields[3], "t_done")?,
+            tries: parse_u64(fields[4], "tries")? as u8,
+            queue_depth: parse_u64(fields[5], "queue_depth")? as usize,
+            fate,
+            sender_acked: fields[7] == "true",
+            last_rssi_dbm: opt_f64(fields[8]),
+            last_snr_db: opt_f64(fields[9]),
+            last_lqi: parse_u64(fields[10], "lqi")? as u8,
+        });
+    }
+    Ok(Trace {
+        config_line,
+        records,
+    })
+}
+
+/// Convenience: simulates `config` with records on and writes the trace to
+/// `path`.
+///
+/// # Errors
+///
+/// Propagates dataset and I/O errors.
+pub fn export_to_file(
+    config: StackConfig,
+    options: wsn_link_sim::simulation::SimOptions,
+    path: &std::path::Path,
+) -> Result<usize, DatasetError> {
+    let mut options = options;
+    options.record_packets = true;
+    let outcome = wsn_link_sim::simulation::LinkSimulation::new(config, options).run();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_trace(&mut file, &outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+
+    fn outcome() -> SimOutcome {
+        let cfg = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(11)
+            .payload_bytes(80)
+            .build()
+            .unwrap();
+        LinkSimulation::new(cfg, SimOptions::quick(120)).run()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_record() {
+        let out = outcome();
+        let mut buf = Vec::new();
+        let written = write_trace(&mut buf, &out).unwrap();
+        assert_eq!(written, 120);
+        let trace = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace.records.len(), 120);
+        assert!(trace.config_line.unwrap().contains("35m"));
+        let original = out.records.unwrap();
+        for (a, b) in original.iter().zip(&trace.records) {
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.t_arrival, b.t_arrival);
+            assert_eq!(a.t_done, b.t_done);
+            assert_eq!(a.tries, b.tries);
+            assert_eq!(a.fate, b.fate);
+            assert_eq!(a.sender_acked, b.sender_acked);
+            // Floats round-trip at 2 decimals.
+            if a.last_rssi_dbm.is_finite() {
+                assert!((a.last_rssi_dbm - b.last_rssi_dbm).abs() < 0.01);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_statistics_match_metrics() {
+        let out = outcome();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &out).unwrap();
+        let trace = read_trace(buf.as_slice()).unwrap();
+        let m = out.metrics();
+        let expected_ratio = m.delivered as f64 / m.generated as f64;
+        assert!((trace.delivery_ratio() - expected_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_records_is_an_error() {
+        let cfg = StackConfig::default();
+        let out = LinkSimulation::new(
+            cfg,
+            SimOptions {
+                record_packets: false,
+                ..SimOptions::quick(10)
+            },
+        )
+        .run();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_trace(&mut buf, &out),
+            Err(DatasetError::NoRecords)
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let bad = format!("{HEADER}\n1,2,3\n");
+        match read_trace(bad.as_bytes()) {
+            Err(DatasetError::Parse(line, what)) => {
+                assert_eq!(line, 2);
+                assert!(what.contains("11 fields"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_fate = format!("{HEADER}\n0,0,,,0,0,vanished,false,,,0\n");
+        assert!(matches!(
+            read_trace(bad_fate.as_bytes()),
+            Err(DatasetError::Parse(2, _))
+        ));
+    }
+
+    #[test]
+    fn export_to_file_writes_csv() {
+        let dir = std::env::temp_dir().join("wsn_linkconf_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let cfg = StackConfig::default();
+        let n = export_to_file(cfg, SimOptions::quick(40), &path).unwrap();
+        assert_eq!(n, 40);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("# config:"));
+        assert!(text.lines().count() >= 42);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

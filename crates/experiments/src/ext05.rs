@@ -1,0 +1,133 @@
+//! Extension 5: which knob matters where — tornado sensitivity across the
+//! SNR zones.
+//!
+//! A quantitative restatement of the paper's joint-effect message: the
+//! same parameter's leverage changes by an order of magnitude between the
+//! grey zone and the low-impact zone. For one operating point per zone,
+//! every knob is perturbed to its neighbouring Table-I values and the
+//! relative movement of each performance metric is ranked.
+
+use wsn_models::optimize::Metric;
+use wsn_models::predict::Predictor;
+use wsn_models::sensitivity::{tornado, Knob};
+use wsn_models::zones::Zone;
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+
+use crate::campaign::Scale;
+use crate::report::{fnum, Report, Table};
+
+/// The operating points probed: one power level per zone at 35 m.
+pub const ZONE_POWERS: [(u8, &str); 3] = [
+    (3, "grey zone"),
+    (11, "medium/low boundary"),
+    (31, "low-impact zone"),
+];
+
+fn config(power: u8) -> StackConfig {
+    StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(power)
+        .payload_bytes(65)
+        .max_tries(3)
+        .retry_delay_ms(30)
+        .queue_cap(30)
+        .packet_interval_ms(30)
+        .build()
+        .expect("valid constants")
+}
+
+/// Runs the sensitivity extension experiment (model-only).
+pub fn run(_scale: Scale) -> Report {
+    let predictor = Predictor::paper();
+    let grid = ParamGrid::paper();
+    let mut report = Report::new(
+        "ext05",
+        "Extension: knob sensitivity (tornado) across the SNR zones",
+    );
+
+    for metric in [Metric::Energy, Metric::Goodput, Metric::Delay, Metric::Loss] {
+        let mut headers = vec!["knob".to_string()];
+        headers.extend(ZONE_POWERS.iter().map(|(p, z)| format!("{z} (Ptx={p})")));
+        let mut table = Table::new(headers);
+        // Collect per-zone rankings keyed by knob.
+        let rankings: Vec<_> = ZONE_POWERS
+            .iter()
+            .map(|&(p, _)| tornado(&predictor, &config(p), &grid, metric))
+            .collect();
+        for knob in Knob::all() {
+            let mut row = vec![knob.name().to_string()];
+            for ranking in &rankings {
+                let impact = ranking
+                    .iter()
+                    .find(|k| k.knob == knob)
+                    .map_or(0.0, |k| k.relative_impact);
+                row.push(fnum(impact));
+            }
+            table.push_row(row);
+        }
+        let name = match metric {
+            Metric::Energy => "energy U_eng",
+            Metric::Goodput => "max goodput",
+            Metric::Delay => "delay",
+            Metric::Loss => "total loss",
+        };
+        table.rows.sort_by(|a, b| {
+            b[1].parse::<f64>()
+                .unwrap_or(0.0)
+                .partial_cmp(&a[1].parse::<f64>().unwrap_or(0.0))
+                .expect("finite")
+        });
+        report.push(
+            &format!("Relative impact on {name} (max |Δ|/|baseline| over grid neighbours)"),
+            table,
+            vec![
+                "Knob leverage collapses as the link leaves the grey zone — the zones of Fig. 6(d) govern every metric.".into(),
+            ],
+        );
+    }
+
+    let mut zones = Table::new(vec!["Ptx", "snr_db", "zone"]);
+    for &(p, _) in &ZONE_POWERS {
+        let cfg = config(p);
+        let snr = predictor.budget.snr_db(cfg.power, cfg.distance);
+        zones.push_row(vec![format!("{p}"), fnum(snr), Zone::of(snr).to_string()]);
+    }
+    report.push("Probed operating points", zones, vec![]);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_sensitivity_collapses_out_of_grey_zone() {
+        let report = run(Scale::Quick);
+        // Energy section is first; find the payload row.
+        let rows = &report.sections[0].table.rows;
+        let payload_row = rows.iter().find(|r| r[0] == "lD").unwrap();
+        let grey: f64 = payload_row[1].parse().unwrap();
+        let clean: f64 = payload_row[3].parse().unwrap();
+        assert!(grey > clean * 2.0, "grey {grey} vs clean {clean}");
+    }
+
+    #[test]
+    fn every_metric_section_has_all_knobs() {
+        let report = run(Scale::Quick);
+        for section in &report.sections[..4] {
+            assert_eq!(section.table.rows.len(), 6, "{}", section.heading);
+        }
+    }
+
+    #[test]
+    fn queue_knob_is_irrelevant_for_energy_everywhere() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[0].table.rows;
+        let q = rows.iter().find(|r| r[0] == "Qmax").unwrap();
+        for cell in &q[1..] {
+            let v: f64 = cell.parse().unwrap();
+            assert_eq!(v, 0.0);
+        }
+    }
+}

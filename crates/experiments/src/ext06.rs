@@ -1,0 +1,145 @@
+//! Extension 6: battery-lifetime projection.
+//!
+//! The deployment question behind the paper's energy metric: how long
+//! does a 2×AA TelosB actually live under each tuning regime? Combines
+//! the whole-radio power model with the LPL extension to show that (a)
+//! the always-on stack the paper measures is listen-bound (days of
+//! lifetime regardless of tuning) and (b) duty cycling converts the
+//! paper's per-bit savings into months of lifetime.
+
+use wsn_models::battery::{always_on_drain_w, estimate, Battery};
+use wsn_models::lpl::LplConfig;
+use wsn_models::predict::LinkBudget;
+use wsn_params::config::StackConfig;
+use wsn_sim_engine::time::SimDuration;
+
+use crate::campaign::Scale;
+use crate::report::{fnum, Report, Table};
+
+/// Workloads projected: `(Tpkt ms, label)`.
+pub const WORKLOADS: [(u32, &str); 4] = [
+    (100, "streaming (10 pkt/s)"),
+    (1_000, "telemetry (1 pkt/s)"),
+    (10_000, "monitoring (0.1 pkt/s)"),
+    (60_000, "alarm (1 pkt/min)"),
+];
+
+fn config(tpkt: u32) -> StackConfig {
+    StackConfig::builder()
+        .distance_m(20.0)
+        .power_level(31)
+        .payload_bytes(50)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(tpkt)
+        .build()
+        .expect("valid constants")
+}
+
+/// Runs the battery-lifetime extension experiment (model-only).
+pub fn run(_scale: Scale) -> Report {
+    let battery = Battery::two_aa();
+    let budget = LinkBudget::paper_hallway();
+    let lpl = LplConfig::tinyos_default();
+
+    let mut table = Table::new(vec![
+        "workload",
+        "always_on_mW",
+        "always_on_days",
+        "lpl512_days",
+        "lpl_optimal_days",
+        "extension_factor",
+    ]);
+    for &(tpkt, label) in &WORKLOADS {
+        let cfg = config(tpkt);
+        let snr = budget.snr_db(cfg.power, cfg.distance);
+        let drain = always_on_drain_w(snr, &cfg);
+        let est = estimate(&battery, snr, &cfg, &lpl);
+
+        // Also with the rate-optimal wake interval.
+        let model = wsn_models::lpl::LplModel::new(cfg.power, cfg.payload);
+        let w_opt = model.optimal_wake_interval(
+            SimDuration::from_millis(11),
+            cfg.packet_interval.rate_pps(),
+            SimDuration::from_secs(4),
+        );
+        let opt_est = estimate(
+            &battery,
+            snr,
+            &cfg,
+            &LplConfig::new(w_opt, SimDuration::from_millis(11)),
+        );
+
+        table.push_row(vec![
+            label.to_string(),
+            fnum(drain * 1e3),
+            fnum(est.always_on_days),
+            fnum(est.lpl_days),
+            fnum(opt_est.lpl_days),
+            fnum(opt_est.lpl_days / est.always_on_days),
+        ]);
+    }
+
+    let mut report = Report::new(
+        "ext06",
+        "Extension: battery-lifetime projection (2xAA TelosB)",
+    );
+    report.push(
+        "Node lifetime per workload, always-on vs LPL",
+        table,
+        vec![
+            "The always-on stack the paper measures is listen-bound: ~5-6 days on 2xAA at any rate.".into(),
+            "Duty cycling converts the per-bit tuning gains into months of lifetime at monitoring rates.".into(),
+        ],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_is_listen_bound_across_workloads() {
+        let report = run(Scale::Quick);
+        let days: Vec<f64> = report.sections[0]
+            .table
+            .rows
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
+        for d in &days {
+            assert!(*d > 3.0 && *d < 8.0, "always-on lifetime {d} days");
+        }
+        // Nearly flat across a 600x rate spread.
+        let spread = days.iter().cloned().fold(f64::MIN, f64::max)
+            / days.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread < 1.6, "spread={spread}");
+    }
+
+    #[test]
+    fn lifetime_extension_grows_with_quietness() {
+        let report = run(Scale::Quick);
+        let factors: Vec<f64> = report.sections[0]
+            .table
+            .rows
+            .iter()
+            .map(|r| r[5].parse().unwrap())
+            .collect();
+        for pair in factors.windows(2) {
+            assert!(pair[1] > pair[0], "factors not increasing: {factors:?}");
+        }
+        assert!(factors[3] > 30.0, "alarm-rate extension {}", factors[3]);
+    }
+
+    #[test]
+    fn optimal_interval_beats_or_matches_default() {
+        let report = run(Scale::Quick);
+        for row in &report.sections[0].table.rows {
+            let fixed: f64 = row[3].parse().unwrap();
+            let optimal: f64 = row[4].parse().unwrap();
+            assert!(optimal >= fixed * 0.95, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Fig. 1 — the goodput-vs-energy trade-off achieved by single-parameter
+//! tuning guidelines versus joint multi-parameter tuning.
+//!
+//! Presentation of the Table IV data as trade-off points: each method is a
+//! `(goodput, energy)` pair; joint tuning sits up-and-left of every
+//! baseline (more goodput, less energy).
+
+use crate::campaign::Scale;
+use crate::report::{fnum, Report, Table};
+use crate::table04::case_study_rows;
+
+/// Runs the Fig. 1 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let rows = case_study_rows(scale);
+
+    let mut table = Table::new(vec![
+        "method",
+        "goodput_kbps",
+        "energy_uJ_per_bit",
+        "dominated_by_joint",
+    ]);
+    let joint = rows.last().expect("rows include the joint optimum").clone();
+    for r in &rows {
+        let dominated = r.label != joint.label
+            && joint.sim_goodput_kbps >= r.sim_goodput_kbps
+            && joint.sim_u_eng <= r.sim_u_eng;
+        table.push_row(vec![
+            r.label.clone(),
+            fnum(r.sim_goodput_kbps),
+            fnum(r.sim_u_eng),
+            if r.label == joint.label {
+                "-".to_string()
+            } else {
+                format!("{dominated}")
+            },
+        ]);
+    }
+
+    let mut report = Report::new(
+        "fig01",
+        "Fig. 1: goodput vs energy trade-off, baselines vs joint tuning",
+    );
+    report.push(
+        "Trade-off points (simulated, backlogged sender on the case-study link)",
+        table,
+        vec![
+            "Joint tuning reaches the upper-left region: higher goodput at lower energy per bit.".into(),
+            "An inappropriate single-knob choice (e.g. minimal payload) costs an order of magnitude of goodput.".into(),
+        ],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_point_is_upper_left() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[0].table.rows;
+        let joint = rows.last().unwrap();
+        let joint_goodput: f64 = joint[1].parse().unwrap();
+        let joint_energy: f64 = joint[2].parse().unwrap();
+        for r in &rows[..rows.len() - 1] {
+            let g: f64 = r[1].parse().unwrap();
+            let u: f64 = r[2].parse().unwrap();
+            assert!(
+                joint_goodput >= g * 0.95 && joint_energy <= u * 1.05,
+                "joint ({joint_goodput}, {joint_energy}) vs {} ({g}, {u})",
+                r[0]
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_payload_baseline_is_worst_goodput() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[0].table.rows;
+        let min_ld = rows.iter().find(|r| r[0].contains("Minimal")).unwrap();
+        let g_min: f64 = min_ld[1].parse().unwrap();
+        for r in rows {
+            if r[0].contains("Minimal") {
+                continue;
+            }
+            let g: f64 = r[1].parse().unwrap();
+            assert!(
+                g >= g_min,
+                "{} has lower goodput than minimal payload",
+                r[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 4 — RSSI deviation per output power and distance.
+//!
+//! The paper's observations: (i) RSSI deviation shows **no consistent
+//! correlation with output power**, (ii) the 35 m position shows elevated
+//! deviation (human shadowing), and (iii) `Ptx = 3` at 35 m reports a very
+//! *small* deviation because the signal has sunk to the CC2420 sensitivity
+//! and the reported values are censored there.
+
+use rand::SeedableRng;
+
+use wsn_params::types::{Distance, PowerLevel};
+use wsn_radio::cc2420::SENSITIVITY_DBM;
+use wsn_radio::channel::{Channel, ChannelConfig};
+
+use crate::campaign::Scale;
+use crate::report::{fnum, Report, Table};
+use crate::sweep::{std_of, GRID_DISTANCES, GRID_POWERS};
+
+/// Deviation of the *reported* RSSI. A real CC2420 only logs RSSI for
+/// frames it actually receives, so observations below the sensitivity are
+/// discarded (truncation), which shrinks the measured deviation whenever
+/// the operating point sinks towards −95 dBm.
+fn reported_rssi_std(power: u8, distance_m: f64, samples: usize, seed: u64) -> f64 {
+    let power = PowerLevel::new(power).expect("grid power");
+    let distance = Distance::from_meters(distance_m).expect("grid distance");
+    let mut channel = Channel::new(ChannelConfig::paper_hallway(), power, distance);
+    let mut fading = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut noise = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+    let rssi: Vec<f64> = (0..samples)
+        .map(|_| channel.observe(&mut fading, &mut noise).rssi_dbm)
+        .filter(|&r| r >= SENSITIVITY_DBM)
+        .collect();
+    std_of(&rssi)
+}
+
+/// Runs the Fig. 4 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let samples = match scale {
+        Scale::Bench => 500usize,
+        Scale::Quick => 2_000,
+        Scale::Full => 20_000,
+    };
+
+    let mut headers = vec!["distance_m".to_string()];
+    headers.extend(GRID_POWERS.iter().map(|p| format!("Ptx={p}")));
+    let mut table = Table::new(headers);
+
+    for (di, &d) in GRID_DISTANCES.iter().enumerate() {
+        let mut row = vec![fnum(d)];
+        for (pi, &p) in GRID_POWERS.iter().enumerate() {
+            let seed = (di * 100 + pi) as u64;
+            row.push(fnum(reported_rssi_std(p, d, samples, seed)));
+        }
+        table.push_row(row);
+    }
+
+    let mut report = Report::new("fig04", "Fig. 4: RSSI deviation per Ptx and distance");
+    report.push(
+        "Std of reported RSSI (dB), sensitivity-censored at -95 dBm",
+        table,
+        vec![
+            "Deviation is roughly flat across power levels (no consistent correlation).".into(),
+            "The 35 m row is elevated (human-shadowing sigma = 3.5 dB vs 1.8 dB elsewhere).".into(),
+            "Exception: Ptx=3 at 35 m collapses — the signal sits at the CC2420 sensitivity, so reported values are censored.".into(),
+        ],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(report: &Report, row: usize, col: usize) -> f64 {
+        report.sections[0].table.rows[row][col].parse().unwrap()
+    }
+
+    #[test]
+    fn deviation_elevated_at_35m_except_censored_min_power() {
+        let report = run(Scale::Quick);
+        // Row 5 = 35 m; column 1 = Ptx 3, column 8 = Ptx 31.
+        let at_35_high_power = cell(&report, 5, 8);
+        let at_20_high_power = cell(&report, 2, 8);
+        assert!(
+            at_35_high_power > at_20_high_power + 1.0,
+            "35m {at_35_high_power} vs 20m {at_20_high_power}"
+        );
+    }
+
+    #[test]
+    fn min_power_at_35m_is_truncated_smaller() {
+        // Paper: deviation collapses at Ptx=3/35 m because the RSSI sits at
+        // the sensitivity. Our calibrated mean there is −91 dBm (≈4 dB above
+        // −95), so only the lower fading tail is truncated: the deviation
+        // shrinks measurably but not to near-zero.
+        let report = run(Scale::Quick);
+        let truncated = cell(&report, 5, 1); // Ptx 3 @ 35 m
+        let full = cell(&report, 5, 8); // Ptx 31 @ 35 m
+        assert!(truncated < full - 0.3, "truncated={truncated} full={full}");
+    }
+
+    #[test]
+    fn no_power_trend_away_from_sensitivity() {
+        let report = run(Scale::Quick);
+        // At 10 m every level is far above sensitivity: the deviation
+        // spread across power levels stays within ~0.5 dB.
+        let row: Vec<f64> = (1..=8).map(|c| cell(&report, 0, c)).collect();
+        let max = row.iter().cloned().fold(f64::MIN, f64::max);
+        let min = row.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min < 0.5, "spread={}", max - min);
+    }
+}

@@ -1,0 +1,124 @@
+//! Fig. 8 — the impact of payload size on energy consumption at 35 m for a
+//! grey-zone power (`Ptx = 3`) and a mid power (`Ptx = 7`).
+//!
+//! The paper's finding: in the grey zone, medium payloads minimise energy;
+//! once the SNR clears the threshold, the largest payload is optimal.
+
+use wsn_models::energy::EnergyModel;
+use wsn_models::predict::LinkBudget;
+use wsn_params::config::StackConfig;
+use wsn_params::types::{Distance, PayloadSize, PowerLevel};
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::GRID_PAYLOADS;
+
+/// The two power levels the figure contrasts.
+pub const POWERS: [u8; 2] = [3, 7];
+
+/// Runs the Fig. 8 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let mut configs = Vec::new();
+    for &p in &POWERS {
+        for &l in &GRID_PAYLOADS {
+            configs.push(
+                StackConfig::builder()
+                    .distance_m(35.0)
+                    .power_level(p)
+                    .payload_bytes(l)
+                    .max_tries(3)
+                    .retry_delay_ms(0)
+                    .queue_cap(30)
+                    .packet_interval_ms(200)
+                    .build()
+                    .expect("grid values are valid"),
+            );
+        }
+    }
+    let results = Campaign::new(scale).run_configs(&configs);
+    let model = EnergyModel::paper();
+    let budget = LinkBudget::paper_hallway();
+    let d35 = Distance::from_meters(35.0).expect("valid");
+
+    let mut table = Table::new(vec![
+        "payload_B",
+        "sim_uJ_Ptx3",
+        "model_uJ_Ptx3",
+        "sim_uJ_Ptx7",
+        "model_uJ_Ptx7",
+    ]);
+    for &l in &GRID_PAYLOADS {
+        let payload = PayloadSize::new(l).expect("valid");
+        let mut row = vec![format!("{l}")];
+        for &p in &POWERS {
+            let power = PowerLevel::new(p).expect("valid");
+            let snr = budget.snr_db(power, d35);
+            let sim = results
+                .iter()
+                .find(|r| r.config.power.level() == p && r.config.payload.bytes() == l)
+                .expect("config simulated");
+            row.push(fnum(sim.metrics.u_eng_uj_per_bit));
+            row.push(fnum(model.u_eng_uj_per_bit(snr, payload, power)));
+        }
+        table.push_row(row);
+    }
+
+    let mut optima = Table::new(vec!["Ptx", "snr_db", "model_optimal_lD"]);
+    for &p in &POWERS {
+        let power = PowerLevel::new(p).expect("valid");
+        let snr = budget.snr_db(power, d35);
+        optima.push_row(vec![
+            format!("{p}"),
+            fnum(snr),
+            format!("{}", model.optimal_payload(snr, power).bytes()),
+        ]);
+    }
+
+    let mut report = Report::new("fig08", "Fig. 8: impact of payload size on energy at 35 m");
+    report.push(
+        "U_eng (uJ/bit) vs payload size",
+        table,
+        vec!["At Ptx=3 (grey zone) mid-size payloads win; at higher SNR the curve flattens towards the maximum size.".into()],
+    );
+    report.push(
+        "Model-optimal payload per power",
+        optima,
+        vec!["The optimal payload grows with SNR (Sec. IV-B).".into()],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grey_zone_optimum_is_interior() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[1].table.rows;
+        let opt_p3: u16 = rows[0][2].parse().unwrap();
+        assert!(opt_p3 < 114, "grey-zone optimal payload should be interior");
+    }
+
+    #[test]
+    fn higher_power_shifts_optimum_up() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[1].table.rows;
+        let opt_p3: u16 = rows[0][2].parse().unwrap();
+        let opt_p7: u16 = rows[1][2].parse().unwrap();
+        assert!(opt_p7 >= opt_p3, "{opt_p7} < {opt_p3}");
+    }
+
+    #[test]
+    fn sim_tracks_model_within_factor_two() {
+        let report = run(Scale::Quick);
+        for row in &report.sections[0].table.rows {
+            let sim3: f64 = row[1].parse().unwrap_or(f64::INFINITY);
+            let model3: f64 = row[2].parse().unwrap_or(f64::INFINITY);
+            if sim3.is_finite() && model3.is_finite() && model3 > 0.0 {
+                let ratio = sim3 / model3;
+                assert!(ratio > 0.3 && ratio < 3.0, "ratio={ratio}");
+            }
+        }
+    }
+}

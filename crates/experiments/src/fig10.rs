@@ -1,0 +1,146 @@
+//! Fig. 10 — goodput vs SNR under four MAC configurations.
+//!
+//! The four configurations: (a) no queue & no retransmission, (b) no queue
+//! with retransmission, (c) queue without retransmission, (d) queue with
+//! retransmission. Each is driven by several workloads (`Tpkt`, `lD`), and
+//! the SNR axis is swept by varying the output power on the 35 m link.
+
+use wsn_params::config::StackConfig;
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::GRID_POWERS;
+
+/// The four MAC configurations of Figs. 10 and 16: `(label, Qmax, NmaxTries)`.
+pub const MAC_CONFIGS: [(&str, u16, u8); 4] = [
+    ("(a) Qmax=1, N=1", 1, 1),
+    ("(b) Qmax=1, N=8", 1, 8),
+    ("(c) Qmax=30, N=1", 30, 1),
+    ("(d) Qmax=30, N=8", 30, 8),
+];
+
+/// Workloads: `(Tpkt ms, payload bytes)`.
+pub const WORKLOADS: [(u32, u16); 4] = [(10, 110), (30, 110), (100, 110), (30, 20)];
+
+fn build_configs() -> Vec<StackConfig> {
+    let mut configs = Vec::new();
+    for &(_, qmax, tries) in &MAC_CONFIGS {
+        for &(tpkt, payload) in &WORKLOADS {
+            for &p in &GRID_POWERS {
+                configs.push(
+                    StackConfig::builder()
+                        .distance_m(35.0)
+                        .power_level(p)
+                        .payload_bytes(payload)
+                        .max_tries(tries)
+                        .retry_delay_ms(30)
+                        .queue_cap(qmax)
+                        .packet_interval_ms(tpkt)
+                        .build()
+                        .expect("grid values are valid"),
+                );
+            }
+        }
+    }
+    configs
+}
+
+/// Runs the Fig. 10 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let configs = build_configs();
+    let results = Campaign::new(scale).run_configs(&configs);
+
+    let mut report = Report::new("fig10", "Fig. 10: goodput under four MAC configurations");
+    for &(label, qmax, tries) in &MAC_CONFIGS {
+        let mut headers = vec!["Ptx".to_string(), "snr_db".to_string()];
+        headers.extend(WORKLOADS.iter().map(|(t, l)| format!("kbps_T{t}_lD{l}")));
+        let mut table = Table::new(headers);
+        for &p in &GRID_POWERS {
+            let mut row = vec![format!("{p}")];
+            let mut snr = 0.0;
+            for &(tpkt, payload) in &WORKLOADS {
+                let r = results
+                    .iter()
+                    .find(|r| {
+                        r.config.power.level() == p
+                            && r.config.queue_cap.get() == qmax
+                            && r.config.max_tries.get() == tries
+                            && r.config.packet_interval.millis() == tpkt
+                            && r.config.payload.bytes() == payload
+                    })
+                    .expect("config simulated");
+                snr = r.metrics.mean_snr_db;
+                if row.len() == 1 {
+                    row.push(fnum(snr));
+                }
+                row.push(fnum(r.metrics.goodput_bps / 1e3));
+            }
+            let _ = snr;
+            table.push_row(row);
+        }
+        table.rows.sort_by(|a, b| {
+            a[1].parse::<f64>()
+                .unwrap()
+                .partial_cmp(&b[1].parse::<f64>().unwrap())
+                .unwrap()
+        });
+        report.push(
+            label,
+            table,
+            vec!["Goodput rises with SNR and saturates near 19 dB; smaller Tpkt = higher offered load = higher goodput.".into()],
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_rises_with_snr_for_heaviest_load() {
+        let report = run(Scale::Quick);
+        // Config (d), workload Tpkt=10, lD=110 (column 2).
+        let rows = &report.sections[3].table.rows;
+        let first: f64 = rows[0][2].parse().unwrap();
+        let last: f64 = rows[rows.len() - 1][2].parse().unwrap();
+        assert!(
+            last > first,
+            "goodput did not rise with SNR: {first}..{last}"
+        );
+    }
+
+    #[test]
+    fn smaller_interval_gives_higher_goodput_at_high_snr() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[3].table.rows;
+        let last = &rows[rows.len() - 1];
+        let t10: f64 = last[2].parse().unwrap();
+        let t100: f64 = last[4].parse().unwrap();
+        assert!(t10 > t100, "t10={t10} t100={t100}");
+    }
+
+    #[test]
+    fn retransmission_helps_in_grey_zone_at_light_load() {
+        let report = run(Scale::Quick);
+        // Compare (c) N=1 vs (d) N=8 at the lowest power (grey zone) under
+        // the light Tpkt=100 workload (column 4), where utilization stays
+        // below 1 so retransmissions recover losses without queue overflow.
+        let c: f64 = report.sections[2].table.rows[0][4].parse().unwrap();
+        let d: f64 = report.sections[3].table.rows[0][4].parse().unwrap();
+        assert!(d > c * 1.5, "retx did not help at light load: {d} vs {c}");
+    }
+
+    #[test]
+    fn retransmission_backfires_in_grey_zone_under_heavy_load() {
+        // The flip side the paper highlights in Sec. VII: at Tpkt=30 in the
+        // deep grey zone, N=8 saturates the server and loses to N=1.
+        let report = run(Scale::Quick);
+        let c: f64 = report.sections[2].table.rows[0][3].parse().unwrap();
+        let d: f64 = report.sections[3].table.rows[0][3].parse().unwrap();
+        assert!(
+            d < c,
+            "expected retx to backfire under heavy load: {d} vs {c}"
+        );
+    }
+}

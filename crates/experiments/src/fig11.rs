@@ -1,0 +1,134 @@
+//! Fig. 11 — the average number of transmissions vs SNR and the Eq. 7 fit.
+//!
+//! The paper fits `N̄tries = 1 + α · lD · exp(β · SNR)` with α = 0.02,
+//! β = −0.18 (95 % confidence). We measure mean tries from simulations
+//! with a large retransmission budget and re-fit the surface.
+
+use wsn_models::fit::{fit_exp_surface, SurfacePoint};
+use wsn_models::service_time::ServiceTimeModel;
+use wsn_params::config::StackConfig;
+use wsn_params::types::PayloadSize;
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::{GRID_DISTANCES, GRID_POWERS};
+
+/// Payload sizes measured.
+pub const PAYLOADS: [u16; 3] = [20, 65, 110];
+
+/// Collects `(snr, lD, mean tries)` measurements.
+pub fn measure(scale: Scale) -> Vec<(f64, u16, f64)> {
+    let mut configs = Vec::new();
+    for &d in &GRID_DISTANCES {
+        for &p in &GRID_POWERS {
+            for &l in &PAYLOADS {
+                configs.push(
+                    StackConfig::builder()
+                        .distance_m(d)
+                        .power_level(p)
+                        .payload_bytes(l)
+                        .max_tries(8)
+                        .retry_delay_ms(0)
+                        .queue_cap(30)
+                        .packet_interval_ms(200)
+                        .build()
+                        .expect("grid values are valid"),
+                );
+            }
+        }
+    }
+    Campaign::new(scale)
+        .run_configs(&configs)
+        .into_iter()
+        .map(|r| {
+            (
+                r.metrics.mean_snr_db,
+                r.config.payload.bytes(),
+                r.metrics.mean_tries,
+            )
+        })
+        .collect()
+}
+
+/// Runs the Fig. 11 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let points = measure(scale);
+
+    let mut table = Table::new(vec!["snr_db", "payload_B", "sim_mean_tries", "model_eq7"]);
+    let model = ServiceTimeModel::paper();
+    let mut rows: Vec<(f64, u16, f64)> = points.clone();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite snr"));
+    for (snr, l, tries) in rows.iter().filter(|(s, ..)| *s >= 4.0) {
+        let payload = PayloadSize::new(*l).expect("valid");
+        table.push_row(vec![
+            fnum(*snr),
+            format!("{l}"),
+            fnum(*tries),
+            fnum(model.mean_tries(*snr, payload)),
+        ]);
+    }
+
+    // Re-fit Eq. 7 on tries − 1 (only where retries were not truncated).
+    let fit_points: Vec<SurfacePoint> = points
+        .iter()
+        .filter(|(snr, _, tries)| *snr >= 4.0 && *tries < 6.0)
+        .map(|(snr, l, tries)| SurfacePoint {
+            payload_bytes: *l as f64,
+            snr_db: *snr,
+            value: tries - 1.0,
+        })
+        .collect();
+    let fit = fit_exp_surface(&fit_points).expect("enough points");
+
+    let mut f = Table::new(vec!["constant", "paper", "refit"]);
+    f.push_row(vec!["alpha".into(), "0.02".into(), fnum(fit.surface.alpha)]);
+    f.push_row(vec!["beta".into(), "-0.18".into(), fnum(fit.surface.beta)]);
+
+    let mut report = Report::new(
+        "fig11",
+        "Fig. 11: modeling the average number of transmissions",
+    );
+    report.push(
+        "Mean transmissions vs SNR (NmaxTries = 8)",
+        table,
+        vec!["Tries decay exponentially with SNR and grow with payload.".into()],
+    );
+    report.push(
+        "Eq. 7 re-fit",
+        f,
+        vec!["The exponential surface fits the simulated tries closely.".into()],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tries_grow_with_payload_at_low_snr() {
+        let points = measure(Scale::Quick);
+        let mean_for = |l: u16| {
+            let v: Vec<f64> = points
+                .iter()
+                .filter(|(s, pl, _)| *pl == l && (5.0..12.0).contains(s))
+                .map(|(_, _, t)| *t)
+                .collect();
+            v.iter().sum::<f64>() / v.len().max(1) as f64
+        };
+        assert!(mean_for(110) > mean_for(20));
+    }
+
+    #[test]
+    fn refit_lands_near_published_constants() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[1].table.rows;
+        let alpha: f64 = rows[0][2].parse().unwrap();
+        let beta: f64 = rows[1][2].parse().unwrap();
+        // Ground truth for attempt failures is Eq. 3 (0.0128, −0.15) with
+        // ACK losses on top; the paper's Eq. 7 (0.02, −0.18) sits in the
+        // same neighbourhood.
+        assert!(alpha > 0.004 && alpha < 0.05, "alpha={alpha}");
+        assert!(beta > -0.3 && beta < -0.08, "beta={beta}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 12 — validation of the radio loss rate model (Eq. 8).
+//!
+//! `PLR_radio = (α · lD · exp(β · SNR))^NmaxTries` with α = 0.011,
+//! β = −0.145: simulated radio loss against the model for budgets 1, 3
+//! and 8 on the 35 m link across the power sweep.
+
+use wsn_models::loss::RadioLossModel;
+use wsn_params::config::StackConfig;
+use wsn_params::types::{MaxTries, PayloadSize};
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::GRID_POWERS;
+
+/// Retransmission budgets validated.
+pub const BUDGETS: [u8; 3] = [1, 3, 8];
+
+/// Runs the Fig. 12 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let mut configs = Vec::new();
+    for &n in &BUDGETS {
+        for &p in &GRID_POWERS {
+            configs.push(
+                StackConfig::builder()
+                    .distance_m(35.0)
+                    .power_level(p)
+                    .payload_bytes(110)
+                    .max_tries(n)
+                    .retry_delay_ms(0)
+                    .queue_cap(30)
+                    .packet_interval_ms(200)
+                    .build()
+                    .expect("grid values are valid"),
+            );
+        }
+    }
+    let results = Campaign::new(scale).run_configs(&configs);
+    let model = RadioLossModel::paper();
+    let payload = PayloadSize::new(110).expect("valid");
+
+    let mut headers = vec!["snr_db".to_string()];
+    for &n in &BUDGETS {
+        headers.push(format!("sim_plr_N{n}"));
+        headers.push(format!("model_plr_N{n}"));
+    }
+    let mut table = Table::new(headers);
+    for &p in &GRID_POWERS {
+        let mut row: Vec<String> = Vec::new();
+        let mut snr = 0.0;
+        for &n in &BUDGETS {
+            let r = results
+                .iter()
+                .find(|r| r.config.power.level() == p && r.config.max_tries.get() == n)
+                .expect("config simulated");
+            snr = r.metrics.mean_snr_db;
+            if row.is_empty() {
+                row.push(fnum(snr));
+            }
+            row.push(fnum(r.metrics.plr_radio));
+            row.push(fnum(model.rate(
+                snr,
+                payload,
+                MaxTries::new(n).expect("valid"),
+            )));
+        }
+        let _ = snr;
+        table.push_row(row);
+    }
+    table.rows.sort_by(|a, b| {
+        a[0].parse::<f64>()
+            .unwrap()
+            .partial_cmp(&b[0].parse::<f64>().unwrap())
+            .unwrap()
+    });
+
+    let mut report = Report::new("fig12", "Fig. 12: radio loss rate model validation (Eq. 8)");
+    report.push(
+        "Simulated vs modeled PLR_radio (lD = 110)",
+        table,
+        vec!["Each extra allowed transmission multiplies the loss exponent: N=8 is lossless outside the deep grey zone.".into()],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_retries_less_radio_loss() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[0].table.rows;
+        // In the lowest-SNR row, sim loss must fall with the budget.
+        let first = &rows[0];
+        let n1: f64 = first[1].parse().unwrap();
+        let n3: f64 = first[3].parse().unwrap();
+        let n8: f64 = first[5].parse().unwrap();
+        assert!(n1 >= n3 && n3 >= n8, "{n1} {n3} {n8}");
+    }
+
+    #[test]
+    fn model_tracks_simulation_for_single_attempt() {
+        let report = run(Scale::Quick);
+        for row in &report.sections[0].table.rows {
+            let sim: f64 = row[1].parse().unwrap();
+            let model: f64 = row[2].parse().unwrap();
+            // Eq. 8's constants (0.011, −0.145) differ slightly from the
+            // channel's Eq. 3 ground truth (0.0128, −0.15), and shadowing
+            // convexity inflates the measured loss at the low-SNR end, so
+            // the comparison is a shape check, not an identity.
+            assert!(
+                (sim - model).abs() < 0.25,
+                "sim={sim} model={model} at snr={}",
+                row[0]
+            );
+        }
+    }
+}

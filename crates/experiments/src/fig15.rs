@@ -1,0 +1,124 @@
+//! Fig. 15 — average delay vs SNR for the two queueing regimes.
+//!
+//! The paper's headline: in the grey zone, configurations with a deep
+//! queue (`Qmax = 30`) and retransmissions suffer delays **two to three
+//! orders of magnitude** above the `Qmax = 1` configurations, because the
+//! utilization ρ crosses 1 and queueing delay explodes.
+
+use wsn_params::config::StackConfig;
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::GRID_POWERS;
+
+/// The two MAC configurations contrasted: `(label, Qmax)` with N = 8.
+pub const QUEUES: [(&str, u16); 2] = [("(a) Qmax=1", 1), ("(b) Qmax=30", 30)];
+
+/// Workloads: `(Tpkt ms, lD)`.
+pub const WORKLOADS: [(u32, u16); 2] = [(30, 110), (100, 110)];
+
+/// Runs the Fig. 15 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let mut configs = Vec::new();
+    for &(_, qmax) in &QUEUES {
+        for &(tpkt, payload) in &WORKLOADS {
+            for &p in &GRID_POWERS {
+                configs.push(
+                    StackConfig::builder()
+                        .distance_m(35.0)
+                        .power_level(p)
+                        .payload_bytes(payload)
+                        .max_tries(8)
+                        .retry_delay_ms(30)
+                        .queue_cap(qmax)
+                        .packet_interval_ms(tpkt)
+                        .build()
+                        .expect("grid values are valid"),
+                );
+            }
+        }
+    }
+    let results = Campaign::new(scale).run_configs(&configs);
+
+    let mut report = Report::new("fig15", "Fig. 15: delay vs SNR, Qmax = 1 vs Qmax = 30");
+    for &(label, qmax) in &QUEUES {
+        let mut headers = vec!["Ptx".to_string(), "snr_db".to_string()];
+        for &(tpkt, _) in &WORKLOADS {
+            headers.push(format!("delay_ms_T{tpkt}"));
+            headers.push(format!("p95_ms_T{tpkt}"));
+        }
+        let mut table = Table::new(headers);
+        for &p in &GRID_POWERS {
+            let mut row = vec![format!("{p}")];
+            for &(tpkt, payload) in &WORKLOADS {
+                let r = results
+                    .iter()
+                    .find(|r| {
+                        r.config.power.level() == p
+                            && r.config.queue_cap.get() == qmax
+                            && r.config.packet_interval.millis() == tpkt
+                            && r.config.payload.bytes() == payload
+                    })
+                    .expect("config simulated");
+                if row.len() == 1 {
+                    row.push(fnum(r.metrics.mean_snr_db));
+                }
+                row.push(fnum(r.metrics.delay_mean_ms));
+                row.push(fnum(r.metrics.delay_p95_ms));
+            }
+            table.push_row(row);
+        }
+        table.rows.sort_by(|a, b| {
+            a[1].parse::<f64>()
+                .unwrap()
+                .partial_cmp(&b[1].parse::<f64>().unwrap())
+                .unwrap()
+        });
+        report.push(
+            label,
+            table,
+            vec![
+                "Delay falls with SNR; the Qmax=30 grey-zone rows show the queueing blow-up."
+                    .into(),
+            ],
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grey_zone_delay(report: &Report, section: usize) -> f64 {
+        // Lowest-SNR row, Tpkt = 30 column (index 2).
+        report.sections[section].table.rows[0][2].parse().unwrap()
+    }
+
+    #[test]
+    fn deep_queue_explodes_delay_in_grey_zone() {
+        let report = run(Scale::Quick);
+        let q1 = grey_zone_delay(&report, 0);
+        let q30 = grey_zone_delay(&report, 1);
+        // Paper: "two or three orders of magnitude"; we require > 10×.
+        assert!(q30 > 10.0 * q1, "q30={q30} q1={q1}");
+    }
+
+    #[test]
+    fn delay_decreases_with_snr_for_deep_queue() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[1].table.rows;
+        let low: f64 = rows[0][2].parse().unwrap();
+        let high: f64 = rows[rows.len() - 1][2].parse().unwrap();
+        assert!(low > high, "low={low} high={high}");
+    }
+
+    #[test]
+    fn light_load_is_benign_even_with_deep_queue() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[1].table.rows;
+        // Highest SNR row, Tpkt = 100 column (index 4).
+        let delay: f64 = rows[rows.len() - 1][4].parse().unwrap();
+        assert!(delay < 100.0, "delay={delay}");
+    }
+}

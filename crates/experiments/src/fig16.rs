@@ -1,0 +1,121 @@
+//! Fig. 16 — packet loss rate vs SNR under the four MAC configurations.
+//!
+//! Same sweep as Fig. 10 but reporting the total packet loss rate. The
+//! paper's key observation: retransmissions do **not** clearly reduce the
+//! total loss under high arrival rates, because radio-loss reduction is
+//! paid for with queue overflow.
+
+use wsn_params::config::StackConfig;
+
+use crate::campaign::{Campaign, Scale};
+use crate::fig10::{MAC_CONFIGS, WORKLOADS};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::GRID_POWERS;
+
+/// Runs the Fig. 16 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let mut configs = Vec::new();
+    for &(_, qmax, tries) in &MAC_CONFIGS {
+        for &(tpkt, payload) in &WORKLOADS {
+            for &p in &GRID_POWERS {
+                configs.push(
+                    StackConfig::builder()
+                        .distance_m(35.0)
+                        .power_level(p)
+                        .payload_bytes(payload)
+                        .max_tries(tries)
+                        .retry_delay_ms(30)
+                        .queue_cap(qmax)
+                        .packet_interval_ms(tpkt)
+                        .build()
+                        .expect("grid values are valid"),
+                );
+            }
+        }
+    }
+    let results = Campaign::new(scale).run_configs(&configs);
+
+    let mut report = Report::new(
+        "fig16",
+        "Fig. 16: packet loss rate under four MAC configurations",
+    );
+    for &(label, qmax, tries) in &MAC_CONFIGS {
+        let mut headers = vec!["Ptx".to_string(), "snr_db".to_string()];
+        headers.extend(WORKLOADS.iter().map(|(t, l)| format!("plr_T{t}_lD{l}")));
+        let mut table = Table::new(headers);
+        for &p in &GRID_POWERS {
+            let mut row = vec![format!("{p}")];
+            for &(tpkt, payload) in &WORKLOADS {
+                let r = results
+                    .iter()
+                    .find(|r| {
+                        r.config.power.level() == p
+                            && r.config.queue_cap.get() == qmax
+                            && r.config.max_tries.get() == tries
+                            && r.config.packet_interval.millis() == tpkt
+                            && r.config.payload.bytes() == payload
+                    })
+                    .expect("config simulated");
+                if row.len() == 1 {
+                    row.push(fnum(r.metrics.mean_snr_db));
+                }
+                row.push(fnum(r.metrics.plr_total()));
+            }
+            table.push_row(row);
+        }
+        table.rows.sort_by(|a, b| {
+            a[1].parse::<f64>()
+                .unwrap()
+                .partial_cmp(&b[1].parse::<f64>().unwrap())
+                .unwrap()
+        });
+        report.push(
+            label,
+            table,
+            vec!["High SNR suppresses loss everywhere; around 19 dB the loss-power trade-off flattens.".into()],
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_decreases_with_snr() {
+        let report = run(Scale::Quick);
+        for section in &report.sections {
+            let rows = &section.table.rows;
+            let low: f64 = rows[0][2].parse().unwrap();
+            let high: f64 = rows[rows.len() - 1][2].parse().unwrap();
+            assert!(
+                low >= high - 0.02,
+                "{}: low-SNR loss {low} < high-SNR loss {high}",
+                section.heading
+            );
+        }
+    }
+
+    #[test]
+    fn retransmissions_do_not_clearly_reduce_total_loss_under_load() {
+        let report = run(Scale::Quick);
+        // Heaviest workload (Tpkt=10, column 2), grey zone (first row):
+        // (d) retx+queue is not dramatically better than (c) no-retx.
+        let c: f64 = report.sections[2].table.rows[0][2].parse().unwrap();
+        let d: f64 = report.sections[3].table.rows[0][2].parse().unwrap();
+        assert!(
+            d > c - 0.15,
+            "retransmissions 'solved' loss under overload: c={c} d={d}"
+        );
+    }
+
+    #[test]
+    fn high_snr_loss_is_small_for_light_load() {
+        let report = run(Scale::Quick);
+        // Config (d), lightest workload column (Tpkt=100 → column 4).
+        let rows = &report.sections[3].table.rows;
+        let loss: f64 = rows[rows.len() - 1][4].parse().unwrap();
+        assert!(loss < 0.05, "loss={loss}");
+    }
+}

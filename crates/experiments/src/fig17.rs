@@ -1,0 +1,141 @@
+//! Fig. 17 — the decomposition of packet loss into queuing loss and radio
+//! loss (`lD = 110`, `Tpkt = 30 ms`).
+//!
+//! The paper's trade-off: in the grey zone, each extra allowed
+//! transmission cuts `PLR_radio` but drives the utilization towards 1,
+//! converting the saved radio loss into queue overflow — unless a large
+//! queue absorbs it.
+
+use wsn_models::loss::LossModel;
+use wsn_params::config::StackConfig;
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+use crate::sweep::GRID_POWERS;
+
+/// The `(NmaxTries, Qmax)` combinations of the four sub-plots.
+pub const COMBOS: [(u8, u16); 4] = [(1, 1), (8, 1), (1, 30), (8, 30)];
+
+/// Runs the Fig. 17 reproduction.
+pub fn run(scale: Scale) -> Report {
+    let mut configs = Vec::new();
+    for &(tries, qmax) in &COMBOS {
+        for &p in &GRID_POWERS {
+            configs.push(
+                StackConfig::builder()
+                    .distance_m(35.0)
+                    .power_level(p)
+                    .payload_bytes(110)
+                    .max_tries(tries)
+                    .retry_delay_ms(30)
+                    .queue_cap(qmax)
+                    .packet_interval_ms(30)
+                    .build()
+                    .expect("grid values are valid"),
+            );
+        }
+    }
+    let results = Campaign::new(scale).run_configs(&configs);
+    let model = LossModel::paper();
+
+    let mut report = Report::new(
+        "fig17",
+        "Fig. 17: queuing loss vs radio loss (lD = 110, Tpkt = 30 ms)",
+    );
+    for &(tries, qmax) in &COMBOS {
+        let mut table = Table::new(vec![
+            "snr_db",
+            "sim_plr_queue",
+            "sim_plr_radio",
+            "model_plr_queue",
+            "model_plr_radio",
+            "model_rho",
+        ]);
+        for &p in &GRID_POWERS {
+            let r = results
+                .iter()
+                .find(|r| {
+                    r.config.power.level() == p
+                        && r.config.max_tries.get() == tries
+                        && r.config.queue_cap.get() == qmax
+                })
+                .expect("config simulated");
+            let snr = r.metrics.mean_snr_db;
+            let est = model.estimate(snr, &r.config);
+            table.push_row(vec![
+                fnum(snr),
+                fnum(r.metrics.plr_queue),
+                fnum(r.metrics.plr_radio),
+                fnum(est.plr_queue),
+                fnum(est.plr_radio),
+                fnum(est.rho),
+            ]);
+        }
+        table.rows.sort_by(|a, b| {
+            a[0].parse::<f64>()
+                .unwrap()
+                .partial_cmp(&b[0].parse::<f64>().unwrap())
+                .unwrap()
+        });
+        report.push(
+            &format!("NmaxTries = {tries}, Qmax = {qmax}"),
+            table,
+            vec!["Retransmissions trade radio loss for queue loss once rho approaches 1.".into()],
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grey_row(report: &Report, section: usize) -> (f64, f64) {
+        let row = &report.sections[section].table.rows[0];
+        (row[1].parse().unwrap(), row[2].parse().unwrap())
+    }
+
+    #[test]
+    fn retx_converts_radio_loss_into_queue_loss() {
+        let report = run(Scale::Quick);
+        // Sections: 0 = (N1,Q1), 1 = (N8,Q1).
+        let (q_loss_n1, r_loss_n1) = grey_row(&report, 0);
+        let (q_loss_n8, r_loss_n8) = grey_row(&report, 1);
+        assert!(r_loss_n8 < r_loss_n1, "radio loss did not fall with retx");
+        assert!(q_loss_n8 > q_loss_n1, "queue loss did not rise with retx");
+    }
+
+    #[test]
+    fn large_queue_absorbs_queue_loss_at_moderate_load() {
+        // In the deepest grey zone rho >> 1 and no finite buffer helps
+        // (both configurations lose ~1 − 1/rho), so look for a mid-SNR row
+        // where the 30-deep queue clearly absorbs overflow that Qmax=1
+        // cannot.
+        let report = run(Scale::Quick);
+        let small_rows = &report.sections[1].table.rows; // (N8, Q1)
+        let large_rows = &report.sections[3].table.rows; // (N8, Q30)
+        let mut absorbed = false;
+        for (s, l) in small_rows.iter().zip(large_rows.iter()) {
+            let q_small: f64 = s[1].parse().unwrap();
+            let q_large: f64 = l[1].parse().unwrap();
+            if q_small > 0.1 && q_large < q_small - 0.1 {
+                absorbed = true;
+            }
+        }
+        assert!(
+            absorbed,
+            "no SNR row where the deep queue absorbed overflow"
+        );
+    }
+
+    #[test]
+    fn high_snr_rows_are_nearly_lossless() {
+        let report = run(Scale::Quick);
+        for section in &report.sections {
+            let last = section.table.rows.last().unwrap();
+            let q: f64 = last[1].parse().unwrap();
+            let r: f64 = last[2].parse().unwrap();
+            assert!(q + r < 0.1, "{}: residual loss {q}+{r}", section.heading);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! # wsn-experiments
+//!
+//! The experiment harness that regenerates **every table and figure** of
+//! the paper's evaluation from the link simulator (`wsn-link-sim`) and the
+//! empirical models (`wsn-models`).
+//!
+//! Each `figNN` / `tableNN` module exposes `run(scale) -> Report`; the
+//! `repro` binary renders the reports. The per-experiment index lives in
+//! the repository's `DESIGN.md`; measured-vs-paper numbers are recorded in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod dataset;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+pub mod verify;
+
+pub mod ablation01;
+pub mod ablation02;
+pub mod ablation03;
+pub mod ablation04;
+pub mod ext01;
+pub mod ext02;
+pub mod ext03;
+pub mod ext04;
+pub mod ext05;
+pub mod ext06;
+pub mod ext07;
+pub mod ext08;
+pub mod fig01;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod table01;
+pub mod table02;
+pub mod table03;
+pub mod table04;
+
+use campaign::Scale;
+use report::Report;
+
+/// An experiment entry point: takes the measurement scale, returns the
+/// regenerated report.
+pub type ExperimentFn = fn(Scale) -> Report;
+
+/// All reproducible experiments: `(id, runner)` in paper order.
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("fig01", fig01::run as ExperimentFn),
+        ("table01", table01::run),
+        ("fig03", fig03::run),
+        ("fig04", fig04::run),
+        ("fig05", fig05::run),
+        ("fig06", fig06::run),
+        ("fig07", fig07::run),
+        ("fig08", fig08::run),
+        ("fig09", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig15", fig15::run),
+        ("table02", table02::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("table03", table03::run),
+        ("table04", table04::run),
+        // Extensions & ablations beyond the paper's published artifacts.
+        ("ext01", ext01::run),
+        ("ext02", ext02::run),
+        ("ext03", ext03::run),
+        ("ext04", ext04::run),
+        ("ext05", ext05::run),
+        ("ext06", ext06::run),
+        ("ext07", ext07::run),
+        ("ext08", ext08::run),
+        ("ablation01", ablation01::run),
+        ("ablation02", ablation02::run),
+        ("ablation03", ablation03::run),
+        ("ablation04", ablation04::run),
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns the list of known ids when `id` is unknown.
+pub fn run_experiment(id: &str, scale: Scale) -> Result<Report, String> {
+    all_experiments()
+        .into_iter()
+        .find(|(name, _)| *name == id)
+        .map(|(_, runner)| runner(scale))
+        .ok_or_else(|| {
+            let known: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+            format!("unknown experiment '{id}'; known: {}", known.join(", "))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        let ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        for expected in [
+            "fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10",
+            "fig11", "fig12", "fig13", "fig15", "fig16", "fig17", "table01", "table02", "table03",
+            "table04",
+        ] {
+            assert!(ids.contains(&expected), "missing {expected}");
+        }
+        // 19 paper artifacts + 8 extensions + 4 ablations.
+        assert_eq!(ids.len(), 31);
+    }
+
+    #[test]
+    fn unknown_id_lists_alternatives() {
+        let err = run_experiment("fig99", Scale::Quick).unwrap_err();
+        assert!(err.contains("fig99"));
+        assert!(err.contains("fig06"));
+    }
+
+    #[test]
+    fn model_only_experiments_run_instantly() {
+        for id in ["table01", "table03", "fig09"] {
+            let report = run_experiment(id, Scale::Quick).unwrap();
+            assert!(!report.sections.is_empty(), "{id} produced no sections");
+        }
+    }
+}

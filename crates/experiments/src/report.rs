@@ -1,0 +1,236 @@
+//! Report structures and text/CSV rendering for reproduced experiments.
+//!
+//! Every experiment module produces a [`Report`] — a titled collection of
+//! [`Section`]s, each holding one aligned text [`Table`] plus prose notes.
+//! The `repro` binary renders reports to the terminal and optionally dumps
+//! them as CSV/JSON for downstream plotting.
+
+use serde::{Deserialize, Serialize};
+
+/// A rectangular table with a header row.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row has {} cells but the table has {} columns",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (quoting cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One titled table with accompanying notes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Section {
+    /// Section heading (e.g. "Fig. 6(b): PER vs SNR per payload").
+    pub heading: String,
+    /// The data.
+    pub table: Table,
+    /// Observations / comparisons against the paper.
+    pub notes: Vec<String>,
+}
+
+/// A reproduced experiment: identifier, title and sections.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Report {
+    /// Short id used for filenames and CLI selection (e.g. "fig06").
+    pub id: String,
+    /// The paper artifact this reproduces.
+    pub title: String,
+    /// The data sections.
+    pub sections: Vec<Section>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a section.
+    pub fn push(&mut self, heading: &str, table: Table, notes: Vec<String>) {
+        self.sections.push(Section {
+            heading: heading.to_string(),
+            table,
+            notes,
+        });
+    }
+
+    /// Renders the whole report as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("==== {} — {} ====\n\n", self.id, self.title));
+        for s in &self.sections {
+            out.push_str(&format!("-- {}\n", s.heading));
+            out.push_str(&s.table.render());
+            for note in &s.notes {
+                out.push_str(&format!("  note: {note}\n"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with a sensible number of digits for tables.
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".to_string();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 10.0 {
+        format!("{v:.2}")
+    } else if a >= 0.01 || a == 0.0 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["snr", "per"]);
+        t.push_row(vec!["5", "0.61"]);
+        t.push_row(vec!["19", "0.08"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("snr"));
+        assert!(lines[1].starts_with('-'));
+        // Right-aligned values line up.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.push_row(vec!["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn report_renders_sections_and_notes() {
+        let mut r = Report::new("fig99", "A test figure");
+        let mut t = Table::new(vec!["x"]);
+        t.push_row(vec!["1"]);
+        r.push("section one", t, vec!["matches the paper".to_string()]);
+        let text = r.render();
+        assert!(text.contains("fig99"));
+        assert!(text.contains("section one"));
+        assert!(text.contains("note: matches the paper"));
+    }
+
+    #[test]
+    fn fnum_scales() {
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(0.12345), "0.1235");
+        assert_eq!(fnum(0.00012), "1.20e-4");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+        assert_eq!(fnum(0.0), "0.0000");
+    }
+}

@@ -1,0 +1,203 @@
+//! Replication statistics: run a configuration under independent seeds
+//! and report means with normal-approximation confidence intervals.
+//!
+//! The paper reports single 4500-packet measurements per configuration;
+//! for the synthetic campaign we can afford replication, which the tests
+//! use to distinguish real effects from seed noise.
+
+use serde::{Deserialize, Serialize};
+
+use wsn_link_sim::metrics::LinkMetrics;
+use wsn_params::config::StackConfig;
+
+use crate::campaign::Campaign;
+
+/// A mean with a symmetric 95 % confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// 95 % half-width (`1.96 · s/√n`; 0 with fewer than 2 samples).
+    pub half_width: f64,
+    /// Number of replicates.
+    pub n: usize,
+}
+
+impl MetricCi {
+    /// Computes the CI of a sample.
+    pub fn of(values: &[f64]) -> MetricCi {
+        let n = values.len();
+        if n == 0 {
+            return MetricCi {
+                mean: 0.0,
+                half_width: 0.0,
+                n: 0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        if n < 2 {
+            return MetricCi {
+                mean,
+                half_width: 0.0,
+                n,
+            };
+        }
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        MetricCi {
+            mean,
+            half_width: 1.96 * (var / n as f64).sqrt(),
+            n,
+        }
+    }
+
+    /// True if `other`'s CI does not overlap this one (a conservative
+    /// "the difference is real" check).
+    pub fn clearly_differs_from(&self, other: &MetricCi) -> bool {
+        (self.mean - other.mean).abs() > self.half_width + other.half_width
+    }
+
+    /// The interval endpoints `(lo, hi)`.
+    pub fn interval(&self) -> (f64, f64) {
+        (self.mean - self.half_width, self.mean + self.half_width)
+    }
+}
+
+impl std::fmt::Display for MetricCi {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width)
+    }
+}
+
+/// Replicated measurements of one configuration.
+#[derive(Debug, Clone)]
+pub struct Replicates {
+    /// The per-replicate metrics.
+    pub runs: Vec<LinkMetrics>,
+}
+
+impl Replicates {
+    /// Runs `n` independent replicates of `config` under the campaign's
+    /// channel/traffic settings (seeds derived from the campaign seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn collect(campaign: &Campaign, config: StackConfig, n: usize) -> Replicates {
+        assert!(n > 0, "need at least one replicate");
+        let runs = (0..n)
+            .map(|i| {
+                campaign
+                    .clone()
+                    .with_seed(campaign.seed.wrapping_add(0x9E37_79B9 * (i as u64 + 1)))
+                    .run_one(config, i as u64)
+                    .metrics
+            })
+            .collect();
+        Replicates { runs }
+    }
+
+    /// CI of an arbitrary metric extractor.
+    pub fn ci_of(&self, f: impl Fn(&LinkMetrics) -> f64) -> MetricCi {
+        let values: Vec<f64> = self.runs.iter().map(f).filter(|v| v.is_finite()).collect();
+        MetricCi::of(&values)
+    }
+
+    /// CI of the goodput, b/s.
+    pub fn goodput_bps(&self) -> MetricCi {
+        self.ci_of(|m| m.goodput_bps)
+    }
+
+    /// CI of the total loss rate.
+    pub fn plr_total(&self) -> MetricCi {
+        self.ci_of(|m| m.plr_total())
+    }
+
+    /// CI of the mean delay, ms.
+    pub fn delay_ms(&self) -> MetricCi {
+        self.ci_of(|m| m.delay_mean_ms)
+    }
+
+    /// CI of `U_eng`, µJ/bit.
+    pub fn u_eng(&self) -> MetricCi {
+        self.ci_of(|m| m.u_eng_uj_per_bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Scale;
+
+    #[test]
+    fn ci_formulas() {
+        let ci = MetricCi::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        // s = sqrt(2.5); hw = 1.96*sqrt(2.5/5) = 1.386…
+        assert!((ci.half_width - 1.386).abs() < 0.01);
+        assert_eq!(ci.n, 5);
+        let (lo, hi) = ci.interval();
+        assert!(lo < 3.0 && hi > 3.0);
+    }
+
+    #[test]
+    fn ci_degenerate_inputs() {
+        assert_eq!(MetricCi::of(&[]).n, 0);
+        let single = MetricCi::of(&[7.0]);
+        assert_eq!(single.mean, 7.0);
+        assert_eq!(single.half_width, 0.0);
+    }
+
+    #[test]
+    fn clearly_differs_requires_non_overlap() {
+        let a = MetricCi {
+            mean: 10.0,
+            half_width: 1.0,
+            n: 5,
+        };
+        let b = MetricCi {
+            mean: 12.5,
+            half_width: 1.0,
+            n: 5,
+        };
+        let c = MetricCi {
+            mean: 11.0,
+            half_width: 1.0,
+            n: 5,
+        };
+        assert!(a.clearly_differs_from(&b));
+        assert!(!a.clearly_differs_from(&c));
+    }
+
+    #[test]
+    fn replicates_distinguish_good_from_bad_links() {
+        let campaign = Campaign {
+            packets: 150,
+            ..Campaign::new(Scale::Quick)
+        };
+        let good = StackConfig::builder()
+            .distance_m(15.0)
+            .power_level(31)
+            .build()
+            .unwrap();
+        let bad = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(3)
+            .build()
+            .unwrap();
+        let r_good = Replicates::collect(&campaign, good, 5);
+        let r_bad = Replicates::collect(&campaign, bad, 5);
+        assert!(r_good.plr_total().clearly_differs_from(&r_bad.plr_total()));
+        assert!(r_good.goodput_bps().mean > r_bad.goodput_bps().mean);
+        assert_eq!(r_good.runs.len(), 5);
+    }
+
+    #[test]
+    fn display_shows_mean_and_half_width() {
+        let ci = MetricCi {
+            mean: 1.5,
+            half_width: 0.25,
+            n: 3,
+        };
+        assert_eq!(ci.to_string(), "1.5000 ± 0.2500");
+    }
+}

@@ -1,0 +1,101 @@
+//! Table I — the seven stack parameters and their experimented values.
+
+use wsn_params::grid::ParamGrid;
+
+use crate::campaign::Scale;
+use crate::report::{Report, Table};
+
+fn join<T: std::fmt::Display>(values: &[T]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Runs the Table I reproduction (scale has no effect).
+pub fn run(_scale: Scale) -> Report {
+    let grid = ParamGrid::paper();
+    let mut table = Table::new(vec![
+        "layer".to_string(),
+        "parameter".to_string(),
+        "values".to_string(),
+    ]);
+    table.push_row(vec![
+        "PHY".to_string(),
+        "distance d (m)".to_string(),
+        join(&grid.distances_m),
+    ]);
+    table.push_row(vec![
+        "PHY".to_string(),
+        "output power Ptx (CC2420 PA level)".to_string(),
+        join(&grid.power_levels),
+    ]);
+    table.push_row(vec![
+        "MAC".to_string(),
+        "max transmissions NmaxTries".to_string(),
+        join(&grid.max_tries),
+    ]);
+    table.push_row(vec![
+        "MAC".to_string(),
+        "retry delay Dretry (ms)".to_string(),
+        join(&grid.retry_delays_ms),
+    ]);
+    table.push_row(vec![
+        "Queue".to_string(),
+        "queue size Qmax (packets)".to_string(),
+        join(&grid.queue_caps),
+    ]);
+    table.push_row(vec![
+        "App".to_string(),
+        "packet interval Tpkt (ms)".to_string(),
+        join(&grid.packet_intervals_ms),
+    ]);
+    table.push_row(vec![
+        "App".to_string(),
+        "payload size lD (bytes)".to_string(),
+        join(&grid.payloads),
+    ]);
+
+    let mut counts = Table::new(vec!["quantity", "value"]);
+    counts.push_row(vec![
+        "configurations per distance".to_string(),
+        format!("{}", grid.per_distance_count()),
+    ]);
+    counts.push_row(vec![
+        "total configurations".to_string(),
+        format!("{}", grid.len()),
+    ]);
+    counts.push_row(vec![
+        "packets per configuration (paper)".to_string(),
+        "4500".to_string(),
+    ]);
+
+    let mut report = Report::new("table01", "Table I: stack parameters and value ranges");
+    report.push("Parameter grid", table, vec![]);
+    report.push(
+        "Campaign size",
+        counts,
+        vec!["8064 per distance × 6 distances = 48,384 ≈ \"close to 50 thousand\".".into()],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_counts_match_paper() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[1].table.rows;
+        assert_eq!(rows[0][1], "8064");
+        assert_eq!(rows[1][1], "48384");
+    }
+
+    #[test]
+    fn grid_has_seven_parameters() {
+        let report = run(Scale::Quick);
+        assert_eq!(report.sections[0].table.rows.len(), 7);
+    }
+}

@@ -1,0 +1,143 @@
+//! Table II — system utilization examples from the service-time model,
+//! with a simulated cross-check.
+//!
+//! Paper rows (`Tpkt = 30 ms`, `lD = 110`, `NmaxTries = 3`):
+//!
+//! | SNR | T_service | ρ |
+//! |-----|-----------|------|
+//! | 10  | 37.08 ms  | 1.236 |
+//! | 20  | 21.39 ms  | 0.713 |
+//! | 30  | 18.52 ms  | 0.617 |
+//!
+//! The simulation check pins the mean SNR exactly by placing the ideal
+//! (fading-free, constant-noise) channel at the distance that produces
+//! each target SNR at maximum power.
+
+use wsn_link_sim::traffic::TrafficModel;
+use wsn_models::service_time::ServiceTimeModel;
+use wsn_params::config::StackConfig;
+use wsn_radio::cc2420;
+use wsn_radio::channel::ChannelConfig;
+use wsn_radio::pathloss::PathLoss;
+
+use crate::campaign::{Campaign, Scale};
+use crate::report::{fnum, Report, Table};
+
+/// The SNR rows of the paper's table, dB.
+pub const SNRS: [f64; 3] = [10.0, 20.0, 30.0];
+
+/// Paper values for comparison: `(T_service ms, rho)`.
+pub const PAPER: [(f64, f64); 3] = [(37.08, 1.236), (21.39, 0.713), (18.52, 0.617)];
+
+/// Distance at which the ideal channel at max power yields `snr` dB.
+fn distance_for_snr(snr: f64) -> f64 {
+    // SNR = Ptx_dBm − PL(d) + 95 with Ptx = 0 dBm.
+    let pl = PathLoss::paper_hallway();
+    let target_loss = -cc2420::SENSITIVITY_DBM - snr; // 95 − snr
+    10f64.powf((target_loss - pl.reference_loss_db) / (10.0 * pl.exponent))
+}
+
+fn config_at(snr: f64) -> StackConfig {
+    StackConfig::builder()
+        .distance_m(distance_for_snr(snr))
+        .power_level(31)
+        .payload_bytes(110)
+        .max_tries(3)
+        .retry_delay_ms(30)
+        .queue_cap(30)
+        .packet_interval_ms(30)
+        .build()
+        .expect("values are valid")
+}
+
+/// Runs the Table II reproduction.
+pub fn run(scale: Scale) -> Report {
+    let model = ServiceTimeModel::paper();
+    let configs: Vec<StackConfig> = SNRS.iter().map(|&s| config_at(s)).collect();
+    let campaign = Campaign::new(scale).with_channel(ChannelConfig::ideal());
+    // Use periodic traffic like the paper's workload.
+    let results = campaign
+        .with_traffic(TrafficModel::Periodic)
+        .run_configs(&configs);
+
+    let mut table = Table::new(vec![
+        "snr_db",
+        "paper_Tservice_ms",
+        "model_Tservice_ms",
+        "sim_Tservice_ms",
+        "paper_rho",
+        "model_rho",
+        "sim_utilization",
+    ]);
+    for ((&snr, &(paper_t, paper_rho)), result) in SNRS.iter().zip(PAPER.iter()).zip(results.iter())
+    {
+        let cfg = config_at(snr);
+        let model_t =
+            model.plugin_service_time_s(snr, cfg.payload, cfg.max_tries, cfg.retry_delay) * 1e3;
+        let model_rho = model.utilization(snr, &cfg);
+        table.push_row(vec![
+            fnum(snr),
+            fnum(paper_t),
+            fnum(model_t),
+            fnum(result.metrics.service_mean_ms),
+            fnum(paper_rho),
+            fnum(model_rho),
+            fnum(result.metrics.utilization),
+        ]);
+    }
+
+    let mut report = Report::new(
+        "table02",
+        "Table II: system utilization via the service-time model (Eqs. 5-6, 9)",
+    );
+    report.push(
+        "Tpkt = 30 ms, lD = 110, NmaxTries = 3",
+        table,
+        vec![
+            "The SNR=10 row exceeds capacity (rho > 1): its delay explodes in Fig. 15.".into(),
+            "Simulated service times confirm the plug-in model within a few percent.".into(),
+        ],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_paper_within_ten_percent() {
+        let report = run(Scale::Quick);
+        for row in &report.sections[0].table.rows {
+            let paper_t: f64 = row[1].parse().unwrap();
+            let model_t: f64 = row[2].parse().unwrap();
+            assert!(
+                (model_t - paper_t).abs() / paper_t < 0.10,
+                "model {model_t} vs paper {paper_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn sim_matches_model_within_ten_percent() {
+        let report = run(Scale::Quick);
+        for row in &report.sections[0].table.rows {
+            let model_t: f64 = row[2].parse().unwrap();
+            let sim_t: f64 = row[3].parse().unwrap();
+            assert!(
+                (sim_t - model_t).abs() / model_t < 0.10,
+                "sim {sim_t} vs model {model_t}"
+            );
+        }
+    }
+
+    #[test]
+    fn snr10_row_is_overloaded() {
+        let report = run(Scale::Quick);
+        let rho: f64 = report.sections[0].table.rows[0][5].parse().unwrap();
+        assert!(rho > 1.0, "rho={rho}");
+        // Measured utilization saturates at ~1 under overload.
+        let sim_util: f64 = report.sections[0].table.rows[0][6].parse().unwrap();
+        assert!(sim_util > 0.9, "sim_util={sim_util}");
+    }
+}

@@ -1,0 +1,236 @@
+//! Self-verification: machine-checkable reproduction claims.
+//!
+//! `repro verify` runs every claim from EXPERIMENTS.md that can be
+//! asserted quantitatively and prints PASS/FAIL with the measured value —
+//! a one-command answer to "does this repository still reproduce the
+//! paper?". The same checks are enforced by the test suite; this harness
+//! exists so a *user* can audit the claims without reading test code.
+
+use wsn_models::prelude::*;
+use wsn_params::prelude::*;
+
+use crate::campaign::Scale;
+use crate::report::{Report, Table};
+use crate::{ablation01, fig06, table04};
+
+/// Outcome of one claim check.
+#[derive(Debug, Clone)]
+pub struct ClaimResult {
+    /// Short claim id.
+    pub id: &'static str,
+    /// What the paper says.
+    pub claim: &'static str,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the reproduction holds.
+    pub pass: bool,
+}
+
+fn check(id: &'static str, claim: &'static str, measured: String, pass: bool) -> ClaimResult {
+    ClaimResult {
+        id,
+        claim,
+        measured,
+        pass,
+    }
+}
+
+/// Runs all verifiable claims at the given scale.
+pub fn run_claims(scale: Scale) -> Vec<ClaimResult> {
+    let mut results = Vec::new();
+
+    // 1. Path-loss fit (Fig. 3).
+    {
+        let report = crate::fig03::run(scale);
+        let n: f64 = report.sections[1].table.rows[0][2]
+            .parse()
+            .unwrap_or(f64::NAN);
+        results.push(check(
+            "fig03-exponent",
+            "path-loss exponent n = 2.19",
+            format!("n = {n:.3}"),
+            (n - 2.19).abs() < 0.15,
+        ));
+    }
+
+    // 2. Eq. 3 re-fit (Fig. 6).
+    {
+        let (alpha, beta) = fig06::refit_constants(scale);
+        results.push(check(
+            "fig06-refit",
+            "PER = a*lD*exp(b*SNR) with a = 0.0128, b = -0.15",
+            format!("a = {alpha:.4}, b = {beta:.3}"),
+            (alpha - 0.0128).abs() < 0.012 && (beta - -0.15).abs() < 0.08,
+        ));
+    }
+
+    // 3. PER for the max payload reaches ~0.1 near 19 dB (Sec. III-B).
+    {
+        let per = ExpSurface::new(0.0128, -0.15);
+        let snr = per.snr_for_value(PayloadSize::MAX, 0.1).unwrap_or(f64::NAN);
+        results.push(check(
+            "grey-zone-edge",
+            "PER(lD=114) falls to 0.1 around 19 dB",
+            format!("at {snr:.1} dB"),
+            (snr - 19.0).abs() < 1.5,
+        ));
+    }
+
+    // 4. Energy-optimal payload threshold at 17 dB (Fig. 9 / Sec. IV-B).
+    {
+        let model = EnergyModel::paper();
+        let at17 = model.optimal_payload(17.0, PowerLevel::MAX).bytes();
+        let at15 = model.optimal_payload(15.0, PowerLevel::MAX).bytes();
+        let at5 = model.optimal_payload(5.0, PowerLevel::MAX).bytes();
+        results.push(check(
+            "fig09-threshold",
+            "max payload optimal from 17 dB; ~40 B optimal at 5 dB",
+            format!("17dB→{at17}B, 15dB→{at15}B, 5dB→{at5}B"),
+            at17 == 114 && at15 < 114 && at5 <= 45,
+        ));
+    }
+
+    // 5. Table II utilization rows.
+    {
+        let model = ServiceTimeModel::paper();
+        let cfg = StackConfig::builder()
+            .payload_bytes(110)
+            .max_tries(3)
+            .retry_delay_ms(30)
+            .packet_interval_ms(30)
+            .build()
+            .expect("valid");
+        let rho10 = model.utilization(10.0, &cfg);
+        let rho20 = model.utilization(20.0, &cfg);
+        let rho30 = model.utilization(30.0, &cfg);
+        results.push(check(
+            "table02-rho",
+            "rho = 1.236 / 0.713 / 0.617 at SNR 10 / 20 / 30 dB",
+            format!("rho = {rho10:.3} / {rho20:.3} / {rho30:.3}"),
+            (rho10 - 1.236).abs() < 0.08
+                && (rho20 - 0.713).abs() < 0.08
+                && (rho30 - 0.617).abs() < 0.08,
+        ));
+    }
+
+    // 6. Table IV dominance (the headline).
+    {
+        let rows = table04::case_study_rows(scale);
+        let joint = rows.last().expect("joint row");
+        let dominated = rows[..rows.len() - 1].iter().all(|r| {
+            joint.sim_goodput_kbps >= r.sim_goodput_kbps * 0.95
+                && joint.sim_u_eng <= r.sim_u_eng * 1.05
+        });
+        results.push(check(
+            "table04-dominance",
+            "joint tuning dominates every single-parameter baseline",
+            format!(
+                "joint {:.1} kbps @ {:.2} uJ/bit ({}, lD={}, N={})",
+                joint.sim_goodput_kbps,
+                joint.sim_u_eng,
+                joint.config.power,
+                joint.config.payload.bytes(),
+                joint.config.max_tries.get()
+            ),
+            dominated,
+        ));
+    }
+
+    // 7. Grey-zone delay blow-up (Fig. 15).
+    {
+        let report = crate::fig15::run(scale);
+        let q1: f64 = report.sections[0].table.rows[0][2]
+            .parse()
+            .unwrap_or(f64::NAN);
+        let q30: f64 = report.sections[1].table.rows[0][2]
+            .parse()
+            .unwrap_or(f64::NAN);
+        results.push(check(
+            "fig15-blowup",
+            "Qmax=30 grey-zone delay orders of magnitude above Qmax=1",
+            format!("{q30:.0} ms vs {q1:.0} ms ({:.0}x)", q30 / q1),
+            q30 > 10.0 * q1,
+        ));
+    }
+
+    // 8. Retransmission trade-off (Fig. 17).
+    {
+        let report = crate::fig17::run(scale);
+        let n1 = &report.sections[0].table.rows[0];
+        let n8 = &report.sections[1].table.rows[0];
+        let radio1: f64 = n1[2].parse().unwrap_or(f64::NAN);
+        let radio8: f64 = n8[2].parse().unwrap_or(f64::NAN);
+        let queue1: f64 = n1[1].parse().unwrap_or(f64::NAN);
+        let queue8: f64 = n8[1].parse().unwrap_or(f64::NAN);
+        results.push(check(
+            "fig17-tradeoff",
+            "retransmissions convert radio loss into queue loss in the grey zone",
+            format!("radio {radio1:.2}→{radio8:.2}, queue {queue1:.2}→{queue8:.2}"),
+            radio8 < radio1 && queue8 > queue1,
+        ));
+    }
+
+    // 9. Cliff smoothing mechanism (Sec. III-B / ablation01).
+    {
+        let report = ablation01::run(scale);
+        let cliff = ablation01::transition_width(&report, 1);
+        let smeared = ablation01::transition_width(&report, 3);
+        results.push(check(
+            "ablation01-smoothing",
+            "fading smears the sharp DSSS PER cliff into a gradual slope",
+            format!("width {cliff:.1} dB (no fading) vs {smeared:.1} dB (sigma 3.5)"),
+            smeared > cliff + 2.0,
+        ));
+    }
+
+    results
+}
+
+/// Renders the claims as a report (for `repro verify`).
+pub fn run(scale: Scale) -> Report {
+    let claims = run_claims(scale);
+    let mut table = Table::new(vec!["status", "id", "paper claim", "measured"]);
+    let mut passes = 0usize;
+    for c in &claims {
+        if c.pass {
+            passes += 1;
+        }
+        table.push_row(vec![
+            if c.pass { "PASS" } else { "FAIL" }.to_string(),
+            c.id.to_string(),
+            c.claim.to_string(),
+            c.measured.clone(),
+        ]);
+    }
+    let mut report = Report::new("verify", "Self-verification of the reproduction claims");
+    report.push(
+        "Quantitative claims from EXPERIMENTS.md",
+        table,
+        vec![format!(
+            "{passes}/{} claims hold at this scale.",
+            claims.len()
+        )],
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_claims_pass_at_quick_scale() {
+        let claims = run_claims(Scale::Quick);
+        assert!(claims.len() >= 9);
+        for c in &claims {
+            assert!(c.pass, "claim '{}' failed: {}", c.id, c.measured);
+        }
+    }
+
+    #[test]
+    fn report_marks_every_claim() {
+        let report = run(Scale::Quick);
+        let rows = &report.sections[0].table.rows;
+        assert!(rows.iter().all(|r| r[0] == "PASS" || r[0] == "FAIL"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Trace analysis: link-dynamics statistics over per-packet records.
+//!
+//! The paper's Sec. III-A RSSI-variation observations imply that losses
+//! are *bursty*, not independent — the property that makes single-packet
+//! retransmission effective and long fades dangerous. This module
+//! quantifies that from a [`PacketRecord`] trace with the standard
+//! link-measurement statistics: PRR, windowed PRR, conditional delivery
+//! probabilities, loss-burst run lengths, and the lag-k autocorrelation of
+//! the delivery sequence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{PacketFate, PacketRecord};
+
+/// The radio delivery sequence of a trace: `true` per delivered packet,
+/// `false` per radio loss (queue drops never reached the radio and are
+/// excluded).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeliverySequence {
+    outcomes: Vec<bool>,
+}
+
+impl DeliverySequence {
+    /// Extracts the radio delivery sequence from a trace, in sequence
+    /// order.
+    pub fn from_records(records: &[PacketRecord]) -> Self {
+        let mut ordered: Vec<&PacketRecord> = records
+            .iter()
+            .filter(|r| r.fate != PacketFate::QueueDropped)
+            .collect();
+        ordered.sort_by_key(|r| r.seq);
+        DeliverySequence {
+            outcomes: ordered
+                .iter()
+                .map(|r| r.fate == PacketFate::Delivered)
+                .collect(),
+        }
+    }
+
+    /// Builds a sequence directly from outcomes (for synthetic tests).
+    pub fn from_outcomes(outcomes: Vec<bool>) -> Self {
+        DeliverySequence { outcomes }
+    }
+
+    /// Number of packets in the sequence.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True if the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Packet reception ratio over the whole sequence.
+    pub fn prr(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|&&x| x).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// PRR per non-overlapping window of `window` packets (the tail
+    /// partial window is included).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn windowed_prr(&self, window: usize) -> Vec<f64> {
+        assert!(window > 0, "window must be positive");
+        self.outcomes
+            .chunks(window)
+            .map(|c| c.iter().filter(|&&x| x).count() as f64 / c.len() as f64)
+            .collect()
+    }
+
+    /// `P(delivered | previous delivered)`; `None` without any such pair.
+    pub fn prr_after_success(&self) -> Option<f64> {
+        self.conditional(true)
+    }
+
+    /// `P(delivered | previous lost)`; `None` without any such pair.
+    pub fn prr_after_loss(&self) -> Option<f64> {
+        self.conditional(false)
+    }
+
+    fn conditional(&self, given_prev: bool) -> Option<f64> {
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for pair in self.outcomes.windows(2) {
+            if pair[0] == given_prev {
+                total += 1;
+                if pair[1] {
+                    hits += 1;
+                }
+            }
+        }
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Lengths of maximal consecutive-loss runs.
+    pub fn loss_run_lengths(&self) -> Vec<usize> {
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for &ok in &self.outcomes {
+            if ok {
+                if current > 0 {
+                    runs.push(current);
+                    current = 0;
+                }
+            } else {
+                current += 1;
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        runs
+    }
+
+    /// Mean loss-burst length; 0.0 when no losses occurred.
+    pub fn mean_loss_burst(&self) -> f64 {
+        let runs = self.loss_run_lengths();
+        if runs.is_empty() {
+            0.0
+        } else {
+            runs.iter().sum::<usize>() as f64 / runs.len() as f64
+        }
+    }
+
+    /// Lag-`k` autocorrelation of the delivery indicator; `None` when the
+    /// sequence is too short or constant.
+    pub fn autocorrelation(&self, lag: usize) -> Option<f64> {
+        let n = self.outcomes.len();
+        if lag == 0 || n <= lag + 1 {
+            return None;
+        }
+        let xs: Vec<f64> = self.outcomes.iter().map(|&b| b as u8 as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        if var == 0.0 {
+            return None;
+        }
+        let cov = (0..n - lag)
+            .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+            .sum::<f64>()
+            / (n - lag) as f64;
+        Some(cov / var)
+    }
+
+    /// A simple burstiness score: how much likelier a loss is after a loss
+    /// than unconditionally, `P(loss|loss) − P(loss)`. Zero for an
+    /// independent (Bernoulli) loss process, positive for bursty links.
+    pub fn burstiness(&self) -> Option<f64> {
+        let p_loss = 1.0 - self.prr();
+        self.prr_after_loss().map(|prr| (1.0 - prr) - p_loss)
+    }
+}
+
+/// Little's-law check over a trace: compares the time-averaged number of
+/// packets in the system (computed by sweeping arrival/departure events)
+/// with `λ · W` (arrival rate × mean sojourn time of completed packets).
+///
+/// Returns `(L, lambda_times_w)`; for a stationary trace the two agree.
+/// `None` when no packet completed or the trace spans zero time.
+pub fn littles_law(records: &[PacketRecord]) -> Option<(f64, f64)> {
+    // Only packets that entered the system (not queue-dropped) count.
+    let entered: Vec<&PacketRecord> = records
+        .iter()
+        .filter(|r| r.fate != PacketFate::QueueDropped)
+        .collect();
+    if entered.is_empty() {
+        return None;
+    }
+    let t_start = entered.iter().map(|r| r.t_arrival).min()?;
+    let t_end = entered.iter().filter_map(|r| r.t_done).max()?;
+    let span_s = (t_end - t_start).as_secs_f64();
+    if span_s <= 0.0 {
+        return None;
+    }
+
+    // L: integrate occupancy via +1 at arrival, −1 at completion.
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(entered.len() * 2);
+    let mut completed = 0usize;
+    let mut total_sojourn_s = 0.0;
+    for r in &entered {
+        events.push((r.t_arrival.as_micros(), 1));
+        if let Some(done) = r.t_done {
+            events.push((done.as_micros(), -1));
+            completed += 1;
+            total_sojourn_s += (done - r.t_arrival).as_secs_f64();
+        }
+    }
+    if completed == 0 {
+        return None;
+    }
+    events.sort_unstable();
+    let mut occupancy = 0i64;
+    let mut area = 0.0f64; // packet·seconds
+    let mut prev_us = events[0].0;
+    for (t_us, delta) in events {
+        area += occupancy as f64 * (t_us - prev_us) as f64 / 1e6;
+        occupancy += delta;
+        prev_us = t_us;
+    }
+    let l = area / span_s;
+    let lambda = completed as f64 / span_s;
+    let w = total_sojourn_s / completed as f64;
+    Some((l, lambda * w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(pattern: &str) -> DeliverySequence {
+        DeliverySequence::from_outcomes(pattern.chars().map(|c| c == '1').collect())
+    }
+
+    #[test]
+    fn prr_and_windows() {
+        let s = seq("11101110");
+        assert!((s.prr() - 0.75).abs() < 1e-12);
+        let windows = s.windowed_prr(4);
+        assert_eq!(windows, vec![0.75, 0.75]);
+        assert_eq!(s.windowed_prr(3).len(), 3); // 3 + 3 + 2
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = seq("111").windowed_prr(0);
+    }
+
+    #[test]
+    fn conditionals_on_alternating_sequence() {
+        let s = seq("10101010");
+        // After a success always a loss; after a loss always a success.
+        assert_eq!(s.prr_after_success(), Some(0.0));
+        assert_eq!(s.prr_after_loss(), Some(1.0));
+        // Alternation is *anti*-bursty: negative burstiness.
+        assert!(s.burstiness().unwrap() < 0.0);
+        assert!(s.autocorrelation(1).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn bursty_sequence_statistics() {
+        let s = seq("111000111000");
+        assert_eq!(s.loss_run_lengths(), vec![3, 3]);
+        assert!((s.mean_loss_burst() - 3.0).abs() < 1e-12);
+        assert!(s.burstiness().unwrap() > 0.2);
+        assert!(s.autocorrelation(1).unwrap() > 0.3);
+    }
+
+    #[test]
+    fn perfect_sequence_degenerates_gracefully() {
+        let s = seq("1111");
+        assert_eq!(s.prr(), 1.0);
+        assert!(s.loss_run_lengths().is_empty());
+        assert_eq!(s.mean_loss_burst(), 0.0);
+        assert_eq!(s.prr_after_loss(), None);
+        assert_eq!(s.autocorrelation(1), None); // zero variance
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn trailing_loss_run_is_counted() {
+        let s = seq("11000");
+        assert_eq!(s.loss_run_lengths(), vec![3]);
+    }
+
+    #[test]
+    fn littles_law_on_a_hand_built_trace() {
+        use wsn_sim_engine::time::SimTime;
+        // Two packets: one in the system during [0, 10] ms, one during
+        // [5, 15] ms. L = (5 + 5·2 + 5)·ms / 15 ms = 4/3;
+        // λ = 2/15 ms⁻¹, W = 10 ms → λW = 4/3.
+        let mk = |seq: u64, a_ms: u64, d_ms: u64| PacketRecord {
+            seq,
+            t_arrival: SimTime::from_millis(a_ms),
+            t_service_start: Some(SimTime::from_millis(a_ms)),
+            t_done: Some(SimTime::from_millis(d_ms)),
+            tries: 1,
+            queue_depth: 1,
+            fate: PacketFate::Delivered,
+            sender_acked: true,
+            last_rssi_dbm: -80.0,
+            last_snr_db: 15.0,
+            last_lqi: 90,
+        };
+        let records = vec![mk(0, 0, 10), mk(1, 5, 15)];
+        let (l, lw) = littles_law(&records).unwrap();
+        assert!((l - 4.0 / 3.0).abs() < 1e-9, "L={l}");
+        assert!((lw - 4.0 / 3.0).abs() < 1e-9, "λW={lw}");
+    }
+
+    #[test]
+    fn littles_law_degenerate_traces() {
+        assert!(littles_law(&[]).is_none());
+    }
+
+    #[test]
+    fn from_records_orders_and_filters() {
+        use wsn_sim_engine::time::SimTime;
+        let mk = |seq: u64, fate: PacketFate| PacketRecord {
+            seq,
+            t_arrival: SimTime::from_millis(seq),
+            t_service_start: None,
+            t_done: None,
+            tries: 1,
+            queue_depth: 1,
+            fate,
+            sender_acked: fate == PacketFate::Delivered,
+            last_rssi_dbm: -80.0,
+            last_snr_db: 15.0,
+            last_lqi: 90,
+        };
+        // Out of order, with a queue drop in the middle.
+        let records = vec![
+            mk(2, PacketFate::RadioLost),
+            mk(0, PacketFate::Delivered),
+            mk(1, PacketFate::QueueDropped),
+            mk(3, PacketFate::Delivered),
+        ];
+        let s = DeliverySequence::from_records(&records);
+        assert_eq!(s.len(), 3); // queue drop excluded
+        assert!((s.prr() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,47 @@
+//! # wsn-link-sim
+//!
+//! The discrete-event simulation of one IEEE 802.15.4 sender→receiver link
+//! under a full seven-parameter stack configuration — the synthetic
+//! replacement for the paper's TelosB hallway testbed.
+//!
+//! The sender pipeline is: application traffic source ([`traffic`]) →
+//! `Qmax`-bounded transmit queue → CSMA-CA MAC transaction (from
+//! `wsn-mac`) → synthetic channel (from `wsn-radio`) → receiver with
+//! software ACKs. Each run yields per-packet [`record`]s with the same
+//! metadata the paper's public dataset logs, plus the per-configuration
+//! summary [`metrics`] the paper's figures are built from.
+//!
+//! ```
+//! use wsn_link_sim::prelude::*;
+//! use wsn_params::prelude::*;
+//!
+//! // The paper's weak 35 m link at minimum studied power:
+//! let cfg = StackConfig::builder()
+//!     .distance_m(35.0)
+//!     .power_level(3)
+//!     .payload_bytes(110)
+//!     .max_tries(3)
+//!     .build()?;
+//! let m = LinkSimulation::new(cfg, SimOptions::quick(300)).run();
+//! // The grey zone costs retransmissions:
+//! assert!(m.metrics().mean_tries > 1.0);
+//! # Ok::<(), wsn_params::error::InvalidParam>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod metrics;
+pub mod record;
+pub mod simulation;
+pub mod traffic;
+
+/// Convenient glob-import of the link simulator.
+pub mod prelude {
+    pub use crate::analysis::{littles_law, DeliverySequence};
+    pub use crate::metrics::LinkMetrics;
+    pub use crate::record::{PacketFate, PacketRecord};
+    pub use crate::simulation::{LinkSimulation, SimOptions, SimOutcome};
+    pub use crate::traffic::TrafficModel;
+}

@@ -1,0 +1,113 @@
+//! Per-packet records, mirroring the metadata schema of the paper's public
+//! dataset (RSSI, LQI, actual transmission count, queue size, timestamps).
+
+use serde::{Deserialize, Serialize};
+
+use wsn_sim_engine::time::{SimDuration, SimTime};
+
+/// How a packet's journey ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketFate {
+    /// Dropped at the transmit queue (buffer overflow) — `PLR_queue`.
+    QueueDropped,
+    /// All `NmaxTries` transmissions failed to reach the receiver — part of
+    /// `PLR_radio`.
+    RadioLost,
+    /// At least one copy reached the receiver.
+    Delivered,
+}
+
+/// The lifecycle record of one application packet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Application sequence number (0-based).
+    pub seq: u64,
+    /// When the application generated the packet.
+    pub t_arrival: SimTime,
+    /// When the MAC started serving it (`None` for queue drops).
+    pub t_service_start: Option<SimTime>,
+    /// When the MAC transaction terminated (`None` for queue drops).
+    pub t_done: Option<SimTime>,
+    /// Transmissions used (0 for queue drops).
+    pub tries: u8,
+    /// Queue occupancy observed at arrival (after admission).
+    pub queue_depth: usize,
+    /// Final outcome.
+    pub fate: PacketFate,
+    /// Whether the sender saw an ACK (can be `false` while `fate` is
+    /// `Delivered` if only the ACK was lost).
+    pub sender_acked: bool,
+    /// RSSI of the last transmission attempt, dBm.
+    pub last_rssi_dbm: f64,
+    /// SNR of the last transmission attempt, dB.
+    pub last_snr_db: f64,
+    /// Synthesised LQI of the last attempt.
+    pub last_lqi: u8,
+}
+
+impl PacketRecord {
+    /// End-to-end delay (queueing + service); `None` for queue drops.
+    pub fn delay(&self) -> Option<SimDuration> {
+        self.t_done.map(|done| done - self.t_arrival)
+    }
+
+    /// MAC service time; `None` for queue drops.
+    pub fn service_time(&self) -> Option<SimDuration> {
+        match (self.t_service_start, self.t_done) {
+            (Some(start), Some(done)) => Some(done - start),
+            _ => None,
+        }
+    }
+
+    /// Queueing (waiting) time before service; `None` for queue drops.
+    pub fn queueing_time(&self) -> Option<SimDuration> {
+        self.t_service_start.map(|start| start - self.t_arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> PacketRecord {
+        PacketRecord {
+            seq: 7,
+            t_arrival: SimTime::from_millis(100),
+            t_service_start: Some(SimTime::from_millis(112)),
+            t_done: Some(SimTime::from_millis(140)),
+            tries: 2,
+            queue_depth: 3,
+            fate: PacketFate::Delivered,
+            sender_acked: true,
+            last_rssi_dbm: -80.5,
+            last_snr_db: 14.5,
+            last_lqi: 93,
+        }
+    }
+
+    #[test]
+    fn delay_decomposes_into_queueing_plus_service() {
+        let r = record();
+        assert_eq!(r.delay().unwrap().as_millis(), 40);
+        assert_eq!(r.queueing_time().unwrap().as_millis(), 12);
+        assert_eq!(r.service_time().unwrap().as_millis(), 28);
+        assert_eq!(
+            r.delay().unwrap(),
+            r.queueing_time().unwrap() + r.service_time().unwrap()
+        );
+    }
+
+    #[test]
+    fn queue_drop_has_no_timings() {
+        let r = PacketRecord {
+            t_service_start: None,
+            t_done: None,
+            tries: 0,
+            fate: PacketFate::QueueDropped,
+            ..record()
+        };
+        assert!(r.delay().is_none());
+        assert!(r.service_time().is_none());
+        assert!(r.queueing_time().is_none());
+    }
+}

@@ -1,0 +1,739 @@
+//! The composed link simulation: traffic source → `Qmax` queue → CSMA-CA
+//! MAC → channel → receiver, with per-packet records and energy metering.
+
+use rand::rngs::StdRng;
+
+use wsn_mac::queue::{Admission, TxQueue};
+use wsn_mac::transaction::{Action, RadioActivity, Transaction, TxOutcome};
+use wsn_params::config::StackConfig;
+use wsn_radio::channel::{Channel, ChannelConfig, Observation};
+use wsn_radio::energy::EnergyMeter;
+use wsn_radio::trajectory::Trajectory;
+use wsn_sim_engine::executor::{Executor, Model, Scheduler, StopReason};
+use wsn_sim_engine::rng::{RngFactory, StreamId};
+use wsn_sim_engine::time::{SimDuration, SimTime};
+
+use crate::metrics::{mean, percentile, LinkMetrics};
+use crate::record::{PacketFate, PacketRecord};
+use crate::traffic::TrafficModel;
+
+/// Options controlling one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOptions {
+    /// Packets the application generates (the paper used 4500 per
+    /// configuration).
+    pub packets: u64,
+    /// Experiment seed; identical seeds reproduce runs bit-for-bit.
+    pub seed: u64,
+    /// Propagation environment.
+    pub channel: ChannelConfig,
+    /// Arrival process (the paper's grid uses [`TrafficModel::Periodic`]).
+    pub traffic: TrafficModel,
+    /// Keep per-packet records in the outcome (memory ∝ packets).
+    pub record_packets: bool,
+    /// Optional hard cap on simulated time.
+    pub horizon: Option<SimDuration>,
+    /// Sender motion profile; [`Trajectory::Stationary`] matches the
+    /// paper's fixed-mote setup.
+    pub trajectory: Trajectory,
+}
+
+impl SimOptions {
+    /// The paper's protocol: 4500 packets per configuration on the hallway
+    /// channel with periodic traffic.
+    pub fn paper(seed: u64) -> Self {
+        SimOptions {
+            packets: 4500,
+            seed,
+            channel: ChannelConfig::paper_hallway(),
+            traffic: TrafficModel::Periodic,
+            record_packets: false,
+            horizon: None,
+            trajectory: Trajectory::Stationary,
+        }
+    }
+
+    /// A reduced-size run for tests and examples.
+    pub fn quick(packets: u64) -> Self {
+        SimOptions {
+            packets,
+            seed: 0x00C0_FFEE,
+            channel: ChannelConfig::paper_hallway(),
+            traffic: TrafficModel::Periodic,
+            record_packets: true,
+            horizon: None,
+            trajectory: Trajectory::Stationary,
+        }
+    }
+
+    /// Returns the options with a different seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the options with a different channel.
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Returns the options with a different traffic model.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns the options with a motion profile.
+    pub fn with_trajectory(mut self, trajectory: Trajectory) -> Self {
+        self.trajectory = trajectory;
+        self
+    }
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions::paper(0)
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The simulated configuration.
+    pub config: StackConfig,
+    /// Summary metrics.
+    metrics: LinkMetrics,
+    /// Per-packet records if requested in [`SimOptions::record_packets`].
+    pub records: Option<Vec<PacketRecord>>,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Final simulation clock.
+    pub end_time: SimTime,
+}
+
+impl SimOutcome {
+    /// The summary metrics of the run.
+    pub fn metrics(&self) -> &LinkMetrics {
+        &self.metrics
+    }
+}
+
+/// A configured, runnable link simulation.
+///
+/// ```
+/// use wsn_link_sim::prelude::*;
+/// use wsn_params::prelude::*;
+///
+/// let cfg = StackConfig::builder()
+///     .distance_m(20.0)
+///     .power_level(27)
+///     .payload_bytes(50)
+///     .build()?;
+/// let outcome = LinkSimulation::new(cfg, SimOptions::quick(200)).run();
+/// let m = outcome.metrics();
+/// assert_eq!(m.generated, 200);
+/// assert!(m.conserves_packets());
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkSimulation {
+    config: StackConfig,
+    options: SimOptions,
+}
+
+impl LinkSimulation {
+    /// Creates a simulation of `config` under `options`.
+    pub fn new(config: StackConfig, options: SimOptions) -> Self {
+        LinkSimulation { config, options }
+    }
+
+    /// Runs the simulation to completion and summarises it.
+    pub fn run(self) -> SimOutcome {
+        let factory = RngFactory::new(self.options.seed);
+        let channel = Channel::new(
+            self.options.channel,
+            self.config.power,
+            self.config.distance,
+        );
+        let model = LinkModel {
+            cfg: self.config,
+            channel,
+            rng_fading: factory.stream(StreamId::Fading),
+            rng_noise: factory.stream(StreamId::Noise),
+            rng_delivery: factory.stream(StreamId::Delivery),
+            rng_backoff: factory.stream(StreamId::Backoff),
+            rng_traffic: factory.stream(StreamId::Traffic),
+            traffic: self.options.traffic,
+            queue: TxQueue::new(self.config.queue_cap),
+            current: None,
+            records: Vec::new(),
+            energy: EnergyMeter::new(),
+            attempts: 0,
+            attempts_unacked: 0,
+            snr_sum: 0.0,
+            rssi_sum: 0.0,
+            busy: SimDuration::ZERO,
+            generated: 0,
+            budget: self.options.packets,
+            duplicates: 0,
+            trajectory: self.options.trajectory,
+        };
+        let mut exec = Executor::new(model);
+        if let Some(h) = self.options.horizon {
+            exec = exec.with_horizon(SimTime::ZERO + h);
+        }
+        exec.seed_at(SimTime::ZERO, Ev::Arrival);
+        let (stop, end_time) = exec.run();
+        let mut model = exec.into_model();
+
+        // Account the radio-idle residual (time with no MAC activity).
+        let accounted = model.energy.accounted_time();
+        let total = end_time - SimTime::ZERO;
+        if total > accounted {
+            model.energy.add_idle(total - accounted);
+        }
+
+        let metrics = model.summarise(total);
+        let records = self.options.record_packets.then_some(model.records);
+        SimOutcome {
+            config: self.config,
+            metrics,
+            records,
+            stop,
+            end_time,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// An application packet arrives.
+    Arrival,
+    /// The current MAC wait phase elapsed.
+    MacPhase,
+}
+
+/// Metadata of a packet waiting in (or at the head of) the queue.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    seq: u64,
+    t_arrival: SimTime,
+    queue_depth: usize,
+}
+
+/// The packet currently in MAC service. Its `Pending` stays at the queue
+/// head (the in-service packet occupies a `Qmax` slot) and is popped on
+/// completion.
+#[derive(Debug, Clone)]
+struct Active {
+    txn: Transaction,
+    meta: Pending,
+    t_service_start: SimTime,
+    receiver_got: bool,
+    receiver_copies: u32,
+    last_obs: Option<Observation>,
+}
+
+#[derive(Debug)]
+struct LinkModel {
+    cfg: StackConfig,
+    channel: Channel,
+    rng_fading: StdRng,
+    rng_noise: StdRng,
+    rng_delivery: StdRng,
+    rng_backoff: StdRng,
+    rng_traffic: StdRng,
+    traffic: TrafficModel,
+    queue: TxQueue<Pending>,
+    current: Option<Active>,
+    records: Vec<PacketRecord>,
+    energy: EnergyMeter,
+    attempts: u64,
+    attempts_unacked: u64,
+    snr_sum: f64,
+    rssi_sum: f64,
+    busy: SimDuration,
+    generated: u64,
+    budget: u64,
+    duplicates: u64,
+    trajectory: Trajectory,
+}
+
+impl Model for LinkModel {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+        match event {
+            Ev::Arrival => self.on_arrival(sched),
+            Ev::MacPhase => self.pump(sched),
+        }
+    }
+}
+
+impl LinkModel {
+    fn on_arrival(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        if self.traffic.is_saturating() {
+            self.saturate(sched.now());
+        } else {
+            self.admit_one(sched.now());
+            if self.generated < self.budget {
+                let gap = self
+                    .traffic
+                    .next_gap(
+                        SimDuration::from_millis(self.cfg.packet_interval.millis() as u64),
+                        &mut self.rng_traffic,
+                    )
+                    .expect("interval-based traffic always yields a gap");
+                sched.schedule_in(gap, Ev::Arrival);
+            }
+        }
+        if self.current.is_none() {
+            self.start_next(sched.now());
+            self.pump(sched);
+        }
+    }
+
+    /// Admits one packet to the queue, recording a drop if it overflows.
+    fn admit_one(&mut self, now: SimTime) {
+        let seq = self.generated;
+        self.generated += 1;
+        let meta = Pending {
+            seq,
+            t_arrival: now,
+            // Depth the packet will observe if admitted (itself included).
+            queue_depth: self.queue.len() + 1,
+        };
+        match self.queue.offer(meta) {
+            Admission::Accepted { depth } => debug_assert_eq!(depth, meta.queue_depth),
+            Admission::Dropped => self.records.push(PacketRecord {
+                seq,
+                t_arrival: now,
+                t_service_start: None,
+                t_done: None,
+                tries: 0,
+                queue_depth: self.queue.len(),
+                fate: PacketFate::QueueDropped,
+                sender_acked: false,
+                last_rssi_dbm: f64::NAN,
+                last_snr_db: f64::NAN,
+                last_lqi: 0,
+            }),
+        }
+    }
+
+    /// For the saturating source: keep the queue full while budget remains.
+    fn saturate(&mut self, now: SimTime) {
+        while self.generated < self.budget && self.queue.len() < self.queue.capacity() {
+            self.admit_one(now);
+        }
+    }
+
+    /// Starts serving the queue-head packet if the MAC is idle.
+    fn start_next(&mut self, now: SimTime) {
+        if self.current.is_some() || self.queue.is_empty() {
+            return;
+        }
+        // Copy the head's metadata; it stays queued (occupying its slot)
+        // until the transaction terminates.
+        let meta = *self.queue.peek().expect("non-empty queue has a head");
+        let mut txn = Transaction::new(
+            self.cfg.payload,
+            self.cfg.max_tries,
+            SimDuration::from_millis(self.cfg.retry_delay.millis() as u64),
+        );
+        txn.set_cca_busy_probability(self.channel.cca_busy_probability());
+        self.current = Some(Active {
+            txn,
+            meta,
+            t_service_start: now,
+            receiver_got: false,
+            receiver_copies: 0,
+            last_obs: None,
+        });
+    }
+
+    /// Drives the active transaction until it blocks on a wait or finishes.
+    fn pump(&mut self, sched: &mut Scheduler<'_, Ev>) {
+        loop {
+            let Some(active) = self.current.as_mut() else {
+                return;
+            };
+            match active.txn.advance(&mut self.rng_backoff) {
+                Action::Wait { duration, activity } => {
+                    self.meter(activity, duration);
+                    sched.schedule_in(duration, Ev::MacPhase);
+                    return;
+                }
+                Action::Transmit { .. } => {
+                    if !self.trajectory.is_stationary() {
+                        let here = self
+                            .trajectory
+                            .distance_at(sched.now().as_secs_f64(), self.cfg.distance);
+                        self.channel.retarget(self.cfg.power, here);
+                    }
+                    let obs = self
+                        .channel
+                        .observe(&mut self.rng_fading, &mut self.rng_noise);
+                    let delivered =
+                        self.channel
+                            .data_success(&obs, self.cfg.payload, &mut self.rng_delivery);
+                    let acked = delivered && self.channel.ack_success(&obs, &mut self.rng_delivery);
+                    self.attempts += 1;
+                    if !acked {
+                        self.attempts_unacked += 1;
+                    }
+                    self.snr_sum += obs.snr_db;
+                    self.rssi_sum += obs.rssi_dbm;
+                    if delivered {
+                        active.receiver_got = true;
+                        active.receiver_copies += 1;
+                    }
+                    active.last_obs = Some(obs);
+                    active.txn.on_tx_result(acked);
+                }
+                Action::Complete(outcome) => {
+                    self.complete(outcome, sched.now());
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, outcome: TxOutcome, now: SimTime) {
+        let active = self
+            .current
+            .take()
+            .expect("complete only fires with an active transaction");
+        // Free the queue slot the in-service packet was holding.
+        let popped = self.queue.pop();
+        debug_assert!(popped.is_some(), "in-service packet must be queued");
+
+        let fate = if active.receiver_got {
+            PacketFate::Delivered
+        } else {
+            PacketFate::RadioLost
+        };
+        self.duplicates += active.receiver_copies.saturating_sub(1) as u64;
+        self.busy += now - active.t_service_start;
+        let obs = active.last_obs;
+        self.records.push(PacketRecord {
+            seq: active.meta.seq,
+            t_arrival: active.meta.t_arrival,
+            t_service_start: Some(active.t_service_start),
+            t_done: Some(now),
+            tries: outcome.tries(),
+            queue_depth: active.meta.queue_depth,
+            fate,
+            sender_acked: outcome.is_delivered(),
+            last_rssi_dbm: obs.map_or(f64::NAN, |o| o.rssi_dbm),
+            last_snr_db: obs.map_or(f64::NAN, |o| o.snr_db),
+            last_lqi: obs.map_or(0, |o| o.lqi),
+        });
+
+        if self.traffic.is_saturating() {
+            self.saturate(now);
+        }
+        self.start_next(now);
+    }
+
+    fn meter(&mut self, activity: RadioActivity, duration: SimDuration) {
+        match activity {
+            RadioActivity::SpiLoad | RadioActivity::Idle => self.energy.add_idle(duration),
+            RadioActivity::Listen | RadioActivity::TxPrep => self.energy.add_rx(duration),
+            RadioActivity::Transmit => self.energy.add_tx(self.cfg.power, duration),
+        }
+    }
+
+    fn summarise(&self, duration: SimDuration) -> LinkMetrics {
+        let duration_s = duration.as_secs_f64().max(f64::MIN_POSITIVE);
+
+        let mut queue_dropped = 0u64;
+        let mut radio_lost = 0u64;
+        let mut delivered = 0u64;
+        let mut acked = 0u64;
+        let mut delays_ms = Vec::new();
+        let mut services_ms = Vec::new();
+        let mut waits_ms = Vec::new();
+        let mut tries_sum = 0u64;
+        let mut completed = 0u64;
+        for r in &self.records {
+            match r.fate {
+                PacketFate::QueueDropped => queue_dropped += 1,
+                PacketFate::RadioLost => radio_lost += 1,
+                PacketFate::Delivered => delivered += 1,
+            }
+            if r.sender_acked {
+                acked += 1;
+            }
+            if let Some(d) = r.delay() {
+                if r.fate == PacketFate::Delivered {
+                    delays_ms.push(d.as_millis_f64());
+                }
+            }
+            if let Some(s) = r.service_time() {
+                services_ms.push(s.as_millis_f64());
+                tries_sum += r.tries as u64;
+                completed += 1;
+            }
+            if let Some(w) = r.queueing_time() {
+                waits_ms.push(w.as_millis_f64());
+            }
+        }
+        delays_ms.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+
+        let residual = self.generated - queue_dropped - radio_lost - delivered;
+        let delivered_bits = delivered as f64 * self.cfg.payload.bits() as f64;
+        let energy = self.energy.breakdown();
+        let u_eng_uj = if delivered_bits > 0.0 {
+            energy.tx_j * 1e6 / delivered_bits
+        } else {
+            f64::INFINITY
+        };
+        let total_uj = if delivered_bits > 0.0 {
+            energy.total_j() * 1e6 / delivered_bits
+        } else {
+            f64::INFINITY
+        };
+        let denom = self.generated.max(1) as f64;
+
+        LinkMetrics {
+            duration_s,
+            generated: self.generated,
+            queue_dropped,
+            radio_lost,
+            delivered,
+            acked,
+            residual,
+            attempts: self.attempts,
+            attempts_unacked: self.attempts_unacked,
+            duplicates: self.duplicates,
+            mean_tries: if completed > 0 {
+                tries_sum as f64 / completed as f64
+            } else {
+                0.0
+            },
+            goodput_bps: delivered_bits / duration_s,
+            offered_bps: self.cfg.offered_load_bps(),
+            delay_mean_ms: mean(&delays_ms),
+            delay_p50_ms: percentile(&delays_ms, 0.50),
+            delay_p95_ms: percentile(&delays_ms, 0.95),
+            delay_p99_ms: percentile(&delays_ms, 0.99),
+            service_mean_ms: mean(&services_ms),
+            queueing_mean_ms: mean(&waits_ms),
+            u_eng_uj_per_bit: u_eng_uj,
+            total_energy_uj_per_bit: total_uj,
+            energy,
+            plr_queue: queue_dropped as f64 / denom,
+            plr_radio: radio_lost as f64 / denom,
+            per: if self.attempts > 0 {
+                self.attempts_unacked as f64 / self.attempts as f64
+            } else {
+                0.0
+            },
+            mean_snr_db: if self.attempts > 0 {
+                self.snr_sum / self.attempts as f64
+            } else {
+                self.channel.mean_snr_db()
+            },
+            mean_rssi_dbm: if self.attempts > 0 {
+                self.rssi_sum / self.attempts as f64
+            } else {
+                self.channel.mean_rssi_dbm()
+            },
+            utilization: self.busy.as_secs_f64() / duration_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_radio::per::{EmpiricalPer, PerBackend};
+
+    fn cfg(power: u8, dist: f64) -> StackConfig {
+        StackConfig::builder()
+            .distance_m(dist)
+            .power_level(power)
+            .payload_bytes(50)
+            .max_tries(3)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(50)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn good_link_delivers_nearly_everything() {
+        let outcome = LinkSimulation::new(cfg(31, 10.0), SimOptions::quick(300)).run();
+        let m = outcome.metrics();
+        assert_eq!(m.generated, 300);
+        assert!(m.conserves_packets());
+        assert!(m.plr_total() < 0.02, "plr={}", m.plr_total());
+        assert!(m.goodput_bps > 0.9 * m.offered_bps);
+    }
+
+    #[test]
+    fn weak_link_loses_packets_over_radio() {
+        let outcome = LinkSimulation::new(cfg(3, 35.0), SimOptions::quick(300)).run();
+        let m = outcome.metrics();
+        assert!(m.conserves_packets());
+        assert!(m.plr_radio > 0.01, "plr_radio={}", m.plr_radio);
+        assert!(m.per > 0.05, "per={}", m.per);
+        assert!(m.mean_tries > 1.05, "tries={}", m.mean_tries);
+    }
+
+    #[test]
+    fn same_seed_is_bit_reproducible() {
+        let a = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(150)).run();
+        let b = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(150)).run();
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.records.unwrap().len(), b.records.unwrap().len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(150)).run();
+        let b = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(150).with_seed(99)).run();
+        assert_ne!(a.metrics().goodput_bps, b.metrics().goodput_bps);
+    }
+
+    #[test]
+    fn queue_cap_one_drops_arrivals_during_service() {
+        // Very fast arrivals (10 ms) with a slow weak link and Qmax=1: most
+        // arrivals find the server busy and are dropped at the queue.
+        let cfg = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(3)
+            .payload_bytes(110)
+            .max_tries(8)
+            .retry_delay_ms(30)
+            .queue_cap(1)
+            .packet_interval_ms(10)
+            .build()
+            .unwrap();
+        let m = LinkSimulation::new(cfg, SimOptions::quick(300)).run();
+        let m = m.metrics().clone();
+        assert!(m.conserves_packets());
+        assert!(m.plr_queue > 0.4, "plr_queue={}", m.plr_queue);
+    }
+
+    #[test]
+    fn saturating_traffic_keeps_link_busy() {
+        let outcome = LinkSimulation::new(
+            cfg(31, 10.0),
+            SimOptions::quick(200).with_traffic(TrafficModel::Saturating),
+        )
+        .run();
+        let m = outcome.metrics();
+        assert_eq!(m.generated, 200);
+        assert!(m.conserves_packets());
+        assert!(m.utilization > 0.95, "util={}", m.utilization);
+    }
+
+    #[test]
+    fn perfect_channel_never_loses() {
+        let mut channel = ChannelConfig::ideal();
+        channel.per_backend = PerBackend::Empirical(EmpiricalPer::new(0.0, -0.15));
+        let outcome =
+            LinkSimulation::new(cfg(31, 10.0), SimOptions::quick(200).with_channel(channel)).run();
+        let m = outcome.metrics();
+        assert_eq!(m.delivered, 200);
+        assert_eq!(m.plr_total(), 0.0);
+        assert!((m.mean_tries - 1.0).abs() < 1e-12);
+        assert_eq!(m.per, 0.0);
+    }
+
+    #[test]
+    fn records_match_aggregates() {
+        let outcome = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(250)).run();
+        let m = outcome.metrics().clone();
+        let records = outcome.records.unwrap();
+        let delivered = records
+            .iter()
+            .filter(|r| r.fate == PacketFate::Delivered)
+            .count() as u64;
+        assert_eq!(delivered, m.delivered);
+        let tries: u64 = records.iter().map(|r| r.tries as u64).sum();
+        assert_eq!(tries, m.attempts);
+    }
+
+    #[test]
+    fn u_eng_matches_hand_computed_tx_energy() {
+        // On an ideal perfect channel every packet takes exactly one
+        // transmission, so U_eng = Etx · (l0 + lD) / lD.
+        let mut channel = ChannelConfig::ideal();
+        channel.per_backend = PerBackend::Empirical(EmpiricalPer::new(0.0, -0.15));
+        let cfg = StackConfig::builder()
+            .distance_m(10.0)
+            .power_level(31)
+            .payload_bytes(114)
+            .max_tries(1)
+            .queue_cap(30)
+            .packet_interval_ms(50)
+            .build()
+            .unwrap();
+        let m = LinkSimulation::new(cfg, SimOptions::quick(100).with_channel(channel)).run();
+        let etx = wsn_radio::cc2420::tx_energy_per_bit_j(cfg.power) * 1e6;
+        let expected = etx * 133.0 / 114.0; // (l0 + lD)/lD with l0 = 19
+        let got = m.metrics().u_eng_uj_per_bit;
+        assert!(
+            (got - expected).abs() / expected < 1e-6,
+            "got {got}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn ack_loss_produces_duplicates() {
+        // A weak link with a big retry budget: some delivered frames lose
+        // their ACK and get retransmitted, creating receiver duplicates.
+        let cfg = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(3)
+            .payload_bytes(110)
+            .max_tries(8)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(200)
+            .build()
+            .unwrap();
+        let m = LinkSimulation::new(cfg, SimOptions::quick(500)).run();
+        assert!(m.metrics().duplicates > 0, "no duplicates on a weak link");
+
+        // With ACK loss disabled, duplicates are impossible.
+        let mut ideal = ChannelConfig::paper_hallway();
+        ideal.ack_loss = false;
+        let m2 = LinkSimulation::new(cfg, SimOptions::quick(500).with_channel(ideal)).run();
+        assert_eq!(m2.metrics().duplicates, 0);
+    }
+
+    #[test]
+    fn horizon_leaves_residual_packets() {
+        let options = SimOptions {
+            horizon: Some(SimDuration::from_millis(40)),
+            ..SimOptions::quick(1000)
+        };
+        let outcome = LinkSimulation::new(cfg(23, 35.0), options).run();
+        assert_eq!(outcome.stop, StopReason::HorizonReached);
+        let m = outcome.metrics();
+        assert!(m.conserves_packets());
+        assert!(m.generated < 1000);
+    }
+
+    #[test]
+    fn utilization_grows_with_load() {
+        let slow = StackConfig::builder()
+            .packet_interval_ms(500)
+            .distance_m(20.0)
+            .build()
+            .unwrap();
+        let fast = StackConfig::builder()
+            .packet_interval_ms(20)
+            .distance_m(20.0)
+            .build()
+            .unwrap();
+        let u_slow = LinkSimulation::new(slow, SimOptions::quick(200)).run();
+        let u_fast = LinkSimulation::new(fast, SimOptions::quick(200)).run();
+        assert!(u_fast.metrics().utilization > u_slow.metrics().utilization);
+    }
+}

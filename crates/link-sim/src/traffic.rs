@@ -1,0 +1,94 @@
+//! Application-layer traffic generation.
+//!
+//! The paper's experiments drive the link with a **periodic** source at
+//! inter-arrival time `Tpkt` (Table I). Two more sources are provided:
+//! a Poisson process with the same mean (for the arrival-model ablation)
+//! and a **saturating** source that always keeps the transmit queue full —
+//! the "packets sent one after another" regime under which the paper
+//! defines maximum goodput (Sec. V-B).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use wsn_sim_engine::rng::exponential;
+use wsn_sim_engine::time::SimDuration;
+
+/// The arrival process of the application traffic source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum TrafficModel {
+    /// Fixed inter-arrival time (the paper's workload): one packet every
+    /// `Tpkt`.
+    #[default]
+    Periodic,
+    /// Poisson arrivals with mean inter-arrival `Tpkt`.
+    Poisson,
+    /// Backlogged source: a new packet is available whenever the queue has
+    /// room (bulk transfer; realises the max-goodput regime).
+    Saturating,
+}
+
+impl TrafficModel {
+    /// Draws the gap until the next arrival for interval-based sources;
+    /// `None` for [`TrafficModel::Saturating`] (arrivals are queue-driven).
+    pub fn next_gap<R: Rng + ?Sized>(
+        &self,
+        interval: SimDuration,
+        rng: &mut R,
+    ) -> Option<SimDuration> {
+        match self {
+            TrafficModel::Periodic => Some(interval),
+            TrafficModel::Poisson => {
+                let gap_s = exponential(rng, interval.as_secs_f64());
+                Some(SimDuration::from_secs_f64(gap_s))
+            }
+            TrafficModel::Saturating => None,
+        }
+    }
+
+    /// True for the backlogged source.
+    pub fn is_saturating(&self) -> bool {
+        matches!(self, TrafficModel::Saturating)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn periodic_gap_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let gap = TrafficModel::Periodic
+            .next_gap(SimDuration::from_millis(30), &mut rng)
+            .unwrap();
+        assert_eq!(gap.as_millis(), 30);
+    }
+
+    #[test]
+    fn poisson_gap_mean_matches_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean_us: f64 = (0..n)
+            .map(|_| {
+                TrafficModel::Poisson
+                    .next_gap(SimDuration::from_millis(30), &mut rng)
+                    .unwrap()
+                    .as_micros() as f64
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_us - 30_000.0).abs() < 500.0, "mean={mean_us}");
+    }
+
+    #[test]
+    fn saturating_has_no_interval_gap() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(TrafficModel::Saturating
+            .next_gap(SimDuration::from_millis(30), &mut rng)
+            .is_none());
+        assert!(TrafficModel::Saturating.is_saturating());
+        assert!(!TrafficModel::Periodic.is_saturating());
+    }
+}

@@ -1,0 +1,29 @@
+//! # wsn-mac
+//!
+//! The MAC-layer substrate of the reproduction: IEEE 802.15.4 beaconless
+//! unslotted CSMA-CA as implemented by the TinyOS 2.1 CC2420 stack the
+//! paper measured.
+//!
+//! * [`timing`] — the paper's Sec. V-B constants (`T_TR`, `T_BO`, `T_ACK`,
+//!   `T_waitACK`) plus the calibrated SPI-loading model `T_SPI(lD)`,
+//! * [`queue`] — the `Qmax`-bounded drop-tail transmit FIFO whose overflow
+//!   is the paper's queuing loss `PLR_queue`,
+//! * [`transaction`] — the per-packet CSMA-CA / ACK / retransmission state
+//!   machine (`NmaxTries`, `Dretry`).
+//!
+//! The MAC is written as a pull-driven state machine so it can be driven by
+//! the discrete-event link simulator (`wsn-link-sim`) while staying unit
+//! testable in isolation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod timing;
+pub mod transaction;
+
+/// Convenient glob-import of the MAC substrate.
+pub mod prelude {
+    pub use crate::queue::{Admission, TxQueue};
+    pub use crate::transaction::{Action, RadioActivity, Transaction, TxOutcome};
+}

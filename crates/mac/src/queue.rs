@@ -1,0 +1,194 @@
+//! The transmit FIFO sitting on top of the MAC.
+//!
+//! The paper's `Qmax` parameter caps this queue; arrivals that find it full
+//! are dropped and counted towards the queuing loss rate `PLR_queue`
+//! (Sec. VII). The packet currently in MAC service occupies one slot, so
+//! `Qmax = 1` means "no buffering": a new packet is only accepted when the
+//! link is idle.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::types::QueueCap;
+
+/// Outcome of offering a packet to the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The packet was accepted at the reported queue depth (including it).
+    Accepted {
+        /// Queue occupancy immediately after acceptance.
+        depth: usize,
+    },
+    /// The queue was full; the packet is lost to queuing overflow.
+    Dropped,
+}
+
+/// Drop-tail transmit queue with capacity `Qmax`.
+///
+/// ```
+/// use wsn_params::types::QueueCap;
+/// use wsn_mac::queue::{Admission, TxQueue};
+///
+/// let mut q: TxQueue<u32> = TxQueue::new(QueueCap::new(2)?);
+/// assert_eq!(q.offer(1), Admission::Accepted { depth: 1 });
+/// assert_eq!(q.offer(2), Admission::Accepted { depth: 2 });
+/// assert_eq!(q.offer(3), Admission::Dropped);
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.dropped(), 1);
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TxQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    offered: u64,
+    dropped: u64,
+    peak_depth: usize,
+}
+
+impl<T> TxQueue<T> {
+    /// Creates an empty queue with capacity `cap`.
+    pub fn new(cap: QueueCap) -> Self {
+        TxQueue {
+            items: VecDeque::with_capacity(cap.get() as usize),
+            capacity: cap.get() as usize,
+            offered: 0,
+            dropped: 0,
+            peak_depth: 0,
+        }
+    }
+
+    /// Offers a packet; returns whether it was admitted or dropped.
+    pub fn offer(&mut self, item: T) -> Admission {
+        self.offered += 1;
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return Admission::Dropped;
+        }
+        self.items.push_back(item);
+        let depth = self.items.len();
+        self.peak_depth = self.peak_depth.max(depth);
+        Admission::Accepted { depth }
+    }
+
+    /// Removes the head-of-line packet, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The head-of-line packet without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured capacity (`Qmax`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Packets offered since creation.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Packets dropped by overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Highest occupancy observed.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Fraction of offered packets dropped so far (`PLR_queue`); zero when
+    /// nothing was offered.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(n: u16) -> QueueCap {
+        QueueCap::new(n).unwrap()
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = TxQueue::new(cap(10));
+        for i in 0..5 {
+            q.offer(i);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_one_admits_only_when_empty() {
+        let mut q = TxQueue::new(cap(1));
+        assert_eq!(q.offer("a"), Admission::Accepted { depth: 1 });
+        assert_eq!(q.offer("b"), Admission::Dropped);
+        q.pop();
+        assert_eq!(q.offer("c"), Admission::Accepted { depth: 1 });
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let mut q = TxQueue::new(cap(3));
+        for i in 0..10 {
+            q.offer(i);
+        }
+        assert_eq!(q.offered(), 10);
+        assert_eq!(q.dropped(), 7);
+        assert_eq!(q.len(), 3);
+        assert!((q.drop_rate() - 0.7).abs() < 1e-12);
+        assert_eq!(q.peak_depth(), 3);
+        // offered == dropped + currently queued + popped
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(q.offered(), q.dropped() + popped);
+    }
+
+    #[test]
+    fn drop_rate_zero_when_unused() {
+        let q: TxQueue<u8> = TxQueue::new(cap(1));
+        assert_eq!(q.drop_rate(), 0.0);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut q = TxQueue::new(cap(30));
+        for i in 0..12 {
+            q.offer(i);
+        }
+        for _ in 0..12 {
+            q.pop();
+        }
+        assert_eq!(q.peak_depth(), 12);
+        assert!(q.is_empty());
+    }
+}

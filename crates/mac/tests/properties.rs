@@ -1,0 +1,152 @@
+//! Property tests for the MAC substrate: the transaction state machine
+//! always terminates with consistent accounting, and the queue never
+//! miscounts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wsn_mac::queue::{Admission, TxQueue};
+use wsn_mac::transaction::{Action, RadioActivity, Transaction, TxOutcome};
+use wsn_params::types::{MaxTries, PayloadSize, QueueCap};
+use wsn_sim_engine::time::SimDuration;
+
+/// Drives a transaction with a scripted ACK pattern; extra attempts beyond
+/// the script fail.
+fn drive(
+    payload: u16,
+    max_tries: u8,
+    dretry_ms: u32,
+    acks: &[bool],
+    cca_busy: f64,
+    seed: u64,
+) -> (TxOutcome, u32, SimDuration) {
+    let mut txn = Transaction::new(
+        PayloadSize::new(payload).unwrap(),
+        MaxTries::new(max_tries).unwrap(),
+        SimDuration::from_millis(dretry_ms as u64),
+    );
+    txn.set_cca_busy_probability(cca_busy);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut transmissions = 0u32;
+    let mut elapsed = SimDuration::ZERO;
+    let mut steps = 0u32;
+    loop {
+        steps += 1;
+        assert!(steps < 100_000, "transaction did not terminate");
+        match txn.advance(&mut rng) {
+            Action::Wait { duration, .. } => elapsed += duration,
+            Action::Transmit { try_number } => {
+                transmissions += 1;
+                assert_eq!(try_number, transmissions as u8);
+                let acked = acks
+                    .get(transmissions as usize - 1)
+                    .copied()
+                    .unwrap_or(false);
+                txn.on_tx_result(acked);
+            }
+            Action::Complete(outcome) => return (outcome, transmissions, elapsed),
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn transaction_terminates_with_consistent_tries(
+        payload in 1u16..=114,
+        max_tries in 1u8..=8,
+        dretry in prop::sample::select(vec![0u32, 30, 100]),
+        acks in prop::collection::vec(any::<bool>(), 0..10),
+        cca_busy in 0.0f64..0.95,
+        seed in 0u64..1000,
+    ) {
+        let (outcome, transmissions, elapsed) =
+            drive(payload, max_tries, dretry, &acks, cca_busy, seed);
+        // Transmissions never exceed the budget and match the outcome.
+        prop_assert!(transmissions <= max_tries as u32);
+        prop_assert_eq!(outcome.tries() as u32, transmissions);
+        // Delivered iff some scripted ACK within the budget was true.
+        let expected_delivered = acks
+            .iter()
+            .take(max_tries as usize)
+            .any(|&a| a);
+        prop_assert_eq!(outcome.is_delivered(), expected_delivered);
+        // If delivered, the ACK used is the first true within budget.
+        if expected_delivered {
+            let first_ack = acks.iter().position(|&a| a).unwrap() as u32 + 1;
+            prop_assert_eq!(transmissions, first_ack);
+        }
+        // Time advanced at least one backoff + frame per transmission.
+        prop_assert!(elapsed >= SimDuration::from_micros(320 * transmissions as u64));
+    }
+
+    #[test]
+    fn transaction_time_grows_with_retry_delay(
+        payload in 1u16..=114,
+        seed in 0u64..500,
+    ) {
+        let acks = [false, false, true];
+        let (_, _, fast) = drive(payload, 3, 0, &acks, 0.0, seed);
+        let (_, _, slow) = drive(payload, 3, 100, &acks, 0.0, seed);
+        // Same seed → same backoffs; the only difference is 2 × Dretry.
+        let diff = slow - fast;
+        prop_assert_eq!(diff, SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn queue_accounting_under_random_operations(
+        cap in 1u16..=32,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut queue: TxQueue<u32> = TxQueue::new(QueueCap::new(cap).unwrap());
+        let mut accepted = 0u64;
+        let mut popped = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if *op {
+                match queue.offer(i as u32) {
+                    Admission::Accepted { depth } => {
+                        accepted += 1;
+                        prop_assert!(depth <= cap as usize);
+                    }
+                    Admission::Dropped => {
+                        prop_assert_eq!(queue.len(), cap as usize);
+                    }
+                }
+            } else if queue.pop().is_some() {
+                popped += 1;
+            }
+        }
+        prop_assert_eq!(queue.offered(), ops.iter().filter(|&&o| o).count() as u64);
+        prop_assert_eq!(accepted, queue.offered() - queue.dropped());
+        prop_assert_eq!(queue.len() as u64, accepted - popped);
+        prop_assert!(queue.peak_depth() <= cap as usize);
+    }
+
+    #[test]
+    fn first_activity_is_spi_load_then_listen(
+        payload in 1u16..=114,
+        seed in 0u64..100,
+    ) {
+        let mut txn = Transaction::new(
+            PayloadSize::new(payload).unwrap(),
+            MaxTries::ONE,
+            SimDuration::ZERO,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first = txn.advance(&mut rng);
+        match first {
+            Action::Wait { activity, .. } => {
+                prop_assert_eq!(activity, RadioActivity::SpiLoad)
+            }
+            _ => prop_assert!(false, "first action must be the SPI load"),
+        }
+        let second = txn.advance(&mut rng);
+        match second {
+            Action::Wait { activity, duration } => {
+                prop_assert_eq!(activity, RadioActivity::Listen);
+                prop_assert_eq!(duration.as_micros() % 320, 0);
+            }
+            _ => prop_assert!(false, "second action must be the initial backoff"),
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The full multi-layer stack configuration: one point in the 7-parameter
+//! space explored by the paper.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InvalidParam;
+use crate::frame::FrameGeometry;
+use crate::types::{
+    Distance, MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap, RetryDelay,
+};
+
+/// One complete configuration of the seven stack parameters (Table I).
+///
+/// Construct with [`StackConfig::builder`]; unspecified parameters default
+/// to the paper's case-study link (35 m) with mid-range settings.
+///
+/// ```
+/// use wsn_params::config::StackConfig;
+///
+/// let cfg = StackConfig::builder()
+///     .distance_m(35.0)
+///     .power_level(23)
+///     .payload_bytes(110)
+///     .max_tries(3)
+///     .retry_delay_ms(30)
+///     .queue_cap(30)
+///     .packet_interval_ms(30)
+///     .build()?;
+/// assert_eq!(cfg.payload.bytes(), 110);
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// PHY: sender–receiver distance.
+    pub distance: Distance,
+    /// PHY: CC2420 output power level.
+    pub power: PowerLevel,
+    /// MAC: maximum number of transmissions per packet.
+    pub max_tries: MaxTries,
+    /// MAC: delay before each retransmission.
+    pub retry_delay: RetryDelay,
+    /// Queue: transmit queue capacity.
+    pub queue_cap: QueueCap,
+    /// Application: packet inter-arrival time.
+    pub packet_interval: PacketInterval,
+    /// Application: packet payload size.
+    pub payload: PayloadSize,
+}
+
+impl StackConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> StackConfigBuilder {
+        StackConfigBuilder::default()
+    }
+
+    /// The on-air frame geometry implied by this configuration's payload.
+    pub fn frame(&self) -> FrameGeometry {
+        FrameGeometry::for_payload(self.payload)
+    }
+
+    /// Offered application load in bits per second
+    /// (`payload bits / Tpkt`).
+    pub fn offered_load_bps(&self) -> f64 {
+        self.payload.bits() as f64 / self.packet_interval.as_secs_f64()
+    }
+}
+
+impl Default for StackConfig {
+    /// The paper's running-example configuration: the 35 m link with
+    /// `Ptx = 23`, `lD = 110`, `NmaxTries = 3`, `Dretry = 30 ms`,
+    /// `Qmax = 30`, `Tpkt = 30 ms`.
+    fn default() -> Self {
+        StackConfig::builder()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+impl fmt::Display for StackConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {} {} {}",
+            self.distance,
+            self.power,
+            self.max_tries,
+            self.retry_delay,
+            self.queue_cap,
+            self.packet_interval,
+            self.payload
+        )
+    }
+}
+
+/// Builder for [`StackConfig`] (C-BUILDER). All setters take raw values and
+/// validation happens once at [`build`](StackConfigBuilder::build).
+#[derive(Debug, Clone)]
+pub struct StackConfigBuilder {
+    distance_m: f64,
+    power_level: u8,
+    max_tries: u8,
+    retry_delay_ms: u32,
+    queue_cap: u16,
+    packet_interval_ms: u32,
+    payload_bytes: u16,
+}
+
+impl Default for StackConfigBuilder {
+    fn default() -> Self {
+        StackConfigBuilder {
+            distance_m: 35.0,
+            power_level: 23,
+            max_tries: 3,
+            retry_delay_ms: 30,
+            queue_cap: 30,
+            packet_interval_ms: 30,
+            payload_bytes: 110,
+        }
+    }
+}
+
+impl StackConfigBuilder {
+    /// Sets the link distance in meters.
+    pub fn distance_m(&mut self, meters: f64) -> &mut Self {
+        self.distance_m = meters;
+        self
+    }
+
+    /// Sets the CC2420 PA level (1..=31).
+    pub fn power_level(&mut self, level: u8) -> &mut Self {
+        self.power_level = level;
+        self
+    }
+
+    /// Sets the maximum number of transmissions (≥ 1).
+    pub fn max_tries(&mut self, tries: u8) -> &mut Self {
+        self.max_tries = tries;
+        self
+    }
+
+    /// Sets the retransmission delay in milliseconds.
+    pub fn retry_delay_ms(&mut self, millis: u32) -> &mut Self {
+        self.retry_delay_ms = millis;
+        self
+    }
+
+    /// Sets the transmit queue capacity in packets (≥ 1).
+    pub fn queue_cap(&mut self, cap: u16) -> &mut Self {
+        self.queue_cap = cap;
+        self
+    }
+
+    /// Sets the packet inter-arrival time in milliseconds (> 0).
+    pub fn packet_interval_ms(&mut self, millis: u32) -> &mut Self {
+        self.packet_interval_ms = millis;
+        self
+    }
+
+    /// Sets the payload size in bytes (1..=114).
+    pub fn payload_bytes(&mut self, bytes: u16) -> &mut Self {
+        self.payload_bytes = bytes;
+        self
+    }
+
+    /// Validates every parameter and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`InvalidParam`] encountered, in declaration order.
+    pub fn build(&self) -> Result<StackConfig, InvalidParam> {
+        Ok(StackConfig {
+            distance: Distance::from_meters(self.distance_m)?,
+            power: PowerLevel::new(self.power_level)?,
+            max_tries: MaxTries::new(self.max_tries)?,
+            retry_delay: RetryDelay::from_millis(self.retry_delay_ms),
+            queue_cap: QueueCap::new(self.queue_cap)?,
+            packet_interval: PacketInterval::from_millis(self.packet_interval_ms)?,
+            payload: PayloadSize::new(self.payload_bytes)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_the_case_study_link() {
+        let cfg = StackConfig::default();
+        assert_eq!(cfg.distance.meters(), 35.0);
+        assert_eq!(cfg.power.level(), 23);
+        assert_eq!(cfg.max_tries.get(), 3);
+        assert_eq!(cfg.retry_delay.millis(), 30);
+        assert_eq!(cfg.queue_cap.get(), 30);
+        assert_eq!(cfg.packet_interval.millis(), 30);
+        assert_eq!(cfg.payload.bytes(), 110);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = StackConfig::builder()
+            .distance_m(10.0)
+            .power_level(31)
+            .max_tries(8)
+            .retry_delay_ms(100)
+            .queue_cap(1)
+            .packet_interval_ms(500)
+            .payload_bytes(5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.distance.meters(), 10.0);
+        assert_eq!(cfg.power.level(), 31);
+        assert_eq!(cfg.max_tries.get(), 8);
+        assert_eq!(cfg.retry_delay.millis(), 100);
+        assert_eq!(cfg.queue_cap.get(), 1);
+        assert_eq!(cfg.packet_interval.millis(), 500);
+        assert_eq!(cfg.payload.bytes(), 5);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_values() {
+        assert!(StackConfig::builder().power_level(0).build().is_err());
+        assert!(StackConfig::builder().payload_bytes(200).build().is_err());
+        assert!(StackConfig::builder().max_tries(0).build().is_err());
+        assert!(StackConfig::builder().queue_cap(0).build().is_err());
+        assert!(StackConfig::builder()
+            .packet_interval_ms(0)
+            .build()
+            .is_err());
+        assert!(StackConfig::builder().distance_m(-5.0).build().is_err());
+    }
+
+    #[test]
+    fn offered_load_matches_hand_computation() {
+        let cfg = StackConfig::builder()
+            .payload_bytes(110)
+            .packet_interval_ms(30)
+            .build()
+            .unwrap();
+        // 880 bits every 30 ms = 29,333 b/s.
+        assert!((cfg.offered_load_bps() - 880.0 / 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_all_seven_parameters() {
+        let s = StackConfig::default().to_string();
+        for needle in [
+            "35m",
+            "Ptx=23",
+            "NmaxTries=3",
+            "Dretry=30ms",
+            "Qmax=30",
+            "Tpkt=30ms",
+            "lD=110B",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn frame_geometry_follows_payload() {
+        let cfg = StackConfig::builder().payload_bytes(114).build().unwrap();
+        assert_eq!(cfg.frame().mpdu_bytes(), 127);
+    }
+}

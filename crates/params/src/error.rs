@@ -1,0 +1,70 @@
+//! Validation errors for stack-parameter values.
+
+use core::fmt;
+
+/// Error returned when a stack-parameter value is outside its valid domain.
+///
+/// Each variant carries the offending value so callers can report exactly
+/// what was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidParam {
+    /// CC2420 PA level must be in `1..=31`.
+    PowerLevel(u8),
+    /// Payload must be `1..=114` bytes (TinyOS 2.1 CC2420 stack limit).
+    PayloadSize(u16),
+    /// At least one transmission attempt is required.
+    MaxTries(u8),
+    /// Queue must hold at least the packet in service.
+    QueueCap(u16),
+    /// Packet inter-arrival time must be positive.
+    PacketInterval(u32),
+    /// Distance must be positive and finite (meters).
+    Distance(f64),
+}
+
+impl fmt::Display for InvalidParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidParam::PowerLevel(v) => {
+                write!(f, "power level {v} outside CC2420 PA range 1..=31")
+            }
+            InvalidParam::PayloadSize(v) => {
+                write!(f, "payload size {v} outside 1..=114 bytes")
+            }
+            InvalidParam::MaxTries(v) => {
+                write!(f, "max transmissions {v} must be at least 1")
+            }
+            InvalidParam::QueueCap(v) => {
+                write!(f, "queue capacity {v} must be at least 1")
+            }
+            InvalidParam::PacketInterval(v) => {
+                write!(f, "packet inter-arrival time {v} ms must be positive")
+            }
+            InvalidParam::Distance(v) => {
+                write!(f, "distance {v} m must be positive and finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InvalidParam {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(InvalidParam::PowerLevel(0).to_string().contains("CC2420"));
+        assert!(InvalidParam::PayloadSize(200).to_string().contains("114"));
+        assert!(InvalidParam::Distance(-1.0)
+            .to_string()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(InvalidParam::MaxTries(0));
+    }
+}

@@ -1,0 +1,162 @@
+//! IEEE 802.15.4 / TinyOS 2.1 frame geometry.
+//!
+//! The per-frame byte layout determines both the on-air transmission time
+//! (at 250 kb/s a byte lasts 32 µs) and the stack-overhead term `l0` in the
+//! paper's energy model (Eq. 2).
+//!
+//! Layout of one data frame as transmitted by the CC2420:
+//!
+//! ```text
+//! | preamble 4 | SFD 1 | LEN 1 |  MAC header 11  | payload lD | FCS 2 |
+//! |<------ PHY: 6 ----->|<------------- MPDU: <= 127 ---------------->|
+//! ```
+//!
+//! MAC header: frame control (2), sequence number (1), destination PAN (2),
+//! destination address (2), source PAN (2), source address (2) = 11 bytes.
+//! With the 2-byte FCS, 13 bytes of the MPDU are overhead, leaving
+//! 127 − 13 = **114 bytes** of maximum payload — the paper's `lD` limit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::PayloadSize;
+
+/// PHY-layer synchronisation header: 4 B preamble + 1 B SFD + 1 B length.
+pub const PHY_OVERHEAD_BYTES: u16 = 6;
+
+/// MAC header bytes (FCF, DSN, dest PAN, dest, src PAN, src).
+pub const MAC_HEADER_BYTES: u16 = 11;
+
+/// Frame check sequence (CRC-16) bytes.
+pub const FCS_BYTES: u16 = 2;
+
+/// Total per-frame stack overhead `l0` on the air, in bytes.
+pub const STACK_OVERHEAD_BYTES: u16 = PHY_OVERHEAD_BYTES + MAC_HEADER_BYTES + FCS_BYTES;
+
+/// Maximum MPDU size allowed by IEEE 802.15.4 (bytes).
+pub const MAX_MPDU_BYTES: u16 = 127;
+
+/// Length of an acknowledgement frame on the air: PHY (6) + FCF (2) +
+/// DSN (1) + FCS (2) = 11 bytes.
+pub const ACK_FRAME_BYTES: u16 = 11;
+
+/// PHY data rate of the CC2420 in the 2.4 GHz band, bits per second.
+pub const PHY_RATE_BPS: u32 = 250_000;
+
+/// Time to serialise one byte onto the air at 250 kb/s, in microseconds.
+pub const BYTE_TIME_US: u32 = 32;
+
+/// On-air geometry of one data frame for a given application payload.
+///
+/// ```
+/// use wsn_params::frame::FrameGeometry;
+/// use wsn_params::types::PayloadSize;
+///
+/// let g = FrameGeometry::for_payload(PayloadSize::MAX);
+/// assert_eq!(g.mpdu_bytes(), 127);        // fills the 802.15.4 MPDU
+/// assert_eq!(g.air_bytes(), 133);         // + 6 bytes PHY header
+/// assert_eq!(g.air_time_us(), 133 * 32);  // 4.256 ms at 250 kb/s
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameGeometry {
+    payload: PayloadSize,
+}
+
+impl FrameGeometry {
+    /// Geometry of the frame carrying `payload`.
+    pub fn for_payload(payload: PayloadSize) -> Self {
+        FrameGeometry { payload }
+    }
+
+    /// The application payload carried.
+    pub fn payload(self) -> PayloadSize {
+        self.payload
+    }
+
+    /// MPDU length (MAC header + payload + FCS), bytes.
+    pub fn mpdu_bytes(self) -> u16 {
+        MAC_HEADER_BYTES + self.payload.bytes() + FCS_BYTES
+    }
+
+    /// Total bytes serialised on the air including the PHY header.
+    pub fn air_bytes(self) -> u16 {
+        PHY_OVERHEAD_BYTES + self.mpdu_bytes()
+    }
+
+    /// Total bits on the air.
+    pub fn air_bits(self) -> u32 {
+        self.air_bytes() as u32 * 8
+    }
+
+    /// Stack overhead `l0` accompanying the payload, in bytes (Eq. 2 term).
+    pub fn overhead_bytes(self) -> u16 {
+        STACK_OVERHEAD_BYTES
+    }
+
+    /// Frame transmission time `T_frame` on the air, microseconds.
+    pub fn air_time_us(self) -> u32 {
+        self.air_bytes() as u32 * BYTE_TIME_US
+    }
+
+    /// Frame transmission time in seconds.
+    pub fn air_time_secs(self) -> f64 {
+        self.air_time_us() as f64 / 1e6
+    }
+
+    /// Fraction of on-air bits that are useful payload (protocol efficiency).
+    pub fn efficiency(self) -> f64 {
+        self.payload.bytes() as f64 / self.air_bytes() as f64
+    }
+}
+
+/// ACK frame transmission time on the air, microseconds.
+pub fn ack_air_time_us() -> u32 {
+    ACK_FRAME_BYTES as u32 * BYTE_TIME_US
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::PayloadSize;
+
+    #[test]
+    fn max_payload_fills_mpdu_exactly() {
+        let g = FrameGeometry::for_payload(PayloadSize::MAX);
+        assert_eq!(g.mpdu_bytes(), MAX_MPDU_BYTES);
+    }
+
+    #[test]
+    fn overhead_is_nineteen_bytes() {
+        assert_eq!(STACK_OVERHEAD_BYTES, 19);
+        let g = FrameGeometry::for_payload(PayloadSize::new(50).unwrap());
+        assert_eq!(g.overhead_bytes(), 19);
+        assert_eq!(g.air_bytes(), 69);
+    }
+
+    #[test]
+    fn air_time_matches_250kbps() {
+        // 114 B payload -> 133 B on air -> 1064 bits -> 4.256 ms.
+        let g = FrameGeometry::for_payload(PayloadSize::MAX);
+        assert_eq!(g.air_time_us(), 4_256);
+        assert!((g.air_time_secs() - 0.004256).abs() < 1e-12);
+        assert_eq!(g.air_bits(), 1_064);
+    }
+
+    #[test]
+    fn ack_takes_352_us() {
+        assert_eq!(ack_air_time_us(), 352);
+    }
+
+    #[test]
+    fn efficiency_grows_with_payload() {
+        let small = FrameGeometry::for_payload(PayloadSize::new(5).unwrap());
+        let large = FrameGeometry::for_payload(PayloadSize::MAX);
+        assert!(small.efficiency() < large.efficiency());
+        assert!((small.efficiency() - 5.0 / 24.0).abs() < 1e-12);
+        assert!((large.efficiency() - 114.0 / 133.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_time_consistent_with_rate() {
+        assert_eq!(8 * 1_000_000 / PHY_RATE_BPS, BYTE_TIME_US);
+    }
+}

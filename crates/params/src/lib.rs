@@ -1,0 +1,54 @@
+//! # wsn-params
+//!
+//! The shared vocabulary of the reproduction of *"Experimental Study for
+//! Multi-layer Parameter Configuration of WSN Links"* (Fu et al., ICDCS
+//! 2015): validated newtypes for the paper's **seven stack parameters**
+//! (Table I), the IEEE 802.15.4 / TinyOS 2.1 frame geometry they imply, a
+//! [`StackConfig`](config::StackConfig) bundling one point of the parameter
+//! space, and the [`ParamGrid`](grid::ParamGrid) that reconstructs the
+//! paper's ~48k-configuration exploration grid.
+//!
+//! | Layer | Parameter | Type |
+//! |-------|-----------|------|
+//! | PHY   | distance `d` | [`types::Distance`] |
+//! | PHY   | output power `Ptx` | [`types::PowerLevel`] |
+//! | MAC   | max transmissions `NmaxTries` | [`types::MaxTries`] |
+//! | MAC   | retry delay `Dretry` | [`types::RetryDelay`] |
+//! | Queue | capacity `Qmax` | [`types::QueueCap`] |
+//! | App   | inter-arrival `Tpkt` | [`types::PacketInterval`] |
+//! | App   | payload `lD` | [`types::PayloadSize`] |
+//!
+//! ```
+//! use wsn_params::prelude::*;
+//!
+//! let cfg = StackConfig::builder()
+//!     .distance_m(35.0)
+//!     .power_level(23)
+//!     .payload_bytes(110)
+//!     .build()?;
+//! assert_eq!(cfg.frame().air_bytes(), 129);
+//!
+//! let grid = ParamGrid::paper();
+//! assert_eq!(grid.len(), 48_384);
+//! # Ok::<(), wsn_params::error::InvalidParam>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod frame;
+pub mod grid;
+pub mod types;
+
+/// Convenient glob-import of the parameter vocabulary.
+pub mod prelude {
+    pub use crate::config::{StackConfig, StackConfigBuilder};
+    pub use crate::error::InvalidParam;
+    pub use crate::frame::FrameGeometry;
+    pub use crate::grid::ParamGrid;
+    pub use crate::types::{
+        Distance, MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap, RetryDelay,
+    };
+}

@@ -1,0 +1,356 @@
+//! Validated newtypes for the seven stack parameters of Table I.
+//!
+//! Each parameter gets its own type so a `Ptx` can never be passed where an
+//! `NmaxTries` is expected (C-NEWTYPE). Constructors validate the domain and
+//! return [`InvalidParam`] on bad input.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::InvalidParam;
+
+/// PHY: distance between sender and receiver, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Distance(f64);
+
+impl Distance {
+    /// Creates a distance of `meters` (must be positive and finite).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::Distance`] for non-positive or non-finite input.
+    pub fn from_meters(meters: f64) -> Result<Self, InvalidParam> {
+        if meters.is_finite() && meters > 0.0 {
+            Ok(Distance(meters))
+        } else {
+            Err(InvalidParam::Distance(meters))
+        }
+    }
+
+    /// Distance in meters.
+    pub fn meters(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}m", self.0)
+    }
+}
+
+/// PHY: CC2420 programmable output power level (register `PA_LEVEL`).
+///
+/// Valid levels are 1..=31; the paper's grid uses {3, 7, 11, 15, 19, 23, 27,
+/// 31}. The dBm / current mapping lives in `wsn-radio`, which owns the
+/// CC2420 datasheet tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PowerLevel(u8);
+
+impl PowerLevel {
+    /// Minimum PA level.
+    pub const MIN: PowerLevel = PowerLevel(1);
+    /// Maximum PA level (0 dBm on CC2420).
+    pub const MAX: PowerLevel = PowerLevel(31);
+
+    /// Creates a power level, validating `1..=31`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::PowerLevel`] if outside the PA range.
+    pub fn new(level: u8) -> Result<Self, InvalidParam> {
+        if (1..=31).contains(&level) {
+            Ok(PowerLevel(level))
+        } else {
+            Err(InvalidParam::PowerLevel(level))
+        }
+    }
+
+    /// The raw PA level.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for PowerLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ptx={}", self.0)
+    }
+}
+
+/// MAC: maximum number of transmissions of one packet (1 = no retransmission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MaxTries(u8);
+
+impl MaxTries {
+    /// No retransmissions: a single attempt.
+    pub const ONE: MaxTries = MaxTries(1);
+
+    /// Creates a transmission budget (must be ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::MaxTries`] if `tries` is zero.
+    pub fn new(tries: u8) -> Result<Self, InvalidParam> {
+        if tries >= 1 {
+            Ok(MaxTries(tries))
+        } else {
+            Err(InvalidParam::MaxTries(tries))
+        }
+    }
+
+    /// The transmission budget.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+
+    /// True if retransmissions are enabled (budget > 1).
+    pub fn retransmits(self) -> bool {
+        self.0 > 1
+    }
+}
+
+impl fmt::Display for MaxTries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NmaxTries={}", self.0)
+    }
+}
+
+/// MAC: delay inserted before each retransmission, in milliseconds.
+///
+/// Zero is valid (immediate retry after the ACK timeout).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RetryDelay(u32);
+
+impl RetryDelay {
+    /// Immediate retransmission.
+    pub const ZERO: RetryDelay = RetryDelay(0);
+
+    /// Creates a retry delay of `millis` milliseconds.
+    pub const fn from_millis(millis: u32) -> Self {
+        RetryDelay(millis)
+    }
+
+    /// Delay in milliseconds.
+    pub const fn millis(self) -> u32 {
+        self.0
+    }
+
+    /// Delay in seconds (float).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+}
+
+impl fmt::Display for RetryDelay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dretry={}ms", self.0)
+    }
+}
+
+/// Queue: capacity of the transmit FIFO above the MAC, in packets.
+///
+/// The packet currently in MAC service occupies one slot; `QueueCap::new(1)`
+/// therefore means "no buffering beyond the packet in service", matching the
+/// paper's `Qmax = 1` configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueueCap(u16);
+
+impl QueueCap {
+    /// Queue that only holds the packet in service.
+    pub const ONE: QueueCap = QueueCap(1);
+
+    /// Creates a queue capacity (must be ≥ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::QueueCap`] if `cap` is zero.
+    pub fn new(cap: u16) -> Result<Self, InvalidParam> {
+        if cap >= 1 {
+            Ok(QueueCap(cap))
+        } else {
+            Err(InvalidParam::QueueCap(cap))
+        }
+    }
+
+    /// The capacity in packets.
+    pub fn get(self) -> u16 {
+        self.0
+    }
+
+    /// True if the queue can buffer packets beyond the one in service.
+    pub fn buffers(self) -> bool {
+        self.0 > 1
+    }
+}
+
+impl fmt::Display for QueueCap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Qmax={}", self.0)
+    }
+}
+
+/// Application: packet inter-arrival time `Tpkt`, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PacketInterval(u32);
+
+impl PacketInterval {
+    /// Creates an inter-arrival time of `millis` milliseconds (must be > 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::PacketInterval`] if `millis` is zero.
+    pub fn from_millis(millis: u32) -> Result<Self, InvalidParam> {
+        if millis > 0 {
+            Ok(PacketInterval(millis))
+        } else {
+            Err(InvalidParam::PacketInterval(millis))
+        }
+    }
+
+    /// Interval in milliseconds.
+    pub const fn millis(self) -> u32 {
+        self.0
+    }
+
+    /// Interval in seconds (float).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Offered packet rate, in packets per second.
+    pub fn rate_pps(self) -> f64 {
+        1e3 / self.0 as f64
+    }
+}
+
+impl fmt::Display for PacketInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tpkt={}ms", self.0)
+    }
+}
+
+/// Application: packet payload size `lD`, in bytes.
+///
+/// Limited to 114 bytes by the TinyOS 2.1 CC2420 stack: the 802.15.4 MPDU is
+/// at most 127 bytes, of which 13 are MAC header + FCS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PayloadSize(u16);
+
+impl PayloadSize {
+    /// Largest payload the reproduced stack can carry (114 bytes).
+    pub const MAX: PayloadSize = PayloadSize(114);
+    /// Smallest payload in the paper's grid (5 bytes).
+    pub const MIN_GRID: PayloadSize = PayloadSize(5);
+
+    /// Creates a payload size, validating `1..=114`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::PayloadSize`] if outside the stack limit.
+    pub fn new(bytes: u16) -> Result<Self, InvalidParam> {
+        if (1..=114).contains(&bytes) {
+            Ok(PayloadSize(bytes))
+        } else {
+            Err(InvalidParam::PayloadSize(bytes))
+        }
+    }
+
+    /// Payload length in bytes.
+    pub fn bytes(self) -> u16 {
+        self.0
+    }
+
+    /// Payload length in bits.
+    pub fn bits(self) -> u32 {
+        self.0 as u32 * 8
+    }
+}
+
+impl fmt::Display for PayloadSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lD={}B", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_validation() {
+        assert!(Distance::from_meters(35.0).is_ok());
+        assert!(Distance::from_meters(0.0).is_err());
+        assert!(Distance::from_meters(-3.0).is_err());
+        assert!(Distance::from_meters(f64::NAN).is_err());
+        assert!(Distance::from_meters(f64::INFINITY).is_err());
+        assert_eq!(Distance::from_meters(20.0).unwrap().meters(), 20.0);
+    }
+
+    #[test]
+    fn power_level_validation() {
+        assert!(PowerLevel::new(0).is_err());
+        assert!(PowerLevel::new(32).is_err());
+        for lvl in [3u8, 7, 11, 15, 19, 23, 27, 31] {
+            assert_eq!(PowerLevel::new(lvl).unwrap().level(), lvl);
+        }
+        assert_eq!(PowerLevel::MIN.level(), 1);
+        assert_eq!(PowerLevel::MAX.level(), 31);
+    }
+
+    #[test]
+    fn max_tries_validation() {
+        assert!(MaxTries::new(0).is_err());
+        assert!(!MaxTries::ONE.retransmits());
+        assert!(MaxTries::new(3).unwrap().retransmits());
+        assert_eq!(MaxTries::new(8).unwrap().get(), 8);
+    }
+
+    #[test]
+    fn retry_delay_conversions() {
+        assert_eq!(RetryDelay::ZERO.millis(), 0);
+        assert_eq!(RetryDelay::from_millis(30).millis(), 30);
+        assert!((RetryDelay::from_millis(100).as_secs_f64() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_cap_validation() {
+        assert!(QueueCap::new(0).is_err());
+        assert!(!QueueCap::ONE.buffers());
+        assert!(QueueCap::new(30).unwrap().buffers());
+    }
+
+    #[test]
+    fn packet_interval_rates() {
+        assert!(PacketInterval::from_millis(0).is_err());
+        let t = PacketInterval::from_millis(30).unwrap();
+        assert_eq!(t.millis(), 30);
+        assert!((t.rate_pps() - 33.333).abs() < 0.01);
+        assert!((t.as_secs_f64() - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn payload_validation_and_bits() {
+        assert!(PayloadSize::new(0).is_err());
+        assert!(PayloadSize::new(115).is_err());
+        assert_eq!(PayloadSize::MAX.bytes(), 114);
+        assert_eq!(PayloadSize::new(110).unwrap().bits(), 880);
+    }
+
+    #[test]
+    fn displays_use_paper_notation() {
+        assert_eq!(PowerLevel::new(7).unwrap().to_string(), "Ptx=7");
+        assert_eq!(PayloadSize::new(110).unwrap().to_string(), "lD=110B");
+        assert_eq!(MaxTries::new(3).unwrap().to_string(), "NmaxTries=3");
+        assert_eq!(RetryDelay::from_millis(30).to_string(), "Dretry=30ms");
+        assert_eq!(QueueCap::new(30).unwrap().to_string(), "Qmax=30");
+        assert_eq!(
+            PacketInterval::from_millis(30).unwrap().to_string(),
+            "Tpkt=30ms"
+        );
+        assert_eq!(Distance::from_meters(35.0).unwrap().to_string(), "35m");
+    }
+}

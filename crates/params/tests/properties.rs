@@ -1,0 +1,144 @@
+//! Property tests for the parameter vocabulary and the configuration grid.
+
+use proptest::prelude::*;
+
+use wsn_params::config::StackConfig;
+use wsn_params::frame::{FrameGeometry, STACK_OVERHEAD_BYTES};
+use wsn_params::grid::ParamGrid;
+use wsn_params::types::*;
+
+proptest! {
+    #[test]
+    fn builder_accepts_exactly_the_valid_domain(
+        power in 0u8..=40,
+        tries in 0u8..=20,
+        qmax in 0u16..=100,
+        tpkt in 0u32..=1000,
+        payload in 0u16..=200,
+        dist_m in -5.0f64..100.0,
+    ) {
+        let result = StackConfig::builder()
+            .power_level(power)
+            .max_tries(tries)
+            .queue_cap(qmax)
+            .packet_interval_ms(tpkt)
+            .payload_bytes(payload)
+            .distance_m(dist_m)
+            .build();
+        let valid = (1..=31).contains(&power)
+            && tries >= 1
+            && qmax >= 1
+            && tpkt >= 1
+            && (1..=114).contains(&payload)
+            && dist_m > 0.0;
+        prop_assert_eq!(result.is_ok(), valid);
+    }
+
+    #[test]
+    fn frame_geometry_invariants(payload in 1u16..=114) {
+        let g = FrameGeometry::for_payload(PayloadSize::new(payload).unwrap());
+        prop_assert_eq!(g.air_bytes(), payload + STACK_OVERHEAD_BYTES);
+        prop_assert!(g.mpdu_bytes() <= 127);
+        prop_assert_eq!(g.air_time_us(), g.air_bytes() as u32 * 32);
+        prop_assert!(g.efficiency() > 0.0 && g.efficiency() < 1.0);
+        // Efficiency strictly improves with payload.
+        if payload < 114 {
+            let bigger = FrameGeometry::for_payload(PayloadSize::new(payload + 1).unwrap());
+            prop_assert!(bigger.efficiency() > g.efficiency());
+        }
+    }
+
+    #[test]
+    fn grid_config_at_matches_iterator(
+        n_powers in 1usize..4,
+        n_tries in 1usize..3,
+        n_payloads in 1usize..4,
+        n_intervals in 1usize..3,
+    ) {
+        let grid = ParamGrid {
+            distances_m: vec![10.0, 35.0],
+            power_levels: (0..n_powers).map(|i| (3 + 4 * i) as u8).collect(),
+            max_tries: (0..n_tries).map(|i| (1 + 2 * i) as u8).collect(),
+            retry_delays_ms: vec![0, 30],
+            queue_caps: vec![1, 30],
+            packet_intervals_ms: (0..n_intervals).map(|i| 10 * (i as u32 + 1)).collect(),
+            payloads: (0..n_payloads).map(|i| (5 + 30 * i) as u16).collect(),
+        };
+        prop_assert!(grid.validate().is_ok());
+        let collected: Vec<StackConfig> = grid.iter().collect();
+        prop_assert_eq!(collected.len(), grid.len());
+        for (i, cfg) in collected.iter().enumerate() {
+            prop_assert_eq!(&grid.config_at(i), cfg);
+        }
+    }
+
+    #[test]
+    fn offered_load_scales_linearly_with_payload(
+        payload in 1u16..=57,
+        tpkt in 1u32..=500,
+    ) {
+        let one = StackConfig::builder()
+            .payload_bytes(payload)
+            .packet_interval_ms(tpkt)
+            .build()
+            .unwrap();
+        let double = StackConfig::builder()
+            .payload_bytes(payload * 2)
+            .packet_interval_ms(tpkt)
+            .build()
+            .unwrap();
+        let ratio = double.offered_load_bps() / one.offered_load_bps();
+        prop_assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_round_trips_key_values(
+        power in 1u8..=31,
+        payload in 1u16..=114,
+    ) {
+        let cfg = StackConfig::builder()
+            .power_level(power)
+            .payload_bytes(payload)
+            .build()
+            .unwrap();
+        let s = cfg.to_string();
+        let has_power = s.contains(&format!("Ptx={}", power));
+        let has_payload = s.contains(&format!("lD={}B", payload));
+        prop_assert!(has_power, "missing power in '{}'", s);
+        prop_assert!(has_payload, "missing payload in '{}'", s);
+    }
+}
+
+proptest! {
+    #[test]
+    fn configs_round_trip_through_json(
+        power in 1u8..=31,
+        tries in 1u8..=8,
+        qmax in 1u16..=30,
+        tpkt in 1u32..=500,
+        payload in 1u16..=114,
+    ) {
+        let cfg = StackConfig::builder()
+            .power_level(power)
+            .max_tries(tries)
+            .queue_cap(qmax)
+            .packet_interval_ms(tpkt)
+            .payload_bytes(payload)
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&cfg).expect("serializes");
+        let back: StackConfig = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn grids_round_trip_through_json(n_payloads in 1usize..4) {
+        let grid = ParamGrid {
+            payloads: (0..n_payloads).map(|i| (10 + 20 * i) as u16).collect(),
+            ..ParamGrid::paper()
+        };
+        let json = serde_json::to_string(&grid).expect("serializes");
+        let back: ParamGrid = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(back, grid);
+    }
+}

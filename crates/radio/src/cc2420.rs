@@ -1,0 +1,162 @@
+//! TI CC2420 radio characteristics, taken from the datasheet the paper used
+//! to estimate `Etx` in its energy model (Eq. 2).
+//!
+//! The CC2420 exposes 31 programmable PA levels; the datasheet specifies the
+//! output power and TX current draw at eight anchor levels. Intermediate
+//! levels are linearly interpolated, which matches common practice in the
+//! WSN literature.
+
+use wsn_params::frame::PHY_RATE_BPS;
+use wsn_params::types::PowerLevel;
+
+/// Supply voltage of a TelosB mote (2 × AA), volts.
+pub const SUPPLY_VOLTAGE: f64 = 3.0;
+
+/// RX / listen current draw, amperes (datasheet: 18.8 mA).
+pub const RX_CURRENT_A: f64 = 18.8e-3;
+
+/// Idle-mode current draw, amperes (datasheet: 426 µA).
+pub const IDLE_CURRENT_A: f64 = 426e-6;
+
+/// Power-down (sleep) current draw, amperes (datasheet: 20 µA).
+pub const SLEEP_CURRENT_A: f64 = 20e-6;
+
+/// Receiver sensitivity, dBm (datasheet: −95 dBm).
+pub const SENSITIVITY_DBM: f64 = -95.0;
+
+/// Datasheet anchors: `(PA level, output dBm, TX current A)`.
+const PA_TABLE: [(u8, f64, f64); 8] = [
+    (3, -25.0, 8.5e-3),
+    (7, -15.0, 9.9e-3),
+    (11, -10.0, 11.2e-3),
+    (15, -7.0, 12.5e-3),
+    (19, -5.0, 13.9e-3),
+    (23, -3.0, 15.2e-3),
+    (27, -1.0, 16.5e-3),
+    (31, 0.0, 17.4e-3),
+];
+
+fn interpolate(level: u8, field: impl Fn(&(u8, f64, f64)) -> f64) -> f64 {
+    let l = level as f64;
+    if level <= PA_TABLE[0].0 {
+        return field(&PA_TABLE[0]);
+    }
+    if level >= PA_TABLE[PA_TABLE.len() - 1].0 {
+        return field(&PA_TABLE[PA_TABLE.len() - 1]);
+    }
+    for pair in PA_TABLE.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        if level >= lo.0 && level <= hi.0 {
+            let t = (l - lo.0 as f64) / (hi.0 as f64 - lo.0 as f64);
+            return field(lo) + t * (field(hi) - field(lo));
+        }
+    }
+    unreachable!("PA table covers 3..=31 and ends are clamped")
+}
+
+/// Transmit output power for a PA level, dBm.
+///
+/// ```
+/// use wsn_params::types::PowerLevel;
+/// use wsn_radio::cc2420::output_power_dbm;
+///
+/// assert_eq!(output_power_dbm(PowerLevel::MAX), 0.0);
+/// assert_eq!(output_power_dbm(PowerLevel::new(23)?), -3.0);
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+pub fn output_power_dbm(level: PowerLevel) -> f64 {
+    interpolate(level.level(), |a| a.1)
+}
+
+/// Transmit current draw for a PA level, amperes.
+pub fn tx_current_a(level: PowerLevel) -> f64 {
+    interpolate(level.level(), |a| a.2)
+}
+
+/// Transmit power drain for a PA level, watts (`V · I`).
+pub fn tx_power_w(level: PowerLevel) -> f64 {
+    SUPPLY_VOLTAGE * tx_current_a(level)
+}
+
+/// Energy to transmit one bit at a PA level, joules — the `Etx` of Eq. 2.
+///
+/// At the maximum level this is `3 V × 17.4 mA / 250 kb/s ≈ 0.209 µJ/bit`,
+/// which is why the paper's best-case energies (Table IV) sit around
+/// 0.24 µJ per *information* bit once overhead is added.
+pub fn tx_energy_per_bit_j(level: PowerLevel) -> f64 {
+    tx_power_w(level) / PHY_RATE_BPS as f64
+}
+
+/// RX/listen power drain, watts.
+pub fn rx_power_w() -> f64 {
+    SUPPLY_VOLTAGE * RX_CURRENT_A
+}
+
+/// Idle power drain, watts.
+pub fn idle_power_w() -> f64 {
+    SUPPLY_VOLTAGE * IDLE_CURRENT_A
+}
+
+/// Sleep (power-down) drain, watts.
+pub fn sleep_power_w() -> f64 {
+    SUPPLY_VOLTAGE * SLEEP_CURRENT_A
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lvl(l: u8) -> PowerLevel {
+        PowerLevel::new(l).unwrap()
+    }
+
+    #[test]
+    fn anchor_levels_match_datasheet() {
+        for (level, dbm, amps) in PA_TABLE {
+            assert_eq!(output_power_dbm(lvl(level)), dbm);
+            assert_eq!(tx_current_a(lvl(level)), amps);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_monotone_in_level() {
+        let mut prev_dbm = f64::NEG_INFINITY;
+        let mut prev_amp = 0.0;
+        for level in 1..=31 {
+            let dbm = output_power_dbm(lvl(level));
+            let amp = tx_current_a(lvl(level));
+            assert!(dbm >= prev_dbm, "dBm not monotone at level {level}");
+            assert!(amp >= prev_amp, "current not monotone at level {level}");
+            prev_dbm = dbm;
+            prev_amp = amp;
+        }
+    }
+
+    #[test]
+    fn sub_anchor_levels_clamp() {
+        assert_eq!(output_power_dbm(lvl(1)), -25.0);
+        assert_eq!(tx_current_a(lvl(2)), 8.5e-3);
+    }
+
+    #[test]
+    fn midpoint_interpolates_linearly() {
+        // Level 5 is halfway between 3 (−25 dBm) and 7 (−15 dBm).
+        assert!((output_power_dbm(lvl(5)) - -20.0).abs() < 1e-9);
+        assert!((tx_current_a(lvl(5)) - 9.2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_per_bit_at_max_power() {
+        let e = tx_energy_per_bit_j(PowerLevel::MAX);
+        // 3 V * 17.4 mA / 250 kb/s = 208.8 nJ/bit.
+        assert!((e - 2.088e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rx_drain_exceeds_all_tx_drains() {
+        // A well-known CC2420 property: listening is more expensive than
+        // transmitting at any power level.
+        assert!(rx_power_w() > tx_power_w(PowerLevel::MAX));
+        assert!(idle_power_w() < tx_power_w(PowerLevel::MIN));
+    }
+}

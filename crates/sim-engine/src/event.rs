@@ -1,0 +1,164 @@
+//! The time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled occurrence: an event payload due at a given instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scheduled<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number; breaks ties FIFO so simultaneous events
+    /// fire in scheduling order, keeping runs deterministic.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<E: Eq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of future events ordered by `(time, insertion order)`.
+///
+/// ```
+/// use wsn_sim_engine::event::EventQueue;
+/// use wsn_sim_engine::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(20), "b");
+/// q.push(SimTime::from_micros(10), "a");
+/// q.push(SimTime::from_micros(20), "c");
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop()
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|s| s.event).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_len_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(7), "x");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(t(50), 50);
+        q.push(t(10), 10);
+        assert_eq!(q.pop().unwrap().event, 10);
+        q.push(t(20), 20);
+        q.push(t(5), 5);
+        assert_eq!(q.pop().unwrap().event, 5);
+        assert_eq!(q.pop().unwrap().event, 20);
+        assert_eq!(q.pop().unwrap().event, 50);
+    }
+}

@@ -1,0 +1,299 @@
+//! The simulation executor: drives a [`Model`] by draining the event queue.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Handle through which a [`Model`] schedules future events while handling
+/// the current one.
+///
+/// The scheduler enforces causality: events may only be scheduled at or after
+/// the current instant.
+#[derive(Debug)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E: Eq> Scheduler<'a, E> {
+    /// The current simulation instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after now.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (causality violation).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Requests that the executor stop after the current event returns.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// A discrete-event model: owns all mutable simulation state and reacts to
+/// events by updating state and scheduling more events.
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event: Eq;
+
+    /// Handles one event at its due time.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+}
+
+/// Why [`Executor::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely.
+    QueueEmpty,
+    /// The configured horizon was reached before the queue drained.
+    HorizonReached,
+    /// The model called [`Scheduler::stop`].
+    ModelRequested,
+    /// The event budget was exhausted (runaway-model guard).
+    EventBudgetExhausted,
+}
+
+/// Drives a [`Model`] until the queue drains, a horizon passes, the model
+/// stops itself, or an event budget runs out.
+///
+/// ```
+/// use wsn_sim_engine::executor::{Executor, Model, Scheduler, StopReason};
+/// use wsn_sim_engine::time::{SimDuration, SimTime};
+///
+/// struct Counter { ticks: u32 }
+/// impl Model for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _e: (), sched: &mut Scheduler<'_, ()>) {
+///         self.ticks += 1;
+///         if self.ticks < 5 {
+///             sched.schedule_in(SimDuration::from_millis(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut exec = Executor::new(Counter { ticks: 0 });
+/// exec.seed_at(SimTime::ZERO, ());
+/// let (reason, end) = exec.run();
+/// assert_eq!(reason, StopReason::QueueEmpty);
+/// assert_eq!(exec.model().ticks, 5);
+/// assert_eq!(end, SimTime::from_millis(4));
+/// ```
+#[derive(Debug)]
+pub struct Executor<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    horizon: SimTime,
+    event_budget: u64,
+    events_handled: u64,
+}
+
+impl<M: Model> Executor<M> {
+    /// Default guard against runaway models: 2^40 events.
+    pub const DEFAULT_EVENT_BUDGET: u64 = 1 << 40;
+
+    /// Creates an executor with an unbounded horizon.
+    pub fn new(model: M) -> Self {
+        Executor {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            horizon: SimTime::MAX,
+            event_budget: Self::DEFAULT_EVENT_BUDGET,
+            events_handled: 0,
+        }
+    }
+
+    /// Sets the latest instant at which events may still fire. Events due
+    /// strictly after the horizon are left unprocessed.
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Caps the number of handled events (guards against runaway models).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Schedules an initial event before the run starts.
+    pub fn seed_at(&mut self, at: SimTime, event: M::Event) {
+        self.queue.push(at, event);
+    }
+
+    /// The model under simulation.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to extract results after a run).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consumes the executor and returns the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// The current clock value (end time after a run).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Runs to completion; returns why the run stopped and the final clock.
+    pub fn run(&mut self) -> (StopReason, SimTime) {
+        let mut stop_requested = false;
+        loop {
+            if self.events_handled >= self.event_budget {
+                return (StopReason::EventBudgetExhausted, self.now);
+            }
+            let Some(next_time) = self.queue.peek_time() else {
+                return (StopReason::QueueEmpty, self.now);
+            };
+            if next_time > self.horizon {
+                // Leave post-horizon events unprocessed; clock stops at the
+                // horizon so rate metrics use the intended window length.
+                self.now = self.horizon;
+                return (StopReason::HorizonReached, self.now);
+            }
+            let scheduled = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(scheduled.time >= self.now, "event queue went backwards");
+            self.now = scheduled.time;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                stop_requested: &mut stop_requested,
+            };
+            self.model.handle(scheduled.event, &mut sched);
+            self.events_handled += 1;
+            if stop_requested {
+                return (StopReason::ModelRequested, self.now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that fires `n` ticks spaced 1 ms apart and records fire times.
+    struct Ticker {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+        stop_at_tick: Option<u32>,
+    }
+
+    impl Model for Ticker {
+        type Event = u32;
+        fn handle(&mut self, id: u32, sched: &mut Scheduler<'_, u32>) {
+            self.fired_at.push(sched.now());
+            if Some(id) == self.stop_at_tick {
+                sched.stop();
+                return;
+            }
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.schedule_in(SimDuration::from_millis(1), id + 1);
+            }
+        }
+    }
+
+    fn ticker(n: u32) -> Executor<Ticker> {
+        let mut exec = Executor::new(Ticker {
+            remaining: n,
+            fired_at: Vec::new(),
+            stop_at_tick: None,
+        });
+        exec.seed_at(SimTime::ZERO, 0);
+        exec
+    }
+
+    #[test]
+    fn runs_until_queue_empty() {
+        let mut exec = ticker(3);
+        let (reason, end) = exec.run();
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(end, SimTime::from_millis(3));
+        assert_eq!(exec.model().fired_at.len(), 4);
+        assert_eq!(exec.events_handled(), 4);
+    }
+
+    #[test]
+    fn horizon_cuts_run_short_and_clamps_clock() {
+        let mut exec = ticker(100).with_horizon(SimTime::from_millis(5));
+        let (reason, end) = exec.run();
+        assert_eq!(reason, StopReason::HorizonReached);
+        assert_eq!(end, SimTime::from_millis(5));
+        // ticks at 0..=5 ms fired; the 6 ms tick did not.
+        assert_eq!(exec.model().fired_at.len(), 6);
+    }
+
+    #[test]
+    fn model_can_stop_itself() {
+        let mut exec = Executor::new(Ticker {
+            remaining: 100,
+            fired_at: Vec::new(),
+            stop_at_tick: Some(2),
+        });
+        exec.seed_at(SimTime::ZERO, 0);
+        let (reason, end) = exec.run();
+        assert_eq!(reason, StopReason::ModelRequested);
+        assert_eq!(end, SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        let mut exec = ticker(1_000_000).with_event_budget(10);
+        let (reason, _) = exec.run();
+        assert_eq!(reason, StopReason::EventBudgetExhausted);
+        assert_eq!(exec.events_handled(), 10);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut exec = ticker(50);
+        exec.run();
+        let times = &exec.model().fired_at;
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _e: (), sched: &mut Scheduler<'_, ()>) {
+                sched.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut exec = Executor::new(Bad);
+        exec.seed_at(SimTime::from_millis(1), ());
+        exec.run();
+    }
+}

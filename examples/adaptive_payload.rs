@@ -1,0 +1,98 @@
+//! Adaptive payload sizing: track a time-varying link with the empirical
+//! energy model (Sec. IV-C).
+//!
+//! The paper's Fig. 9 observation — the energy-optimal payload shrinks from
+//! 114 bytes to ~40 bytes as the SNR falls from 17 dB to 5 dB — turns into
+//! a simple adaptation policy: estimate the SNR, ask the model for the
+//! optimal `lD`, and reconfigure. This example simulates a link whose
+//! quality degrades in stages (e.g. a door opening onto the hallway) and
+//! compares three policies: fixed-small, fixed-large, and model-adaptive.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_payload
+//! ```
+
+use wsn_linkconf::prelude::*;
+
+/// Simulate one stage and return measured (energy uJ/bit, goodput kb/s).
+fn run_stage(payload: PayloadSize, channel: ChannelConfig, seed: u64) -> (f64, f64) {
+    let config = StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(31)
+        .payload_bytes(payload.bytes())
+        .packet_interval_ms(100)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .build()
+        .expect("valid constants");
+    let outcome = LinkSimulation::new(
+        config,
+        SimOptions::quick(800).with_seed(seed).with_channel(channel),
+    )
+    .run();
+    let m = outcome.metrics();
+    (m.u_eng_uj_per_bit, m.goodput_bps / 1e3)
+}
+
+fn main() -> Result<(), InvalidParam> {
+    // Stages of link degradation: extra attenuation in dB on top of the
+    // hallway path loss (0 = nominal, 14 = heavily shadowed).
+    let stages: [(f64, &str); 4] = [
+        (0.0, "clear hallway"),
+        (10.0, "light shadowing"),
+        (17.0, "heavy shadowing"),
+        (23.0, "deep fade"), // SNR ≈ 6 dB: deep grey zone
+    ];
+
+    let energy_model = EnergyModel::paper();
+    let budget = LinkBudget::paper_hallway();
+    let d35 = Distance::from_meters(35.0)?;
+    let max_power = PowerLevel::MAX;
+
+    println!("stage               snr_dB  policy          lD    uJ/bit   kb/s");
+    println!("{}", "-".repeat(70));
+
+    let mut totals = [0.0f64; 3]; // energy accumulators per policy
+    for (i, &(extra_loss, label)) in stages.iter().enumerate() {
+        let mut channel = ChannelConfig::paper_hallway();
+        channel.pathloss.reference_loss_db += extra_loss;
+        let snr = budget.snr_db(max_power, d35) - extra_loss;
+
+        // The three policies.
+        let adaptive = energy_model.optimal_payload(snr, max_power);
+        let policies: [(&str, PayloadSize); 3] = [
+            ("fixed-small", PayloadSize::new(20)?),
+            ("fixed-large", PayloadSize::MAX),
+            ("adaptive", adaptive),
+        ];
+
+        for (pi, (name, payload)) in policies.iter().enumerate() {
+            let (uj, kbps) = run_stage(*payload, channel, (i * 10 + pi) as u64);
+            totals[pi] += uj;
+            println!(
+                "{label:<18} {snr:>6.1}  {name:<14} {:>4}  {uj:>7.3}  {kbps:>6.2}",
+                payload.bytes()
+            );
+        }
+        println!();
+    }
+
+    println!("total energy per bit across stages (lower is better):");
+    let names = ["fixed-small", "fixed-large", "adaptive"];
+    for (name, total) in names.iter().zip(totals) {
+        println!("  {name:<12} {total:>8.3} uJ/bit-stage");
+    }
+    let winner = names[totals
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty")
+        .0];
+    println!("  winner: {winner}");
+    println!(
+        "\nThe adaptive policy tracks the model's optimum (Fig. 9): max payload on a\n\
+         clear link, shrinking payloads as the SNR sinks into the grey zone."
+    );
+    Ok(())
+}

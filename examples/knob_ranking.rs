@@ -1,0 +1,73 @@
+//! Knob ranking: which of the six tunable parameters matters most, for
+//! which metric, at the current operating point?
+//!
+//! The paper's central theme is that parameter effects are joint — a
+//! knob's leverage depends on where the other knobs (and the link) sit.
+//! This example prints tornado-style sensitivity tables for two very
+//! different operating points.
+//!
+//! ```sh
+//! cargo run --release --example knob_ranking
+//! ```
+
+use wsn_linkconf::prelude::*;
+use wsn_params::grid::ParamGrid;
+
+fn print_ranking(predictor: &Predictor, config: &StackConfig, grid: &ParamGrid) {
+    let snr = predictor.budget.snr_db(config.power, config.distance);
+    println!("\noperating point: {config}");
+    println!("predicted SNR {snr:.1} dB — {}", Zone::of(snr));
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "", "energy", "goodput", "delay", "loss"
+    );
+    for knob in Knob::all() {
+        let mut row = format!("{:<22}", knob.name());
+        for metric in [Metric::Energy, Metric::Goodput, Metric::Delay, Metric::Loss] {
+            let ranking = tornado(predictor, config, grid, metric);
+            let impact = ranking
+                .iter()
+                .find(|k| k.knob == knob)
+                .map_or(0.0, |k| k.relative_impact);
+            row.push_str(&format!(" {impact:>8.3}"));
+        }
+        println!("{row}");
+    }
+}
+
+fn main() -> Result<(), InvalidParam> {
+    let predictor = Predictor::paper();
+    let grid = ParamGrid::paper();
+
+    // A grey-zone operating point under load…
+    let grey = StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(3)
+        .payload_bytes(65)
+        .max_tries(3)
+        .retry_delay_ms(30)
+        .queue_cap(30)
+        .packet_interval_ms(30)
+        .build()?;
+    print_ranking(&predictor, &grey, &grid);
+
+    // …and a comfortable low-impact-zone point.
+    let clean = StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(31)
+        .payload_bytes(65)
+        .max_tries(3)
+        .retry_delay_ms(30)
+        .queue_cap(30)
+        .packet_interval_ms(100)
+        .build()?;
+    print_ranking(&predictor, &clean, &grid);
+
+    println!(
+        "\nnumbers are max |relative metric change| when moving the knob one\n\
+         Table-I grid step. In the grey zone nearly every knob is live; above\n\
+         19 dB only the load knobs (Tpkt) retain leverage — the paper's\n\
+         joint-effect zones in one table."
+    );
+    Ok(())
+}

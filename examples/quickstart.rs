@@ -1,0 +1,90 @@
+//! Quickstart: configure a link, simulate it, and compare the measured
+//! performance against the paper's empirical models.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use wsn_linkconf::prelude::*;
+
+fn main() -> Result<(), InvalidParam> {
+    // 1. One point in the 7-parameter configuration space (Table I).
+    let config = StackConfig::builder()
+        .distance_m(35.0) // PHY: sender-receiver distance
+        .power_level(23) // PHY: CC2420 PA level (-3 dBm)
+        .payload_bytes(110) // App: payload lD
+        .packet_interval_ms(30) // App: Tpkt
+        .max_tries(3) // MAC: NmaxTries
+        .retry_delay_ms(30) // MAC: Dretry
+        .queue_cap(30) // Queue: Qmax
+        .build()?;
+    println!("configuration: {config}");
+
+    // 2. Simulate 2000 packets over the synthetic hallway channel.
+    let outcome = LinkSimulation::new(config, SimOptions::quick(2000)).run();
+    let m = outcome.metrics();
+    println!(
+        "\n-- simulated ({} packets, {:.1}s of link time)",
+        m.generated, m.duration_s
+    );
+    println!(
+        "mean SNR          : {:>8.1} dB ({})",
+        m.mean_snr_db,
+        Zone::of(m.mean_snr_db)
+    );
+    println!(
+        "goodput           : {:>8.2} kb/s (offered {:.2})",
+        m.goodput_bps / 1e3,
+        m.offered_bps / 1e3
+    );
+    println!(
+        "mean delay        : {:>8.2} ms (p95 {:.2})",
+        m.delay_mean_ms, m.delay_p95_ms
+    );
+    println!("mean service time : {:>8.2} ms", m.service_mean_ms);
+    println!(
+        "loss              : {:>8.4} (queue {:.4} + radio {:.4})",
+        m.plr_total(),
+        m.plr_queue,
+        m.plr_radio
+    );
+    println!("PER (Eq. 1)       : {:>8.4}", m.per);
+    println!("mean tries        : {:>8.3}", m.mean_tries);
+    println!("energy U_eng      : {:>8.3} uJ/bit", m.u_eng_uj_per_bit);
+    println!("utilization       : {:>8.3}", m.utilization);
+
+    // 3. The paper's empirical models predict the same quantities
+    //    analytically (Table III).
+    let predictor = Predictor::paper();
+    let p = predictor.evaluate(&config);
+    println!("\n-- predicted by the empirical models");
+    println!("SNR (link budget) : {:>8.1} dB", p.snr_db);
+    println!(
+        "max goodput       : {:>8.2} kb/s (Eq. 4)",
+        p.max_goodput_bps / 1e3
+    );
+    println!(
+        "service time      : {:>8.2} ms (Eqs. 5-7)",
+        p.service_time_ms
+    );
+    println!("utilization rho   : {:>8.3} (Eq. 9)", p.rho);
+    println!("radio loss        : {:>8.4} (Eq. 8)", p.plr_radio);
+    println!(
+        "energy U_eng      : {:>8.3} uJ/bit (Eq. 2)",
+        p.u_eng_uj_per_bit
+    );
+
+    // 4. Ask the guidelines for a better operating point at this distance.
+    let guidelines = Guidelines::paper();
+    let candidates: Vec<PowerLevel> = [3u8, 7, 11, 15, 19, 23, 27, 31]
+        .iter()
+        .map(|&l| PowerLevel::new(l))
+        .collect::<Result<_, _>>()?;
+    if let Some(advice) = guidelines.energy_advice(config.distance, &candidates) {
+        println!(
+            "\nenergy guideline (Sec. IV-C): use {} with {} (predicted SNR {:.1} dB)",
+            advice.power, advice.payload, advice.snr_db
+        );
+    }
+    Ok(())
+}

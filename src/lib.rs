@@ -1,0 +1,59 @@
+//! # wsn-linkconf
+//!
+//! Multi-layer parameter configuration of WSN links — a full Rust
+//! reproduction of *"Experimental Study for Multi-layer Parameter
+//! Configuration of WSN Links"* (Fu, Zhang, Jiang, Hu, Shih, Marrón —
+//! ICDCS 2015).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event engine,
+//! * [`params`] — the seven stack parameters (Table I) and the ~48k grid,
+//! * [`radio`] — CC2420 PHY model: path loss, shadowing, noise, PER, energy,
+//! * [`mac`] — unslotted CSMA-CA, ACK/retransmission, transmit queue,
+//! * [`link`] — the composed sender→receiver link simulator,
+//! * [`models`] — the paper's empirical models (Eqs. 2–9), curve fitting,
+//!   per-metric guidelines and multi-objective parameter optimization,
+//! * [`experiments`] — the harness that regenerates every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wsn_linkconf::prelude::*;
+//!
+//! // One configuration of the 7 stack parameters …
+//! let cfg = StackConfig::builder()
+//!     .distance_m(20.0)
+//!     .power_level(31)
+//!     .payload_bytes(110)
+//!     .max_tries(3)
+//!     .build()?;
+//!
+//! // … simulated for 500 packets on the synthetic hallway channel:
+//! let outcome = LinkSimulation::new(cfg, SimOptions::quick(500)).run();
+//! let m = outcome.metrics();
+//! assert!(m.goodput_bps > 0.0);
+//! assert!(m.plr_total() <= 1.0);
+//! # Ok::<(), wsn_linkconf::params::error::InvalidParam>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wsn_experiments as experiments;
+pub use wsn_link_sim as link;
+pub use wsn_mac as mac;
+pub use wsn_models as models;
+pub use wsn_params as params;
+pub use wsn_radio as radio;
+pub use wsn_sim_engine as sim;
+
+/// One-stop import for applications built on the library.
+pub mod prelude {
+    pub use wsn_link_sim::prelude::*;
+    pub use wsn_mac::prelude::*;
+    pub use wsn_models::prelude::*;
+    pub use wsn_params::prelude::*;
+    pub use wsn_radio::prelude::*;
+    pub use wsn_sim_engine::prelude::*;
+}

@@ -1,0 +1,107 @@
+//! Calibration tests: re-derive the paper's headline numbers from the
+//! synthetic campaign and assert they land where the paper says.
+
+use wsn_linkconf::experiments::campaign::Scale;
+use wsn_linkconf::experiments::{fig06, table04};
+use wsn_linkconf::prelude::*;
+
+#[test]
+fn per_model_refit_recovers_published_constants() {
+    let (alpha, beta) = fig06::refit_constants(Scale::Quick);
+    // Paper Eq. 3: alpha = 0.0128, beta = -0.15.
+    assert!((alpha - 0.0128).abs() < 0.012, "alpha={alpha}");
+    assert!((beta - -0.15).abs() < 0.08, "beta={beta}");
+}
+
+#[test]
+fn table_ii_utilizations_reproduce() {
+    // Paper Table II: (SNR, rho) = (10, 1.236), (20, 0.713), (30, 0.617).
+    let model = ServiceTimeModel::paper();
+    let cfg = StackConfig::builder()
+        .payload_bytes(110)
+        .max_tries(3)
+        .retry_delay_ms(30)
+        .packet_interval_ms(30)
+        .build()
+        .expect("valid");
+    for (snr, paper_rho) in [(10.0, 1.236), (20.0, 0.713), (30.0, 0.617)] {
+        let rho = model.utilization(snr, &cfg);
+        assert!(
+            (rho - paper_rho).abs() < 0.08,
+            "snr={snr}: rho={rho} vs paper {paper_rho}"
+        );
+    }
+}
+
+#[test]
+fn grey_zone_thresholds_match_paper_quotes() {
+    // "PER decreases to 0.1 until around 19 dB for maximum lD" (Fig. 6).
+    let per = ExpSurface::new(0.0128, -0.15);
+    let snr = per
+        .snr_for_value(PayloadSize::MAX, 0.1)
+        .expect("invertible");
+    assert!((snr - 19.0).abs() < 1.5, "snr={snr}");
+
+    // "the energy-optimal payload ... SNR threshold is 17 dB" (Sec. VIII-A).
+    let energy = EnergyModel::paper();
+    assert_eq!(energy.optimal_payload(17.0, PowerLevel::MAX).bytes(), 114);
+    assert!(energy.optimal_payload(15.0, PowerLevel::MAX).bytes() < 114);
+
+    // "9 dB for maximal goodput" (Sec. VIII-A): with retransmissions the
+    // max payload is goodput-optimal from single digits of SNR on.
+    let goodput = GoodputModel::paper();
+    let best_at_9 = goodput
+        .optimal_payload(9.0, MaxTries::new(8).expect("valid"), RetryDelay::ZERO)
+        .bytes();
+    assert!(best_at_9 >= 100, "optimal at 9 dB = {best_at_9}");
+}
+
+#[test]
+fn case_study_dominance_reproduces_table_iv() {
+    let rows = table04::case_study_rows(Scale::Quick);
+    let joint = rows.last().expect("joint row");
+    assert!(joint.label.contains("Joint"));
+    // Paper: joint = Ptx 31, lD 68, N 3 -> 22.28 kbps, 0.24 uJ/bit.
+    // Shape requirements: max power, interior payload, retransmissions on,
+    // goodput in the tens of kbps, energy well under every baseline.
+    assert_eq!(joint.config.power.level(), 31);
+    assert!(joint.config.max_tries.get() > 1);
+    let payload = joint.config.payload.bytes();
+    assert!((35..=110).contains(&payload), "payload={payload}");
+    assert!(
+        joint.sim_goodput_kbps > 15.0 && joint.sim_goodput_kbps < 40.0,
+        "goodput={}",
+        joint.sim_goodput_kbps
+    );
+    for r in &rows[..rows.len() - 1] {
+        assert!(
+            joint.sim_goodput_kbps >= r.sim_goodput_kbps * 0.95,
+            "joint loses goodput to {}",
+            r.label
+        );
+        assert!(
+            joint.sim_u_eng <= r.sim_u_eng * 1.05,
+            "joint loses energy to {}",
+            r.label
+        );
+    }
+}
+
+#[test]
+fn best_tradeoff_snr_is_about_19db() {
+    // Secs. V/VII: ~19 dB is where extra power stops buying QoS. Verify
+    // with the goodput model: the marginal gain per extra dB collapses
+    // after 19 dB.
+    let model = GoodputModel::paper();
+    let g = |snr: f64| {
+        model.max_goodput_bps(
+            snr,
+            PayloadSize::MAX,
+            MaxTries::new(3).expect("valid"),
+            RetryDelay::ZERO,
+        )
+    };
+    let gain_into_19 = g(19.0) - g(12.0);
+    let gain_past_19 = g(26.0) - g(19.0);
+    assert!(gain_past_19 < gain_into_19 / 2.0);
+}

@@ -1,0 +1,41 @@
+//! Smoke tests: every reproduced table/figure regenerates end-to-end at
+//! bench scale, renders, and serializes.
+
+use wsn_linkconf::experiments::campaign::Scale;
+use wsn_linkconf::experiments::{all_experiments, run_experiment};
+
+#[test]
+fn every_experiment_regenerates_at_bench_scale() {
+    for (id, _) in all_experiments() {
+        let report = run_experiment(id, Scale::Bench).unwrap_or_else(|e| {
+            panic!("{id} failed: {e}");
+        });
+        assert_eq!(report.id, id);
+        assert!(!report.sections.is_empty(), "{id} has no sections");
+        for section in &report.sections {
+            assert!(
+                !section.table.rows.is_empty(),
+                "{id}/{} rendered an empty table",
+                section.heading
+            );
+        }
+        // Text rendering and machine formats must both work.
+        let text = report.render();
+        assert!(text.contains(id));
+        let json = serde_json::to_string(&report).expect("reports are JSON-serializable");
+        assert!(json.contains(&report.title.split(':').next().unwrap()[..4]));
+        for section in &report.sections {
+            let csv = section.table.to_csv();
+            assert_eq!(csv.lines().count(), section.table.rows.len() + 1);
+        }
+    }
+}
+
+#[test]
+fn experiment_ids_are_unique() {
+    let mut ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before);
+}

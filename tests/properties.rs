@@ -1,0 +1,285 @@
+//! Property-based tests (proptest) on the core invariants of the models,
+//! the optimizer, and the simulator.
+
+use proptest::prelude::*;
+
+use wsn_linkconf::models::fit::{fit_exp_surface, SurfacePoint};
+use wsn_linkconf::models::loss::mm1k_blocking;
+use wsn_linkconf::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = PayloadSize> {
+    (1u16..=114).prop_map(|b| PayloadSize::new(b).expect("in range"))
+}
+
+fn arb_power() -> impl Strategy<Value = PowerLevel> {
+    (1u8..=31).prop_map(|l| PowerLevel::new(l).expect("in range"))
+}
+
+fn arb_config() -> impl Strategy<Value = StackConfig> {
+    (
+        (1u8..=31),
+        (1u8..=8),
+        prop::sample::select(vec![0u32, 30, 100]),
+        (1u16..=30),
+        prop::sample::select(vec![10u32, 30, 100, 500]),
+        (1u16..=114),
+        (5u32..=40), // distance in meters
+    )
+        .prop_map(|(power, tries, dretry, qmax, tpkt, payload, dist)| {
+            StackConfig::builder()
+                .distance_m(dist as f64)
+                .power_level(power)
+                .max_tries(tries)
+                .retry_delay_ms(dretry)
+                .queue_cap(qmax)
+                .packet_interval_ms(tpkt)
+                .payload_bytes(payload)
+                .build()
+                .expect("all components validated")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn per_surface_monotonicities(snr in -10.0f64..40.0, a in 1u16..=113) {
+        let surface = ExpSurface::new(0.0128, -0.15);
+        let small = PayloadSize::new(a).expect("valid");
+        let large = PayloadSize::new(a + 1).expect("valid");
+        prop_assert!(surface.eval_prob(small, snr) <= surface.eval_prob(large, snr));
+        prop_assert!(surface.eval_prob(small, snr) >= surface.eval_prob(small, snr + 1.0));
+        let v = surface.eval_prob(large, snr);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn service_time_model_bounds(
+        snr in 0.0f64..40.0,
+        payload in arb_payload(),
+        tries in 1u8..=8,
+        dretry in prop::sample::select(vec![0u32, 30, 100]),
+    ) {
+        let model = ServiceTimeModel::paper();
+        let max_tries = MaxTries::new(tries).expect("valid");
+        let delay = RetryDelay::from_millis(dretry);
+        let expected = model.expected_service_time_s(snr, payload, max_tries, delay);
+        // Never faster than a clean single attempt, never slower than the
+        // worst case of NmaxTries failed attempts.
+        let floor = model.t_spi_s(payload) + model.t_succ_s(payload);
+        let ceil = model.t_spi_s(payload)
+            + model.t_fail_s(payload)
+            + (tries.max(1) as f64) * model.t_retry_s(payload, delay)
+            + 1e-9;
+        prop_assert!(expected >= floor - 2e-3 - 1e-9, "{expected} < {floor}");
+        prop_assert!(expected <= ceil, "{expected} > {ceil}");
+        // Monotone in the budget for the plug-in variant.
+        if tries < 8 {
+            let more = MaxTries::new(tries + 1).expect("valid");
+            prop_assert!(
+                model.expected_service_time_s(snr, payload, more, delay) >= expected - 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn radio_loss_monotone_in_budget(
+        snr in 0.0f64..40.0,
+        payload in arb_payload(),
+        tries in 1u8..=7,
+    ) {
+        let model = RadioLossModel::paper();
+        let a = model.rate(snr, payload, MaxTries::new(tries).expect("valid"));
+        let b = model.rate(snr, payload, MaxTries::new(tries + 1).expect("valid"));
+        prop_assert!(b <= a + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn mm1k_blocking_is_a_probability(rho in 0.0f64..5.0, k in 1usize..=64) {
+        let p = mm1k_blocking(rho, k);
+        prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+        // More buffer never hurts.
+        let p_bigger = mm1k_blocking(rho, k + 1);
+        prop_assert!(p_bigger <= p + 1e-12);
+    }
+
+    #[test]
+    fn energy_model_positive_and_power_monotone_at_high_snr(
+        payload in arb_payload(),
+        power in arb_power(),
+    ) {
+        let model = EnergyModel::paper();
+        // At a clean 30 dB the PER term is negligible, so energy per bit
+        // must be monotone in the PA level.
+        let u = model.u_eng_j_per_bit(30.0, payload, power);
+        prop_assert!(u > 0.0);
+        if power.level() < 31 {
+            let higher = PowerLevel::new(power.level() + 1).expect("valid");
+            prop_assert!(model.u_eng_j_per_bit(30.0, payload, higher) >= u - 1e-18);
+        }
+    }
+
+    #[test]
+    fn fitter_recovers_planted_surface(
+        alpha in 0.002f64..0.05,
+        beta in -0.4f64..-0.05,
+    ) {
+        let mut points = Vec::new();
+        for ld in [5.0, 20.0, 50.0, 80.0, 110.0] {
+            for snr in [5.0, 9.0, 13.0, 17.0, 21.0] {
+                points.push(SurfacePoint {
+                    payload_bytes: ld,
+                    snr_db: snr,
+                    value: alpha * ld * (beta * snr).exp(),
+                });
+            }
+        }
+        let fit = fit_exp_surface(&points).expect("enough points");
+        prop_assert!((fit.surface.alpha - alpha).abs() / alpha < 0.02,
+            "alpha {} vs {}", fit.surface.alpha, alpha);
+        prop_assert!((fit.surface.beta - beta).abs() < 0.01,
+            "beta {} vs {}", fit.surface.beta, beta);
+    }
+
+    #[test]
+    fn predictions_are_finite_and_consistent(config in arb_config()) {
+        let predictor = Predictor::paper();
+        let p = predictor.evaluate(&config);
+        prop_assert!(p.service_time_ms > 0.0);
+        prop_assert!(p.rho > 0.0);
+        prop_assert!((0.0..=1.0).contains(&p.plr_radio));
+        prop_assert!((0.0..=1.0).contains(&p.plr_queue));
+        prop_assert!((0.0..=1.0).contains(&p.plr_total()));
+        prop_assert!(p.max_goodput_bps >= 0.0 && p.max_goodput_bps < 250_000.0);
+        prop_assert!(p.delay_ms >= p.service_time_ms - 1e-9);
+    }
+}
+
+proptest! {
+    // Simulation-backed properties are more expensive: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulation_conserves_packets_for_any_config(config in arb_config(), seed in 0u64..1000) {
+        let outcome = LinkSimulation::new(
+            config,
+            SimOptions::quick(80).with_seed(seed),
+        )
+        .run();
+        let m = outcome.metrics();
+        prop_assert!(m.conserves_packets());
+        prop_assert_eq!(m.generated, 80);
+        prop_assert!((0.0..=1.0).contains(&m.per));
+        prop_assert!(m.plr_total() <= 1.0 + 1e-12);
+        prop_assert!(m.attempts >= m.delivered);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(config in arb_config(), seed in 0u64..1000) {
+        let a = LinkSimulation::new(config, SimOptions::quick(50).with_seed(seed)).run();
+        let b = LinkSimulation::new(config, SimOptions::quick(50).with_seed(seed)).run();
+        prop_assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn queue_drops_only_when_buffer_smaller_than_backlog(
+        seed in 0u64..1000,
+    ) {
+        // A fast clean link with a deep queue never drops.
+        let config = StackConfig::builder()
+            .distance_m(10.0)
+            .power_level(31)
+            .payload_bytes(20)
+            .max_tries(1)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(100)
+            .build()
+            .expect("valid");
+        let m = LinkSimulation::new(config, SimOptions::quick(60).with_seed(seed)).run();
+        prop_assert_eq!(m.metrics().queue_dropped, 0);
+    }
+}
+
+fn arb_grid() -> impl Strategy<Value = wsn_params::grid::ParamGrid> {
+    (
+        prop::collection::vec(1u8..=31, 1..4),
+        prop::collection::vec(1u8..=8, 1..3),
+        prop::collection::vec(1u16..=114, 1..4),
+        prop::collection::vec(10u32..=500, 1..3),
+    )
+        .prop_map(|(mut powers, mut tries, mut payloads, mut intervals)| {
+            // Deduplicate so grid axes are sets (duplicate values would
+            // create identical configurations, which is allowed but makes
+            // front-coverage assertions noisier).
+            powers.sort_unstable();
+            powers.dedup();
+            tries.sort_unstable();
+            tries.dedup();
+            payloads.sort_unstable();
+            payloads.dedup();
+            intervals.sort_unstable();
+            intervals.dedup();
+            wsn_params::grid::ParamGrid {
+                distances_m: vec![35.0],
+                power_levels: powers,
+                max_tries: tries,
+                retry_delays_ms: vec![0],
+                queue_caps: vec![30],
+                packet_intervals_ms: intervals,
+                payloads,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pareto_front_is_correct_on_random_grids(grid in arb_grid()) {
+        let optimizer = Optimizer::paper();
+        let metrics = [Metric::Energy, Metric::Goodput];
+        let front = optimizer.pareto_front(&grid, &metrics);
+        let evals = optimizer.evaluate_grid(&grid);
+
+        let value = |e: &Evaluation| {
+            (
+                Metric::Energy.value(&e.predicted),
+                Metric::Goodput.value(&e.predicted),
+            )
+        };
+        // 1. No front member dominates another.
+        for a in &front {
+            for b in &front {
+                let (ax, ay) = value(a);
+                let (bx, by) = value(b);
+                let dominates = ax <= bx && ay <= by && (ax < bx || ay < by);
+                prop_assert!(!dominates, "front member dominated another");
+            }
+        }
+        // 2. Every finite grid point is dominated by or equal to a front member.
+        for e in &evals {
+            let (ex, ey) = value(e);
+            if !(ex.is_finite() && ey.is_finite()) {
+                continue;
+            }
+            let covered = front.iter().any(|f| {
+                let (fx, fy) = value(f);
+                fx <= ex && fy <= ey
+            });
+            prop_assert!(covered, "grid point ({ex}, {ey}) uncovered");
+        }
+        // 3. The epsilon-constraint optimum at any front member's energy
+        //    budget does at least as well on goodput.
+        if let Some(mid) = front.get(front.len() / 2) {
+            let budget = mid.predicted.u_eng_uj_per_bit;
+            let best = optimizer
+                .epsilon_constraint(&grid, Metric::Goodput, &[(Metric::Energy, budget)])
+                .expect("front member itself is feasible");
+            prop_assert!(
+                best.predicted.max_goodput_bps >= mid.predicted.max_goodput_bps - 1e-9
+            );
+        }
+    }
+}
