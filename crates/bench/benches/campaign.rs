@@ -1,0 +1,50 @@
+//! Campaign-runner throughput: configurations simulated per second through
+//! the streaming sharded runner at `Scale::Bench`, swept over worker-thread
+//! counts. This is the benchmark that shows whether the atomic work index +
+//! bounded reorder buffer actually scales past one core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wsn_experiments::campaign::{Campaign, Scale};
+use wsn_experiments::stream::SinkFn;
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let grid = ParamGrid {
+        distances_m: vec![10.0, 20.0, 30.0, 35.0],
+        power_levels: vec![3, 7, 11, 31],
+        max_tries: vec![1, 3],
+        retry_delays_ms: vec![0],
+        queue_caps: vec![30],
+        packet_intervals_ms: vec![50],
+        payloads: vec![50],
+    };
+    let configs: Vec<StackConfig> = grid.iter().collect();
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+
+    for threads in [1usize, 4, 8] {
+        let campaign = Campaign {
+            threads,
+            ..Campaign::new(Scale::Bench)
+        };
+        let name = format!("{}configs_{threads}threads", configs.len());
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut delivered = 0usize;
+                let mut sink = SinkFn::new(|_i, _r: &_| delivered += 1);
+                let stats = campaign.run_streamed(black_box(&configs), &mut sink);
+                black_box((delivered, stats.max_pending))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

@@ -4,7 +4,10 @@
 //! repro all [--full] [--out DIR]     run every experiment
 //! repro <id> [...]                   run selected experiments (fig06 table04 …)
 //! repro list                         list experiment ids
-//! repro campaign [--full]            run the whole ~48k-configuration grid
+//! repro campaign [--full] [--out DIR [--resume]] [--shards N]
+//!                                    run the whole ~48k-configuration grid,
+//!                                    streaming results + live progress;
+//!                                    with --out, checkpoint JSONL shards
 //! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
 //! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
 //! ```
@@ -12,21 +15,29 @@
 //! `--full` switches from the quick scale (400 packets/config) to the
 //! paper's protocol (4500 packets/config). `--out DIR` additionally writes
 //! `<id>.txt`, `<id>.csv` and `<id>.json` into DIR.
+//!
+//! A sharded campaign (`--out DIR --shards N`) writes `shard-NNNN.jsonl`
+//! files; re-running with `--resume` skips already-completed shards, so a
+//! killed multi-hour grid loses at most one shard of work.
 
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use wsn_experiments::campaign::{Campaign, Scale};
+use wsn_experiments::campaign::{Campaign, ConfigResult, Scale};
 use wsn_experiments::report::Report;
+use wsn_experiments::shards::{read_shard_dir, run_sharded};
+use wsn_experiments::stream::{ProgressSink, SinkFn};
 use wsn_experiments::{all_experiments, run_experiment};
+use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 
 fn usage() -> String {
     let ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro <all|list|campaign|verify|dataset|ID...> [--full] [--out DIR]\n  ids: {}",
+        "usage: repro <all|list|campaign|verify|dataset|ID...> \
+         [--full] [--out DIR] [--resume] [--shards N]\n  ids: {}",
         ids.join(", ")
     )
 }
@@ -45,7 +56,39 @@ fn write_outputs(dir: &PathBuf, report: &Report) -> std::io::Result<()> {
     Ok(())
 }
 
-fn run_campaign(scale: Scale) {
+/// Running tallies for the campaign summary, folded one result at a time so
+/// the grid never has to be collected in memory.
+#[derive(Default)]
+struct GridSummary {
+    count: usize,
+    generated: u64,
+    delivered: u64,
+    plr_sum: f64,
+}
+
+impl GridSummary {
+    fn add(&mut self, result: &ConfigResult) {
+        self.count += 1;
+        self.generated += result.metrics.generated;
+        self.delivered += result.metrics.delivered;
+        self.plr_sum += result.metrics.plr_total();
+    }
+
+    fn print(&self, elapsed_s: f64) {
+        println!("configurations: {}", self.count);
+        println!(
+            "packets generated: {}, delivered: {}",
+            self.generated, self.delivered
+        );
+        println!(
+            "mean total loss rate across the grid: {:.4}",
+            self.plr_sum / self.count.max(1) as f64
+        );
+        println!("wall-clock: {elapsed_s:.1}s");
+    }
+}
+
+fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -> ExitCode {
     let grid = ParamGrid::paper();
     eprintln!(
         "running the full Table I grid: {} configurations × {} packets …",
@@ -54,28 +97,81 @@ fn run_campaign(scale: Scale) {
     );
     let campaign = Campaign::new(scale);
     let start = Instant::now();
-    let results = campaign.run_grid(&grid);
-    let elapsed = start.elapsed();
-    let delivered: u64 = results.iter().map(|r| r.metrics.delivered).sum();
-    let generated: u64 = results.iter().map(|r| r.metrics.generated).sum();
-    let mean_plr =
-        results.iter().map(|r| r.metrics.plr_total()).sum::<f64>() / results.len() as f64;
-    println!("configurations: {}", results.len());
-    println!("packets generated: {generated}, delivered: {delivered}");
-    println!("mean total loss rate across the grid: {mean_plr:.4}");
-    println!("wall-clock: {:.1}s", elapsed.as_secs_f64());
+
+    if let Some(dir) = out {
+        if !resume {
+            // A fresh run must not silently absorb stale checkpoints.
+            if dir.exists() && dir.join("shard-0000.jsonl").exists() {
+                eprintln!(
+                    "{} already holds shard files; pass --resume to continue that run \
+                     or choose a fresh directory",
+                    dir.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        let configs: Vec<StackConfig> = grid.iter().collect();
+        let report = match run_sharded(&campaign, &configs, dir, shards) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("sharded campaign failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "shards: {} total, {} resumed from checkpoint, {} configs simulated",
+            report.shards_total, report.shards_skipped, report.configs_simulated
+        );
+        let results = match read_shard_dir(dir) {
+            Ok(results) => results,
+            Err(e) => {
+                eprintln!("cannot read completed shards back: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut summary = GridSummary::default();
+        for r in &results {
+            summary.add(r);
+        }
+        summary.print(start.elapsed().as_secs_f64());
+        println!("shard files: {}", dir.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // No output directory: stream results straight into the running
+    // summary with a live progress line — peak memory stays O(threads).
+    let mut summary = GridSummary::default();
+    let configs: Vec<StackConfig> = grid.iter().collect();
+    {
+        let every = (configs.len() / 100).max(1);
+        let tally = SinkFn::new(|_i: usize, r: &ConfigResult| summary.add(r));
+        let mut progress = ProgressSink::new(tally, std::io::stderr(), configs.len(), every);
+        campaign.run_streamed(&configs, &mut progress);
+    }
+    summary.print(start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Quick;
     let mut out_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut shards = 16usize;
     let mut selections: Vec<String> = Vec::new();
 
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
+            "--resume" => resume = true,
+            "--shards" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("--shards needs a positive integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -104,8 +200,11 @@ fn main() -> ExitCode {
     }
 
     if selections.iter().any(|s| s == "campaign") {
-        run_campaign(scale);
-        return ExitCode::SUCCESS;
+        if resume && out_dir.is_none() {
+            eprintln!("--resume needs --out DIR (that's where the checkpoints live)");
+            return ExitCode::FAILURE;
+        }
+        return run_campaign(scale, out_dir.as_deref(), resume, shards);
     }
 
     if selections.iter().any(|s| s == "verify") {

@@ -1,7 +1,17 @@
 //! The experiment campaign runner: simulates sets of configurations with
 //! per-configuration derived seeds, optionally across threads.
+//!
+//! Results stream **in configuration order** to a
+//! [`CampaignSink`](crate::stream::CampaignSink); workers claim work from a
+//! lock-free atomic index and hand finished results to a bounded reorder
+//! buffer, so peak memory is O(threads) regardless of grid size. The
+//! historical collect-everything API ([`Campaign::run_configs`]) remains as
+//! a thin wrapper over a
+//! [`CollectSink`](crate::stream::CollectSink).
 
-use std::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +22,8 @@ use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 use wsn_radio::channel::ChannelConfig;
 use wsn_sim_engine::rng::RngFactory;
+
+use crate::stream::{CampaignSink, CollectSink, StreamStats};
 
 /// How much measurement to buy per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -115,39 +127,119 @@ impl Campaign {
     }
 
     /// Simulates every configuration in `configs`, preserving order.
+    ///
+    /// Compatibility wrapper: streams through a [`CollectSink`], so the
+    /// whole result vector is held in memory. Prefer
+    /// [`run_streamed`](Self::run_streamed) when results can be consumed
+    /// incrementally.
     pub fn run_configs(&self, configs: &[StackConfig]) -> Vec<ConfigResult> {
-        if self.threads <= 1 || configs.len() < 4 {
-            return configs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| self.run_one(c, i as u64))
-                .collect();
+        let mut sink = CollectSink::new();
+        self.run_streamed(configs, &mut sink);
+        sink.into_results()
+    }
+
+    /// Simulates every configuration in `configs`, delivering each result
+    /// to `sink` in configuration order as soon as it (and all its
+    /// predecessors) finish. Returns delivery statistics.
+    ///
+    /// Work distribution is an atomic claim index; in-order delivery uses a
+    /// reorder buffer bounded by `2 × threads` entries — workers that race
+    /// too far ahead of the slowest in-flight configuration wait, so peak
+    /// memory is O(threads), independent of `configs.len()`.
+    pub fn run_streamed<S: CampaignSink + Send>(
+        &self,
+        configs: &[StackConfig],
+        sink: &mut S,
+    ) -> StreamStats {
+        self.run_span(configs, 0, sink)
+    }
+
+    /// Like [`run_streamed`](Self::run_streamed), but configuration `i` of
+    /// the slice is treated as global index `base + i` for seed derivation
+    /// and sink delivery. This is what shard runners use so a shard's
+    /// results are bit-identical to the same span of a whole-grid run.
+    pub fn run_span<S: CampaignSink + Send>(
+        &self,
+        configs: &[StackConfig],
+        base: usize,
+        sink: &mut S,
+    ) -> StreamStats {
+        let total = configs.len();
+        let threads = self.threads.min(total).max(1);
+
+        if threads <= 1 || total < 4 {
+            for (i, &config) in configs.iter().enumerate() {
+                let result = self.run_one(config, (base + i) as u64);
+                sink.on_result(base + i, &result);
+            }
+            sink.on_complete(total);
+            return StreamStats {
+                delivered: total,
+                max_pending: if total == 0 { 0 } else { 1 },
+            };
         }
-        let next = Mutex::new(0usize);
-        let results: Mutex<Vec<Option<ConfigResult>>> = Mutex::new(vec![None; configs.len()]);
+
+        // Workers that finish ahead of the in-order frontier may run at
+        // most `window` configs past it before waiting, which bounds the
+        // reorder buffer.
+        let window = threads * 2;
+        let next_claim = AtomicUsize::new(0);
+        let delivery = Mutex::new(Delivery {
+            next_deliver: 0,
+            pending: BTreeMap::new(),
+            max_pending: 0,
+        });
+        let frontier_moved = Condvar::new();
+        // The sink itself stays outside worker reach between deliveries;
+        // it is only touched under the delivery lock.
+        let sink = Mutex::new(sink);
+
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(configs.len()) {
+            for _ in 0..threads {
                 scope.spawn(|| loop {
-                    let i = {
-                        let mut guard = next.lock().expect("index lock");
-                        let i = *guard;
-                        if i >= configs.len() {
-                            return;
+                    let i = next_claim.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        return;
+                    }
+                    // Throttle: don't run more than `window` ahead of the
+                    // delivery frontier.
+                    {
+                        let guard = delivery.lock().expect("delivery lock");
+                        let _unused = frontier_moved
+                            .wait_while(guard, |d| i >= d.next_deliver + window)
+                            .expect("delivery lock");
+                    }
+                    let result = self.run_one(configs[i], (base + i) as u64);
+                    let mut d = delivery.lock().expect("delivery lock");
+                    d.pending.insert(i, result);
+                    d.max_pending = d.max_pending.max(d.pending.len());
+                    if d.pending.contains_key(&d.next_deliver) {
+                        let mut out = sink.lock().expect("sink lock");
+                        loop {
+                            let due = d.next_deliver;
+                            let Some(r) = d.pending.remove(&due) else {
+                                break;
+                            };
+                            out.on_result(base + due, &r);
+                            d.next_deliver += 1;
                         }
-                        *guard += 1;
-                        i
-                    };
-                    let result = self.run_one(configs[i], i as u64);
-                    results.lock().expect("results lock")[i] = Some(result);
+                        drop(out);
+                        drop(d);
+                        frontier_moved.notify_all();
+                    }
                 });
             }
         });
-        results
-            .into_inner()
-            .expect("threads joined")
-            .into_iter()
-            .map(|r| r.expect("every index was processed"))
-            .collect()
+
+        let d = delivery.into_inner().expect("threads joined");
+        debug_assert_eq!(d.next_deliver, total, "every result was delivered");
+        debug_assert!(d.pending.is_empty());
+        let out = sink.into_inner().expect("threads joined");
+        out.on_complete(total);
+        StreamStats {
+            delivered: total,
+            max_pending: d.max_pending,
+        }
     }
 
     /// Simulates every configuration of a grid.
@@ -155,6 +247,16 @@ impl Campaign {
         let configs: Vec<StackConfig> = grid.iter().collect();
         self.run_configs(&configs)
     }
+}
+
+/// In-order delivery state shared by workers.
+struct Delivery {
+    /// Next index due for the sink (the in-order frontier).
+    next_deliver: usize,
+    /// Finished results waiting for their predecessors.
+    pending: BTreeMap<usize, ConfigResult>,
+    /// High-water mark of `pending`, reported via [`StreamStats`].
+    max_pending: usize,
 }
 
 #[cfg(test)]
@@ -205,6 +307,39 @@ mod tests {
         }
         .run_grid(&grid);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn streamed_delivery_is_in_order_and_bounded() {
+        // A grid much larger than the claim-ahead window, so the bound is
+        // actually exercised rather than trivially satisfied.
+        let grid = ParamGrid {
+            distances_m: vec![10.0, 20.0, 30.0, 35.0],
+            power_levels: vec![3, 7, 11, 31],
+            max_tries: vec![1, 3],
+            retry_delays_ms: vec![0],
+            queue_caps: vec![30],
+            packet_intervals_ms: vec![50],
+            payloads: vec![50],
+        };
+        let configs: Vec<StackConfig> = grid.iter().collect();
+        let campaign = Campaign {
+            packets: 30,
+            threads: 4,
+            ..Campaign::new(Scale::Bench)
+        };
+        let mut indices = Vec::new();
+        let mut sink = crate::stream::SinkFn::new(|i: usize, _r: &ConfigResult| indices.push(i));
+        let stats = campaign.run_streamed(&configs, &mut sink);
+        assert_eq!(indices, (0..configs.len()).collect::<Vec<_>>());
+        assert_eq!(stats.delivered, configs.len());
+        // Peak reorder-buffer occupancy is O(threads), not O(grid).
+        assert!(
+            stats.max_pending <= campaign.threads * 2,
+            "max_pending {} exceeds window {}",
+            stats.max_pending,
+            campaign.threads * 2
+        );
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! simulator's per-packet records in an equivalent CSV schema and reads
 //! them back, so downstream analyses can treat the synthetic campaign
 //! exactly like the published dataset.
+//!
+//! Two write paths exist: [`write_trace`] serialises an in-memory record
+//! vector, and [`CsvStreamSink`] implements
+//! [`PacketSink`](wsn_link_sim::sink::PacketSink) so the simulation can
+//! stream records straight to disk in O(1) memory. Floats are written in
+//! shortest-round-trip form, so a write → read cycle is lossless.
 
 use std::io::{BufRead, Write};
 
 use wsn_link_sim::record::{PacketFate, PacketRecord};
 use wsn_link_sim::simulation::SimOutcome;
+use wsn_link_sim::sink::PacketSink;
 use wsn_params::config::StackConfig;
 use wsn_sim_engine::time::SimTime;
 
@@ -69,9 +76,11 @@ fn fate_from(s: &str) -> Option<PacketFate> {
 /// Writes one record as a CSV line.
 fn write_record<W: Write>(out: &mut W, r: &PacketRecord) -> std::io::Result<()> {
     let opt = |t: Option<SimTime>| t.map_or(String::new(), |v| v.as_micros().to_string());
+    // Shortest round-trip formatting: parsing the text reproduces the exact
+    // f64 bits. Non-finite values map to the empty field (read as NaN).
     let flt = |v: f64| {
         if v.is_finite() {
-            format!("{v:.2}")
+            format!("{v}")
         } else {
             String::new()
         }
@@ -108,6 +117,98 @@ pub fn write_trace<W: Write>(out: &mut W, outcome: &SimOutcome) -> Result<usize,
         write_record(out, r)?;
     }
     Ok(records.len())
+}
+
+/// A [`PacketSink`] that streams records to CSV as they are produced.
+///
+/// Memory use is O(1) in the number of packets: each record is formatted
+/// and handed to the writer immediately. Because [`PacketSink::on_packet`]
+/// cannot return an error, I/O failures are deferred: the sink stops
+/// writing on the first error and [`finish`](Self::finish) reports it.
+///
+/// ```
+/// use wsn_experiments::dataset::CsvStreamSink;
+/// use wsn_link_sim::prelude::*;
+/// use wsn_params::prelude::*;
+///
+/// let cfg = StackConfig::default();
+/// let mut opts = SimOptions::quick(50);
+/// opts.record_packets = false;
+/// let mut sink = CsvStreamSink::with_config(Vec::new(), &cfg)?;
+/// LinkSimulation::new(cfg, opts).run_with_sink(&mut sink);
+/// let (csv, written) = sink.finish()?;
+/// assert_eq!(written, 50);
+/// assert!(String::from_utf8(csv).unwrap().starts_with("# config:"));
+/// # Ok::<(), wsn_experiments::dataset::DatasetError>(())
+/// ```
+#[derive(Debug)]
+pub struct CsvStreamSink<W: Write> {
+    out: W,
+    written: usize,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> CsvStreamSink<W> {
+    /// Creates a sink writing the CSV header to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from writing the header.
+    pub fn new(out: W) -> Result<Self, DatasetError> {
+        Self::start(out, None)
+    }
+
+    /// Creates a sink writing a `# config: …` comment and the CSV header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error from writing the preamble.
+    pub fn with_config(out: W, config: &StackConfig) -> Result<Self, DatasetError> {
+        Self::start(out, Some(config))
+    }
+
+    fn start(mut out: W, config: Option<&StackConfig>) -> Result<Self, DatasetError> {
+        if let Some(cfg) = config {
+            writeln!(out, "# config: {cfg}")?;
+        }
+        writeln!(out, "{HEADER}")?;
+        Ok(CsvStreamSink {
+            out,
+            written: 0,
+            error: None,
+        })
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flushes the writer and returns it with the record count.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any I/O error deferred from [`PacketSink::on_packet`], or
+    /// the flush failure.
+    pub fn finish(mut self) -> Result<(W, usize), DatasetError> {
+        if let Some(e) = self.error {
+            return Err(DatasetError::Io(e));
+        }
+        self.out.flush()?;
+        Ok((self.out, self.written))
+    }
+}
+
+impl<W: Write> PacketSink for CsvStreamSink<W> {
+    fn on_packet(&mut self, record: &PacketRecord) {
+        if self.error.is_some() {
+            return;
+        }
+        match write_record(&mut self.out, record) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
 }
 
 /// A parsed trace: the config line (free text) and the records.
@@ -212,8 +313,10 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Trace, DatasetError> {
     })
 }
 
-/// Convenience: simulates `config` with records on and writes the trace to
-/// `path`.
+/// Convenience: simulates `config` and streams the trace to `path`.
+///
+/// Records flow through a [`CsvStreamSink`] as the simulation produces
+/// them, so peak memory stays O(1) in the packet count.
 ///
 /// # Errors
 ///
@@ -224,10 +327,12 @@ pub fn export_to_file(
     path: &std::path::Path,
 ) -> Result<usize, DatasetError> {
     let mut options = options;
-    options.record_packets = true;
-    let outcome = wsn_link_sim::simulation::LinkSimulation::new(config, options).run();
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    write_trace(&mut file, &outcome)
+    options.record_packets = false;
+    let file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let mut sink = CsvStreamSink::with_config(file, &config)?;
+    wsn_link_sim::simulation::LinkSimulation::new(config, options).run_with_sink(&mut sink);
+    let (_, written) = sink.finish()?;
+    Ok(written)
 }
 
 #[cfg(test)]
@@ -262,11 +367,37 @@ mod tests {
             assert_eq!(a.tries, b.tries);
             assert_eq!(a.fate, b.fate);
             assert_eq!(a.sender_acked, b.sender_acked);
-            // Floats round-trip at 2 decimals.
+            // Shortest-round-trip formatting reproduces the exact bits.
             if a.last_rssi_dbm.is_finite() {
-                assert!((a.last_rssi_dbm - b.last_rssi_dbm).abs() < 0.01);
+                assert_eq!(a.last_rssi_dbm.to_bits(), b.last_rssi_dbm.to_bits());
+                assert_eq!(a.last_snr_db.to_bits(), b.last_snr_db.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn stream_sink_matches_batch_write() {
+        let cfg = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(11)
+            .payload_bytes(80)
+            .build()
+            .unwrap();
+
+        // Batch path: record in memory, then write.
+        let out = LinkSimulation::new(cfg, SimOptions::quick(120)).run();
+        let mut batch = Vec::new();
+        write_trace(&mut batch, &out).unwrap();
+
+        // Streaming path: identical bytes, no record buffering.
+        let mut opts = SimOptions::quick(120);
+        opts.record_packets = false;
+        let mut sink = CsvStreamSink::with_config(Vec::new(), &cfg).unwrap();
+        LinkSimulation::new(cfg, opts).run_with_sink(&mut sink);
+        let (streamed, written) = sink.finish().unwrap();
+
+        assert_eq!(written, 120);
+        assert_eq!(batch, streamed);
     }
 
     #[test]

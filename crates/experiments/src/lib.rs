@@ -15,7 +15,9 @@
 pub mod campaign;
 pub mod dataset;
 pub mod report;
+pub mod shards;
 pub mod stats;
+pub mod stream;
 pub mod sweep;
 pub mod verify;
 

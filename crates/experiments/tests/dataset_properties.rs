@@ -1,0 +1,108 @@
+//! Property tests for the per-packet dataset codec: writing any packet
+//! record as CSV and reading it back must be lossless — including absent
+//! service timestamps, every [`PacketFate`], and exact f64 bits.
+
+use proptest::prelude::*;
+
+use wsn_experiments::dataset::{read_trace, write_trace};
+use wsn_link_sim::record::{PacketFate, PacketRecord};
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions, SimOutcome};
+use wsn_params::config::StackConfig;
+use wsn_sim_engine::time::SimTime;
+
+/// Strategy for an arbitrary record covering the whole schema: optional
+/// timestamps, all three fates, finite floats of either sign.
+fn arb_record() -> impl Strategy<Value = PacketRecord> {
+    (
+        any::<u64>(),
+        0u64..10_000_000,
+        (
+            prop::option::of(0u64..10_000_000),
+            prop::option::of(0u64..10_000_000),
+        ),
+        (0u8..8, 0usize..100),
+        prop::sample::select(vec![
+            PacketFate::QueueDropped,
+            PacketFate::RadioLost,
+            PacketFate::Delivered,
+        ]),
+        any::<bool>(),
+        (-120.0f64..10.0, -30.0f64..40.0, any::<u8>()),
+    )
+        .prop_map(
+            |(seq, arrival, (service, done), (tries, depth), fate, acked, (rssi, snr, lqi))| {
+                PacketRecord {
+                    seq,
+                    t_arrival: SimTime::from_micros(arrival),
+                    t_service_start: service.map(SimTime::from_micros),
+                    t_done: done.map(SimTime::from_micros),
+                    tries,
+                    queue_depth: depth,
+                    fate,
+                    sender_acked: acked,
+                    last_rssi_dbm: rssi,
+                    last_snr_db: snr,
+                    last_lqi: lqi,
+                }
+            },
+        )
+}
+
+/// Builds a [`SimOutcome`] shell carrying exactly `records`, so the batch
+/// writer can serialise them.
+fn outcome_with(records: Vec<PacketRecord>) -> SimOutcome {
+    let mut outcome = LinkSimulation::new(StackConfig::default(), SimOptions::quick(1)).run();
+    outcome.records = Some(records);
+    outcome
+}
+
+proptest! {
+    #[test]
+    fn csv_round_trip_is_lossless(records in prop::collection::vec(arb_record(), 0..40)) {
+        let outcome = outcome_with(records.clone());
+        let mut buf = Vec::new();
+        let written = write_trace(&mut buf, &outcome).unwrap();
+        prop_assert_eq!(written, records.len());
+
+        let trace = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(trace.records.len(), records.len());
+        for (a, b) in records.iter().zip(&trace.records) {
+            prop_assert_eq!(a.seq, b.seq);
+            prop_assert_eq!(a.t_arrival, b.t_arrival);
+            prop_assert_eq!(a.t_service_start, b.t_service_start);
+            prop_assert_eq!(a.t_done, b.t_done);
+            prop_assert_eq!(a.tries, b.tries);
+            prop_assert_eq!(a.queue_depth, b.queue_depth);
+            prop_assert_eq!(a.fate, b.fate);
+            prop_assert_eq!(a.sender_acked, b.sender_acked);
+            // Shortest-round-trip float formatting: exact bit equality.
+            prop_assert_eq!(a.last_rssi_dbm.to_bits(), b.last_rssi_dbm.to_bits());
+            prop_assert_eq!(a.last_snr_db.to_bits(), b.last_snr_db.to_bits());
+            prop_assert_eq!(a.last_lqi, b.last_lqi);
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_nan(seq in any::<u64>()) {
+        let mut record = PacketRecord {
+            seq,
+            t_arrival: SimTime::from_micros(0),
+            t_service_start: None,
+            t_done: None,
+            tries: 0,
+            queue_depth: 0,
+            fate: PacketFate::QueueDropped,
+            sender_acked: false,
+            last_rssi_dbm: f64::NEG_INFINITY,
+            last_snr_db: f64::NAN,
+            last_lqi: 0,
+        };
+        record.last_rssi_dbm = f64::INFINITY;
+        let outcome = outcome_with(vec![record]);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &outcome).unwrap();
+        let trace = read_trace(buf.as_slice()).unwrap();
+        prop_assert!(trace.records[0].last_rssi_dbm.is_nan());
+        prop_assert!(trace.records[0].last_snr_db.is_nan());
+    }
+}

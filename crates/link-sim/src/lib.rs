@@ -35,13 +35,15 @@ pub mod analysis;
 pub mod metrics;
 pub mod record;
 pub mod simulation;
+pub mod sink;
 pub mod traffic;
 
 /// Convenient glob-import of the link simulator.
 pub mod prelude {
     pub use crate::analysis::{littles_law, DeliverySequence};
-    pub use crate::metrics::LinkMetrics;
+    pub use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
     pub use crate::record::{PacketFate, PacketRecord};
     pub use crate::simulation::{LinkSimulation, SimOptions, SimOutcome};
+    pub use crate::sink::{FnSink, NullSink, PacketSink, VecSink};
     pub use crate::traffic::TrafficModel;
 }

@@ -1,5 +1,11 @@
 //! The composed link simulation: traffic source → `Qmax` queue → CSMA-CA
-//! MAC → channel → receiver, with per-packet records and energy metering.
+//! MAC → channel → receiver, with streamed per-packet records and energy
+//! metering.
+//!
+//! Records stream to a [`PacketSink`] as each packet's fate is decided;
+//! summary metrics are folded incrementally by a
+//! [`MetricsAccumulator`](crate::metrics::MetricsAccumulator), so a run
+//! holds O(delivered) state instead of every record.
 
 use rand::rngs::StdRng;
 
@@ -9,12 +15,15 @@ use wsn_params::config::StackConfig;
 use wsn_radio::channel::{Channel, ChannelConfig, Observation};
 use wsn_radio::energy::EnergyMeter;
 use wsn_radio::trajectory::Trajectory;
-use wsn_sim_engine::executor::{Executor, Model, Scheduler, StopReason};
+use wsn_sim_engine::executor::{
+    ExecStats, Executor, ExecutorObserver, Model, Scheduler, StopReason,
+};
 use wsn_sim_engine::rng::{RngFactory, StreamId};
 use wsn_sim_engine::time::{SimDuration, SimTime};
 
-use crate::metrics::{mean, percentile, LinkMetrics};
+use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
 use crate::record::{PacketFate, PacketRecord};
+use crate::sink::{NullSink, PacketSink, VecSink};
 use crate::traffic::TrafficModel;
 
 /// Options controlling one simulation run.
@@ -105,11 +114,16 @@ pub struct SimOutcome {
     /// Summary metrics.
     metrics: LinkMetrics,
     /// Per-packet records if requested in [`SimOptions::record_packets`].
+    /// Runs through [`LinkSimulation::run_with_sink`] leave this `None`;
+    /// the records went to the sink instead.
     pub records: Option<Vec<PacketRecord>>,
     /// Why the run ended.
     pub stop: StopReason,
     /// Final simulation clock.
     pub end_time: SimTime,
+    /// Executor statistics: events handled, queue high-water mark, and the
+    /// simulated-to-wall-time ratio.
+    pub exec: ExecStats,
 }
 
 impl SimOutcome {
@@ -149,7 +163,36 @@ impl LinkSimulation {
     }
 
     /// Runs the simulation to completion and summarises it.
+    ///
+    /// Honors [`SimOptions::record_packets`]: when set, records are
+    /// collected through a [`VecSink`] and returned on the outcome. Prefer
+    /// [`run_with_sink`](Self::run_with_sink) for bounded-memory streaming.
     pub fn run(self) -> SimOutcome {
+        if self.options.record_packets {
+            let mut sink = VecSink::new();
+            let mut outcome = self.run_with_sink(&mut sink);
+            outcome.records = Some(sink.into_records());
+            outcome
+        } else {
+            self.run_with_sink(&mut NullSink)
+        }
+    }
+
+    /// Runs the simulation, streaming each [`PacketRecord`] to `sink` the
+    /// moment the packet's fate is decided. The outcome carries full
+    /// summary metrics but no record vector; peak memory is O(delivered)
+    /// (the exact-percentile delay buffer) regardless of packet count.
+    pub fn run_with_sink<S: PacketSink>(self, sink: &mut S) -> SimOutcome {
+        self.run_observed(sink, &mut ())
+    }
+
+    /// Like [`run_with_sink`](Self::run_with_sink), additionally reporting
+    /// executor progress to `observer`.
+    pub fn run_observed<S: PacketSink, O: ExecutorObserver>(
+        self,
+        sink: &mut S,
+        observer: &mut O,
+    ) -> SimOutcome {
         let factory = RngFactory::new(self.options.seed);
         let channel = Channel::new(
             self.options.channel,
@@ -167,7 +210,8 @@ impl LinkSimulation {
             traffic: self.options.traffic,
             queue: TxQueue::new(self.config.queue_cap),
             current: None,
-            records: Vec::new(),
+            acc: MetricsAccumulator::new(),
+            sink,
             energy: EnergyMeter::new(),
             attempts: 0,
             attempts_unacked: 0,
@@ -184,7 +228,8 @@ impl LinkSimulation {
             exec = exec.with_horizon(SimTime::ZERO + h);
         }
         exec.seed_at(SimTime::ZERO, Ev::Arrival);
-        let (stop, end_time) = exec.run();
+        let (stop, end_time) = exec.run_observed(observer);
+        let exec_stats = *exec.last_stats().expect("run records stats");
         let mut model = exec.into_model();
 
         // Account the radio-idle residual (time with no MAC activity).
@@ -194,14 +239,15 @@ impl LinkSimulation {
             model.energy.add_idle(total - accounted);
         }
 
-        let metrics = model.summarise(total);
-        let records = self.options.record_packets.then_some(model.records);
+        let totals = model.totals(total);
+        let metrics = model.acc.finish(&totals);
         SimOutcome {
             config: self.config,
             metrics,
-            records,
+            records: None,
             stop,
             end_time,
+            exec: exec_stats,
         }
     }
 }
@@ -235,8 +281,7 @@ struct Active {
     last_obs: Option<Observation>,
 }
 
-#[derive(Debug)]
-struct LinkModel {
+struct LinkModel<'s, S: PacketSink> {
     cfg: StackConfig,
     channel: Channel,
     rng_fading: StdRng,
@@ -247,7 +292,8 @@ struct LinkModel {
     traffic: TrafficModel,
     queue: TxQueue<Pending>,
     current: Option<Active>,
-    records: Vec<PacketRecord>,
+    acc: MetricsAccumulator,
+    sink: &'s mut S,
     energy: EnergyMeter,
     attempts: u64,
     attempts_unacked: u64,
@@ -260,7 +306,7 @@ struct LinkModel {
     trajectory: Trajectory,
 }
 
-impl Model for LinkModel {
+impl<S: PacketSink> Model for LinkModel<'_, S> {
     type Event = Ev;
 
     fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev>) {
@@ -271,7 +317,13 @@ impl Model for LinkModel {
     }
 }
 
-impl LinkModel {
+impl<S: PacketSink> LinkModel<'_, S> {
+    /// Folds a finished record into the running metrics and streams it on.
+    fn emit(&mut self, record: PacketRecord) {
+        self.acc.observe(&record);
+        self.sink.on_packet(&record);
+    }
+
     fn on_arrival(&mut self, sched: &mut Scheduler<'_, Ev>) {
         if self.traffic.is_saturating() {
             self.saturate(sched.now());
@@ -306,7 +358,7 @@ impl LinkModel {
         };
         match self.queue.offer(meta) {
             Admission::Accepted { depth } => debug_assert_eq!(depth, meta.queue_depth),
-            Admission::Dropped => self.records.push(PacketRecord {
+            Admission::Dropped => self.emit(PacketRecord {
                 seq,
                 t_arrival: now,
                 t_service_start: None,
@@ -416,7 +468,7 @@ impl LinkModel {
         self.duplicates += active.receiver_copies.saturating_sub(1) as u64;
         self.busy += now - active.t_service_start;
         let obs = active.last_obs;
-        self.records.push(PacketRecord {
+        self.emit(PacketRecord {
             seq: active.meta.seq,
             t_arrival: active.meta.t_arrival,
             t_service_start: Some(active.t_service_start),
@@ -444,103 +496,22 @@ impl LinkModel {
         }
     }
 
-    fn summarise(&self, duration: SimDuration) -> LinkMetrics {
-        let duration_s = duration.as_secs_f64().max(f64::MIN_POSITIVE);
-
-        let mut queue_dropped = 0u64;
-        let mut radio_lost = 0u64;
-        let mut delivered = 0u64;
-        let mut acked = 0u64;
-        let mut delays_ms = Vec::new();
-        let mut services_ms = Vec::new();
-        let mut waits_ms = Vec::new();
-        let mut tries_sum = 0u64;
-        let mut completed = 0u64;
-        for r in &self.records {
-            match r.fate {
-                PacketFate::QueueDropped => queue_dropped += 1,
-                PacketFate::RadioLost => radio_lost += 1,
-                PacketFate::Delivered => delivered += 1,
-            }
-            if r.sender_acked {
-                acked += 1;
-            }
-            if let Some(d) = r.delay() {
-                if r.fate == PacketFate::Delivered {
-                    delays_ms.push(d.as_millis_f64());
-                }
-            }
-            if let Some(s) = r.service_time() {
-                services_ms.push(s.as_millis_f64());
-                tries_sum += r.tries as u64;
-                completed += 1;
-            }
-            if let Some(w) = r.queueing_time() {
-                waits_ms.push(w.as_millis_f64());
-            }
-        }
-        delays_ms.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
-
-        let residual = self.generated - queue_dropped - radio_lost - delivered;
-        let delivered_bits = delivered as f64 * self.cfg.payload.bits() as f64;
-        let energy = self.energy.breakdown();
-        let u_eng_uj = if delivered_bits > 0.0 {
-            energy.tx_j * 1e6 / delivered_bits
-        } else {
-            f64::INFINITY
-        };
-        let total_uj = if delivered_bits > 0.0 {
-            energy.total_j() * 1e6 / delivered_bits
-        } else {
-            f64::INFINITY
-        };
-        let denom = self.generated.max(1) as f64;
-
-        LinkMetrics {
-            duration_s,
+    /// Snapshots the model-side counters needed to finish the metrics fold.
+    fn totals(&self, duration: SimDuration) -> RunTotals {
+        RunTotals {
+            duration,
             generated: self.generated,
-            queue_dropped,
-            radio_lost,
-            delivered,
-            acked,
-            residual,
             attempts: self.attempts,
             attempts_unacked: self.attempts_unacked,
             duplicates: self.duplicates,
-            mean_tries: if completed > 0 {
-                tries_sum as f64 / completed as f64
-            } else {
-                0.0
-            },
-            goodput_bps: delivered_bits / duration_s,
+            snr_sum: self.snr_sum,
+            rssi_sum: self.rssi_sum,
+            busy: self.busy,
+            energy: self.energy.breakdown(),
+            payload_bits: self.cfg.payload.bits(),
             offered_bps: self.cfg.offered_load_bps(),
-            delay_mean_ms: mean(&delays_ms),
-            delay_p50_ms: percentile(&delays_ms, 0.50),
-            delay_p95_ms: percentile(&delays_ms, 0.95),
-            delay_p99_ms: percentile(&delays_ms, 0.99),
-            service_mean_ms: mean(&services_ms),
-            queueing_mean_ms: mean(&waits_ms),
-            u_eng_uj_per_bit: u_eng_uj,
-            total_energy_uj_per_bit: total_uj,
-            energy,
-            plr_queue: queue_dropped as f64 / denom,
-            plr_radio: radio_lost as f64 / denom,
-            per: if self.attempts > 0 {
-                self.attempts_unacked as f64 / self.attempts as f64
-            } else {
-                0.0
-            },
-            mean_snr_db: if self.attempts > 0 {
-                self.snr_sum / self.attempts as f64
-            } else {
-                self.channel.mean_snr_db()
-            },
-            mean_rssi_dbm: if self.attempts > 0 {
-                self.rssi_sum / self.attempts as f64
-            } else {
-                self.channel.mean_rssi_dbm()
-            },
-            utilization: self.busy.as_secs_f64() / duration_s,
+            fallback_snr_db: self.channel.mean_snr_db(),
+            fallback_rssi_dbm: self.channel.mean_rssi_dbm(),
         }
     }
 }
@@ -718,6 +689,106 @@ mod tests {
         let m = outcome.metrics();
         assert!(m.conserves_packets());
         assert!(m.generated < 1000);
+    }
+
+    #[test]
+    fn streaming_metrics_match_batch_summary_bit_for_bit() {
+        // The streaming MetricsAccumulator must reproduce the historical
+        // batch summariser exactly: re-summarise the recorded packets with
+        // the independent batch path and require full equality (LinkMetrics
+        // is compared field-by-field via PartialEq on the raw floats).
+        for (power, dist, packets) in [(31u8, 10.0, 200u64), (23, 35.0, 300), (3, 35.0, 250)] {
+            let outcome = LinkSimulation::new(cfg(power, dist), SimOptions::quick(packets)).run();
+            let streamed = outcome.metrics().clone();
+            let records = outcome.records.expect("quick() records packets");
+
+            // Rebuild RunTotals from the published metrics; every field is
+            // carried through `finish` unchanged, so this reconstruction is
+            // lossless for the comparison.
+            let totals = RunTotals {
+                duration: SimDuration::from_secs_f64(streamed.duration_s),
+                generated: streamed.generated,
+                attempts: streamed.attempts,
+                attempts_unacked: streamed.attempts_unacked,
+                duplicates: streamed.duplicates,
+                snr_sum: streamed.mean_snr_db * streamed.attempts as f64,
+                rssi_sum: streamed.mean_rssi_dbm * streamed.attempts as f64,
+                busy: SimDuration::from_secs_f64(streamed.utilization * streamed.duration_s),
+                energy: streamed.energy,
+                payload_bits: outcome.config.payload.bits(),
+                offered_bps: streamed.offered_bps,
+                fallback_snr_db: streamed.mean_snr_db,
+                fallback_rssi_dbm: streamed.mean_rssi_dbm,
+            };
+            let batch = crate::metrics::summarise_records(&records, &totals);
+
+            // Fields derived purely from records must agree bit-for-bit.
+            assert_eq!(batch.queue_dropped, streamed.queue_dropped);
+            assert_eq!(batch.radio_lost, streamed.radio_lost);
+            assert_eq!(batch.delivered, streamed.delivered);
+            assert_eq!(batch.acked, streamed.acked);
+            assert_eq!(batch.residual, streamed.residual);
+            assert_eq!(batch.mean_tries.to_bits(), streamed.mean_tries.to_bits());
+            assert_eq!(
+                batch.delay_mean_ms.to_bits(),
+                streamed.delay_mean_ms.to_bits()
+            );
+            assert_eq!(
+                batch.delay_p50_ms.to_bits(),
+                streamed.delay_p50_ms.to_bits()
+            );
+            assert_eq!(
+                batch.delay_p95_ms.to_bits(),
+                streamed.delay_p95_ms.to_bits()
+            );
+            assert_eq!(
+                batch.delay_p99_ms.to_bits(),
+                streamed.delay_p99_ms.to_bits()
+            );
+            assert_eq!(
+                batch.service_mean_ms.to_bits(),
+                streamed.service_mean_ms.to_bits()
+            );
+            assert_eq!(
+                batch.queueing_mean_ms.to_bits(),
+                streamed.queueing_mean_ms.to_bits()
+            );
+            assert_eq!(batch.goodput_bps.to_bits(), streamed.goodput_bps.to_bits());
+        }
+    }
+
+    #[test]
+    fn sink_run_equals_record_run() {
+        // Streaming through an external VecSink must see exactly the
+        // records (and metrics) the record_packets path produces.
+        let recorded = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(200)).run();
+
+        let mut sink = VecSink::new();
+        let mut options = SimOptions::quick(200);
+        options.record_packets = false;
+        let streamed = LinkSimulation::new(cfg(23, 35.0), options).run_with_sink(&mut sink);
+
+        assert_eq!(recorded.metrics(), streamed.metrics());
+        assert!(streamed.records.is_none());
+        assert_eq!(recorded.records.unwrap(), sink.into_records());
+    }
+
+    #[test]
+    fn null_sink_run_matches_recording_run_metrics() {
+        let with_records = LinkSimulation::new(cfg(31, 10.0), SimOptions::quick(150)).run();
+        let mut options = SimOptions::quick(150);
+        options.record_packets = false;
+        let without = LinkSimulation::new(cfg(31, 10.0), options).run();
+        assert_eq!(with_records.metrics(), without.metrics());
+    }
+
+    #[test]
+    fn outcome_carries_exec_stats() {
+        let outcome = LinkSimulation::new(cfg(31, 10.0), SimOptions::quick(100)).run();
+        assert!(outcome.exec.events_handled > 0);
+        assert!(outcome.exec.events_scheduled >= outcome.exec.events_handled);
+        assert!(outcome.exec.queue_high_water >= 1);
+        assert!(outcome.exec.sim_wall_ratio() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Streaming consumers of per-packet records.
+//!
+//! The simulation produces one [`PacketRecord`] per application packet. A
+//! [`PacketSink`] receives each record the moment the packet's fate is
+//! decided, instead of the simulation buffering every record in memory.
+//! Built-in sinks:
+//!
+//! * [`NullSink`] — discards records; the zero-overhead default.
+//! * [`VecSink`] — collects records in memory, reproducing the historical
+//!   `record_packets: true` behavior.
+//! * [`FnSink`] — adapts a closure.
+//!
+//! Summary metrics do not require a sink: the simulation folds every record
+//! into a [`MetricsAccumulator`](crate::metrics::MetricsAccumulator) as it
+//! streams, so a [`NullSink`] run still yields exact
+//! [`LinkMetrics`](crate::metrics::LinkMetrics).
+
+use crate::record::PacketRecord;
+
+/// A streaming consumer of per-packet records.
+///
+/// `on_packet` is called exactly once per generated packet, in order of
+/// fate decision (queue drops at arrival time, completions at service end).
+pub trait PacketSink {
+    /// Consumes one finished packet record.
+    fn on_packet(&mut self, record: &PacketRecord);
+}
+
+impl<S: PacketSink + ?Sized> PacketSink for &mut S {
+    fn on_packet(&mut self, record: &PacketRecord) {
+        (**self).on_packet(record);
+    }
+}
+
+/// Discards every record; use when only summary metrics are wanted.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl PacketSink for NullSink {
+    fn on_packet(&mut self, _record: &PacketRecord) {}
+}
+
+/// Collects every record in memory (memory grows with packet count).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    records: Vec<PacketRecord>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The records collected so far.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Consumes the sink, returning the collected records.
+    pub fn into_records(self) -> Vec<PacketRecord> {
+        self.records
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was collected yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl PacketSink for VecSink {
+    fn on_packet(&mut self, record: &PacketRecord) {
+        self.records.push(*record);
+    }
+}
+
+/// Adapts a closure into a sink: `FnSink::new(|r| total += r.tries as u64)`.
+#[derive(Debug)]
+pub struct FnSink<F: FnMut(&PacketRecord)>(F);
+
+impl<F: FnMut(&PacketRecord)> FnSink<F> {
+    /// Wraps `f` as a sink.
+    pub fn new(f: F) -> Self {
+        FnSink(f)
+    }
+}
+
+impl<F: FnMut(&PacketRecord)> PacketSink for FnSink<F> {
+    fn on_packet(&mut self, record: &PacketRecord) {
+        (self.0)(record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PacketFate;
+
+    fn record(seq: u64) -> PacketRecord {
+        PacketRecord {
+            seq,
+            t_arrival: wsn_sim_engine::time::SimTime::ZERO,
+            t_service_start: None,
+            t_done: None,
+            tries: 0,
+            queue_depth: 1,
+            fate: PacketFate::QueueDropped,
+            sender_acked: false,
+            last_rssi_dbm: f64::NAN,
+            last_snr_db: f64::NAN,
+            last_lqi: 0,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink = VecSink::new();
+        for seq in 0..5 {
+            sink.on_packet(&record(seq));
+        }
+        assert_eq!(sink.len(), 5);
+        let seqs: Vec<u64> = sink.into_records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fn_sink_runs_closure() {
+        let mut count = 0u64;
+        {
+            let mut sink = FnSink::new(|_r: &PacketRecord| count += 1);
+            sink.on_packet(&record(0));
+            sink.on_packet(&record(1));
+        }
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn mut_ref_to_sink_is_a_sink() {
+        fn feed<S: PacketSink>(mut s: S) {
+            s.on_packet(&record(9));
+        }
+        let mut sink = VecSink::new();
+        feed(&mut sink);
+        assert_eq!(sink.len(), 1);
+        assert!(!sink.is_empty());
+        assert_eq!(sink.records()[0].seq, 9);
+    }
+}

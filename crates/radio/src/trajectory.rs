@@ -12,9 +12,10 @@ use serde::{Deserialize, Serialize};
 use wsn_params::types::Distance;
 
 /// A deterministic distance-over-time profile.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum Trajectory {
     /// Stationary at the configuration's distance (the paper's setup).
+    #[default]
     Stationary,
     /// Linear motion from `start_m` to `end_m` over `duration_s`, then
     /// holding at `end_m`.
@@ -93,12 +94,6 @@ impl Trajectory {
     /// per-attempt retarget).
     pub fn is_stationary(&self) -> bool {
         matches!(self, Trajectory::Stationary)
-    }
-}
-
-impl Default for Trajectory {
-    fn default() -> Self {
-        Trajectory::Stationary
     }
 }
 

@@ -1,5 +1,7 @@
 //! The simulation executor: drives a [`Model`] by draining the event queue.
 
+use std::time::{Duration, Instant};
+
 use crate::event::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -57,6 +59,52 @@ pub trait Model {
     fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
 }
 
+/// Statistics gathered by the executor over one [`Executor::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecStats {
+    /// Events handled during the run.
+    pub events_handled: u64,
+    /// Events ever scheduled on the queue (including seeds and events left
+    /// pending when the run stopped).
+    pub events_scheduled: u64,
+    /// Largest pending-queue length observed after any handled event.
+    pub queue_high_water: usize,
+    /// Simulated time that elapsed during the run.
+    pub sim_elapsed: SimDuration,
+    /// Wall-clock time the run took.
+    pub wall_elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Simulated seconds advanced per wall-clock second; `f64::INFINITY`
+    /// when the run finished faster than the clock resolution.
+    pub fn sim_wall_ratio(&self) -> f64 {
+        let wall = self.wall_elapsed.as_secs_f64();
+        if wall > 0.0 {
+            self.sim_elapsed.as_secs_f64() / wall
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Hook for watching an executor run without owning the model.
+///
+/// All methods default to no-ops, so an observer implements only what it
+/// needs. With the no-op observer the calls compile away: [`Executor::run`]
+/// costs the same as before the hook existed.
+pub trait ExecutorObserver {
+    /// Called after each handled event with the clock and the number of
+    /// events still pending.
+    fn on_event(&mut self, _now: SimTime, _pending: usize) {}
+
+    /// Called once when the run stops, with the full run statistics.
+    fn on_run_end(&mut self, _stats: &ExecStats) {}
+}
+
+/// The do-nothing observer used by [`Executor::run`].
+impl ExecutorObserver for () {}
+
 /// Why [`Executor::run`] returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -103,6 +151,7 @@ pub struct Executor<M: Model> {
     horizon: SimTime,
     event_budget: u64,
     events_handled: u64,
+    last_stats: Option<ExecStats>,
 }
 
 impl<M: Model> Executor<M> {
@@ -118,6 +167,7 @@ impl<M: Model> Executor<M> {
             horizon: SimTime::MAX,
             event_budget: Self::DEFAULT_EVENT_BUDGET,
             events_handled: 0,
+            last_stats: None,
         }
     }
 
@@ -164,21 +214,38 @@ impl<M: Model> Executor<M> {
         self.events_handled
     }
 
+    /// Statistics from the most recent [`run`](Self::run) /
+    /// [`run_observed`](Self::run_observed) call, if any.
+    pub fn last_stats(&self) -> Option<&ExecStats> {
+        self.last_stats.as_ref()
+    }
+
     /// Runs to completion; returns why the run stopped and the final clock.
     pub fn run(&mut self) -> (StopReason, SimTime) {
+        self.run_observed(&mut ())
+    }
+
+    /// Runs to completion while reporting progress to `observer`; returns
+    /// why the run stopped and the final clock. Run statistics are also
+    /// retained on the executor (see [`last_stats`](Self::last_stats)).
+    pub fn run_observed<O: ExecutorObserver>(&mut self, observer: &mut O) -> (StopReason, SimTime) {
+        let wall_start = Instant::now();
+        let sim_start = self.now;
+        let handled_before = self.events_handled;
+        let mut queue_high_water = self.queue.len();
         let mut stop_requested = false;
-        loop {
+        let reason = loop {
             if self.events_handled >= self.event_budget {
-                return (StopReason::EventBudgetExhausted, self.now);
+                break StopReason::EventBudgetExhausted;
             }
             let Some(next_time) = self.queue.peek_time() else {
-                return (StopReason::QueueEmpty, self.now);
+                break StopReason::QueueEmpty;
             };
             if next_time > self.horizon {
                 // Leave post-horizon events unprocessed; clock stops at the
                 // horizon so rate metrics use the intended window length.
                 self.now = self.horizon;
-                return (StopReason::HorizonReached, self.now);
+                break StopReason::HorizonReached;
             }
             let scheduled = self.queue.pop().expect("peeked event must pop");
             debug_assert!(scheduled.time >= self.now, "event queue went backwards");
@@ -190,10 +257,22 @@ impl<M: Model> Executor<M> {
             };
             self.model.handle(scheduled.event, &mut sched);
             self.events_handled += 1;
+            queue_high_water = queue_high_water.max(self.queue.len());
+            observer.on_event(self.now, self.queue.len());
             if stop_requested {
-                return (StopReason::ModelRequested, self.now);
+                break StopReason::ModelRequested;
             }
-        }
+        };
+        let stats = ExecStats {
+            events_handled: self.events_handled - handled_before,
+            events_scheduled: self.queue.scheduled_total(),
+            queue_high_water,
+            sim_elapsed: self.now - sim_start,
+            wall_elapsed: wall_start.elapsed(),
+        };
+        observer.on_run_end(&stats);
+        self.last_stats = Some(stats);
+        (reason, self.now)
     }
 }
 
@@ -280,6 +359,69 @@ mod tests {
         exec.run();
         let times = &exec.model().fired_at;
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Observer that counts callbacks and tracks the reported high water.
+    #[derive(Default)]
+    struct Probe {
+        events_seen: u64,
+        max_pending: usize,
+        run_ends: u32,
+        final_stats: Option<ExecStats>,
+    }
+
+    impl ExecutorObserver for Probe {
+        fn on_event(&mut self, _now: SimTime, pending: usize) {
+            self.events_seen += 1;
+            self.max_pending = self.max_pending.max(pending);
+        }
+        fn on_run_end(&mut self, stats: &ExecStats) {
+            self.run_ends += 1;
+            self.final_stats = Some(*stats);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_event_and_final_stats() {
+        let mut exec = ticker(9);
+        let mut probe = Probe::default();
+        let (reason, end) = exec.run_observed(&mut probe);
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(probe.events_seen, 10);
+        assert_eq!(probe.run_ends, 1);
+        let stats = probe.final_stats.expect("run end reported");
+        assert_eq!(stats.events_handled, 10);
+        assert_eq!(stats.events_scheduled, 10);
+        assert_eq!(stats.sim_elapsed, end - SimTime::ZERO);
+        assert!(stats.sim_wall_ratio() > 0.0);
+        assert_eq!(exec.last_stats(), Some(&stats));
+    }
+
+    #[test]
+    fn observer_queue_high_water_tracks_pending_events() {
+        // Seed 7 simultaneous events; while handling the first, 6 remain
+        // pending, so the high-water mark must be at least 6.
+        let mut exec = Executor::new(Ticker {
+            remaining: 0,
+            fired_at: Vec::new(),
+            stop_at_tick: None,
+        });
+        for i in 0..7 {
+            exec.seed_at(SimTime::ZERO, i);
+        }
+        let mut probe = Probe::default();
+        exec.run_observed(&mut probe);
+        assert_eq!(probe.max_pending, 6);
+        assert_eq!(probe.final_stats.unwrap().queue_high_water, 7);
+    }
+
+    #[test]
+    fn plain_run_records_stats_too() {
+        let mut exec = ticker(3);
+        assert!(exec.last_stats().is_none());
+        exec.run();
+        let stats = exec.last_stats().expect("stats retained");
+        assert_eq!(stats.events_handled, 4);
     }
 
     #[test]

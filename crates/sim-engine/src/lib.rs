@@ -52,7 +52,9 @@ pub mod time;
 /// Convenient glob-import of the engine's core types.
 pub mod prelude {
     pub use crate::event::EventQueue;
-    pub use crate::executor::{Executor, Model, Scheduler, StopReason};
+    pub use crate::executor::{
+        ExecStats, Executor, ExecutorObserver, Model, Scheduler, StopReason,
+    };
     pub use crate::rng::{RngFactory, StreamId};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -1,0 +1,537 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate is
+//! written against `proc_macro` alone — no `syn`/`quote`. It hand-parses the
+//! item's token stream into a small shape model (named struct, tuple struct,
+//! unit struct, enum with unit/tuple/named variants) and emits impls of the
+//! vendored tree-based `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported subset (everything this workspace derives on):
+//!
+//! * structs and enums, including simple type generics (every type
+//!   parameter is bounded by the derived trait);
+//! * `#[serde(...)]` attributes are **not** supported and produce a compile
+//!   error rather than silently wrong encodings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// The shape of the derive target.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Skips one attribute (`#` already consumed? no — expects `#` at `iter`
+/// front) and rejects `#[serde(...)]`, which this vendored derive cannot
+/// honor.
+fn skip_attributes(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            return;
+        }
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") {
+                panic!("vendored serde_derive does not support #[serde(...)] attributes: {body}");
+            }
+        } else {
+            panic!("expected attribute body after '#'");
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in …)`.
+fn skip_visibility(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes type tokens until a top-level comma (tracking `<`/`>` depth) or
+/// the end of the stream. Returns whether a comma was consumed.
+fn skip_type(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut angle_depth = 0i32;
+    for tt in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Parses the fields of a named-fields body (struct or enum variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                fields.push(name.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected ':' after field name, got {other:?}"),
+                }
+                if !skip_type(&mut iter) {
+                    break;
+                }
+            }
+            None => break,
+            other => panic!("unexpected token in field list: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple body (top-level comma-separated segments).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        if iter.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !skip_type(&mut iter) {
+            break;
+        }
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match iter.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional discriminant, then the trailing comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                None => break,
+                _ => {}
+            }
+        }
+    }
+    variants
+}
+
+/// Parses the generic parameter list after an item name, returning the type
+/// parameter idents (bounds and defaults are dropped; lifetimes and const
+/// generics are unsupported).
+fn parse_generics(
+    iter: &mut core::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    iter.next();
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => expect_param = true,
+                '\'' if depth == 1 && expect_param => {
+                    panic!("vendored serde_derive does not support lifetime parameters");
+                }
+                _ => {}
+            },
+            Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                let word = id.to_string();
+                if word == "const" {
+                    panic!("vendored serde_derive does not support const generics");
+                }
+                params.push(word);
+                expect_param = false;
+            }
+            Some(_) => {}
+            None => panic!("unbalanced generic parameter list"),
+        }
+    }
+    params
+}
+
+/// Parses a `struct`/`enum` item into its name, type parameters, and shape.
+fn parse_item(input: TokenStream) -> (String, Vec<String>, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip outer attributes (doc comments arrive as #[doc = …]) and vis.
+    skip_attributes(&mut iter);
+    skip_visibility(&mut iter);
+    match iter.peek() {
+        Some(TokenTree::Ident(id)) => {
+            let word = id.to_string();
+            if word != "struct" && word != "enum" {
+                // e.g. `#[repr(..)]` handled above; unexpected modifiers like
+                // `union` are unsupported.
+                panic!("vendored serde_derive supports only structs and enums, found `{word}`");
+            }
+        }
+        other => panic!("unexpected token before item keyword: {other:?}"),
+    }
+    let keyword = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => unreachable!(),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    let generics = parse_generics(&mut iter);
+    // A `where` clause may sit between the generics and the body.
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("vendored serde_derive does not support where clauses on `{name}`");
+    }
+    let shape = if keyword == "enum" {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("expected struct body, got {other:?}"),
+        }
+    };
+    (name, generics, shape)
+}
+
+/// Builds the `impl<…> Trait for Name<…>` header, bounding every type
+/// parameter by `bound` (e.g. `::serde::Serialize`).
+fn impl_header(name: &str, generics: &[String], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        (String::new(), name.to_string())
+    } else {
+        let bounded: Vec<String> = generics.iter().map(|g| format!("{g}: {bound}")).collect();
+        (
+            format!("<{}>", bounded.join(", ")),
+            format!("{name}<{}>", generics.join(", ")),
+        )
+    }
+}
+
+// ── code generation ──────────────────────────────────────────────────────
+
+fn gen_serialize(name: &str, generics: &[String], shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\"))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::serialize(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{items}]))])",
+                                binds = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::serialize({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))])",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let (params, target) = impl_header(name, generics, "::serde::Serialize");
+    format!(
+        "impl{params} ::serde::Serialize for {target} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, generics: &[String], shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(__value.field(\"{f}\"))\
+                         .map_err(|e| ::serde::Error::msg(\
+                         ::std::format!(\"{name}.{f}: {{}}\", e.0)))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if __value.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"{name}: expected object, got {{}}\", __value.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| ::serde::Error::msg(\
+                 ::std::format!(\"{name}: expected array, got {{}}\", __value.kind())))?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"{name}: expected {n} items, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(__payload)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let __items = __payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::msg(\"{name}::{vn}: expected array payload\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::msg(\
+                                     \"{name}::{vn}: wrong payload arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize(\
+                                         __payload.field(\"{f}\"))\
+                                         .map_err(|e| ::serde::Error::msg(\
+                                         ::std::format!(\"{name}::{vn}.{f}: {{}}\", e.0)))?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__tag) = __value.as_str() {{\n\
+                     match __tag {{\n\
+                         {unit_arms},\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant '{{}}'\", __other)))\n\
+                     }}\n\
+                 }} else if let ::std::option::Option::Some(__entries) = __value.as_object() {{\n\
+                     if __entries.len() != 1 {{\n\
+                         return ::std::result::Result::Err(::serde::Error::msg(\
+                         \"{name}: expected single-key variant object\"));\n\
+                     }}\n\
+                     let (__tag, __payload) = (&__entries[0].0, &__entries[0].1);\n\
+                     match __tag.as_str() {{\n\
+                         {data_arms},\n\
+                         __other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant '{{}}'\", __other)))\n\
+                     }}\n\
+                 }} else {{\n\
+                     ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"{name}: expected string or object, got {{}}\", \
+                     __value.kind())))\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    format!(
+                        "__impossible => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant '{{}}'\", __impossible)))"
+                    )
+                } else {
+                    unit_arms.join(",\n")
+                },
+                data_arms = if data_arms.is_empty() {
+                    format!(
+                        "__impossible => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant '{{}}'\", __impossible)))"
+                    )
+                } else {
+                    data_arms.join(",\n")
+                },
+            )
+        }
+    };
+    let (params, target) = impl_header(name, generics, "::serde::Deserialize");
+    format!(
+        "impl{params} ::serde::Deserialize for {target} {{\n\
+             fn deserialize(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derives the vendored tree-based `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics, shape) = parse_item(input);
+    gen_serialize(&name, &generics, &shape)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored tree-based `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics, shape) = parse_item(input);
+    gen_deserialize(&name, &generics, &shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
