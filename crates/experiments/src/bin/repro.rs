@@ -10,6 +10,9 @@
 //!                                    with --out, checkpoint JSONL shards
 //! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
 //! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
+//! repro bench [--json PATH] [--quick-bench]
+//!                                    measure campaign throughput at 1/4/8
+//!                                    worker threads (BENCH_campaign.json)
 //! ```
 //!
 //! `--full` switches from the quick scale (400 packets/config) to the
@@ -36,8 +39,8 @@ use wsn_params::grid::ParamGrid;
 fn usage() -> String {
     let ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
     format!(
-        "usage: repro <all|list|campaign|verify|dataset|ID...> \
-         [--full] [--out DIR] [--resume] [--shards N]\n  ids: {}",
+        "usage: repro <all|list|campaign|verify|dataset|bench|ID...> \
+         [--full] [--out DIR] [--resume] [--shards N] [--json PATH] [--quick-bench]\n  ids: {}",
         ids.join(", ")
     )
 }
@@ -158,6 +161,8 @@ fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut shards = 16usize;
+    let mut json_path: Option<PathBuf> = None;
+    let mut quick_bench = false;
     let mut selections: Vec<String> = Vec::new();
 
     let mut iter = args.iter().peekable();
@@ -179,6 +184,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--json" => match iter.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--json needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quick-bench" => quick_bench = true,
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -195,6 +208,23 @@ fn main() -> ExitCode {
     if selections.iter().any(|s| s == "list") {
         for (id, _) in all_experiments() {
             println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if selections.iter().any(|s| s == "bench") {
+        // `--quick-bench` shrinks the batches for CI smoke runs; the
+        // default sizing is what BENCH_campaign.json numbers come from.
+        let (reps, min_batch_s) = if quick_bench { (2, 0.2) } else { (5, 1.0) };
+        let report = wsn_experiments::perf::campaign_throughput(&[1, 4, 8], reps, min_batch_s);
+        print!("{}", report.render());
+        if let Some(path) = &json_path {
+            let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {}", path.display());
         }
         return ExitCode::SUCCESS;
     }

@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +20,7 @@ use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
 use wsn_link_sim::traffic::TrafficModel;
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
+use wsn_radio::budget::LinkBudgetTable;
 use wsn_radio::channel::ChannelConfig;
 use wsn_sim_engine::rng::RngFactory;
 
@@ -103,11 +104,23 @@ impl Campaign {
         self
     }
 
-    /// Simulation options for the configuration at `index`.
-    fn options_for(&self, index: u64) -> SimOptions {
+    /// State shared by every configuration of one campaign run, computed
+    /// once instead of per configuration: the base RNG factory (seed
+    /// derivation starts from it) and the memoized link-budget table.
+    fn shared(&self) -> SharedRun {
+        SharedRun {
+            base: RngFactory::new(self.seed),
+            budgets: Arc::new(LinkBudgetTable::new(self.channel)),
+        }
+    }
+
+    /// Simulation options for the configuration at `index`, deriving its
+    /// seed from the run's `base` factory (hoisted out of the
+    /// per-configuration path — see [`Campaign::shared`]).
+    fn options_with(&self, base: RngFactory, index: u64) -> SimOptions {
         SimOptions {
             packets: self.packets,
-            seed: RngFactory::new(self.seed).derive(index).seed(),
+            seed: base.derive(index).seed(),
             channel: self.channel,
             traffic: self.traffic,
             record_packets: false,
@@ -119,7 +132,14 @@ impl Campaign {
     /// Simulates one configuration (with the seed it would get inside a
     /// grid run at `index`).
     pub fn run_one(&self, config: StackConfig, index: u64) -> ConfigResult {
-        let outcome = LinkSimulation::new(config, self.options_for(index)).run();
+        self.run_one_shared(config, index, &self.shared())
+    }
+
+    /// The worker body: one configuration, using the run-shared state.
+    fn run_one_shared(&self, config: StackConfig, index: u64, shared: &SharedRun) -> ConfigResult {
+        let outcome = LinkSimulation::new(config, self.options_with(shared.base, index))
+            .with_budget_table(Arc::clone(&shared.budgets))
+            .run();
         ConfigResult {
             config,
             metrics: outcome.metrics().clone(),
@@ -166,10 +186,11 @@ impl Campaign {
     ) -> StreamStats {
         let total = configs.len();
         let threads = self.threads.min(total).max(1);
+        let shared = self.shared();
 
         if threads <= 1 || total < 4 {
             for (i, &config) in configs.iter().enumerate() {
-                let result = self.run_one(config, (base + i) as u64);
+                let result = self.run_one_shared(config, (base + i) as u64, &shared);
                 sink.on_result(base + i, &result);
             }
             sink.on_complete(total);
@@ -209,7 +230,7 @@ impl Campaign {
                             .wait_while(guard, |d| i >= d.next_deliver + window)
                             .expect("delivery lock");
                     }
-                    let result = self.run_one(configs[i], (base + i) as u64);
+                    let result = self.run_one_shared(configs[i], (base + i) as u64, &shared);
                     let mut d = delivery.lock().expect("delivery lock");
                     d.pending.insert(i, result);
                     d.max_pending = d.max_pending.max(d.pending.len());
@@ -247,6 +268,13 @@ impl Campaign {
         let configs: Vec<StackConfig> = grid.iter().collect();
         self.run_configs(&configs)
     }
+}
+
+/// Run-wide shared state: every configuration derives its seed from the
+/// same base factory and draws link budgets from the same memo table.
+struct SharedRun {
+    base: RngFactory,
+    budgets: Arc<LinkBudgetTable>,
 }
 
 /// In-order delivery state shared by workers.
@@ -348,10 +376,11 @@ mod tests {
             packets: 60,
             ..Campaign::new(Scale::Quick)
         };
-        let a = campaign.options_for(0).seed;
-        let b = campaign.options_for(1).seed;
+        let base = RngFactory::new(campaign.seed);
+        let a = campaign.options_with(base, 0).seed;
+        let b = campaign.options_with(base, 1).seed;
         assert_ne!(a, b);
-        assert_eq!(a, campaign.options_for(0).seed);
+        assert_eq!(a, campaign.options_with(base, 0).seed);
     }
 
     #[test]

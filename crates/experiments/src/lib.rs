@@ -14,6 +14,7 @@
 
 pub mod campaign;
 pub mod dataset;
+pub mod perf;
 pub mod report;
 pub mod shards;
 pub mod stats;

@@ -1,0 +1,157 @@
+//! Campaign throughput measurement (`repro bench`).
+//!
+//! Times [`Campaign::run_streamed`] over the same 32-configuration
+//! `Scale::Bench` grid the `campaign_throughput` criterion bench uses, at
+//! several worker-thread counts, and reports configurations per second.
+//! The JSON form of [`BenchReport`] is the repository's machine-readable
+//! perf trajectory (`BENCH_campaign.json`).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+
+use crate::campaign::{Campaign, ConfigResult, Scale};
+use crate::stream::SinkFn;
+
+/// The benchmark grid: 4 distances × 4 powers × 2 retry budgets, matching
+/// `benches/campaign.rs` so `repro bench` and criterion measure the same
+/// workload.
+pub fn bench_grid() -> ParamGrid {
+    ParamGrid {
+        distances_m: vec![10.0, 20.0, 30.0, 35.0],
+        power_levels: vec![3, 7, 11, 31],
+        max_tries: vec![1, 3],
+        retry_delays_ms: vec![0],
+        queue_caps: vec![30],
+        packet_intervals_ms: vec![50],
+        payloads: vec![50],
+    }
+}
+
+/// Throughput at one worker-thread count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadThroughput {
+    /// Campaign worker threads.
+    pub threads: usize,
+    /// Grid configurations simulated per wall-clock second (best batch).
+    pub configs_per_sec: f64,
+    /// Wall-clock seconds of the best timed batch.
+    pub elapsed_s: f64,
+    /// Full-grid iterations per timed batch.
+    pub iters: usize,
+}
+
+/// One `repro bench` measurement: the workload identity plus per-thread
+/// throughput numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Benchmark id (always `"campaign_throughput"`).
+    pub bench: String,
+    /// Measurement scale name.
+    pub scale: String,
+    /// Configurations in the benchmark grid.
+    pub grid_configs: usize,
+    /// Packets simulated per configuration.
+    pub packets_per_config: u64,
+    /// Throughput per thread count, in the order measured.
+    pub results: Vec<ThreadThroughput>,
+}
+
+impl BenchReport {
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{} — {} configs × {} packets\n",
+            self.bench, self.grid_configs, self.packets_per_config
+        );
+        for r in &self.results {
+            out.push_str(&format!(
+                "  {:>2} thread{}: {:>9.0} configs/sec  ({} iters, {:.3}s)\n",
+                r.threads,
+                if r.threads == 1 { " " } else { "s" },
+                r.configs_per_sec,
+                r.iters,
+                r.elapsed_s,
+            ));
+        }
+        out
+    }
+}
+
+/// Measures campaign throughput at each of `thread_counts`.
+///
+/// Per thread count: a warmup pass, then `reps` timed batches, each sized
+/// so one batch runs ≥ `min_batch_s`; the fastest batch is reported (the
+/// standard minimum-of-k estimator for the noise-free cost).
+pub fn campaign_throughput(thread_counts: &[usize], reps: usize, min_batch_s: f64) -> BenchReport {
+    let configs: Vec<StackConfig> = bench_grid().iter().collect();
+    let mut results = Vec::with_capacity(thread_counts.len());
+    for &threads in thread_counts {
+        let campaign = Campaign {
+            threads,
+            ..Campaign::new(Scale::Bench)
+        };
+        let run_grid = || {
+            let mut sink = SinkFn::new(|_i: usize, r: &ConfigResult| {
+                std::hint::black_box(r.metrics.goodput_bps);
+            });
+            campaign.run_streamed(&configs, &mut sink);
+        };
+
+        // Warmup, doubling as the batch-size calibration.
+        run_grid();
+        let t0 = Instant::now();
+        run_grid();
+        let per_grid = t0.elapsed().as_secs_f64().max(1e-6);
+        let iters = (min_batch_s / per_grid).ceil().max(1.0) as usize;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                run_grid();
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        results.push(ThreadThroughput {
+            threads,
+            configs_per_sec: (iters * configs.len()) as f64 / best,
+            elapsed_s: best,
+            iters,
+        });
+    }
+    BenchReport {
+        bench: "campaign_throughput".into(),
+        scale: "bench".into(),
+        grid_configs: configs.len(),
+        packets_per_config: Scale::Bench.packets(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_grid_matches_criterion_workload() {
+        assert_eq!(bench_grid().len(), 32);
+    }
+
+    #[test]
+    fn report_measures_and_renders() {
+        // Tiny batches: correctness of the plumbing, not the numbers.
+        let report = campaign_throughput(&[1, 2], 1, 0.0);
+        assert_eq!(report.results.len(), 2);
+        assert!(report.results.iter().all(|r| r.configs_per_sec > 0.0));
+        let text = report.render();
+        assert!(text.contains("campaign_throughput"));
+        assert!(text.contains("configs/sec"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

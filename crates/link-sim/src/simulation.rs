@@ -7,11 +7,14 @@
 //! [`MetricsAccumulator`](crate::metrics::MetricsAccumulator), so a run
 //! holds O(delivered) state instead of every record.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 
 use wsn_mac::queue::{Admission, TxQueue};
 use wsn_mac::transaction::{Action, RadioActivity, Transaction, TxOutcome};
 use wsn_params::config::StackConfig;
+use wsn_radio::budget::LinkBudgetTable;
 use wsn_radio::channel::{Channel, ChannelConfig, Observation};
 use wsn_radio::energy::EnergyMeter;
 use wsn_radio::trajectory::Trajectory;
@@ -154,12 +157,28 @@ impl SimOutcome {
 pub struct LinkSimulation {
     config: StackConfig,
     options: SimOptions,
+    budgets: Option<Arc<LinkBudgetTable>>,
 }
 
 impl LinkSimulation {
     /// Creates a simulation of `config` under `options`.
     pub fn new(config: StackConfig, options: SimOptions) -> Self {
-        LinkSimulation { config, options }
+        LinkSimulation {
+            config,
+            options,
+            budgets: None,
+        }
+    }
+
+    /// Attaches a campaign-shared [`LinkBudgetTable`]: the deterministic
+    /// per-`(power, distance)` link-budget terms come from the memo instead
+    /// of being recomputed per run. Results are bit-for-bit identical (see
+    /// [`Channel::from_budget`]); the table is consulted only when its
+    /// environment matches this run's [`SimOptions::channel`], so a
+    /// mismatched table is safely ignored.
+    pub fn with_budget_table(mut self, table: Arc<LinkBudgetTable>) -> Self {
+        self.budgets = Some(table);
+        self
     }
 
     /// Runs the simulation to completion and summarises it.
@@ -194,14 +213,30 @@ impl LinkSimulation {
         observer: &mut O,
     ) -> SimOutcome {
         let factory = RngFactory::new(self.options.seed);
-        let channel = Channel::new(
-            self.options.channel,
-            self.config.power,
-            self.config.distance,
+        let channel = match &self.budgets {
+            Some(table) if *table.config() == self.options.channel => {
+                table.channel(self.config.power, self.config.distance)
+            }
+            _ => Channel::new(
+                self.options.channel,
+                self.config.power,
+                self.config.distance,
+            ),
+        };
+        // The MAC transaction state machine starts every packet from the
+        // same state; build it once and copy per packet instead of
+        // re-deriving the CCA busy probability each service start.
+        let mut txn_template = Transaction::new(
+            self.config.payload,
+            self.config.max_tries,
+            SimDuration::from_millis(self.config.retry_delay.millis() as u64),
         );
+        txn_template.set_cca_busy_probability(channel.cca_busy_probability());
+        let sink_wants = sink.wants_records();
         let model = LinkModel {
             cfg: self.config,
             channel,
+            txn_template,
             rng_fading: factory.stream(StreamId::Fading),
             rng_noise: factory.stream(StreamId::Noise),
             rng_delivery: factory.stream(StreamId::Delivery),
@@ -210,8 +245,9 @@ impl LinkSimulation {
             traffic: self.options.traffic,
             queue: TxQueue::new(self.config.queue_cap),
             current: None,
-            acc: MetricsAccumulator::new(),
+            acc: MetricsAccumulator::with_packet_hint(self.options.packets),
             sink,
+            sink_wants,
             energy: EnergyMeter::new(),
             attempts: 0,
             attempts_unacked: 0,
@@ -284,6 +320,8 @@ struct Active {
 struct LinkModel<'s, S: PacketSink> {
     cfg: StackConfig,
     channel: Channel,
+    /// Pristine per-packet MAC transaction, copied on each service start.
+    txn_template: Transaction,
     rng_fading: StdRng,
     rng_noise: StdRng,
     rng_delivery: StdRng,
@@ -294,6 +332,8 @@ struct LinkModel<'s, S: PacketSink> {
     current: Option<Active>,
     acc: MetricsAccumulator,
     sink: &'s mut S,
+    /// [`PacketSink::wants_records`], read once at start-up.
+    sink_wants: bool,
     energy: EnergyMeter,
     attempts: u64,
     attempts_unacked: u64,
@@ -318,10 +358,13 @@ impl<S: PacketSink> Model for LinkModel<'_, S> {
 }
 
 impl<S: PacketSink> LinkModel<'_, S> {
-    /// Folds a finished record into the running metrics and streams it on.
+    /// Folds a finished record into the running metrics and streams it on
+    /// (unless the sink declared it discards records).
     fn emit(&mut self, record: PacketRecord) {
         self.acc.observe(&record);
-        self.sink.on_packet(&record);
+        if self.sink_wants {
+            self.sink.on_packet(&record);
+        }
     }
 
     fn on_arrival(&mut self, sched: &mut Scheduler<'_, Ev>) {
@@ -389,14 +432,8 @@ impl<S: PacketSink> LinkModel<'_, S> {
         // Copy the head's metadata; it stays queued (occupying its slot)
         // until the transaction terminates.
         let meta = *self.queue.peek().expect("non-empty queue has a head");
-        let mut txn = Transaction::new(
-            self.cfg.payload,
-            self.cfg.max_tries,
-            SimDuration::from_millis(self.cfg.retry_delay.millis() as u64),
-        );
-        txn.set_cca_busy_probability(self.channel.cca_busy_probability());
         self.current = Some(Active {
-            txn,
+            txn: self.txn_template.clone(),
             meta,
             t_service_start: now,
             receiver_got: false,
@@ -771,6 +808,33 @@ mod tests {
         assert_eq!(recorded.metrics(), streamed.metrics());
         assert!(streamed.records.is_none());
         assert_eq!(recorded.records.unwrap(), sink.into_records());
+    }
+
+    #[test]
+    fn budget_table_run_is_bit_identical_to_direct_run() {
+        let table = Arc::new(LinkBudgetTable::new(ChannelConfig::paper_hallway()));
+        for (power, dist) in [(23u8, 35.0), (3, 35.0), (31, 10.0)] {
+            let direct = LinkSimulation::new(cfg(power, dist), SimOptions::quick(200)).run();
+            let memoized = LinkSimulation::new(cfg(power, dist), SimOptions::quick(200))
+                .with_budget_table(Arc::clone(&table))
+                .run();
+            assert_eq!(direct.metrics(), memoized.metrics());
+            assert_eq!(direct.records, memoized.records);
+        }
+        assert_eq!(table.len(), 3, "one memo entry per operating point");
+    }
+
+    #[test]
+    fn mismatched_budget_table_is_ignored_not_wrong() {
+        // A table built for a different environment must not leak its
+        // budgets into the run.
+        let table = Arc::new(LinkBudgetTable::new(ChannelConfig::ideal()));
+        let direct = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(150)).run();
+        let guarded = LinkSimulation::new(cfg(23, 35.0), SimOptions::quick(150))
+            .with_budget_table(Arc::clone(&table))
+            .run();
+        assert_eq!(direct.metrics(), guarded.metrics());
+        assert!(table.is_empty(), "mismatched table must stay untouched");
     }
 
     #[test]

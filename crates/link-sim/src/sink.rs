@@ -24,11 +24,26 @@ use crate::record::PacketRecord;
 pub trait PacketSink {
     /// Consumes one finished packet record.
     fn on_packet(&mut self, record: &PacketRecord);
+
+    /// Whether this sink actually consumes records.
+    ///
+    /// A metrics-only run (the campaign hot path) answers `false` through
+    /// [`NullSink`], letting the simulation skip the per-packet sink
+    /// hand-off entirely — the summary fold still sees every packet. The
+    /// answer must be constant for the lifetime of one run; the simulation
+    /// reads it once at start-up.
+    fn wants_records(&self) -> bool {
+        true
+    }
 }
 
 impl<S: PacketSink + ?Sized> PacketSink for &mut S {
     fn on_packet(&mut self, record: &PacketRecord) {
         (**self).on_packet(record);
+    }
+
+    fn wants_records(&self) -> bool {
+        (**self).wants_records()
     }
 }
 
@@ -38,6 +53,10 @@ pub struct NullSink;
 
 impl PacketSink for NullSink {
     fn on_packet(&mut self, _record: &PacketRecord) {}
+
+    fn wants_records(&self) -> bool {
+        false
+    }
 }
 
 /// Collects every record in memory (memory grows with packet count).
@@ -137,6 +156,19 @@ mod tests {
             sink.on_packet(&record(1));
         }
         assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn wants_records_defaults_true_and_null_sink_opts_out() {
+        assert!(VecSink::new().wants_records());
+        assert!(FnSink::new(|_r: &PacketRecord| {}).wants_records());
+        assert!(!NullSink.wants_records());
+        // The forwarding impl must relay the hint, not reset it.
+        fn relayed<S: PacketSink>(sink: S) -> bool {
+            sink.wants_records()
+        }
+        assert!(!relayed(&mut NullSink));
+        assert!(relayed(&mut VecSink::new()));
     }
 
     #[test]

@@ -139,6 +139,11 @@ pub struct Transaction {
     payload: PayloadSize,
     max_tries: MaxTries,
     retry_delay: SimDuration,
+    /// `T_SPI` for this payload, fixed at construction (the payload never
+    /// changes over the transaction's life).
+    spi_load: SimDuration,
+    /// `T_frame` for this payload, fixed at construction.
+    frame_time: SimDuration,
     tries_used: u8,
     phase: Phase,
     force_congestion: u32,
@@ -153,6 +158,8 @@ impl Transaction {
             payload,
             max_tries,
             retry_delay,
+            spi_load: timing::spi_load(payload),
+            frame_time: timing::frame_time(payload),
             tries_used: 0,
             phase: Phase::Load,
             force_congestion: 0,
@@ -211,7 +218,7 @@ impl Transaction {
             Phase::Load => {
                 self.phase = Phase::Backoff { congestion: false };
                 Action::Wait {
-                    duration: timing::spi_load(self.payload),
+                    duration: self.spi_load,
                     activity: RadioActivity::SpiLoad,
                 }
             }
@@ -256,7 +263,7 @@ impl Transaction {
             Phase::Turnaround => {
                 self.phase = Phase::Transmitting;
                 Action::Wait {
-                    duration: timing::frame_time(self.payload),
+                    duration: self.frame_time,
                     activity: RadioActivity::Transmit,
                 }
             }
@@ -533,6 +540,34 @@ mod tests {
                 Action::Complete(_) => unreachable!(),
             }
         }
+    }
+
+    #[test]
+    fn precomputed_phase_durations_match_timing_module() {
+        // The SPI-load and frame-time waits are fixed at construction;
+        // they must equal the timing-module functions for the payload.
+        let mut tx = Transaction::new(payload(), MaxTries::ONE, SimDuration::ZERO);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut saw_spi = false;
+        let mut saw_frame = false;
+        loop {
+            match tx.advance(&mut rng) {
+                Action::Wait { duration, activity } => match activity {
+                    RadioActivity::SpiLoad => {
+                        assert_eq!(duration, timing::spi_load(payload()));
+                        saw_spi = true;
+                    }
+                    RadioActivity::Transmit => {
+                        assert_eq!(duration, timing::frame_time(payload()));
+                        saw_frame = true;
+                    }
+                    _ => {}
+                },
+                Action::Transmit { .. } => tx.on_tx_result(true),
+                Action::Complete(_) => break,
+            }
+        }
+        assert!(saw_spi && saw_frame);
     }
 
     #[test]

@@ -6,10 +6,11 @@ use serde::{Deserialize, Serialize};
 
 use wsn_params::types::{Distance, PayloadSize, PowerLevel};
 
+use crate::budget::LinkBudget;
 use crate::interference::InterferenceModel;
 use crate::noise::NoiseModel;
 use crate::pathloss::PathLoss;
-use crate::per::{PerBackend, PerModel};
+use crate::per::{PerBackend, PerCache, PerModel};
 use crate::shadowing::{Shadowing, SigmaProfile};
 
 /// Static description of the propagation environment (shared across all
@@ -136,6 +137,7 @@ pub struct Channel {
     config: ChannelConfig,
     mean_rssi_dbm: f64,
     shadowing: Shadowing,
+    per_cache: PerCache,
 }
 
 impl Channel {
@@ -147,6 +149,20 @@ impl Channel {
             config,
             mean_rssi_dbm,
             shadowing,
+            per_cache: PerCache::new(),
+        }
+    }
+
+    /// Creates the channel from a memoized [`LinkBudget`] (see
+    /// [`crate::budget::LinkBudgetTable`]). Produces a channel bit-identical
+    /// to [`Channel::new`] when the budget was computed for the same
+    /// operating point under the same `config`.
+    pub fn from_budget(config: ChannelConfig, budget: LinkBudget) -> Self {
+        Channel {
+            config,
+            mean_rssi_dbm: budget.mean_rssi_dbm,
+            shadowing: Shadowing::with_sigma_db(budget.sigma_db, config.fading_correlation),
+            per_cache: PerCache::new(),
         }
     }
 
@@ -208,7 +224,10 @@ impl Channel {
         payload: PayloadSize,
         delivery_rng: &mut R,
     ) -> bool {
-        let per = self.config.per_backend.per(obs.snr_db, payload);
+        let per = self
+            .config
+            .per_backend
+            .per_cached(&self.per_cache, obs.snr_db, payload);
         delivery_rng.gen::<f64>() >= per
     }
 
@@ -218,7 +237,10 @@ impl Channel {
         if !self.config.ack_loss {
             return true;
         }
-        let per = self.config.per_backend.ack_per(obs.snr_db);
+        let per = self
+            .config
+            .per_backend
+            .ack_per_cached(&self.per_cache, obs.snr_db);
         delivery_rng.gen::<f64>() >= per
     }
 

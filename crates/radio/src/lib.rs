@@ -14,6 +14,8 @@
 //! * [`per`] — packet-error backends: the paper's empirical Eq. 3 surface
 //!   and a first-principles O-QPSK DSSS model,
 //! * [`channel`] — the composed per-attempt channel,
+//! * [`budget`] — campaign-shared memoization of the deterministic
+//!   per-`(power, distance)` link-budget terms,
 //! * [`energy`] — radio-state energy metering.
 //!
 //! ```
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod cc2420;
 pub mod channel;
 pub mod energy;
@@ -45,6 +48,10 @@ pub mod trajectory;
 
 /// Convenient glob-import of the radio substrate.
 pub mod prelude {
+    // `budget::LinkBudget` (the memo entry) is deliberately not glob-exported:
+    // it would collide with the analytical `wsn_models::predict::LinkBudget`
+    // in the umbrella prelude. Reach it via `wsn_radio::budget::LinkBudget`.
+    pub use crate::budget::LinkBudgetTable;
     pub use crate::channel::{Channel, ChannelConfig, Observation};
     pub use crate::energy::{EnergyBreakdown, EnergyMeter};
     pub use crate::interference::InterferenceModel;

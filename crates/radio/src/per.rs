@@ -14,6 +14,8 @@
 //!   reproduces the paper's observation that the *aggregate* PER transition
 //!   is smooth (Sec. III-B).
 
+use std::cell::Cell;
+
 use serde::{Deserialize, Serialize};
 
 use wsn_params::frame::{FCS_BYTES, MAC_HEADER_BYTES};
@@ -123,9 +125,12 @@ impl DsssPer {
         ((8.0 / 15.0) * (1.0 / 16.0) * sum).clamp(0.0, 0.5)
     }
 
-    fn frame_per(snr_db: f64, mpdu_bytes: u32) -> f64 {
-        let ber = Self::bit_error_rate(snr_db);
+    fn per_from_ber(ber: f64, mpdu_bytes: u32) -> f64 {
         1.0 - (1.0 - ber).powi((8 * mpdu_bytes) as i32)
+    }
+
+    fn frame_per(snr_db: f64, mpdu_bytes: u32) -> f64 {
+        Self::per_from_ber(Self::bit_error_rate(snr_db), mpdu_bytes)
     }
 }
 
@@ -138,6 +143,47 @@ impl PerModel for DsssPer {
     fn ack_per(&self, snr_db: f64) -> f64 {
         // ACK MPDU: FCF (2) + DSN (1) + FCS (2) = 5 bytes.
         Self::frame_per(snr_db, 5)
+    }
+}
+
+/// Single-entry memo of a PER backend's SNR-dependent core factor.
+///
+/// Both backends factor as `PER(snr, frame) = f(core(snr), frame)` with the
+/// core term carrying all the transcendental cost: `exp(β·snr)` for
+/// [`EmpiricalPer`], the 15-term union-bound BER for [`DsssPer`]. Within one
+/// transmission attempt the same SNR observation prices both the data frame
+/// and its ACK, so memoizing the latest `(snr_db.to_bits(), core)` pair
+/// halves the transcendental work — and because the key is the *exact* bit
+/// pattern and the frame factor is recombined in the original operation
+/// order, cached and uncached results are bit-for-bit identical.
+///
+/// Interior mutability (a `Cell`) lets the cache live behind the `&self`
+/// methods of [`crate::channel::Channel`]; it is intentionally not `Sync`,
+/// matching the one-channel-per-simulation ownership model.
+#[derive(Debug, Clone, Default)]
+pub struct PerCache {
+    entry: Cell<Option<(u64, f64)>>,
+}
+
+impl PerCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PerCache::default()
+    }
+
+    /// Returns the memoized core factor for `snr_db`, computing (and
+    /// remembering) it on a key mismatch.
+    #[inline]
+    fn core_for<F: FnOnce() -> f64>(&self, snr_db: f64, compute: F) -> f64 {
+        let key = snr_db.to_bits();
+        if let Some((cached_key, core)) = self.entry.get() {
+            if cached_key == key {
+                return core;
+            }
+        }
+        let core = compute();
+        self.entry.set(Some((key, core)));
+        core
     }
 }
 
@@ -155,6 +201,41 @@ impl PerBackend {
     /// The default backend: the paper's empirical surface.
     pub fn paper() -> Self {
         PerBackend::Empirical(EmpiricalPer::paper())
+    }
+
+    /// [`PerModel::per`] through `cache`: bit-identical result, with the
+    /// SNR core term computed at most once per distinct SNR observation.
+    #[inline]
+    pub fn per_cached(&self, cache: &PerCache, snr_db: f64, payload: PayloadSize) -> f64 {
+        match self {
+            PerBackend::Empirical(m) => {
+                let core = cache.core_for(snr_db, || (m.beta * snr_db).exp());
+                (m.alpha * payload.bytes() as f64 * core).clamp(0.0, 1.0)
+            }
+            PerBackend::Dsss(_) => {
+                let ber = cache.core_for(snr_db, || DsssPer::bit_error_rate(snr_db));
+                let mpdu = (MAC_HEADER_BYTES + payload.bytes() + FCS_BYTES) as u32;
+                DsssPer::per_from_ber(ber, mpdu)
+            }
+        }
+    }
+
+    /// [`PerModel::ack_per`] through `cache`: bit-identical result, sharing
+    /// the memoized core with [`PerBackend::per_cached`].
+    #[inline]
+    pub fn ack_per_cached(&self, cache: &PerCache, snr_db: f64) -> f64 {
+        match self {
+            PerBackend::Empirical(_) => self.per_cached(
+                cache,
+                snr_db,
+                PayloadSize::new(2).expect("2 bytes is a valid payload"),
+            ),
+            PerBackend::Dsss(_) => {
+                let ber = cache.core_for(snr_db, || DsssPer::bit_error_rate(snr_db));
+                // ACK MPDU: FCF (2) + DSN (1) + FCS (2) = 5 bytes.
+                DsssPer::per_from_ber(ber, 5)
+            }
+        }
     }
 }
 
@@ -265,5 +346,60 @@ mod tests {
     fn ack_per_below_data_per() {
         let m = EmpiricalPer::paper();
         assert!(m.ack_per(8.0) < m.per(8.0, pl(50)));
+    }
+
+    #[test]
+    fn cached_per_is_bit_identical_to_uncached() {
+        for backend in [PerBackend::paper(), PerBackend::Dsss(DsssPer)] {
+            let cache = PerCache::new();
+            for snr10 in -60..=250 {
+                let snr = snr10 as f64 / 10.0;
+                for payload in [pl(2), pl(50), pl(110)] {
+                    assert_eq!(
+                        backend.per_cached(&cache, snr, payload).to_bits(),
+                        backend.per(snr, payload).to_bits(),
+                        "data PER diverged at snr={snr} payload={payload:?}"
+                    );
+                }
+                assert_eq!(
+                    backend.ack_per_cached(&cache, snr).to_bits(),
+                    backend.ack_per(snr).to_bits(),
+                    "ACK PER diverged at snr={snr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_computes_core_once_per_distinct_snr() {
+        let cache = PerCache::new();
+        let mut computed = 0u32;
+        for _ in 0..5 {
+            let v = cache.core_for(7.25, || {
+                computed += 1;
+                42.0
+            });
+            assert_eq!(v, 42.0);
+        }
+        assert_eq!(computed, 1, "same SNR must hit the memo");
+        // A new SNR evicts the single entry…
+        cache.core_for(7.5, || 43.0);
+        // …so returning to the old key recomputes.
+        let recomputed = cache.core_for(7.25, || 44.0);
+        assert_eq!(recomputed, 44.0);
+    }
+
+    #[test]
+    fn cache_shares_core_across_payloads_and_ack() {
+        // One attempt prices data + ACK from the same observation: the ACK
+        // lookup must reuse the memoized core, not clobber correctness.
+        let backend = PerBackend::paper();
+        let cache = PerCache::new();
+        let snr = 11.75;
+        let data = backend.per_cached(&cache, snr, pl(110));
+        let ack = backend.ack_per_cached(&cache, snr);
+        assert_eq!(data.to_bits(), backend.per(snr, pl(110)).to_bits());
+        assert_eq!(ack.to_bits(), backend.ack_per(snr).to_bits());
+        assert!(ack < data);
     }
 }

@@ -117,6 +117,26 @@ impl Shadowing {
         }
     }
 
+    /// Creates the process from an already-computed deviation (the
+    /// memoized-budget path). Equivalent to [`Shadowing::new`] when
+    /// `sigma_db == profile.sigma_db(distance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `correlation` is outside `[0, 1)`.
+    pub fn with_sigma_db(sigma_db: f64, correlation: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&correlation),
+            "AR(1) correlation must be in [0, 1), got {correlation}"
+        );
+        Shadowing {
+            sigma_db,
+            correlation,
+            state_db: 0.0,
+            initialised: false,
+        }
+    }
+
     /// The stationary deviation of the process, dB.
     pub fn sigma_db(&self) -> f64 {
         self.sigma_db
@@ -202,5 +222,27 @@ mod tests {
     #[should_panic(expected = "correlation")]
     fn correlation_of_one_is_rejected() {
         let _ = Shadowing::new(SigmaProfile::paper_hallway(), 1.0, d(10.0));
+    }
+
+    #[test]
+    fn with_sigma_db_matches_profile_construction() {
+        let profile = SigmaProfile::paper_hallway();
+        let mut a = Shadowing::new(profile, 0.9, d(35.0));
+        let mut b = Shadowing::with_sigma_db(profile.sigma_db(d(35.0)), 0.9);
+        assert_eq!(a, b);
+        let mut r1 = StdRng::seed_from_u64(11);
+        let mut r2 = StdRng::seed_from_u64(11);
+        for _ in 0..128 {
+            assert_eq!(
+                a.next_deviation_db(&mut r1).to_bits(),
+                b.next_deviation_db(&mut r2).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation")]
+    fn with_sigma_db_rejects_bad_correlation() {
+        let _ = Shadowing::with_sigma_db(1.8, -0.1);
     }
 }

@@ -36,6 +36,18 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 
 /// A priority queue of future events ordered by `(time, insertion order)`.
 ///
+/// The earliest pending event is cached in a dedicated front slot outside
+/// the binary heap. A single-link model spends almost its whole life in a
+/// pop-then-reschedule cycle with one near event (the next MAC phase) and
+/// one far event (the next arrival) pending; the slot is refilled
+/// *lazily* — a pop leaves it empty, and the following push claims it
+/// directly when the new event beats the heap minimum — so the dominant
+/// cycle touches only the slot while the far event sits unmoved in the
+/// heap. No sifts, no element shuffling. Pop order is identical to a plain
+/// heap: ties are broken by sequence number (FIFO), and an empty slot is
+/// only claimed by an event strictly earlier than the heap minimum, never
+/// by an equal-time latecomer.
+///
 /// ```
 /// use wsn_sim_engine::event::EventQueue;
 /// use wsn_sim_engine::time::SimTime;
@@ -49,16 +61,35 @@ impl<E: Eq> PartialOrd for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
+    /// When `Some`, the earliest pending event (strictly earlier than every
+    /// heap entry, or older at equal times). When `None`, the heap — which
+    /// may be non-empty — holds all pending events.
+    front: Option<Scheduled<E>>,
+    /// Every pending event not in the front slot.
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<E: Eq> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            front: None,
             heap: BinaryHeap::new(),
             next_seq: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Creates an empty queue with heap capacity for `capacity` events
+    /// beyond the front slot, so steady-state scheduling never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            front: None,
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -66,27 +97,56 @@ impl<E: Eq> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let scheduled = Scheduled { time, seq, event };
+        match &self.front {
+            // Empty slot: claim it only by strictly beating the heap
+            // minimum — an equal-time event must queue behind the older
+            // (smaller-seq) heap entry to keep FIFO ties.
+            None => match self.heap.peek() {
+                Some(min) if time >= min.time => self.heap.push(scheduled),
+                _ => self.front = Some(scheduled),
+            },
+            // Strictly earlier than the front: takes its place without a
+            // sift (the displaced front moves to the heap). Equal times
+            // keep the front (smaller seq) first.
+            Some(front) if time < front.time => {
+                let displaced = self.front.replace(scheduled).expect("front checked Some");
+                self.heap.push(displaced);
+            }
+            Some(_) => self.heap.push(scheduled),
+        }
+        let len = self.len();
+        if len > self.high_water {
+            self.high_water = len;
+        }
     }
 
-    /// Removes and returns the earliest event, if any.
+    /// Removes and returns the earliest event, if any. The front slot is
+    /// left empty — the common reschedule that follows claims it directly,
+    /// leaving the heap untouched.
     pub fn pop(&mut self) -> Option<Scheduled<E>> {
-        self.heap.pop()
+        match self.front.take() {
+            Some(earliest) => Some(earliest),
+            None => self.heap.pop(),
+        }
     }
 
     /// The time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        match &self.front {
+            Some(s) => Some(s.time),
+            None => self.heap.peek().map(|s| s.time),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.front.is_some() as usize + self.heap.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.front.is_none() && self.heap.is_empty()
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -94,8 +154,16 @@ impl<E: Eq> EventQueue<E> {
         self.next_seq
     }
 
+    /// Largest pending-event count ever reached, updated on every push —
+    /// so events scheduled before the first pop (e.g. executor seeds)
+    /// count too.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
     /// Discards all pending events.
     pub fn clear(&mut self) {
+        self.front = None;
         self.heap.clear();
     }
 }
@@ -160,5 +228,88 @@ mod tests {
         assert_eq!(q.pop().unwrap().event, 5);
         assert_eq!(q.pop().unwrap().event, 20);
         assert_eq!(q.pop().unwrap().event, 50);
+    }
+
+    #[test]
+    fn equal_time_push_never_displaces_the_front() {
+        // FIFO among equal times must survive the front-slot fast path:
+        // the later push has the larger seq, so it stays behind the front.
+        let mut q = EventQueue::new();
+        q.push(t(10), "first");
+        q.push(t(10), "second");
+        q.push(t(10), "third");
+        assert_eq!(q.pop().unwrap().event, "first");
+        assert_eq!(q.pop().unwrap().event, "second");
+        assert_eq!(q.pop().unwrap().event, "third");
+    }
+
+    #[test]
+    fn empty_slot_is_not_claimed_past_an_older_equal_time_event() {
+        // After a pop empties the slot, an equal-time push must queue
+        // behind the older heap entry, not jump in front of it.
+        let mut q = EventQueue::new();
+        q.push(t(10), "near");
+        q.push(t(20), "older");
+        assert_eq!(q.pop().unwrap().event, "near"); // slot now empty
+        q.push(t(20), "newer");
+        assert_eq!(q.pop().unwrap().event, "older");
+        assert_eq!(q.pop().unwrap().event, "newer");
+    }
+
+    #[test]
+    fn empty_slot_is_claimed_by_a_strictly_earlier_event() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "near");
+        q.push(t(20), "far");
+        assert_eq!(q.pop().unwrap().event, "near");
+        q.push(t(15), "reschedule"); // beats the heap minimum → slot
+        assert_eq!(q.peek_time(), Some(t(15)));
+        assert_eq!(q.pop().unwrap().event, "reschedule");
+        assert_eq!(q.pop().unwrap().event, "far");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn matches_exhaustive_sorted_order() {
+        // Drive the queue through a fixed push/pop script and require the
+        // exact (time, insertion) order a sorted list would give.
+        let times = [
+            9u64, 3, 7, 3, 12, 1, 7, 7, 2, 15, 4, 4, 11, 0, 8, 6, 13, 5, 10, 14,
+        ];
+        let mut q = EventQueue::new();
+        let mut expected: Vec<(u64, usize)> = Vec::new();
+        for (i, &us) in times.iter().enumerate() {
+            q.push(t(us), i);
+            expected.push((us, i));
+            // Interleave pops to exercise front refills mid-stream.
+            if i % 3 == 2 {
+                expected.sort_by_key(|&(us, i)| (us, i));
+                let (us, idx) = expected.remove(0);
+                let got = q.pop().unwrap();
+                assert_eq!((got.time, got.event), (t(us), idx));
+            }
+        }
+        expected.sort_by_key(|&(us, i)| (us, i));
+        for (us, idx) in expected {
+            let got = q.pop().unwrap();
+            assert_eq!((got.time, got.event), (t(us), idx));
+        }
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn high_water_counts_prepop_pushes() {
+        let mut q = EventQueue::with_capacity(8);
+        assert_eq!(q.high_water(), 0);
+        for i in 0..5 {
+            q.push(t(5), i);
+        }
+        // All five were pending at once, before any pop.
+        assert_eq!(q.high_water(), 5);
+        while q.pop().is_some() {}
+        q.push(t(9), 9);
+        // Draining does not lower the mark.
+        assert_eq!(q.high_water(), 5);
     }
 }

@@ -67,7 +67,10 @@ pub struct ExecStats {
     /// Events ever scheduled on the queue (including seeds and events left
     /// pending when the run stopped).
     pub events_scheduled: u64,
-    /// Largest pending-queue length observed after any handled event.
+    /// Largest pending-queue length ever reached, tracked at push time —
+    /// seed events scheduled before the first handled event count, so a
+    /// run seeded with N simultaneous events reports at least N even if
+    /// handling them never grows the queue.
     pub queue_high_water: usize,
     /// Simulated time that elapsed during the run.
     pub sim_elapsed: SimDuration,
@@ -162,7 +165,10 @@ impl<M: Model> Executor<M> {
     pub fn new(model: M) -> Self {
         Executor {
             model,
-            queue: EventQueue::new(),
+            // Enough heap headroom behind the front slot for every model in
+            // the workspace; sized once so steady-state scheduling never
+            // reallocates.
+            queue: EventQueue::with_capacity(8),
             now: SimTime::ZERO,
             horizon: SimTime::MAX,
             event_budget: Self::DEFAULT_EVENT_BUDGET,
@@ -232,7 +238,6 @@ impl<M: Model> Executor<M> {
         let wall_start = Instant::now();
         let sim_start = self.now;
         let handled_before = self.events_handled;
-        let mut queue_high_water = self.queue.len();
         let mut stop_requested = false;
         let reason = loop {
             if self.events_handled >= self.event_budget {
@@ -257,7 +262,6 @@ impl<M: Model> Executor<M> {
             };
             self.model.handle(scheduled.event, &mut sched);
             self.events_handled += 1;
-            queue_high_water = queue_high_water.max(self.queue.len());
             observer.on_event(self.now, self.queue.len());
             if stop_requested {
                 break StopReason::ModelRequested;
@@ -266,7 +270,7 @@ impl<M: Model> Executor<M> {
         let stats = ExecStats {
             events_handled: self.events_handled - handled_before,
             events_scheduled: self.queue.scheduled_total(),
-            queue_high_water,
+            queue_high_water: self.queue.high_water(),
             sim_elapsed: self.now - sim_start,
             wall_elapsed: wall_start.elapsed(),
         };

@@ -1,0 +1,134 @@
+//! Golden-metrics fixture: the bit-for-bit gate for hot-path work.
+//!
+//! A seeded `Scale::Bench` mini-grid is simulated and every
+//! [`LinkMetrics`] field is compared against a committed snapshot
+//! (`tests/golden/*.jsonl`, one JSON [`ConfigResult`] per line). The
+//! fixture was generated from the pre-optimization code, so any
+//! memoization/fast-path change that perturbs a single bit of a single
+//! metric fails here with the offending configuration named.
+//!
+//! Regenerate (after a *deliberate* behavior change only) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_metrics
+//! ```
+
+use std::path::PathBuf;
+
+use wsn_experiments::campaign::{Campaign, ConfigResult, Scale};
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+use wsn_radio::channel::ChannelConfig;
+use wsn_radio::per::{DsssPer, PerBackend};
+
+/// The fixture grid: 3 distances × 3 powers × 2 retry budgets × 2
+/// payloads = 36 configurations spanning strong, marginal and weak links.
+fn mini_grid() -> ParamGrid {
+    ParamGrid {
+        distances_m: vec![10.0, 20.0, 35.0],
+        power_levels: vec![3, 11, 31],
+        max_tries: vec![1, 3],
+        retry_delays_ms: vec![0],
+        queue_caps: vec![30],
+        packet_intervals_ms: vec![50],
+        payloads: vec![50, 110],
+    }
+}
+
+/// The two pinned campaigns: the paper's hallway channel with the
+/// empirical PER surface, and the same channel with the first-principles
+/// DSSS backend (so both memoizable PER paths are under the gate).
+fn campaigns() -> Vec<(&'static str, Campaign)> {
+    let empirical = Campaign {
+        threads: 2,
+        ..Campaign::new(Scale::Bench)
+    };
+    let mut dsss_channel = ChannelConfig::paper_hallway();
+    dsss_channel.per_backend = PerBackend::Dsss(DsssPer);
+    let dsss = Campaign {
+        threads: 2,
+        ..Campaign::new(Scale::Bench).with_channel(dsss_channel)
+    };
+    vec![("empirical", empirical), ("dsss", dsss)]
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"))
+}
+
+fn to_jsonl(results: &[ConfigResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&serde_json::to_string(r).expect("results serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+fn from_jsonl(text: &str) -> Vec<ConfigResult> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("fixture line parses as ConfigResult"))
+        .collect()
+}
+
+#[test]
+fn optimized_path_reproduces_golden_fixture() {
+    let configs: Vec<StackConfig> = mini_grid().iter().collect();
+    assert_eq!(configs.len(), 36);
+    let regen = std::env::var_os("GOLDEN_REGEN").is_some();
+
+    for (name, campaign) in campaigns() {
+        let results = campaign.run_configs(&configs);
+
+        // The fixture must round-trip exactly through JSON: every config
+        // has to deliver at least one packet, or ratio metrics go
+        // non-finite and stop being representable.
+        for r in &results {
+            assert!(
+                r.metrics.delivered > 0,
+                "{name}: config {:?} delivered nothing; shrink the grid",
+                r.config
+            );
+        }
+        let serialized = to_jsonl(&results);
+        assert!(
+            !serialized.contains("null"),
+            "{name}: non-finite metric leaked into the fixture"
+        );
+
+        let path = fixture_path(name);
+        if regen {
+            std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+            std::fs::write(&path, &serialized).expect("write fixture");
+            eprintln!("regenerated {}", path.display());
+        }
+
+        let pinned = from_jsonl(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "cannot read {} ({e}); regenerate with GOLDEN_REGEN=1",
+                path.display()
+            )
+        }));
+        assert_eq!(pinned.len(), results.len(), "{name}: fixture length");
+        for (i, (got, want)) in results.iter().zip(&pinned).enumerate() {
+            // ConfigResult's PartialEq compares every LinkMetrics field on
+            // the raw f64s — exact equality, no tolerance.
+            assert_eq!(
+                got, want,
+                "{name}: config #{i} diverged from the golden fixture"
+            );
+        }
+
+        // Belt and braces: the serialized form must match byte-for-byte
+        // (shortest-round-trip f64 formatting is canonical, so this is
+        // exactly bit-for-bit equality of every float).
+        let pinned_text = std::fs::read_to_string(&path).expect("fixture readable");
+        assert_eq!(
+            serialized, pinned_text,
+            "{name}: serialized results differ from fixture bytes"
+        );
+    }
+}
