@@ -8,11 +8,14 @@
 //!                                    run the whole ~48k-configuration grid,
 //!                                    streaming results + live progress;
 //!                                    with --out, checkpoint JSONL shards
+//! repro scenario [ID...]             run multi-link shared-channel scenarios
+//!                                    (all of them when no ID is given;
+//!                                    `repro scenario list` lists ids)
 //! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
 //! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
 //! repro bench [--json PATH] [--quick-bench]
-//!                                    measure campaign throughput at 1/4/8
-//!                                    worker threads (BENCH_campaign.json)
+//!                                    measure campaign + multi-link scenario
+//!                                    throughput (BENCH_campaign.json)
 //! ```
 //!
 //! `--full` switches from the quick scale (400 packets/config) to the
@@ -22,6 +25,9 @@
 //! A sharded campaign (`--out DIR --shards N`) writes `shard-NNNN.jsonl`
 //! files; re-running with `--resume` skips already-completed shards, so a
 //! killed multi-hour grid loses at most one shard of work.
+//!
+//! Exit codes: `0` success, `1` generic failure (bad flags, failed verify
+//! claims), `2` unknown experiment or scenario id, `3` I/O error.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -36,12 +42,24 @@ use wsn_experiments::{all_experiments, run_experiment};
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 
+/// Unknown experiment or scenario id.
+const EXIT_UNKNOWN_ID: u8 = 2;
+/// Filesystem failure while writing or reading results.
+const EXIT_IO: u8 = 3;
+
 fn usage() -> String {
     let ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+    let scenario_ids: Vec<&str> = wsn_experiments::scenarios::all_scenarios()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
     format!(
-        "usage: repro <all|list|campaign|verify|dataset|bench|ID...> \
-         [--full] [--out DIR] [--resume] [--shards N] [--json PATH] [--quick-bench]\n  ids: {}",
-        ids.join(", ")
+        "usage: repro <all|list|campaign|scenario|verify|dataset|bench|ID...> \
+         [--full] [--out DIR] [--resume] [--shards N] [--json PATH] [--quick-bench]\n  \
+         ids: {}\n  scenario ids: {}\n  \
+         exit codes: 0 ok, 1 failure, {EXIT_UNKNOWN_ID} unknown id, {EXIT_IO} I/O error",
+        ids.join(", "),
+        scenario_ids.join(", ")
     )
 }
 
@@ -118,7 +136,7 @@ fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -
             Ok(report) => report,
             Err(e) => {
                 eprintln!("sharded campaign failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_IO);
             }
         };
         eprintln!(
@@ -129,7 +147,7 @@ fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -
             Ok(results) => results,
             Err(e) => {
                 eprintln!("cannot read completed shards back: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_IO);
             }
         };
         let mut summary = GridSummary::default();
@@ -152,6 +170,50 @@ fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -
         campaign.run_streamed(&configs, &mut progress);
     }
     summary.print(start.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+/// `repro scenario [ID...]`: runs the named multi-link scenarios (all of
+/// them when none is given; `list` prints the catalogue).
+fn run_scenarios(requested: &[String], scale: Scale, out_dir: Option<&Path>) -> ExitCode {
+    if requested.iter().any(|s| s == "list") {
+        for (id, description) in wsn_experiments::scenarios::all_scenarios() {
+            println!("{id}: {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<String> = if requested.is_empty() {
+        wsn_experiments::scenarios::all_scenarios()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect()
+    } else {
+        requested.to_vec()
+    };
+    for id in &ids {
+        let start = Instant::now();
+        match wsn_experiments::scenarios::run_scenario(id, scale) {
+            Ok(report) => {
+                print!("{}", report.render());
+                println!(
+                    "[scenario {} completed in {:.1}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
+                if let Some(dir) = out_dir {
+                    if let Err(e) = write_outputs(&dir.to_path_buf(), &report) {
+                        eprintln!("failed to write outputs for scenario {id}: {e}");
+                        return ExitCode::from(EXIT_IO);
+                    }
+                }
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(EXIT_UNKNOWN_ID);
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -205,6 +267,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    if let Some(pos) = selections.iter().position(|s| s == "scenario") {
+        return run_scenarios(&selections[pos + 1..], scale, out_dir.as_deref());
+    }
+
     if selections.iter().any(|s| s == "list") {
         for (id, _) in all_experiments() {
             println!("{id}");
@@ -222,7 +288,7 @@ fn main() -> ExitCode {
             let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
             if let Err(e) = std::fs::write(path, json + "\n") {
                 eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_IO);
             }
             println!("wrote {}", path.display());
         }
@@ -261,7 +327,7 @@ fn main() -> ExitCode {
         };
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_IO);
         }
         let path = dir.join("trace.csv");
         let config = wsn_params::config::StackConfig::default();
@@ -276,7 +342,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("dataset export failed: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_IO);
             }
         }
     }
@@ -303,14 +369,15 @@ fn main() -> ExitCode {
                 if let Some(dir) = &out_dir {
                     if let Err(e) = write_outputs(dir, &report) {
                         eprintln!("failed to write outputs for {id}: {e}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_IO);
                     }
                 }
                 let _ = std::io::stdout().flush();
             }
             Err(e) => {
+                // The only runner error is an unknown experiment id.
                 eprintln!("{e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_UNKNOWN_ID);
             }
         }
     }

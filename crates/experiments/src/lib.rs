@@ -16,6 +16,7 @@ pub mod campaign;
 pub mod dataset;
 pub mod perf;
 pub mod report;
+pub mod scenarios;
 pub mod shards;
 pub mod stats;
 pub mod stream;
@@ -34,6 +35,8 @@ pub mod ext05;
 pub mod ext06;
 pub mod ext07;
 pub mod ext08;
+pub mod ext09;
+pub mod ext10;
 pub mod fig01;
 pub mod fig03;
 pub mod fig04;
@@ -92,6 +95,8 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ext06", ext06::run),
         ("ext07", ext07::run),
         ("ext08", ext08::run),
+        ("ext09", ext09::run),
+        ("ext10", ext10::run),
         ("ablation01", ablation01::run),
         ("ablation02", ablation02::run),
         ("ablation03", ablation03::run),
@@ -129,8 +134,8 @@ mod tests {
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        // 19 paper artifacts + 8 extensions + 4 ablations.
-        assert_eq!(ids.len(), 31);
+        // 19 paper artifacts + 10 extensions + 4 ablations.
+        assert_eq!(ids.len(), 33);
     }
 
     #[test]

@@ -10,8 +10,10 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use wsn_link_sim::network::{NetOptions, NetworkSimulation};
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
+use wsn_params::scenario::Scenario;
 
 use crate::campaign::{Campaign, ConfigResult, Scale};
 use crate::stream::SinkFn;
@@ -44,6 +46,19 @@ pub struct ThreadThroughput {
     pub iters: usize,
 }
 
+/// Throughput of the multi-link network simulator at one scenario size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioThroughput {
+    /// Links in the scenario.
+    pub links: usize,
+    /// Full scenario runs per wall-clock second (best batch).
+    pub runs_per_sec: f64,
+    /// Wall-clock seconds of the best timed batch.
+    pub elapsed_s: f64,
+    /// Scenario runs per timed batch.
+    pub iters: usize,
+}
+
 /// One `repro bench` measurement: the workload identity plus per-thread
 /// throughput numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,6 +73,8 @@ pub struct BenchReport {
     pub packets_per_config: u64,
     /// Throughput per thread count, in the order measured.
     pub results: Vec<ThreadThroughput>,
+    /// Multi-link shared-channel throughput per scenario size.
+    pub scenarios: Vec<ScenarioThroughput>,
 }
 
 impl BenchReport {
@@ -77,8 +94,68 @@ impl BenchReport {
                 r.elapsed_s,
             ));
         }
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "  {:>2}-link scenario: {:>7.0} runs/sec  ({} iters, {:.3}s)\n",
+                s.links, s.runs_per_sec, s.iters, s.elapsed_s,
+            ));
+        }
         out
     }
+}
+
+/// Measures multi-link network throughput at each of `link_counts`:
+/// parallel 20 m links, 2 m spacing, `Scale::Bench` packets per link.
+pub fn scenario_throughput(
+    link_counts: &[usize],
+    reps: usize,
+    min_batch_s: f64,
+) -> Vec<ScenarioThroughput> {
+    let config = StackConfig::builder()
+        .distance_m(20.0)
+        .power_level(31)
+        .payload_bytes(50)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants");
+    let mut out = Vec::with_capacity(link_counts.len());
+    for &links in link_counts {
+        let scenario = Scenario::parallel(&vec![config; links], 2.0);
+        let run_once = || {
+            let options = NetOptions {
+                seed: 0x5EED,
+                ..NetOptions::quick(Scale::Bench.packets())
+            };
+            let outcome = NetworkSimulation::new(scenario.clone(), options).run();
+            std::hint::black_box(outcome.goodput_bps());
+        };
+
+        // Warmup, doubling as the batch-size calibration.
+        run_once();
+        let t0 = Instant::now();
+        run_once();
+        let per_run = t0.elapsed().as_secs_f64().max(1e-6);
+        let iters = (min_batch_s / per_run).ceil().max(1.0) as usize;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                run_once();
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        out.push(ScenarioThroughput {
+            links,
+            runs_per_sec: iters as f64 / best,
+            elapsed_s: best,
+            iters,
+        });
+    }
+    out
 }
 
 /// Measures campaign throughput at each of `thread_counts`.
@@ -129,6 +206,7 @@ pub fn campaign_throughput(thread_counts: &[usize], reps: usize, min_batch_s: f6
         grid_configs: configs.len(),
         packets_per_config: Scale::Bench.packets(),
         results,
+        scenarios: scenario_throughput(&[2, 8], reps, min_batch_s),
     }
 }
 
@@ -147,9 +225,14 @@ mod tests {
         let report = campaign_throughput(&[1, 2], 1, 0.0);
         assert_eq!(report.results.len(), 2);
         assert!(report.results.iter().all(|r| r.configs_per_sec > 0.0));
+        assert_eq!(report.scenarios.len(), 2);
+        assert_eq!(report.scenarios[0].links, 2);
+        assert_eq!(report.scenarios[1].links, 8);
+        assert!(report.scenarios.iter().all(|s| s.runs_per_sec > 0.0));
         let text = report.render();
         assert!(text.contains("campaign_throughput"));
         assert!(text.contains("configs/sec"));
+        assert!(text.contains("-link scenario"));
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);

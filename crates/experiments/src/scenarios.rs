@@ -1,0 +1,232 @@
+//! Named multi-link scenarios (`repro scenario <id>`): the curated
+//! topologies the shared-channel network simulator ships with, plus a
+//! small fan-out runner that simulates several scenarios across worker
+//! threads the way [`Campaign`](crate::campaign::Campaign) fans out over
+//! grid configurations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wsn_link_sim::network::{
+    scenario_from_interference, NetOptions, NetworkOutcome, NetworkSimulation,
+};
+use wsn_params::config::StackConfig;
+use wsn_params::scenario::Scenario;
+use wsn_radio::channel::ChannelConfig;
+use wsn_radio::interference::InterferenceModel;
+
+use crate::campaign::Scale;
+use crate::report::{fnum, Report, Table};
+
+/// The campaign seed, shared with [`Campaign`](crate::campaign::Campaign).
+const SEED: u64 = 0x5EED;
+
+fn link_config(power: u8, distance_m: f64, payload: u16) -> StackConfig {
+    StackConfig::builder()
+        .distance_m(distance_m)
+        .power_level(power)
+        .payload_bytes(payload)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants")
+}
+
+/// All builtin scenarios: `(id, description)` pairs.
+pub fn all_scenarios() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "single",
+            "one 35 m link — the N = 1 equivalence case (matches the single-link simulator bit-for-bit)",
+        ),
+        (
+            "hidden-pair",
+            "two senders 70 m apart, both receivers in the middle: CCA cannot see the rival, frames collide",
+        ),
+        (
+            "exposed-pair",
+            "the same two links side by side: senders carrier-sense each other and defer",
+        ),
+        (
+            "parallel-4",
+            "four 20 m links stacked 2 m apart — CCA-coupled contention without hidden terminals",
+        ),
+        (
+            "interference",
+            "a 20 m link plus a promoted in-network ZigBee interferer (10% duty) — the shared-channel form of the probabilistic model",
+        ),
+    ]
+}
+
+/// Builds a builtin scenario by id.
+pub fn build_scenario(id: &str) -> Option<Scenario> {
+    let contended = link_config(11, 35.0, 110);
+    match id {
+        "single" => Some(Scenario::single(contended)),
+        "hidden-pair" => Some(Scenario::hidden_pair(contended)),
+        "exposed-pair" => Some(Scenario::exposed_pair(contended)),
+        "parallel-4" => {
+            let c = link_config(31, 20.0, 50);
+            Some(Scenario::parallel(&[c, c, c, c], 2.0))
+        }
+        "interference" => scenario_from_interference(
+            link_config(31, 20.0, 110),
+            &InterferenceModel::zigbee_neighbor(0.1),
+            &ChannelConfig::paper_hallway(),
+        ),
+        _ => None,
+    }
+}
+
+/// Simulates one builtin scenario at `scale` packets per link.
+pub fn simulate(id: &str, scale: Scale) -> Option<NetworkOutcome> {
+    let scenario = build_scenario(id)?;
+    let options = NetOptions {
+        seed: SEED,
+        ..NetOptions::quick(scale.packets())
+    };
+    Some(NetworkSimulation::new(scenario, options).run())
+}
+
+/// Fans `ids` out over `threads` workers, one scenario per task, and
+/// returns the outcomes in input order. Unknown ids yield `None`.
+pub fn simulate_many(ids: &[&str], scale: Scale, threads: usize) -> Vec<Option<NetworkOutcome>> {
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<NetworkOutcome>>> = Mutex::new(vec![None; 0]);
+    slots
+        .lock()
+        .expect("fresh mutex")
+        .resize_with(ids.len(), || None);
+    let workers = threads.clamp(1, ids.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ids.len() {
+                    break;
+                }
+                let outcome = simulate(ids[i], scale);
+                slots.lock().expect("no poisoned workers")[i] = outcome;
+            });
+        }
+    });
+    slots.into_inner().expect("workers joined")
+}
+
+/// Runs one builtin scenario and renders it as a report.
+///
+/// # Errors
+///
+/// Returns the list of known scenario ids when `id` is unknown.
+pub fn run_scenario(id: &str, scale: Scale) -> Result<Report, String> {
+    let Some(outcome) = simulate(id, scale) else {
+        let known: Vec<&str> = all_scenarios().iter().map(|(n, _)| *n).collect();
+        return Err(format!(
+            "unknown scenario '{id}'; known: {}",
+            known.join(", ")
+        ));
+    };
+    let description = all_scenarios()
+        .iter()
+        .find(|(n, _)| *n == id)
+        .map(|(_, d)| *d)
+        .unwrap_or_default();
+
+    let mut table = Table::new(vec![
+        "link",
+        "d_m",
+        "Ptx",
+        "generated",
+        "delivered",
+        "plr_radio",
+        "goodput_bps",
+        "frames_interfered",
+        "capture_lost",
+    ]);
+    for (i, link) in outcome.links.iter().enumerate() {
+        table.push_row(vec![
+            format!("{i}"),
+            fnum(link.config.distance.meters()),
+            format!("{}", link.config.power.level()),
+            format!("{}", link.metrics.generated),
+            format!("{}", link.metrics.delivered),
+            fnum(link.metrics.plr_radio),
+            fnum(link.metrics.goodput_bps),
+            format!("{}", link.frames_interfered),
+            format!("{}", link.frames_capture_lost),
+        ]);
+    }
+
+    let mut report = Report::new(
+        &format!("scenario-{id}"),
+        &format!("Multi-link scenario: {id}"),
+    );
+    report.push(
+        &format!(
+            "{} links, {} packets/link",
+            outcome.links.len(),
+            scale.packets()
+        ),
+        table,
+        vec![
+            description.to_string(),
+            format!(
+                "shared air: {} frames, {} overlapped, {} CCA busy deferrals",
+                outcome.air.frames, outcome.air.overlapped_frames, outcome.air.cca_busy_hits
+            ),
+            format!(
+                "network: plr_radio {:.4}, aggregate goodput {:.0} bit/s",
+                outcome.plr_radio(),
+                outcome.goodput_bps()
+            ),
+        ],
+    );
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_scenario_builds_and_runs() {
+        for (id, _) in all_scenarios() {
+            let outcome = simulate(id, Scale::Bench).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(!outcome.links.is_empty(), "{id} has no links");
+            assert!(outcome.air.frames > 0, "{id} put no frames on the air");
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_lists_alternatives() {
+        let err = run_scenario("nope", Scale::Bench).unwrap_err();
+        assert!(err.contains("nope"));
+        assert!(err.contains("hidden-pair"));
+    }
+
+    #[test]
+    fn fan_out_preserves_input_order() {
+        let ids = ["hidden-pair", "single", "nope"];
+        let outcomes = simulate_many(&ids, Scale::Bench, 4);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].as_ref().unwrap().links.len(), 2);
+        assert_eq!(outcomes[1].as_ref().unwrap().links.len(), 1);
+        assert!(outcomes[2].is_none());
+        // Deterministic regardless of worker interleaving.
+        let again = simulate_many(&ids, Scale::Bench, 1);
+        assert_eq!(
+            outcomes[0].as_ref().unwrap().links[0].metrics,
+            again[0].as_ref().unwrap().links[0].metrics
+        );
+    }
+
+    #[test]
+    fn scenario_report_renders() {
+        let report = run_scenario("hidden-pair", Scale::Bench).unwrap();
+        let text = report.render();
+        assert!(text.contains("plr_radio"));
+        assert!(text.contains("shared air"));
+    }
+}

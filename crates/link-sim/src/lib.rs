@@ -11,6 +11,11 @@
 //! metadata the paper's public dataset logs, plus the per-configuration
 //! summary [`metrics`] the paper's figures are built from.
 //!
+//! The [`network`] module generalizes the same per-link machinery to N
+//! links on one shared channel (real carrier sense, SINR capture, hidden
+//! terminals); a one-link scenario is bit-for-bit identical to
+//! [`simulation::LinkSimulation`].
+//!
 //! ```
 //! use wsn_link_sim::prelude::*;
 //! use wsn_params::prelude::*;
@@ -32,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+mod link;
 pub mod metrics;
+pub mod network;
 pub mod record;
 pub mod simulation;
 pub mod sink;
@@ -42,6 +49,10 @@ pub mod traffic;
 pub mod prelude {
     pub use crate::analysis::{littles_law, DeliverySequence};
     pub use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
+    pub use crate::network::{
+        scenario_from_interference, AirStats, LinkOutcome, NetOptions, NetworkOutcome,
+        NetworkSimulation,
+    };
     pub use crate::record::{PacketFate, PacketRecord};
     pub use crate::simulation::{LinkSimulation, SimOptions, SimOutcome};
     pub use crate::sink::{FnSink, NullSink, PacketSink, VecSink};

@@ -1,0 +1,688 @@
+//! The shared-channel multi-link network simulator: N sender→receiver
+//! links from one [`Scenario`] run in a single event loop against a
+//! [`SharedAir`] that tracks who is transmitting when.
+//!
+//! Where the single-link [`simulation`](crate::simulation) folds all
+//! contention into a fixed CCA busy probability, here both contention
+//! mechanisms *emerge* from geometry:
+//!
+//! * **Carrier sense** — a CCA samples actual occupancy: it reports busy
+//!   when any foreign frame is on the air whose sender is received above
+//!   the scenario's carrier-sense threshold at this link's sender. Senders
+//!   too far apart to hear each other (the hidden-terminal geometry) pass
+//!   CCA and collide.
+//! * **Capture** — frames that overlap at a receiver resolve by SINR: the
+//!   foreign mean powers are energy-summed ([`combine_dbm`]) into the
+//!   noise floor, and a frame whose SINR falls below the scenario's
+//!   capture threshold is lost outright. Above it, the frame survives with
+//!   a degraded observation.
+//!
+//! **N = 1 equivalence contract**: a churn-free single-link scenario
+//! reproduces [`LinkSimulation`](crate::simulation::LinkSimulation)
+//! bit-for-bit — same RNG streams (link 0 uses the undérived factory),
+//! same event ordering, and a shared air that never reports occupancy or
+//! overlap for a lone link. `tests/network_equivalence.rs` pins this
+//! against the golden fixtures.
+
+use wsn_params::config::StackConfig;
+use wsn_params::scenario::Scenario;
+use wsn_params::types::Distance;
+use wsn_radio::channel::{Channel, ChannelConfig};
+use wsn_radio::interference::InterferenceModel;
+use wsn_sim_engine::executor::{ExecStats, Executor, Model, Scheduler, StopReason};
+use wsn_sim_engine::rng::RngFactory;
+use wsn_sim_engine::time::{SimDuration, SimTime};
+
+use rand::rngs::StdRng;
+
+use wsn_mac::transaction::Transaction;
+use wsn_radio::interference::combine_dbm;
+
+use crate::link::{LinkCore, LinkEv, Medium};
+use crate::metrics::LinkMetrics;
+use crate::record::PacketRecord;
+use crate::traffic::TrafficModel;
+
+/// Options controlling one network run. Mirrors
+/// [`SimOptions`](crate::simulation::SimOptions) minus the trajectory
+/// (which is per-link, on the [`Scenario`]'s link specs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetOptions {
+    /// Packets each link's application generates.
+    pub packets: u64,
+    /// Experiment seed; link `i` draws its RNG streams from the factory
+    /// derived at index `i` (link 0 uses the base factory, preserving the
+    /// single-link seeding).
+    pub seed: u64,
+    /// Propagation environment, shared by every link.
+    pub channel: ChannelConfig,
+    /// Arrival process, shared by every link.
+    pub traffic: TrafficModel,
+    /// Keep per-packet records in the outcome (memory ∝ packets × links).
+    pub record_packets: bool,
+    /// Optional hard cap on simulated time.
+    pub horizon: Option<SimDuration>,
+}
+
+impl NetOptions {
+    /// A reduced-size run for tests and examples.
+    pub fn quick(packets: u64) -> Self {
+        NetOptions {
+            packets,
+            seed: 0x00C0_FFEE,
+            channel: ChannelConfig::paper_hallway(),
+            traffic: TrafficModel::Periodic,
+            record_packets: false,
+            horizon: None,
+        }
+    }
+
+    /// Returns the options with a different seed (builder-style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the options with a different channel.
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Returns the options with a different traffic model.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+}
+
+/// Aggregate shared-air counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AirStats {
+    /// Data frames put on the air across all links.
+    pub frames: u64,
+    /// Frames that shared airtime with at least one foreign frame.
+    pub overlapped_frames: u64,
+    /// CCAs that found the channel genuinely occupied (deferrals caused by
+    /// carrier-sensing a real neighbor, not the probabilistic model).
+    pub cca_busy_hits: u64,
+}
+
+/// One link's slice of a [`NetworkOutcome`].
+#[derive(Debug, Clone)]
+pub struct LinkOutcome {
+    /// The link's stack configuration.
+    pub config: StackConfig,
+    /// Summary metrics, identical in shape to the single-link run.
+    pub metrics: LinkMetrics,
+    /// Frames of this link that shared airtime with a foreign frame.
+    pub frames_interfered: u64,
+    /// Interfered frames lost below the capture threshold.
+    pub frames_capture_lost: u64,
+    /// Per-packet records if requested in [`NetOptions::record_packets`].
+    pub records: Option<Vec<PacketRecord>>,
+}
+
+/// Result of one network run.
+#[derive(Debug, Clone)]
+pub struct NetworkOutcome {
+    /// Per-link results, in scenario order.
+    pub links: Vec<LinkOutcome>,
+    /// Shared-air counters.
+    pub air: AirStats,
+    /// Why the run ended.
+    pub stop: StopReason,
+    /// Final simulation clock.
+    pub end_time: SimTime,
+    /// Executor statistics for the whole network.
+    pub exec: ExecStats,
+}
+
+impl NetworkOutcome {
+    /// Total packets lost to the radio across all links, over total
+    /// generated — the network-wide radio loss rate.
+    pub fn plr_radio(&self) -> f64 {
+        let lost: u64 = self.links.iter().map(|l| l.metrics.radio_lost).sum();
+        let generated: u64 = self.links.iter().map(|l| l.metrics.generated).sum();
+        if generated == 0 {
+            0.0
+        } else {
+            lost as f64 / generated as f64
+        }
+    }
+
+    /// Sum of per-link goodputs, bit/s.
+    pub fn goodput_bps(&self) -> f64 {
+        self.links.iter().map(|l| l.metrics.goodput_bps).sum()
+    }
+}
+
+/// A configured, runnable multi-link simulation.
+///
+/// ```
+/// use wsn_link_sim::prelude::*;
+/// use wsn_params::prelude::*;
+///
+/// let cfg = StackConfig::builder()
+///     .distance_m(20.0)
+///     .power_level(31)
+///     .payload_bytes(50)
+///     .build()?;
+/// let outcome = NetworkSimulation::new(
+///     Scenario::parallel(&[cfg, cfg], 2.0),
+///     NetOptions::quick(100),
+/// )
+/// .run();
+/// assert_eq!(outcome.links.len(), 2);
+/// assert!(outcome.air.frames > 0);
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkSimulation {
+    scenario: Scenario,
+    options: NetOptions,
+}
+
+impl NetworkSimulation {
+    /// Creates a simulation of `scenario` under `options`.
+    pub fn new(scenario: Scenario, options: NetOptions) -> Self {
+        NetworkSimulation { scenario, options }
+    }
+
+    /// Runs every link of the scenario to completion in one event loop.
+    pub fn run(self) -> NetworkOutcome {
+        let n = self.scenario.len();
+        let base = RngFactory::new(self.options.seed);
+        let links: Vec<LinkCore> = self
+            .scenario
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                // Link 0 keeps the base factory so a 1-link scenario is
+                // bit-identical to the direct single-link simulation.
+                let factory = if i == 0 {
+                    RngFactory::new(self.options.seed)
+                } else {
+                    base.derive(i as u64)
+                };
+                let channel = Channel::new(
+                    self.options.channel,
+                    spec.config.power,
+                    spec.config.distance,
+                );
+                LinkCore::new(
+                    i,
+                    spec.config,
+                    channel,
+                    self.options.traffic,
+                    spec.trajectory,
+                    self.options.packets,
+                    &factory,
+                )
+            })
+            .collect();
+        let air = SharedAir::new(&self.scenario, &self.options.channel);
+        let record = self.options.record_packets;
+        let model = NetModel {
+            links,
+            air,
+            records: (0..n).map(|_| Vec::new()).collect(),
+            record,
+        };
+        let mut exec = Executor::new(model);
+        if let Some(h) = self.options.horizon {
+            exec = exec.with_horizon(SimTime::ZERO + h);
+        }
+        for (i, spec) in self.scenario.links.iter().enumerate() {
+            let start = SimTime::ZERO + SimDuration::from_secs_f64(spec.join_s.unwrap_or(0.0));
+            exec.seed_at(
+                start,
+                NetEv {
+                    link: i as u32,
+                    kind: NetKind::Arrival,
+                },
+            );
+            if let Some(leave_s) = spec.leave_s {
+                exec.seed_at(
+                    SimTime::ZERO + SimDuration::from_secs_f64(leave_s),
+                    NetEv {
+                        link: i as u32,
+                        kind: NetKind::Depart,
+                    },
+                );
+            }
+        }
+        let (stop, end_time) = exec.run_observed(&mut ());
+        let exec_stats = *exec.last_stats().expect("run records stats");
+        let mut model = exec.into_model();
+
+        let total = end_time - SimTime::ZERO;
+        let mut outcomes = Vec::with_capacity(n);
+        for (core, records) in model.links.iter_mut().zip(model.records.drain(..)) {
+            let metrics = core.finalize(total);
+            outcomes.push(LinkOutcome {
+                config: core.config(),
+                metrics,
+                frames_interfered: core.frames_interfered(),
+                frames_capture_lost: core.frames_capture_lost(),
+                records: record.then_some(records),
+            });
+        }
+        NetworkOutcome {
+            links: outcomes,
+            air: model.air.stats(),
+            stop,
+            end_time,
+            exec: exec_stats,
+        }
+    }
+}
+
+/// A network event: which link, and which of its per-link events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NetEv {
+    link: u32,
+    kind: NetKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetKind {
+    Arrival,
+    MacPhase,
+    Depart,
+}
+
+struct NetModel {
+    links: Vec<LinkCore>,
+    air: SharedAir,
+    records: Vec<Vec<PacketRecord>>,
+    record: bool,
+}
+
+impl Model for NetModel {
+    type Event = NetEv;
+
+    fn handle(&mut self, event: NetEv, sched: &mut Scheduler<'_, NetEv>) {
+        let NetModel {
+            links,
+            air,
+            records,
+            record,
+        } = self;
+        let i = event.link as usize;
+        let core = &mut links[i];
+        let wrap = |e: LinkEv| NetEv {
+            link: event.link,
+            kind: match e {
+                LinkEv::Arrival => NetKind::Arrival,
+                LinkEv::MacPhase => NetKind::MacPhase,
+            },
+        };
+        let mut out = |r: &PacketRecord| {
+            if *record {
+                records[i].push(*r);
+            }
+        };
+        match event.kind {
+            NetKind::Arrival => core.on_arrival(sched, &wrap, air, &mut out),
+            NetKind::MacPhase => core.pump(sched, &wrap, air, &mut out),
+            NetKind::Depart => core.depart(),
+        }
+    }
+}
+
+/// One frame's airtime interval.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The shared radio channel: per-pair mean received powers from the
+/// scenario geometry, the set of frames currently on the air, and an
+/// overlap matrix resolved at each frame's end.
+///
+/// Cross-link gains use the *mean* path loss (no per-pair shadowing): the
+/// foreign-power matrices are computed once from geometry, which keeps the
+/// medium deterministic and allocation-free on the hot path. Each link's
+/// own channel keeps its full fading dynamics.
+struct SharedAir {
+    /// `rx_power_dbm[i][j]`: mean power of link `j`'s sender at link `i`'s
+    /// receiver (`-inf` on the diagonal).
+    rx_power_dbm: Vec<Vec<f64>>,
+    /// `cs_power_dbm[i][j]`: mean power of link `j`'s sender at link `i`'s
+    /// sender — what `i`'s CCA listens to.
+    cs_power_dbm: Vec<Vec<f64>>,
+    cca_threshold_dbm: f64,
+    capture_db: f64,
+    /// The frame each link currently has on the air, if any.
+    on_air: Vec<Option<Frame>>,
+    /// `hit[i][j]`: link `j`'s transmission overlapped link `i`'s current
+    /// frame. Accumulated at registration, consumed at resolution.
+    hit: Vec<Vec<bool>>,
+    frames: u64,
+    overlapped_frames: u64,
+    cca_busy_hits: u64,
+}
+
+impl SharedAir {
+    fn new(scenario: &Scenario, channel: &ChannelConfig) -> Self {
+        let n = scenario.len();
+        let gain = |from: usize, to_pos: &wsn_params::scenario::Position| {
+            let spec = &scenario.links[from];
+            let meters = spec.sender.distance_m(to_pos).max(0.1);
+            channel.pathloss.mean_rssi_dbm(
+                spec.config.power,
+                Distance::from_meters(meters).expect("clamped positive"),
+            )
+        };
+        let mut rx_power_dbm = vec![vec![f64::NEG_INFINITY; n]; n];
+        let mut cs_power_dbm = vec![vec![f64::NEG_INFINITY; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                rx_power_dbm[i][j] = gain(j, &scenario.links[i].receiver);
+                cs_power_dbm[i][j] = gain(j, &scenario.links[i].sender);
+            }
+        }
+        SharedAir {
+            rx_power_dbm,
+            cs_power_dbm,
+            cca_threshold_dbm: scenario.cca_threshold_dbm,
+            capture_db: scenario.capture_db,
+            on_air: vec![None; n],
+            hit: vec![vec![false; n]; n],
+            frames: 0,
+            overlapped_frames: 0,
+            cca_busy_hits: 0,
+        }
+    }
+
+    fn stats(&self) -> AirStats {
+        AirStats {
+            frames: self.frames,
+            overlapped_frames: self.overlapped_frames,
+            cca_busy_hits: self.cca_busy_hits,
+        }
+    }
+}
+
+impl Medium for SharedAir {
+    fn cca_busy(&mut self, link: usize, now: SimTime, txn: &Transaction, rng: &mut StdRng) -> bool {
+        // Real occupancy first: any foreign frame on the air right now
+        // whose sender this link receives above the carrier-sense
+        // threshold. The transmit-anyway budget still applies — after
+        // MAX_CCA_RETRIES deferrals the MAC sends regardless, like the
+        // congestion-override path.
+        if txn.cca_retries() < Transaction::MAX_CCA_RETRIES {
+            for (j, frame) in self.on_air.iter().enumerate() {
+                if j == link {
+                    continue;
+                }
+                if let Some(f) = frame {
+                    if f.start <= now
+                        && now < f.end
+                        && self.cs_power_dbm[link][j] >= self.cca_threshold_dbm
+                    {
+                        self.cca_busy_hits += 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        // Fall back to the probabilistic model so configured *external*
+        // interference (WiFi and friends) still registers.
+        Transaction::sample_cca_busy(txn, rng)
+    }
+
+    fn frame_on_air(&mut self, link: usize, start: SimTime, _end: SimTime) {
+        self.frames += 1;
+        for h in &mut self.hit[link] {
+            *h = false;
+        }
+        // Every frame still on the air overlaps the new one: flag both
+        // directions, so each victim resolves the overlap at its own end.
+        for i in 0..self.on_air.len() {
+            if i == link {
+                continue;
+            }
+            if let Some(f) = self.on_air[i] {
+                if f.end > start {
+                    self.hit[i][link] = true;
+                    self.hit[link][i] = true;
+                }
+            }
+        }
+        self.on_air[link] = Some(Frame { start, end: _end });
+    }
+
+    fn frame_interference_dbm(
+        &mut self,
+        link: usize,
+        _start: SimTime,
+        _end: SimTime,
+    ) -> Option<f64> {
+        self.on_air[link] = None;
+        let mut foreign: Option<f64> = None;
+        for j in 0..self.hit[link].len() {
+            if !self.hit[link][j] {
+                continue;
+            }
+            self.hit[link][j] = false;
+            let p = self.rx_power_dbm[link][j];
+            foreign = Some(match foreign {
+                None => p,
+                Some(acc) => combine_dbm(acc, p),
+            });
+        }
+        if foreign.is_some() {
+            self.overlapped_frames += 1;
+        }
+        foreign
+    }
+
+    fn capture_db(&self) -> f64 {
+        self.capture_db
+    }
+}
+
+/// Promotes a configured [`InterferenceModel`] into an explicit in-network
+/// interferer link, so the shared-channel machinery (real CCA deferral,
+/// SINR capture) replaces the probabilistic approximation.
+///
+/// Returns `None` when the model has no shared-channel equivalent: an
+/// inactive model, or a non-CCA-detectable one (broadband WiFi noise below
+/// the 802.15.4 carrier-sense floor — that stays on the legacy
+/// probabilistic path, as exercised by `examples/interference_study.rs`).
+///
+/// The interferer is placed so its mean received power at the victim's
+/// receiver equals the model's `power_dbm`, and its traffic is periodic
+/// with the packet interval chosen so its airtime duty cycle matches the
+/// model's `duty_cycle`.
+pub fn scenario_from_interference(
+    victim: StackConfig,
+    model: &InterferenceModel,
+    channel: &ChannelConfig,
+) -> Option<Scenario> {
+    use wsn_params::scenario::{LinkSpec, Position};
+
+    if model.is_none() || !model.cca_detectable {
+        return None;
+    }
+    // Range at which the interferer's transmissions land on the victim
+    // receiver at the modeled power.
+    let range_m = channel
+        .pathloss
+        .range_for_rssi_m(victim.power, model.power_dbm)
+        .max(0.1);
+    // One frame airtime at 250 kbit/s is 32 µs per air byte; a periodic
+    // source with interval = airtime / duty reproduces the duty cycle.
+    let frame_s = victim.frame().air_bytes() as f64 * 32e-6;
+    let duty = model.duty_cycle.clamp(1e-4, 1.0);
+    let interval_ms = ((frame_s / duty) * 1e3).round().clamp(1.0, u32::MAX as f64) as u32;
+    let interferer = StackConfig::builder()
+        .distance_m(2.0)
+        .power_level(victim.power.level())
+        .payload_bytes(victim.payload.bytes())
+        .max_tries(1)
+        .retry_delay_ms(0)
+        .queue_cap(1)
+        .packet_interval_ms(interval_ms)
+        .build()
+        .ok()?;
+
+    let d = victim.distance.meters();
+    Some(Scenario::new(vec![
+        // The victim link along the x-axis.
+        LinkSpec::along_x(victim, 0.0),
+        // The interferer `range_m` off the victim's receiver, its own
+        // receiver 2 m further out.
+        LinkSpec::at(
+            Position::new(d, range_m),
+            Position::new(d + 2.0, range_m),
+            interferer,
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulation::{LinkSimulation, SimOptions};
+    use wsn_params::scenario::Scenario;
+
+    fn cfg(power: u8, dist: f64) -> StackConfig {
+        StackConfig::builder()
+            .distance_m(dist)
+            .power_level(power)
+            .payload_bytes(50)
+            .max_tries(3)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(50)
+            .build()
+            .unwrap()
+    }
+
+    fn sim_options(net: &NetOptions) -> SimOptions {
+        SimOptions {
+            packets: net.packets,
+            seed: net.seed,
+            channel: net.channel,
+            traffic: net.traffic,
+            record_packets: net.record_packets,
+            horizon: net.horizon,
+            trajectory: wsn_params::motion::Trajectory::Stationary,
+        }
+    }
+
+    #[test]
+    fn single_link_scenario_matches_direct_simulation_bit_for_bit() {
+        for (power, dist) in [(31u8, 10.0), (23, 35.0), (3, 35.0)] {
+            let options = NetOptions::quick(200).with_seed(0x5EED);
+            let direct = LinkSimulation::new(cfg(power, dist), sim_options(&options)).run();
+            let net = NetworkSimulation::new(Scenario::single(cfg(power, dist)), options).run();
+            assert_eq!(net.links.len(), 1);
+            assert_eq!(direct.metrics(), &net.links[0].metrics);
+            assert_eq!(net.links[0].frames_interfered, 0);
+            assert_eq!(net.air.overlapped_frames, 0);
+            assert_eq!(net.air.cca_busy_hits, 0);
+        }
+    }
+
+    #[test]
+    fn single_link_records_match_direct_simulation() {
+        let mut options = NetOptions::quick(150).with_seed(7);
+        options.record_packets = true;
+        let direct = LinkSimulation::new(cfg(23, 35.0), sim_options(&options)).run();
+        let net = NetworkSimulation::new(Scenario::single(cfg(23, 35.0)), options).run();
+        assert_eq!(direct.records, net.links[0].records);
+    }
+
+    #[test]
+    fn hidden_pair_loses_more_than_exposed_pair() {
+        let c = cfg(11, 35.0);
+        let hidden = NetworkSimulation::new(Scenario::hidden_pair(c), NetOptions::quick(300)).run();
+        let exposed =
+            NetworkSimulation::new(Scenario::exposed_pair(c), NetOptions::quick(300)).run();
+        // Hidden senders cannot carrier-sense each other: no real CCA
+        // deferrals, plenty of overlaps.
+        assert_eq!(hidden.air.cca_busy_hits, 0, "hidden senders must not CS");
+        assert!(
+            hidden.air.overlapped_frames > exposed.air.overlapped_frames,
+            "hidden {} vs exposed {} overlaps",
+            hidden.air.overlapped_frames,
+            exposed.air.overlapped_frames
+        );
+        // Exposed senders defer instead of colliding.
+        assert!(exposed.air.cca_busy_hits > 0, "exposed senders must defer");
+        assert!(
+            hidden.plr_radio() > exposed.plr_radio(),
+            "hidden plr {} vs exposed plr {}",
+            hidden.plr_radio(),
+            exposed.plr_radio()
+        );
+    }
+
+    #[test]
+    fn network_run_is_bit_reproducible() {
+        let c = cfg(11, 35.0);
+        let a = NetworkSimulation::new(Scenario::hidden_pair(c), NetOptions::quick(200)).run();
+        let b = NetworkSimulation::new(Scenario::hidden_pair(c), NetOptions::quick(200)).run();
+        for (la, lb) in a.links.iter().zip(&b.links) {
+            assert_eq!(la.metrics, lb.metrics);
+        }
+        assert_eq!(a.air, b.air);
+    }
+
+    #[test]
+    fn churn_reduces_generated_traffic() {
+        let c = cfg(31, 10.0);
+        let mut scenario = Scenario::parallel(&[c, c], 2.0);
+        // Link 1 joins late and leaves early; with 50 ms intervals and a
+        // 400-packet budget it cannot generate its full budget.
+        scenario.links[1] = scenario.links[1].joining_at(5.0).leaving_at(10.0);
+        let options = NetOptions {
+            horizon: Some(SimDuration::from_secs_f64(30.0)),
+            ..NetOptions::quick(400)
+        };
+        let out = NetworkSimulation::new(scenario, options).run();
+        assert_eq!(out.links[0].metrics.generated, 400);
+        assert!(
+            out.links[1].metrics.generated < 400,
+            "churned link generated {}",
+            out.links[1].metrics.generated
+        );
+        assert!(out.links[1].metrics.generated > 0);
+    }
+
+    #[test]
+    fn interference_promotion_builds_two_link_scenario() {
+        let victim = cfg(31, 20.0);
+        let channel = ChannelConfig::paper_hallway();
+        let model = InterferenceModel::zigbee_neighbor(0.1);
+        let scenario = scenario_from_interference(victim, &model, &channel)
+            .expect("detectable interferer promotes");
+        assert_eq!(scenario.len(), 2);
+        // The interferer's mean power at the victim receiver matches the
+        // model within rounding.
+        let rx = &scenario.links[0].receiver;
+        let d = scenario.links[1].sender.distance_m(rx);
+        let got = channel.pathloss.mean_rssi_dbm(
+            scenario.links[1].config.power,
+            Distance::from_meters(d).unwrap(),
+        );
+        assert!((got - model.power_dbm).abs() < 0.5, "rx power {got}");
+
+        // Non-detectable (WiFi) and inactive models stay on the legacy
+        // probabilistic path.
+        assert!(
+            scenario_from_interference(victim, &InterferenceModel::wifi_moderate(), &channel)
+                .is_none()
+        );
+        assert!(scenario_from_interference(victim, &InterferenceModel::none(), &channel).is_none());
+    }
+}

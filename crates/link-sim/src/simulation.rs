@@ -9,23 +9,19 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-
-use wsn_mac::queue::{Admission, TxQueue};
-use wsn_mac::transaction::{Action, RadioActivity, Transaction, TxOutcome};
 use wsn_params::config::StackConfig;
 use wsn_radio::budget::LinkBudgetTable;
-use wsn_radio::channel::{Channel, ChannelConfig, Observation};
-use wsn_radio::energy::EnergyMeter;
+use wsn_radio::channel::{Channel, ChannelConfig};
 use wsn_radio::trajectory::Trajectory;
 use wsn_sim_engine::executor::{
     ExecStats, Executor, ExecutorObserver, Model, Scheduler, StopReason,
 };
-use wsn_sim_engine::rng::{RngFactory, StreamId};
+use wsn_sim_engine::rng::RngFactory;
 use wsn_sim_engine::time::{SimDuration, SimTime};
 
-use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
-use crate::record::{PacketFate, PacketRecord};
+use crate::link::{Isolated, LinkCore, LinkEv};
+use crate::metrics::LinkMetrics;
+use crate::record::PacketRecord;
 use crate::sink::{NullSink, PacketSink, VecSink};
 use crate::traffic::TrafficModel;
 
@@ -223,60 +219,32 @@ impl LinkSimulation {
                 self.config.distance,
             ),
         };
-        // The MAC transaction state machine starts every packet from the
-        // same state; build it once and copy per packet instead of
-        // re-deriving the CCA busy probability each service start.
-        let mut txn_template = Transaction::new(
-            self.config.payload,
-            self.config.max_tries,
-            SimDuration::from_millis(self.config.retry_delay.millis() as u64),
-        );
-        txn_template.set_cca_busy_probability(channel.cca_busy_probability());
         let sink_wants = sink.wants_records();
         let model = LinkModel {
-            cfg: self.config,
-            channel,
-            txn_template,
-            rng_fading: factory.stream(StreamId::Fading),
-            rng_noise: factory.stream(StreamId::Noise),
-            rng_delivery: factory.stream(StreamId::Delivery),
-            rng_backoff: factory.stream(StreamId::Backoff),
-            rng_traffic: factory.stream(StreamId::Traffic),
-            traffic: self.options.traffic,
-            queue: TxQueue::new(self.config.queue_cap),
-            current: None,
-            acc: MetricsAccumulator::with_packet_hint(self.options.packets),
+            core: LinkCore::new(
+                0,
+                self.config,
+                channel,
+                self.options.traffic,
+                self.options.trajectory,
+                self.options.packets,
+                &factory,
+            ),
             sink,
             sink_wants,
-            energy: EnergyMeter::new(),
-            attempts: 0,
-            attempts_unacked: 0,
-            snr_sum: 0.0,
-            rssi_sum: 0.0,
-            busy: SimDuration::ZERO,
-            generated: 0,
-            budget: self.options.packets,
-            duplicates: 0,
-            trajectory: self.options.trajectory,
         };
         let mut exec = Executor::new(model);
         if let Some(h) = self.options.horizon {
             exec = exec.with_horizon(SimTime::ZERO + h);
         }
-        exec.seed_at(SimTime::ZERO, Ev::Arrival);
+        exec.seed_at(SimTime::ZERO, LinkEv::Arrival);
         let (stop, end_time) = exec.run_observed(observer);
         let exec_stats = *exec.last_stats().expect("run records stats");
         let mut model = exec.into_model();
 
-        // Account the radio-idle residual (time with no MAC activity).
-        let accounted = model.energy.accounted_time();
-        let total = end_time - SimTime::ZERO;
-        if total > accounted {
-            model.energy.add_idle(total - accounted);
-        }
-
-        let totals = model.totals(total);
-        let metrics = model.acc.finish(&totals);
+        // Accounts the radio-idle residual (time with no MAC activity)
+        // before folding the final metrics.
+        let metrics = model.core.finalize(end_time - SimTime::ZERO);
         SimOutcome {
             config: self.config,
             metrics,
@@ -288,267 +256,34 @@ impl LinkSimulation {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
-    /// An application packet arrives.
-    Arrival,
-    /// The current MAC wait phase elapsed.
-    MacPhase,
-}
-
-/// Metadata of a packet waiting in (or at the head of) the queue.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    seq: u64,
-    t_arrival: SimTime,
-    queue_depth: usize,
-}
-
-/// The packet currently in MAC service. Its `Pending` stays at the queue
-/// head (the in-service packet occupies a `Qmax` slot) and is popped on
-/// completion.
-#[derive(Debug, Clone)]
-struct Active {
-    txn: Transaction,
-    meta: Pending,
-    t_service_start: SimTime,
-    receiver_got: bool,
-    receiver_copies: u32,
-    last_obs: Option<Observation>,
-}
-
+/// The single-link executor model: one [`LinkCore`] on an [`Isolated`]
+/// medium, streaming records to the borrowed sink. All simulation behavior
+/// lives in the core (shared with the multi-link network model); this
+/// wrapper only adapts events and the sink.
 struct LinkModel<'s, S: PacketSink> {
-    cfg: StackConfig,
-    channel: Channel,
-    /// Pristine per-packet MAC transaction, copied on each service start.
-    txn_template: Transaction,
-    rng_fading: StdRng,
-    rng_noise: StdRng,
-    rng_delivery: StdRng,
-    rng_backoff: StdRng,
-    rng_traffic: StdRng,
-    traffic: TrafficModel,
-    queue: TxQueue<Pending>,
-    current: Option<Active>,
-    acc: MetricsAccumulator,
+    core: LinkCore,
     sink: &'s mut S,
     /// [`PacketSink::wants_records`], read once at start-up.
     sink_wants: bool,
-    energy: EnergyMeter,
-    attempts: u64,
-    attempts_unacked: u64,
-    snr_sum: f64,
-    rssi_sum: f64,
-    busy: SimDuration,
-    generated: u64,
-    budget: u64,
-    duplicates: u64,
-    trajectory: Trajectory,
 }
 
 impl<S: PacketSink> Model for LinkModel<'_, S> {
-    type Event = Ev;
+    type Event = LinkEv;
 
-    fn handle(&mut self, event: Ev, sched: &mut Scheduler<'_, Ev>) {
+    fn handle(&mut self, event: LinkEv, sched: &mut Scheduler<'_, LinkEv>) {
+        let LinkModel {
+            core,
+            sink,
+            sink_wants,
+        } = self;
+        let mut out = |record: &PacketRecord| {
+            if *sink_wants {
+                sink.on_packet(record);
+            }
+        };
         match event {
-            Ev::Arrival => self.on_arrival(sched),
-            Ev::MacPhase => self.pump(sched),
-        }
-    }
-}
-
-impl<S: PacketSink> LinkModel<'_, S> {
-    /// Folds a finished record into the running metrics and streams it on
-    /// (unless the sink declared it discards records).
-    fn emit(&mut self, record: PacketRecord) {
-        self.acc.observe(&record);
-        if self.sink_wants {
-            self.sink.on_packet(&record);
-        }
-    }
-
-    fn on_arrival(&mut self, sched: &mut Scheduler<'_, Ev>) {
-        if self.traffic.is_saturating() {
-            self.saturate(sched.now());
-        } else {
-            self.admit_one(sched.now());
-            if self.generated < self.budget {
-                let gap = self
-                    .traffic
-                    .next_gap(
-                        SimDuration::from_millis(self.cfg.packet_interval.millis() as u64),
-                        &mut self.rng_traffic,
-                    )
-                    .expect("interval-based traffic always yields a gap");
-                sched.schedule_in(gap, Ev::Arrival);
-            }
-        }
-        if self.current.is_none() {
-            self.start_next(sched.now());
-            self.pump(sched);
-        }
-    }
-
-    /// Admits one packet to the queue, recording a drop if it overflows.
-    fn admit_one(&mut self, now: SimTime) {
-        let seq = self.generated;
-        self.generated += 1;
-        let meta = Pending {
-            seq,
-            t_arrival: now,
-            // Depth the packet will observe if admitted (itself included).
-            queue_depth: self.queue.len() + 1,
-        };
-        match self.queue.offer(meta) {
-            Admission::Accepted { depth } => debug_assert_eq!(depth, meta.queue_depth),
-            Admission::Dropped => self.emit(PacketRecord {
-                seq,
-                t_arrival: now,
-                t_service_start: None,
-                t_done: None,
-                tries: 0,
-                queue_depth: self.queue.len(),
-                fate: PacketFate::QueueDropped,
-                sender_acked: false,
-                last_rssi_dbm: f64::NAN,
-                last_snr_db: f64::NAN,
-                last_lqi: 0,
-            }),
-        }
-    }
-
-    /// For the saturating source: keep the queue full while budget remains.
-    fn saturate(&mut self, now: SimTime) {
-        while self.generated < self.budget && self.queue.len() < self.queue.capacity() {
-            self.admit_one(now);
-        }
-    }
-
-    /// Starts serving the queue-head packet if the MAC is idle.
-    fn start_next(&mut self, now: SimTime) {
-        if self.current.is_some() || self.queue.is_empty() {
-            return;
-        }
-        // Copy the head's metadata; it stays queued (occupying its slot)
-        // until the transaction terminates.
-        let meta = *self.queue.peek().expect("non-empty queue has a head");
-        self.current = Some(Active {
-            txn: self.txn_template.clone(),
-            meta,
-            t_service_start: now,
-            receiver_got: false,
-            receiver_copies: 0,
-            last_obs: None,
-        });
-    }
-
-    /// Drives the active transaction until it blocks on a wait or finishes.
-    fn pump(&mut self, sched: &mut Scheduler<'_, Ev>) {
-        loop {
-            let Some(active) = self.current.as_mut() else {
-                return;
-            };
-            match active.txn.advance(&mut self.rng_backoff) {
-                Action::Wait { duration, activity } => {
-                    self.meter(activity, duration);
-                    sched.schedule_in(duration, Ev::MacPhase);
-                    return;
-                }
-                Action::Transmit { .. } => {
-                    if !self.trajectory.is_stationary() {
-                        let here = self
-                            .trajectory
-                            .distance_at(sched.now().as_secs_f64(), self.cfg.distance);
-                        self.channel.retarget(self.cfg.power, here);
-                    }
-                    let obs = self
-                        .channel
-                        .observe(&mut self.rng_fading, &mut self.rng_noise);
-                    let delivered =
-                        self.channel
-                            .data_success(&obs, self.cfg.payload, &mut self.rng_delivery);
-                    let acked = delivered && self.channel.ack_success(&obs, &mut self.rng_delivery);
-                    self.attempts += 1;
-                    if !acked {
-                        self.attempts_unacked += 1;
-                    }
-                    self.snr_sum += obs.snr_db;
-                    self.rssi_sum += obs.rssi_dbm;
-                    if delivered {
-                        active.receiver_got = true;
-                        active.receiver_copies += 1;
-                    }
-                    active.last_obs = Some(obs);
-                    active.txn.on_tx_result(acked);
-                }
-                Action::Complete(outcome) => {
-                    self.complete(outcome, sched.now());
-                }
-            }
-        }
-    }
-
-    fn complete(&mut self, outcome: TxOutcome, now: SimTime) {
-        let active = self
-            .current
-            .take()
-            .expect("complete only fires with an active transaction");
-        // Free the queue slot the in-service packet was holding.
-        let popped = self.queue.pop();
-        debug_assert!(popped.is_some(), "in-service packet must be queued");
-
-        let fate = if active.receiver_got {
-            PacketFate::Delivered
-        } else {
-            PacketFate::RadioLost
-        };
-        self.duplicates += active.receiver_copies.saturating_sub(1) as u64;
-        self.busy += now - active.t_service_start;
-        let obs = active.last_obs;
-        self.emit(PacketRecord {
-            seq: active.meta.seq,
-            t_arrival: active.meta.t_arrival,
-            t_service_start: Some(active.t_service_start),
-            t_done: Some(now),
-            tries: outcome.tries(),
-            queue_depth: active.meta.queue_depth,
-            fate,
-            sender_acked: outcome.is_delivered(),
-            last_rssi_dbm: obs.map_or(f64::NAN, |o| o.rssi_dbm),
-            last_snr_db: obs.map_or(f64::NAN, |o| o.snr_db),
-            last_lqi: obs.map_or(0, |o| o.lqi),
-        });
-
-        if self.traffic.is_saturating() {
-            self.saturate(now);
-        }
-        self.start_next(now);
-    }
-
-    fn meter(&mut self, activity: RadioActivity, duration: SimDuration) {
-        match activity {
-            RadioActivity::SpiLoad | RadioActivity::Idle => self.energy.add_idle(duration),
-            RadioActivity::Listen | RadioActivity::TxPrep => self.energy.add_rx(duration),
-            RadioActivity::Transmit => self.energy.add_tx(self.cfg.power, duration),
-        }
-    }
-
-    /// Snapshots the model-side counters needed to finish the metrics fold.
-    fn totals(&self, duration: SimDuration) -> RunTotals {
-        RunTotals {
-            duration,
-            generated: self.generated,
-            attempts: self.attempts,
-            attempts_unacked: self.attempts_unacked,
-            duplicates: self.duplicates,
-            snr_sum: self.snr_sum,
-            rssi_sum: self.rssi_sum,
-            busy: self.busy,
-            energy: self.energy.breakdown(),
-            payload_bits: self.cfg.payload.bits(),
-            offered_bps: self.cfg.offered_load_bps(),
-            fallback_snr_db: self.channel.mean_snr_db(),
-            fallback_rssi_dbm: self.channel.mean_rssi_dbm(),
+            LinkEv::Arrival => core.on_arrival(sched, &|e| e, &mut Isolated, &mut out),
+            LinkEv::MacPhase => core.pump(sched, &|e| e, &mut Isolated, &mut out),
         }
     }
 }
@@ -556,6 +291,8 @@ impl<S: PacketSink> LinkModel<'_, S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::RunTotals;
+    use crate::record::PacketFate;
     use wsn_radio::per::{EmpiricalPer, PerBackend};
 
     fn cfg(power: u8, dist: f64) -> StackConfig {

@@ -206,6 +206,33 @@ impl Transaction {
         self.force_congestion = n;
     }
 
+    /// Busy CCAs deferred so far in the current attempt (resets on a clear
+    /// assessment). Exposed so an external CCA policy (see
+    /// [`advance_with_cca`](Self::advance_with_cca)) can honor the
+    /// [`MAX_CCA_RETRIES`](Self::MAX_CCA_RETRIES) transmit-anyway budget.
+    pub fn cca_retries(&self) -> u32 {
+        self.cca_retries
+    }
+
+    /// The configured external-interferer CCA busy probability.
+    pub fn cca_busy_probability(&self) -> f64 {
+        self.cca_busy_prob
+    }
+
+    /// The default clear-channel assessment: samples the configured
+    /// external-interferer busy probability (see
+    /// [`set_cca_busy_probability`](Self::set_cca_busy_probability)),
+    /// drawing from `rng` only when the probability is non-zero and the
+    /// transmit-anyway budget has not been spent. This is exactly the
+    /// decision [`advance`](Self::advance) makes; it is public so a
+    /// shared-channel medium can fall back to it for external noise after
+    /// checking real occupancy.
+    pub fn sample_cca_busy<R: Rng + ?Sized>(txn: &Self, rng: &mut R) -> bool {
+        txn.cca_busy_prob > 0.0
+            && txn.cca_retries < Self::MAX_CCA_RETRIES
+            && rng.gen::<f64>() < txn.cca_busy_prob
+    }
+
     /// Advances the state machine and returns the next driver instruction.
     ///
     /// # Panics
@@ -214,6 +241,28 @@ impl Transaction {
     /// after [`Action::Transmit`] was returned but before
     /// [`on_tx_result`](Self::on_tx_result) was called).
     pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Action {
+        self.advance_with_cca(rng, Self::sample_cca_busy)
+    }
+
+    /// Like [`advance`](Self::advance), but delegates the clear-channel
+    /// assessment to `cca_busy`, called exactly once per CCA with the
+    /// transaction state and the backoff RNG. The multi-link simulator
+    /// samples *actual* channel occupancy here; passing
+    /// [`sample_cca_busy`](Self::sample_cca_busy) reproduces
+    /// [`advance`](Self::advance) bit-for-bit. A [`force_congestion`]
+    /// override is applied *before* the callback runs (and does not
+    /// suppress it, so RNG consumption is identical either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same condition as [`advance`](Self::advance).
+    ///
+    /// [`force_congestion`]: Self::force_congestion
+    pub fn advance_with_cca<R, F>(&mut self, rng: &mut R, cca_busy: F) -> Action
+    where
+        R: Rng + ?Sized,
+        F: FnOnce(&Self, &mut R) -> bool,
+    {
         match self.phase {
             Phase::Load => {
                 self.phase = Phase::Backoff { congestion: false };
@@ -241,9 +290,7 @@ impl Transaction {
                 } else {
                     false
                 };
-                let sampled = self.cca_busy_prob > 0.0
-                    && self.cca_retries < Self::MAX_CCA_RETRIES
-                    && rng.gen::<f64>() < self.cca_busy_prob;
+                let sampled = cca_busy(&*self, rng);
                 if forced || sampled {
                     self.cca_retries += 1;
                     self.phase = Phase::Backoff { congestion: true };

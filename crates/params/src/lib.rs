@@ -40,6 +40,8 @@ pub mod config;
 pub mod error;
 pub mod frame;
 pub mod grid;
+pub mod motion;
+pub mod scenario;
 pub mod types;
 
 /// Convenient glob-import of the parameter vocabulary.
@@ -48,6 +50,8 @@ pub mod prelude {
     pub use crate::error::InvalidParam;
     pub use crate::frame::FrameGeometry;
     pub use crate::grid::ParamGrid;
+    pub use crate::motion::Trajectory;
+    pub use crate::scenario::{LinkSpec, Position, Scenario};
     pub use crate::types::{
         Distance, MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap, RetryDelay,
     };

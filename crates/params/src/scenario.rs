@@ -1,0 +1,300 @@
+//! Multi-link topology description: node positions, per-link stack
+//! configurations, motion, and join/leave churn.
+//!
+//! The paper's Sec. VIII-D names concurrent transmission as the first
+//! factor its single-link study excludes; a [`Scenario`] is the vocabulary
+//! for the shared-channel generalization that lifts that limit. Each
+//! [`LinkSpec`] places one sender→receiver pair on a 2-D plane with its own
+//! seven-parameter [`StackConfig`]; the multi-link simulator
+//! (`wsn-link-sim::network`) derives every cross-link gain from the
+//! geometry, so CCA deferral, collisions and capture emerge rather than
+//! being parameterized.
+//!
+//! Two conventions keep the N = 1 case trivially equivalent to the
+//! single-link simulator:
+//!
+//! * a link's **own** budget uses `config.distance` (authoritative), not
+//!   the sender–receiver geometry — positions only drive *cross-link*
+//!   gains, and the placement helpers keep both consistent;
+//! * a scenario without churn seeds every link's traffic at t = 0, exactly
+//!   like the single-link run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::StackConfig;
+use crate::motion::Trajectory;
+
+/// A node position on the scenario plane, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Easting, meters.
+    pub x_m: f64,
+    /// Northing, meters.
+    pub y_m: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub const fn new(x_m: f64, y_m: f64) -> Self {
+        Position { x_m, y_m }
+    }
+
+    /// Euclidean distance to `other`, meters.
+    pub fn distance_m(&self, other: &Position) -> f64 {
+        (self.x_m - other.x_m).hypot(self.y_m - other.y_m)
+    }
+}
+
+/// One sender→receiver link of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Sender (transmitter) position.
+    pub sender: Position,
+    /// Receiver position.
+    pub receiver: Position,
+    /// The link's seven-parameter stack configuration. `config.distance`
+    /// is the authoritative sender–receiver distance for the link's own
+    /// budget; the placement helpers keep it consistent with the geometry.
+    pub config: StackConfig,
+    /// Sender motion profile (changes the link's own budget mid-run;
+    /// cross-link gains stay at the initial geometry).
+    pub trajectory: Trajectory,
+    /// Seconds after scenario start at which the link begins generating
+    /// traffic (`None` = from t = 0).
+    pub join_s: Option<f64>,
+    /// Seconds after scenario start at which the link stops generating
+    /// traffic; an in-flight MAC transaction still finishes.
+    pub leave_s: Option<f64>,
+}
+
+impl LinkSpec {
+    /// A link laid along the x-axis at `y_m`: sender at `(0, y)`, receiver
+    /// at `(d, y)` with `d = config.distance`.
+    pub fn along_x(config: StackConfig, y_m: f64) -> Self {
+        LinkSpec {
+            sender: Position::new(0.0, y_m),
+            receiver: Position::new(config.distance.meters(), y_m),
+            config,
+            trajectory: Trajectory::Stationary,
+            join_s: None,
+            leave_s: None,
+        }
+    }
+
+    /// A link with explicit endpoint positions. The caller is responsible
+    /// for keeping `config.distance` consistent with the geometry if the
+    /// link's own budget should match it.
+    pub fn at(sender: Position, receiver: Position, config: StackConfig) -> Self {
+        LinkSpec {
+            sender,
+            receiver,
+            config,
+            trajectory: Trajectory::Stationary,
+            join_s: None,
+            leave_s: None,
+        }
+    }
+
+    /// Returns the spec with a motion profile (builder-style).
+    pub fn with_trajectory(mut self, trajectory: Trajectory) -> Self {
+        self.trajectory = trajectory;
+        self
+    }
+
+    /// Returns the spec joining at `t_s` seconds (builder-style).
+    pub fn joining_at(mut self, t_s: f64) -> Self {
+        self.join_s = Some(t_s);
+        self
+    }
+
+    /// Returns the spec leaving at `t_s` seconds (builder-style).
+    pub fn leaving_at(mut self, t_s: f64) -> Self {
+        self.leave_s = Some(t_s);
+        self
+    }
+}
+
+/// A multi-link topology sharing one radio channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The contending links.
+    pub links: Vec<LinkSpec>,
+    /// Capture threshold, dB: an overlapped frame whose SINR falls below
+    /// this margin is lost outright (CC2420 co-channel rejection ≈ 3 dB).
+    pub capture_db: f64,
+    /// Carrier-sense threshold, dBm: a foreign transmitter received above
+    /// this level makes the CCA report busy (CC2420 default ≈ −77 dBm).
+    pub cca_threshold_dbm: f64,
+}
+
+impl Scenario {
+    /// CC2420 co-channel rejection margin, dB.
+    pub const DEFAULT_CAPTURE_DB: f64 = 3.0;
+    /// CC2420 CCA energy-detect threshold, dBm.
+    pub const DEFAULT_CCA_THRESHOLD_DBM: f64 = -77.0;
+
+    /// A scenario from explicit link specs with the default capture and
+    /// carrier-sense thresholds.
+    pub fn new(links: Vec<LinkSpec>) -> Self {
+        Scenario {
+            links,
+            capture_db: Self::DEFAULT_CAPTURE_DB,
+            cca_threshold_dbm: Self::DEFAULT_CCA_THRESHOLD_DBM,
+        }
+    }
+
+    /// The single-link scenario for `config` — the N = 1 equivalence case
+    /// that must reproduce the direct `LinkSimulation` bit-for-bit.
+    pub fn single(config: StackConfig) -> Self {
+        Scenario::new(vec![LinkSpec::along_x(config, 0.0)])
+    }
+
+    /// `configs.len()` parallel links stacked `spacing_m` apart on the
+    /// y-axis, each along the x-axis at its configured distance. With
+    /// small spacing every sender hears every other (CCA-coupled
+    /// contention); collisions only slip through the vulnerability window.
+    pub fn parallel(configs: &[StackConfig], spacing_m: f64) -> Self {
+        Scenario::new(
+            configs
+                .iter()
+                .enumerate()
+                .map(|(i, &config)| LinkSpec::along_x(config, i as f64 * spacing_m))
+                .collect(),
+        )
+    }
+
+    /// The classic hidden-terminal pair: two senders facing each other at
+    /// `2d` separation with both receivers in the middle (`d` from each),
+    /// where `d = config.distance`. The senders cannot carrier-sense each
+    /// other, while each foreign frame lands on the victim receiver at
+    /// full link strength — overlaps become capture failures.
+    pub fn hidden_pair(config: StackConfig) -> Self {
+        let d = config.distance.meters();
+        Scenario::new(vec![
+            LinkSpec::at(Position::new(0.0, 0.0), Position::new(d, 0.0), config),
+            LinkSpec::at(Position::new(2.0 * d, 0.0), Position::new(d, 0.0), config),
+        ])
+    }
+
+    /// The CCA-detectable control for [`hidden_pair`](Self::hidden_pair):
+    /// the same two links side by side (senders 1 m apart), so each sender
+    /// hears the other and defers instead of colliding.
+    pub fn exposed_pair(config: StackConfig) -> Self {
+        let d = config.distance.meters();
+        Scenario::new(vec![
+            LinkSpec::at(Position::new(0.0, 0.0), Position::new(d, 0.0), config),
+            LinkSpec::at(Position::new(0.0, 1.0), Position::new(d, 1.0), config),
+        ])
+    }
+
+    /// Returns the scenario with a different capture threshold.
+    pub fn with_capture_db(mut self, capture_db: f64) -> Self {
+        self.capture_db = capture_db;
+        self
+    }
+
+    /// Returns the scenario with a different carrier-sense threshold.
+    pub fn with_cca_threshold_dbm(mut self, dbm: f64) -> Self {
+        self.cca_threshold_dbm = dbm;
+        self
+    }
+
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True when the scenario has no links.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// True when any link joins late or leaves early.
+    pub fn has_churn(&self) -> bool {
+        self.links
+            .iter()
+            .any(|l| l.join_s.is_some() || l.leave_s.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StackConfig {
+        StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(11)
+            .payload_bytes(110)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn position_distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert_eq!(a.distance_m(&b), 5.0);
+        assert_eq!(b.distance_m(&a), 5.0);
+    }
+
+    #[test]
+    fn single_scenario_geometry_matches_config_distance() {
+        let s = Scenario::single(cfg());
+        assert_eq!(s.len(), 1);
+        assert!(!s.has_churn());
+        let l = &s.links[0];
+        assert!((l.sender.distance_m(&l.receiver) - 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hidden_pair_senders_cannot_reach_each_other_cheaply() {
+        let s = Scenario::hidden_pair(cfg());
+        assert_eq!(s.len(), 2);
+        let sep = s.links[0].sender.distance_m(&s.links[1].sender);
+        assert!((sep - 70.0).abs() < 1e-12);
+        // Both receivers sit in the middle, one link-distance from the
+        // foreign sender.
+        for (i, j) in [(0usize, 1usize), (1, 0)] {
+            let d = s.links[j].sender.distance_m(&s.links[i].receiver);
+            assert!((d - 35.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exposed_pair_senders_are_adjacent() {
+        let s = Scenario::exposed_pair(cfg());
+        let sep = s.links[0].sender.distance_m(&s.links[1].sender);
+        assert!((sep - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_stacks_links_on_y() {
+        let s = Scenario::parallel(&[cfg(), cfg(), cfg()], 2.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.links[2].sender.y_m, 4.0);
+        assert_eq!(s.links[2].receiver.y_m, 4.0);
+    }
+
+    #[test]
+    fn churn_builders_are_detected() {
+        let mut s = Scenario::single(cfg());
+        assert!(!s.has_churn());
+        s.links[0] = s.links[0].joining_at(5.0).leaving_at(30.0);
+        assert!(s.has_churn());
+        assert_eq!(s.links[0].join_s, Some(5.0));
+        assert_eq!(s.links[0].leave_s, Some(30.0));
+    }
+
+    #[test]
+    fn scenario_serde_round_trips() {
+        let s = Scenario::hidden_pair(cfg())
+            .with_capture_db(4.0)
+            .with_cca_threshold_dbm(-80.0);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.capture_db, 4.0);
+        assert_eq!(back.cca_threshold_dbm, -80.0);
+    }
+}

@@ -10,6 +10,17 @@
 //! ```sh
 //! cargo run --release --example interference_study
 //! ```
+//!
+//! This example exercises the **legacy probabilistic** interference path:
+//! `InterferenceModel` perturbs the single-link simulation statistically
+//! (CCA busy probability + per-frame corruption draws), which is the
+//! right model for interferers *outside* the simulation, such as Wi-Fi.
+//! For a CCA-detectable in-band 802.15.4 neighbour the interferer can
+//! instead be **promoted to an explicit link** on a shared channel —
+//! `scenario_from_interference` builds the equivalent two-link
+//! `Scenario`, where deferrals and collisions emerge from geometry and
+//! timing rather than from a fixed probability (see `repro scenario
+//! interference` and DESIGN.md §10).
 
 use wsn_linkconf::prelude::*;
 

@@ -1,0 +1,277 @@
+//! The N=1 equivalence contract of the shared-channel network simulator,
+//! plus the emergent multi-link behaviors it must exhibit.
+//!
+//! The contract (DESIGN.md §10): a one-link churn-free [`Scenario`] run
+//! through [`NetworkSimulation`] is *bit-for-bit identical* to the same
+//! configuration run through the direct [`LinkSimulation`] path — same
+//! RNG streams, same event order, same floats. The golden fixture test
+//! pins that contract to the committed `tests/golden/*.jsonl` snapshots;
+//! the proptest extends it to arbitrary valid configurations.
+
+use proptest::prelude::*;
+
+use wsn_linkconf::experiments::campaign::{Campaign, ConfigResult, Scale};
+use wsn_linkconf::prelude::*;
+
+/// The golden fixture's per-config options, reproduced through the
+/// network path: seed derivation must match `Campaign::options_with`
+/// (base factory at the campaign seed, config `i` derives index `i`).
+fn net_options_for(campaign: &Campaign, index: u64) -> NetOptions {
+    NetOptions {
+        packets: campaign.packets,
+        seed: RngFactory::new(campaign.seed).derive(index).seed(),
+        channel: campaign.channel,
+        traffic: campaign.traffic,
+        record_packets: false,
+        horizon: None,
+    }
+}
+
+/// The same 36-config mini-grid `tests/golden_metrics.rs` pins.
+fn golden_grid() -> ParamGrid {
+    ParamGrid {
+        distances_m: vec![10.0, 20.0, 35.0],
+        power_levels: vec![3, 11, 31],
+        max_tries: vec![1, 3],
+        retry_delays_ms: vec![0],
+        queue_caps: vec![30],
+        packet_intervals_ms: vec![50],
+        payloads: vec![50, 110],
+    }
+}
+
+fn golden_fixture(name: &str) -> Vec<ConfigResult> {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.jsonl"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()))
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("fixture line parses as ConfigResult"))
+        .collect()
+}
+
+/// Every golden-fixture configuration, replayed as a one-link scenario
+/// through the shared-channel network simulator, must reproduce the
+/// committed metrics exactly — the N=1 contract against a snapshot that
+/// predates the network module entirely.
+#[test]
+fn single_link_scenarios_reproduce_golden_fixtures() {
+    let configs: Vec<StackConfig> = golden_grid().iter().collect();
+    assert_eq!(configs.len(), 36);
+
+    let empirical = Campaign {
+        threads: 2,
+        ..Campaign::new(Scale::Bench)
+    };
+    let mut dsss_channel = ChannelConfig::paper_hallway();
+    dsss_channel.per_backend = PerBackend::Dsss(DsssPer);
+    let dsss = Campaign {
+        threads: 2,
+        ..Campaign::new(Scale::Bench).with_channel(dsss_channel)
+    };
+
+    for (name, campaign) in [("empirical", empirical), ("dsss", dsss)] {
+        let pinned = golden_fixture(name);
+        assert_eq!(pinned.len(), configs.len(), "{name}: fixture length");
+        for (i, (config, want)) in configs.iter().zip(&pinned).enumerate() {
+            let outcome = NetworkSimulation::new(
+                Scenario::single(*config),
+                net_options_for(&campaign, i as u64),
+            )
+            .run();
+            assert_eq!(outcome.links.len(), 1);
+            assert_eq!(
+                outcome.links[0].metrics, want.metrics,
+                "{name}: config #{i} ({config:?}) diverged from golden fixture"
+            );
+        }
+    }
+}
+
+/// A deterministic hidden-vs-exposed pair: the hidden geometry's loss
+/// must strictly exceed the CCA-detectable (exposed) case, because
+/// hidden senders never defer and collide inside the capture window.
+#[test]
+fn hidden_terminal_loss_exceeds_cca_detectable_loss() {
+    let config = StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(11)
+        .payload_bytes(110)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants");
+    let options = || NetOptions::quick(400).with_seed(0x5EED);
+
+    let hidden = NetworkSimulation::new(Scenario::hidden_pair(config), options()).run();
+    let exposed = NetworkSimulation::new(Scenario::exposed_pair(config), options()).run();
+
+    // Hidden senders are below each other's carrier-sense floor: CCA
+    // never fires, collisions happen on the air instead.
+    assert_eq!(hidden.air.cca_busy_hits, 0, "hidden senders must not defer");
+    assert!(
+        exposed.air.cca_busy_hits > 0,
+        "exposed senders must carrier-sense each other"
+    );
+    assert!(
+        hidden.air.overlapped_frames > exposed.air.overlapped_frames,
+        "hidden {} vs exposed {} overlapped frames",
+        hidden.air.overlapped_frames,
+        exposed.air.overlapped_frames
+    );
+    assert!(
+        hidden.plr_radio() > exposed.plr_radio(),
+        "hidden plr {} must strictly exceed exposed plr {}",
+        hidden.plr_radio(),
+        exposed.plr_radio()
+    );
+}
+
+/// Satellite 2 regression: a degenerate linear trajectory that starts
+/// and ends at the configured distance must be bit-for-bit identical to
+/// the stationary default — motion plumbing must not perturb a single
+/// draw when the geometry never changes.
+#[test]
+fn stationary_trajectory_matches_fixed_distance_bit_for_bit() {
+    let config = StackConfig::builder()
+        .distance_m(25.0)
+        .power_level(11)
+        .payload_bytes(80)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants");
+    let options = || NetOptions::quick(200).with_seed(0xDEAD_BEEF);
+
+    let still = NetworkSimulation::new(Scenario::single(config), options()).run();
+
+    let mut scenario = Scenario::single(config);
+    scenario.links[0].trajectory = Trajectory::Linear {
+        start_m: 25.0,
+        end_m: 25.0,
+        duration_s: 10.0,
+    };
+    let degenerate = NetworkSimulation::new(scenario, options()).run();
+
+    assert_eq!(still.links[0].metrics, degenerate.links[0].metrics);
+    assert_eq!(still.end_time, degenerate.end_time);
+
+    // And a trajectory that actually moves must diverge — the motion
+    // plumbing is live, not vacuously equal.
+    let mut moving = Scenario::single(config);
+    moving.links[0].trajectory = Trajectory::Linear {
+        start_m: 5.0,
+        end_m: 45.0,
+        duration_s: 10.0,
+    };
+    let walked = NetworkSimulation::new(moving, options()).run();
+    assert_ne!(still.links[0].metrics, walked.links[0].metrics);
+}
+
+/// Churn: a link that leaves mid-run generates strictly fewer packets
+/// than one that stays, and a link that joins late starts later.
+#[test]
+fn churn_bounds_generation_windows() {
+    let config = StackConfig::builder()
+        .distance_m(15.0)
+        .power_level(31)
+        .payload_bytes(50)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants");
+    let options = || {
+        NetOptions {
+            horizon: Some(SimDuration::from_secs(30)),
+            ..NetOptions::quick(100_000)
+        }
+        .with_seed(7)
+    };
+
+    let full = NetworkSimulation::new(Scenario::single(config), options()).run();
+
+    let mut leaving = Scenario::single(config);
+    leaving.links[0] = leaving.links[0].leaving_at(10.0);
+    let left = NetworkSimulation::new(leaving, options()).run();
+
+    assert!(
+        left.links[0].metrics.generated < full.links[0].metrics.generated,
+        "leaving at 10 s of 30 s must cut generation ({} vs {})",
+        left.links[0].metrics.generated,
+        full.links[0].metrics.generated
+    );
+
+    let mut joining = Scenario::single(config);
+    joining.links[0] = joining.links[0].joining_at(15.0);
+    let joined = NetworkSimulation::new(joining, options()).run();
+    assert!(
+        joined.links[0].metrics.generated < full.links[0].metrics.generated,
+        "joining at 15 s of 30 s must cut generation ({} vs {})",
+        joined.links[0].metrics.generated,
+        full.links[0].metrics.generated
+    );
+}
+
+fn arb_stack_config() -> impl Strategy<Value = StackConfig> {
+    (
+        (1u8..=31),
+        (1u8..=8),
+        prop::sample::select(vec![0u32, 30, 100]),
+        (1u16..=30),
+        prop::sample::select(vec![10u32, 30, 100, 500]),
+        (1u16..=114),
+        (5u32..=40),
+    )
+        .prop_map(|(power, tries, dretry, qmax, tpkt, payload, dist)| {
+            StackConfig::builder()
+                .distance_m(dist as f64)
+                .power_level(power)
+                .max_tries(tries)
+                .retry_delay_ms(dretry)
+                .queue_cap(qmax)
+                .packet_interval_ms(tpkt)
+                .payload_bytes(payload)
+                .build()
+                .expect("all components validated")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite 3: any one-link scenario produces `LinkMetrics`
+    /// identical to the direct link-sim path — every field, every bit.
+    #[test]
+    fn any_single_link_scenario_matches_direct_simulation(
+        config in arb_stack_config(),
+        seed in any::<u64>(),
+    ) {
+        let direct = LinkSimulation::new(config, SimOptions {
+            packets: 40,
+            seed,
+            channel: ChannelConfig::paper_hallway(),
+            traffic: TrafficModel::Periodic,
+            record_packets: false,
+            horizon: None,
+            trajectory: Trajectory::Stationary,
+        })
+        .run();
+
+        let net = NetworkSimulation::new(
+            Scenario::single(config),
+            NetOptions::quick(40).with_seed(seed),
+        )
+        .run();
+
+        prop_assert_eq!(net.links.len(), 1);
+        prop_assert_eq!(&net.links[0].metrics, direct.metrics());
+    }
+}
