@@ -11,6 +11,9 @@
 //! repro scenario [ID...]             run multi-link shared-channel scenarios
 //!                                    (all of them when no ID is given;
 //!                                    `repro scenario list` lists ids)
+//! repro serve [--addr HOST:PORT] [--threads N]
+//!                                    start the JSON-lines query service
+//!                                    (docs/SERVE.md; port 0 picks a free port)
 //! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
 //! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
 //! repro bench [--json PATH] [--quick-bench]
@@ -26,9 +29,13 @@
 //! files; re-running with `--resume` skips already-completed shards, so a
 //! killed multi-hour grid loses at most one shard of work.
 //!
-//! Exit codes: `0` success, `1` generic failure (bad flags, failed verify
-//! claims), `2` unknown experiment or scenario id, `3` I/O error.
+//! Every failure path funnels through one [`CliError`] enum, so the exit
+//! code mapping lives in exactly one place: `0` success, `1` generic
+//! failure (bad flags, failed verify claims), `2` unknown experiment or
+//! scenario id, `3` I/O error, `4` query-service failure (bind error or a
+//! fatal socket error in the accept loop).
 
+use std::fmt;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,11 +48,53 @@ use wsn_experiments::stream::{ProgressSink, SinkFn};
 use wsn_experiments::{all_experiments, run_experiment};
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
+use wsn_serve::{ServeError, Server, ServerConfig};
 
-/// Unknown experiment or scenario id.
-const EXIT_UNKNOWN_ID: u8 = 2;
-/// Filesystem failure while writing or reading results.
-const EXIT_IO: u8 = 3;
+/// Everything that can end a `repro` invocation unsuccessfully, with the
+/// exit-code policy in one match.
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags or arguments; the message is followed by usage text.
+    Usage(String),
+    /// A run that completed but failed (e.g. verify claims).
+    Failure(String),
+    /// Unknown experiment or scenario id.
+    UnknownId(String),
+    /// Filesystem failure while writing or reading results.
+    Io(String),
+    /// The query service could not bind or its socket died.
+    Serve(ServeError),
+}
+
+impl CliError {
+    /// The documented exit code for this failure class.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) | CliError::Failure(_) => 1,
+            CliError::UnknownId(_) => 2,
+            CliError::Io(_) => 3,
+            CliError::Serve(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n{}", usage()),
+            CliError::Failure(msg) => write!(f, "{msg}"),
+            CliError::UnknownId(msg) => write!(f, "{msg}"),
+            CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Serve(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
 
 fn usage() -> String {
     let ids: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
@@ -54,10 +103,11 @@ fn usage() -> String {
         .map(|(n, _)| *n)
         .collect();
     format!(
-        "usage: repro <all|list|campaign|scenario|verify|dataset|bench|ID...> \
-         [--full] [--out DIR] [--resume] [--shards N] [--json PATH] [--quick-bench]\n  \
+        "usage: repro <all|list|campaign|scenario|serve|verify|dataset|bench|ID...> \
+         [--full] [--out DIR] [--resume] [--shards N] [--json PATH] [--quick-bench] \
+         [--addr HOST:PORT] [--threads N]\n  \
          ids: {}\n  scenario ids: {}\n  \
-         exit codes: 0 ok, 1 failure, {EXIT_UNKNOWN_ID} unknown id, {EXIT_IO} I/O error",
+         exit codes: 0 ok, 1 failure, 2 unknown id, 3 I/O error, 4 serve error",
         ids.join(", "),
         scenario_ids.join(", ")
     )
@@ -109,7 +159,12 @@ impl GridSummary {
     }
 }
 
-fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -> ExitCode {
+fn run_campaign(
+    scale: Scale,
+    out: Option<&Path>,
+    resume: bool,
+    shards: usize,
+) -> Result<(), CliError> {
     let grid = ParamGrid::paper();
     eprintln!(
         "running the full Table I grid: {} configurations × {} packets …",
@@ -123,40 +178,29 @@ fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -
         if !resume {
             // A fresh run must not silently absorb stale checkpoints.
             if dir.exists() && dir.join("shard-0000.jsonl").exists() {
-                eprintln!(
+                return Err(CliError::Failure(format!(
                     "{} already holds shard files; pass --resume to continue that run \
                      or choose a fresh directory",
                     dir.display()
-                );
-                return ExitCode::FAILURE;
+                )));
             }
         }
         let configs: Vec<StackConfig> = grid.iter().collect();
-        let report = match run_sharded(&campaign, &configs, dir, shards) {
-            Ok(report) => report,
-            Err(e) => {
-                eprintln!("sharded campaign failed: {e}");
-                return ExitCode::from(EXIT_IO);
-            }
-        };
+        let report = run_sharded(&campaign, &configs, dir, shards)
+            .map_err(|e| CliError::Io(format!("sharded campaign failed: {e}")))?;
         eprintln!(
             "shards: {} total, {} resumed from checkpoint, {} configs simulated",
             report.shards_total, report.shards_skipped, report.configs_simulated
         );
-        let results = match read_shard_dir(dir) {
-            Ok(results) => results,
-            Err(e) => {
-                eprintln!("cannot read completed shards back: {e}");
-                return ExitCode::from(EXIT_IO);
-            }
-        };
+        let results = read_shard_dir(dir)
+            .map_err(|e| CliError::Io(format!("cannot read completed shards back: {e}")))?;
         let mut summary = GridSummary::default();
         for r in &results {
             summary.add(r);
         }
         summary.print(start.elapsed().as_secs_f64());
         println!("shard files: {}", dir.display());
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     // No output directory: stream results straight into the running
@@ -170,17 +214,21 @@ fn run_campaign(scale: Scale, out: Option<&Path>, resume: bool, shards: usize) -
         campaign.run_streamed(&configs, &mut progress);
     }
     summary.print(start.elapsed().as_secs_f64());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// `repro scenario [ID...]`: runs the named multi-link scenarios (all of
 /// them when none is given; `list` prints the catalogue).
-fn run_scenarios(requested: &[String], scale: Scale, out_dir: Option<&Path>) -> ExitCode {
+fn run_scenarios(
+    requested: &[String],
+    scale: Scale,
+    out_dir: Option<&Path>,
+) -> Result<(), CliError> {
     if requested.iter().any(|s| s == "list") {
         for (id, description) in wsn_experiments::scenarios::all_scenarios() {
             println!("{id}: {description}");
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
     let ids: Vec<String> = if requested.is_empty() {
         wsn_experiments::scenarios::all_scenarios()
@@ -192,39 +240,52 @@ fn run_scenarios(requested: &[String], scale: Scale, out_dir: Option<&Path>) -> 
     };
     for id in &ids {
         let start = Instant::now();
-        match wsn_experiments::scenarios::run_scenario(id, scale) {
-            Ok(report) => {
-                print!("{}", report.render());
-                println!(
-                    "[scenario {} completed in {:.1}s]\n",
-                    id,
-                    start.elapsed().as_secs_f64()
-                );
-                if let Some(dir) = out_dir {
-                    if let Err(e) = write_outputs(&dir.to_path_buf(), &report) {
-                        eprintln!("failed to write outputs for scenario {id}: {e}");
-                        return ExitCode::from(EXIT_IO);
-                    }
-                }
-                let _ = std::io::stdout().flush();
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::from(EXIT_UNKNOWN_ID);
-            }
+        let report =
+            wsn_experiments::scenarios::run_scenario(id, scale).map_err(CliError::UnknownId)?;
+        print!("{}", report.render());
+        println!(
+            "[scenario {} completed in {:.1}s]\n",
+            id,
+            start.elapsed().as_secs_f64()
+        );
+        if let Some(dir) = out_dir {
+            write_outputs(&dir.to_path_buf(), &report).map_err(|e| {
+                CliError::Io(format!("failed to write outputs for scenario {id}: {e}"))
+            })?;
         }
+        let _ = std::io::stdout().flush();
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// `repro serve`: binds the query service and runs it until a client sends
+/// `shutdown`. Prints the resolved address first so callers that bound
+/// port 0 can discover the real port.
+fn run_serve(addr: String, threads: usize) -> Result<(), CliError> {
+    let server = Server::bind(ServerConfig {
+        addr,
+        threads,
+        ..ServerConfig::default()
+    })?;
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "protocol: one JSON request per line (see docs/SERVE.md); op `shutdown` stops the server"
+    );
+    server.run()?;
+    eprintln!("server drained, bye");
+    Ok(())
+}
+
+fn run(args: Vec<String>) -> Result<(), CliError> {
     let mut scale = Scale::Quick;
     let mut out_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut shards = 16usize;
     let mut json_path: Option<PathBuf> = None;
     let mut quick_bench = false;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut threads = 0usize;
     let mut selections: Vec<String> = Vec::new();
 
     let mut iter = args.iter().peekable();
@@ -234,48 +295,50 @@ fn main() -> ExitCode {
             "--resume" => resume = true,
             "--shards" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => shards = n,
-                _ => {
-                    eprintln!("--shards needs a positive integer\n{}", usage());
-                    return ExitCode::FAILURE;
-                }
+                _ => return Err(CliError::Usage("--shards needs a positive integer".into())),
             },
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--out needs a directory\n{}", usage());
-                    return ExitCode::FAILURE;
-                }
+                None => return Err(CliError::Usage("--out needs a directory".into())),
             },
             "--json" => match iter.next() {
                 Some(path) => json_path = Some(PathBuf::from(path)),
-                None => {
-                    eprintln!("--json needs a file path\n{}", usage());
-                    return ExitCode::FAILURE;
-                }
+                None => return Err(CliError::Usage("--json needs a file path".into())),
+            },
+            "--addr" => match iter.next() {
+                Some(a) => addr = a.clone(),
+                None => return Err(CliError::Usage("--addr needs HOST:PORT".into())),
+            },
+            "--threads" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => threads = n,
+                None => return Err(CliError::Usage("--threads needs an integer".into())),
             },
             "--quick-bench" => quick_bench = true,
             "-h" | "--help" => {
                 println!("{}", usage());
-                return ExitCode::SUCCESS;
+                return Ok(());
             }
             other => selections.push(other.to_string()),
         }
     }
 
     if selections.is_empty() {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+        return Err(CliError::Usage("no command given".into()));
     }
 
     if let Some(pos) = selections.iter().position(|s| s == "scenario") {
         return run_scenarios(&selections[pos + 1..], scale, out_dir.as_deref());
     }
 
+    if selections.iter().any(|s| s == "serve") {
+        return run_serve(addr, threads);
+    }
+
     if selections.iter().any(|s| s == "list") {
         for (id, _) in all_experiments() {
             println!("{id}");
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     if selections.iter().any(|s| s == "bench") {
@@ -286,19 +349,18 @@ fn main() -> ExitCode {
         print!("{}", report.render());
         if let Some(path) = &json_path {
             let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
-            if let Err(e) = std::fs::write(path, json + "\n") {
-                eprintln!("cannot write {}: {e}", path.display());
-                return ExitCode::from(EXIT_IO);
-            }
+            std::fs::write(path, json + "\n")
+                .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
             println!("wrote {}", path.display());
         }
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
 
     if selections.iter().any(|s| s == "campaign") {
         if resume && out_dir.is_none() {
-            eprintln!("--resume needs --out DIR (that's where the checkpoints live)");
-            return ExitCode::FAILURE;
+            return Err(CliError::Usage(
+                "--resume needs --out DIR (that's where the checkpoints live)".into(),
+            ));
         }
         return run_campaign(scale, out_dir.as_deref(), resume, shards);
     }
@@ -313,38 +375,28 @@ fn main() -> ExitCode {
             .filter(|r| r[0] == "FAIL")
             .count();
         return if failed == 0 {
-            ExitCode::SUCCESS
+            Ok(())
         } else {
-            eprintln!("{failed} claim(s) failed");
-            ExitCode::FAILURE
+            Err(CliError::Failure(format!("{failed} claim(s) failed")))
         };
     }
 
     if selections.iter().any(|s| s == "dataset") {
         let Some(dir) = &out_dir else {
-            eprintln!("dataset export needs --out DIR");
-            return ExitCode::FAILURE;
+            return Err(CliError::Usage("dataset export needs --out DIR".into()));
         };
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {}: {e}", dir.display());
-            return ExitCode::from(EXIT_IO);
-        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("cannot create {}: {e}", dir.display())))?;
         let path = dir.join("trace.csv");
         let config = wsn_params::config::StackConfig::default();
         let options = wsn_link_sim::simulation::SimOptions {
             packets: scale.packets(),
             ..wsn_link_sim::simulation::SimOptions::quick(scale.packets())
         };
-        match wsn_experiments::dataset::export_to_file(config, options, &path) {
-            Ok(n) => {
-                println!("wrote {n} per-packet records to {}", path.display());
-                return ExitCode::SUCCESS;
-            }
-            Err(e) => {
-                eprintln!("dataset export failed: {e}");
-                return ExitCode::from(EXIT_IO);
-            }
-        }
+        let n = wsn_experiments::dataset::export_to_file(config, options, &path)
+            .map_err(|e| CliError::Io(format!("dataset export failed: {e}")))?;
+        println!("wrote {n} per-packet records to {}", path.display());
+        return Ok(());
     }
 
     let ids: Vec<String> = if selections.iter().any(|s| s == "all") {
@@ -358,28 +410,29 @@ fn main() -> ExitCode {
 
     for id in &ids {
         let start = Instant::now();
-        match run_experiment(id, scale) {
-            Ok(report) => {
-                print!("{}", report.render());
-                println!(
-                    "[{} completed in {:.1}s]\n",
-                    id,
-                    start.elapsed().as_secs_f64()
-                );
-                if let Some(dir) = &out_dir {
-                    if let Err(e) = write_outputs(dir, &report) {
-                        eprintln!("failed to write outputs for {id}: {e}");
-                        return ExitCode::from(EXIT_IO);
-                    }
-                }
-                let _ = std::io::stdout().flush();
-            }
-            Err(e) => {
-                // The only runner error is an unknown experiment id.
-                eprintln!("{e}");
-                return ExitCode::from(EXIT_UNKNOWN_ID);
-            }
+        // The only runner error is an unknown experiment id.
+        let report = run_experiment(id, scale).map_err(CliError::UnknownId)?;
+        print!("{}", report.render());
+        println!(
+            "[{} completed in {:.1}s]\n",
+            id,
+            start.elapsed().as_secs_f64()
+        );
+        if let Some(dir) = &out_dir {
+            write_outputs(dir, &report)
+                .map_err(|e| CliError::Io(format!("failed to write outputs for {id}: {e}")))?;
+        }
+        let _ = std::io::stdout().flush();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(e.exit_code())
         }
     }
-    ExitCode::SUCCESS
 }

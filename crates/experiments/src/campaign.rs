@@ -125,7 +125,7 @@ impl Campaign {
             traffic: self.traffic,
             record_packets: false,
             horizon: None,
-            trajectory: wsn_radio::trajectory::Trajectory::Stationary,
+            trajectory: wsn_params::motion::Trajectory::Stationary,
         }
     }
 

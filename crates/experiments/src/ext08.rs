@@ -10,7 +10,7 @@
 use wsn_link_sim::analysis::DeliverySequence;
 use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
 use wsn_params::config::StackConfig;
-use wsn_radio::trajectory::Trajectory;
+use wsn_params::motion::Trajectory;
 
 use crate::campaign::Scale;
 use crate::report::{fnum, Report, Table};

@@ -1,84 +1,26 @@
-//! Named multi-link scenarios (`repro scenario <id>`): the curated
-//! topologies the shared-channel network simulator ships with, plus a
-//! small fan-out runner that simulates several scenarios across worker
-//! threads the way [`Campaign`](crate::campaign::Campaign) fans out over
-//! grid configurations.
+//! Named multi-link scenarios (`repro scenario <id>`): report rendering
+//! and a small fan-out runner over the scenario catalog that ships with
+//! the network simulator, fanning work across worker threads the way
+//! [`Campaign`](crate::campaign::Campaign) fans out over grid
+//! configurations.
+//!
+//! The catalog itself ([`all_scenarios`]/[`build_scenario`]) moved to
+//! [`wsn_link_sim::catalog`] so non-harness consumers (the `wsn-serve`
+//! query service, library users) can resolve scenario ids too; this module
+//! re-exports it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use wsn_link_sim::network::{
-    scenario_from_interference, NetOptions, NetworkOutcome, NetworkSimulation,
-};
-use wsn_params::config::StackConfig;
-use wsn_params::scenario::Scenario;
-use wsn_radio::channel::ChannelConfig;
-use wsn_radio::interference::InterferenceModel;
+use wsn_link_sim::network::{NetOptions, NetworkOutcome, NetworkSimulation};
 
 use crate::campaign::Scale;
 use crate::report::{fnum, Report, Table};
 
+pub use wsn_link_sim::catalog::{all_scenarios, build_scenario};
+
 /// The campaign seed, shared with [`Campaign`](crate::campaign::Campaign).
 const SEED: u64 = 0x5EED;
-
-fn link_config(power: u8, distance_m: f64, payload: u16) -> StackConfig {
-    StackConfig::builder()
-        .distance_m(distance_m)
-        .power_level(power)
-        .payload_bytes(payload)
-        .max_tries(3)
-        .retry_delay_ms(0)
-        .queue_cap(30)
-        .packet_interval_ms(50)
-        .build()
-        .expect("valid constants")
-}
-
-/// All builtin scenarios: `(id, description)` pairs.
-pub fn all_scenarios() -> Vec<(&'static str, &'static str)> {
-    vec![
-        (
-            "single",
-            "one 35 m link — the N = 1 equivalence case (matches the single-link simulator bit-for-bit)",
-        ),
-        (
-            "hidden-pair",
-            "two senders 70 m apart, both receivers in the middle: CCA cannot see the rival, frames collide",
-        ),
-        (
-            "exposed-pair",
-            "the same two links side by side: senders carrier-sense each other and defer",
-        ),
-        (
-            "parallel-4",
-            "four 20 m links stacked 2 m apart — CCA-coupled contention without hidden terminals",
-        ),
-        (
-            "interference",
-            "a 20 m link plus a promoted in-network ZigBee interferer (10% duty) — the shared-channel form of the probabilistic model",
-        ),
-    ]
-}
-
-/// Builds a builtin scenario by id.
-pub fn build_scenario(id: &str) -> Option<Scenario> {
-    let contended = link_config(11, 35.0, 110);
-    match id {
-        "single" => Some(Scenario::single(contended)),
-        "hidden-pair" => Some(Scenario::hidden_pair(contended)),
-        "exposed-pair" => Some(Scenario::exposed_pair(contended)),
-        "parallel-4" => {
-            let c = link_config(31, 20.0, 50);
-            Some(Scenario::parallel(&[c, c, c, c], 2.0))
-        }
-        "interference" => scenario_from_interference(
-            link_config(31, 20.0, 110),
-            &InterferenceModel::zigbee_neighbor(0.1),
-            &ChannelConfig::paper_hallway(),
-        ),
-        _ => None,
-    }
-}
 
 /// Simulates one builtin scenario at `scale` packets per link.
 pub fn simulate(id: &str, scale: Scale) -> Option<NetworkOutcome> {

@@ -1,0 +1,92 @@
+//! The built-in multi-link scenario catalog: the named shared-channel
+//! topologies every front-end speaks — `repro scenario <id>`, the
+//! `wsn-serve` query service's `scenario` op, and the experiment reports.
+//!
+//! The catalog lives here (rather than in the experiment harness, where it
+//! started) so any consumer of the network simulator can resolve a
+//! scenario id without pulling in report rendering; `wsn-experiments`
+//! re-exports these functions for backwards compatibility.
+
+use wsn_params::config::StackConfig;
+use wsn_params::scenario::Scenario;
+use wsn_radio::channel::ChannelConfig;
+use wsn_radio::interference::InterferenceModel;
+
+use crate::network::scenario_from_interference;
+
+fn link_config(power: u8, distance_m: f64, payload: u16) -> StackConfig {
+    StackConfig::builder()
+        .distance_m(distance_m)
+        .power_level(power)
+        .payload_bytes(payload)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(50)
+        .build()
+        .expect("valid constants")
+}
+
+/// All builtin scenarios: `(id, description)` pairs.
+pub fn all_scenarios() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "single",
+            "one 35 m link — the N = 1 equivalence case (matches the single-link simulator bit-for-bit)",
+        ),
+        (
+            "hidden-pair",
+            "two senders 70 m apart, both receivers in the middle: CCA cannot see the rival, frames collide",
+        ),
+        (
+            "exposed-pair",
+            "the same two links side by side: senders carrier-sense each other and defer",
+        ),
+        (
+            "parallel-4",
+            "four 20 m links stacked 2 m apart — CCA-coupled contention without hidden terminals",
+        ),
+        (
+            "interference",
+            "a 20 m link plus a promoted in-network ZigBee interferer (10% duty) — the shared-channel form of the probabilistic model",
+        ),
+    ]
+}
+
+/// Builds a builtin scenario by id.
+pub fn build_scenario(id: &str) -> Option<Scenario> {
+    let contended = link_config(11, 35.0, 110);
+    match id {
+        "single" => Some(Scenario::single(contended)),
+        "hidden-pair" => Some(Scenario::hidden_pair(contended)),
+        "exposed-pair" => Some(Scenario::exposed_pair(contended)),
+        "parallel-4" => {
+            let c = link_config(31, 20.0, 50);
+            Some(Scenario::parallel(&[c, c, c, c], 2.0))
+        }
+        "interference" => scenario_from_interference(
+            link_config(31, 20.0, 110),
+            &InterferenceModel::zigbee_neighbor(0.1),
+            &ChannelConfig::paper_hallway(),
+        ),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cataloged_id_builds() {
+        for (id, _) in all_scenarios() {
+            let scenario = build_scenario(id).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(!scenario.is_empty(), "{id} has no links");
+        }
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(build_scenario("nope").is_none());
+    }
+}

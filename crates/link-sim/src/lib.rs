@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod catalog;
 mod link;
 pub mod metrics;
 pub mod network;
@@ -48,6 +49,7 @@ pub mod traffic;
 /// Convenient glob-import of the link simulator.
 pub mod prelude {
     pub use crate::analysis::{littles_law, DeliverySequence};
+    pub use crate::catalog::{all_scenarios, build_scenario};
     pub use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
     pub use crate::network::{
         scenario_from_interference, AirStats, LinkOutcome, NetOptions, NetworkOutcome,

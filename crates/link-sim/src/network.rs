@@ -24,6 +24,7 @@
 //! overlap for a lone link. `tests/network_equivalence.rs` pins this
 //! against the golden fixtures.
 
+use serde::{Deserialize, Serialize};
 use wsn_params::config::StackConfig;
 use wsn_params::scenario::Scenario;
 use wsn_params::types::Distance;
@@ -97,7 +98,7 @@ impl NetOptions {
 }
 
 /// Aggregate shared-air counters for one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AirStats {
     /// Data frames put on the air across all links.
     pub frames: u64,

@@ -10,9 +10,9 @@
 use std::sync::Arc;
 
 use wsn_params::config::StackConfig;
+use wsn_params::motion::Trajectory;
 use wsn_radio::budget::LinkBudgetTable;
 use wsn_radio::channel::{Channel, ChannelConfig};
-use wsn_radio::trajectory::Trajectory;
 use wsn_sim_engine::executor::{
     ExecStats, Executor, ExecutorObserver, Model, Scheduler, StopReason,
 };

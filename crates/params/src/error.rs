@@ -20,6 +20,8 @@ pub enum InvalidParam {
     PacketInterval(u32),
     /// Distance must be positive and finite (meters).
     Distance(f64),
+    /// A scenario needs at least one link.
+    EmptyScenario,
 }
 
 impl fmt::Display for InvalidParam {
@@ -42,6 +44,9 @@ impl fmt::Display for InvalidParam {
             }
             InvalidParam::Distance(v) => {
                 write!(f, "distance {v} m must be positive and finite")
+            }
+            InvalidParam::EmptyScenario => {
+                write!(f, "scenario needs at least one link")
             }
         }
     }

@@ -51,7 +51,7 @@ pub mod prelude {
     pub use crate::frame::FrameGeometry;
     pub use crate::grid::ParamGrid;
     pub use crate::motion::Trajectory;
-    pub use crate::scenario::{LinkSpec, Position, Scenario};
+    pub use crate::scenario::{LinkSpec, Position, Scenario, ScenarioBuilder};
     pub use crate::types::{
         Distance, MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap, RetryDelay,
     };

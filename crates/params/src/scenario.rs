@@ -22,6 +22,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::StackConfig;
+use crate::error::InvalidParam;
 use crate::motion::Trajectory;
 
 /// A node position on the scenario plane, meters.
@@ -133,6 +134,26 @@ impl Scenario {
     /// CC2420 CCA energy-detect threshold, dBm.
     pub const DEFAULT_CCA_THRESHOLD_DBM: f64 = -77.0;
 
+    /// Starts building a scenario, mirroring [`StackConfig::builder`] so
+    /// the single-link and network entry points read the same.
+    ///
+    /// ```
+    /// use wsn_params::config::StackConfig;
+    /// use wsn_params::scenario::{LinkSpec, Scenario};
+    ///
+    /// let cfg = StackConfig::default();
+    /// let scenario = Scenario::builder()
+    ///     .link(LinkSpec::along_x(cfg, 0.0))
+    ///     .link(LinkSpec::along_x(cfg, 2.0))
+    ///     .capture_db(4.0)
+    ///     .build()?;
+    /// assert_eq!(scenario.len(), 2);
+    /// # Ok::<(), wsn_params::error::InvalidParam>(())
+    /// ```
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
     /// A scenario from explicit link specs with the default capture and
     /// carrier-sense thresholds.
     pub fn new(links: Vec<LinkSpec>) -> Self {
@@ -217,6 +238,68 @@ impl Scenario {
     }
 }
 
+/// Builder for [`Scenario`] (C-BUILDER), the network-level mirror of
+/// [`StackConfigBuilder`](crate::config::StackConfigBuilder): setters take
+/// raw values and validation happens once at [`build`](ScenarioBuilder::build).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    links: Vec<LinkSpec>,
+    capture_db: f64,
+    cca_threshold_dbm: f64,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            links: Vec::new(),
+            capture_db: Scenario::DEFAULT_CAPTURE_DB,
+            cca_threshold_dbm: Scenario::DEFAULT_CCA_THRESHOLD_DBM,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Appends one link.
+    pub fn link(&mut self, spec: LinkSpec) -> &mut Self {
+        self.links.push(spec);
+        self
+    }
+
+    /// Appends every link of `specs`.
+    pub fn links<I: IntoIterator<Item = LinkSpec>>(&mut self, specs: I) -> &mut Self {
+        self.links.extend(specs);
+        self
+    }
+
+    /// Sets the SINR capture threshold, dB.
+    pub fn capture_db(&mut self, db: f64) -> &mut Self {
+        self.capture_db = db;
+        self
+    }
+
+    /// Sets the carrier-sense threshold, dBm.
+    pub fn cca_threshold_dbm(&mut self, dbm: f64) -> &mut Self {
+        self.cca_threshold_dbm = dbm;
+        self
+    }
+
+    /// Validates and produces the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParam::EmptyScenario`] when no link was added.
+    pub fn build(&self) -> Result<Scenario, InvalidParam> {
+        if self.links.is_empty() {
+            return Err(InvalidParam::EmptyScenario);
+        }
+        Ok(Scenario {
+            links: self.links.clone(),
+            capture_db: self.capture_db,
+            cca_threshold_dbm: self.cca_threshold_dbm,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +367,35 @@ mod tests {
         assert!(s.has_churn());
         assert_eq!(s.links[0].join_s, Some(5.0));
         assert_eq!(s.links[0].leave_s, Some(30.0));
+    }
+
+    #[test]
+    fn builder_mirrors_direct_construction() {
+        let built = Scenario::builder()
+            .links([LinkSpec::along_x(cfg(), 0.0), LinkSpec::along_x(cfg(), 2.0)])
+            .build()
+            .unwrap();
+        let direct = Scenario::new(vec![
+            LinkSpec::along_x(cfg(), 0.0),
+            LinkSpec::along_x(cfg(), 2.0),
+        ]);
+        assert_eq!(built, direct);
+    }
+
+    #[test]
+    fn builder_sets_thresholds_and_rejects_empty() {
+        let s = Scenario::builder()
+            .link(LinkSpec::along_x(cfg(), 0.0))
+            .capture_db(5.0)
+            .cca_threshold_dbm(-80.0)
+            .build()
+            .unwrap();
+        assert_eq!(s.capture_db, 5.0);
+        assert_eq!(s.cca_threshold_dbm, -80.0);
+        assert_eq!(
+            Scenario::builder().build().unwrap_err(),
+            InvalidParam::EmptyScenario
+        );
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub mod noise;
 pub mod pathloss;
 pub mod per;
 pub mod shadowing;
+#[deprecated(
+    since = "0.1.0",
+    note = "`Trajectory` moved to `wsn_params::motion`; import it from there"
+)]
 pub mod trajectory;
 
 /// Convenient glob-import of the radio substrate.
@@ -59,5 +63,5 @@ pub mod prelude {
     pub use crate::pathloss::PathLoss;
     pub use crate::per::{DsssPer, EmpiricalPer, PerBackend, PerModel};
     pub use crate::shadowing::{Shadowing, SigmaProfile};
-    pub use crate::trajectory::Trajectory;
+    pub use wsn_params::motion::Trajectory;
 }

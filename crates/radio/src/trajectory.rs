@@ -1,8 +1,10 @@
-//! Node mobility (re-export).
+//! Node mobility (deprecated re-export).
 //!
 //! [`Trajectory`] moved to `wsn-params::motion` so topology descriptions
 //! ([`wsn_params::scenario`]) can carry per-link motion without a
 //! dependency cycle; this module keeps the historical `wsn-radio` path
-//! working.
+//! compiling but is deprecated — import `wsn_params::motion::Trajectory`
+//! (or use the facade/radio preludes, which already re-export the new
+//! path). See CHANGELOG.md for the migration note.
 
 pub use wsn_params::motion::Trajectory;

@@ -1,0 +1,364 @@
+//! The execution engine: turns a parsed request body into a serialized
+//! `result` JSON string, consulting the sharded result cache first.
+//!
+//! The engine owns exactly the shared state every worker needs — one
+//! [`LinkBudgetTable`] (so concurrent simulations share the memoized
+//! link-budget arithmetic from the campaign runner), one [`Optimizer`],
+//! one [`ShardedCache`], one [`ServeStats`] — and no per-connection
+//! state, so a single `Arc<Engine>` fans out to the whole pool.
+//!
+//! Caching contract: the cache stores the *serialized result string*, and
+//! the envelope splices it in verbatim, so a repeat request returns a
+//! byte-identical `result` by construction — there is no re-serialization
+//! step that could reorder fields or reformat floats. Error results and
+//! live ops (`stats`, `shutdown`) are never cached.
+
+use std::sync::Arc;
+
+use wsn_link_sim::catalog::{all_scenarios, build_scenario};
+use wsn_link_sim::metrics::LinkMetrics;
+use wsn_link_sim::network::{AirStats, NetOptions, NetworkSimulation};
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+use wsn_link_sim::traffic::TrafficModel;
+use wsn_models::optimize::{Metric, Optimizer};
+use wsn_models::predict::Predicted;
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+use wsn_params::types::Distance;
+use wsn_radio::budget::LinkBudgetTable;
+use wsn_radio::channel::ChannelConfig;
+
+use serde::Serialize;
+
+use crate::cache::ShardedCache;
+use crate::protocol::{cache_key, metric_name, RequestBody};
+use crate::stats::ServeStats;
+
+/// The shared request executor.
+#[derive(Debug)]
+pub struct Engine {
+    /// Memoized link budgets shared by every worker's simulations.
+    budgets: Arc<LinkBudgetTable>,
+    /// The analytic optimizer/predictor (paper constants).
+    optimizer: Optimizer,
+    /// The result cache.
+    pub cache: ShardedCache,
+    /// Service counters.
+    pub stats: ServeStats,
+}
+
+/// How a request was answered: the serialized `result` body, and whether
+/// it came from the cache.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The serialized result JSON, shared with the cache.
+    pub body: Arc<String>,
+    /// True when served from the cache.
+    pub cached: bool,
+}
+
+#[derive(Serialize)]
+struct SimulateResult {
+    config: StackConfig,
+    packets: u64,
+    seed: u64,
+    metrics: LinkMetrics,
+}
+
+#[derive(Serialize)]
+struct PredictResult {
+    config: StackConfig,
+    predicted: Predicted,
+}
+
+#[derive(Serialize)]
+struct ConstraintEcho {
+    metric: String,
+    max: f64,
+}
+
+#[derive(Serialize)]
+struct TuneResult {
+    objective: String,
+    constraints: Vec<ConstraintEcho>,
+    grid_configs: u64,
+    config: StackConfig,
+    predicted: Predicted,
+}
+
+#[derive(Serialize)]
+struct ScenarioLinkResult {
+    config: StackConfig,
+    metrics: LinkMetrics,
+    frames_interfered: u64,
+    frames_capture_lost: u64,
+}
+
+#[derive(Serialize)]
+struct ScenarioResult {
+    scenario: String,
+    description: String,
+    packets: u64,
+    seed: u64,
+    links: Vec<ScenarioLinkResult>,
+    air: AirStats,
+    plr_radio: f64,
+    goodput_bps: f64,
+}
+
+impl Engine {
+    /// An engine on the paper's hallway channel with a `shards`-way result
+    /// cache.
+    pub fn new(shards: usize) -> Self {
+        Engine {
+            budgets: Arc::new(LinkBudgetTable::new(ChannelConfig::paper_hallway())),
+            optimizer: Optimizer::paper(),
+            cache: ShardedCache::new(shards),
+            stats: ServeStats::new(),
+        }
+    }
+
+    /// Executes `body`, serving from the cache when the canonical key has
+    /// been answered before.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error message for the client (`unknown scenario`,
+    /// `no feasible configuration`, …). Errors are never cached, so a
+    /// query that fails for transient semantic reasons (e.g. a tune that
+    /// becomes feasible after loosening a constraint) is recomputed.
+    pub fn execute(&self, body: &RequestBody) -> Result<Answer, String> {
+        let key = cache_key(body);
+        if let Some(key) = &key {
+            if let Some(hit) = self.cache.get(key) {
+                return Ok(Answer {
+                    body: hit,
+                    cached: true,
+                });
+            }
+        }
+        let body = Arc::new(self.compute(body)?);
+        if let Some(key) = key {
+            self.cache.insert(key, Arc::clone(&body));
+        }
+        Ok(Answer {
+            body,
+            cached: false,
+        })
+    }
+
+    fn compute(&self, body: &RequestBody) -> Result<String, String> {
+        match body {
+            RequestBody::Simulate {
+                config,
+                packets,
+                seed,
+            } => {
+                let options = SimOptions {
+                    packets: *packets,
+                    record_packets: false,
+                    traffic: TrafficModel::Periodic,
+                    ..SimOptions::paper(*seed)
+                };
+                let outcome = LinkSimulation::new(*config, options)
+                    .with_budget_table(Arc::clone(&self.budgets))
+                    .run();
+                serde_json::to_string(&SimulateResult {
+                    config: *config,
+                    packets: *packets,
+                    seed: *seed,
+                    metrics: outcome.metrics().clone(),
+                })
+                .map_err(|e| e.to_string())
+            }
+            RequestBody::Predict { config } => serde_json::to_string(&PredictResult {
+                config: *config,
+                predicted: self.optimizer.predictor.evaluate(config),
+            })
+            .map_err(|e| e.to_string()),
+            RequestBody::Tune {
+                objective,
+                constraints,
+                distance_m,
+            } => self.tune(*objective, constraints, *distance_m),
+            RequestBody::Scenario {
+                scenario,
+                packets,
+                seed,
+            } => self.scenario(scenario, *packets, *seed),
+            RequestBody::Stats => serde_json::to_string(&self.stats.snapshot(
+                self.cache.hits(),
+                self.cache.len(),
+                self.cache.evictions(),
+            ))
+            .map_err(|e| e.to_string()),
+            // The server answers shutdown itself; reaching here means a
+            // worker was handed one anyway — answer it honestly.
+            RequestBody::Shutdown => Ok("{\"shutting_down\":true}".to_string()),
+        }
+    }
+
+    fn tune(
+        &self,
+        objective: Metric,
+        constraints: &[(Metric, f64)],
+        distance_m: Option<f64>,
+    ) -> Result<String, String> {
+        let mut grid = ParamGrid::paper();
+        if let Some(d) = distance_m {
+            Distance::from_meters(d).map_err(|e| e.to_string())?;
+            grid.distances_m = vec![d];
+        }
+        let best = self
+            .optimizer
+            .epsilon_constraint(&grid, objective, constraints)
+            .ok_or_else(|| "no feasible configuration on the grid".to_string())?;
+        serde_json::to_string(&TuneResult {
+            objective: metric_name(objective).to_string(),
+            constraints: constraints
+                .iter()
+                .map(|(m, max)| ConstraintEcho {
+                    metric: metric_name(*m).to_string(),
+                    max: *max,
+                })
+                .collect(),
+            grid_configs: grid.len() as u64,
+            config: best.config,
+            predicted: best.predicted,
+        })
+        .map_err(|e| e.to_string())
+    }
+
+    fn scenario(&self, id: &str, packets: u64, seed: u64) -> Result<String, String> {
+        let scenario = build_scenario(id).ok_or_else(|| {
+            let known: Vec<&str> = all_scenarios().iter().map(|(n, _)| *n).collect();
+            format!("unknown scenario '{id}'; known: {}", known.join(", "))
+        })?;
+        let description = all_scenarios()
+            .iter()
+            .find(|(n, _)| *n == id)
+            .map(|(_, d)| *d)
+            .unwrap_or_default();
+        let options = NetOptions {
+            seed,
+            record_packets: false,
+            ..NetOptions::quick(packets)
+        };
+        let outcome = NetworkSimulation::new(scenario, options).run();
+        serde_json::to_string(&ScenarioResult {
+            scenario: id.to_string(),
+            description: description.to_string(),
+            packets,
+            seed,
+            plr_radio: outcome.plr_radio(),
+            goodput_bps: outcome.goodput_bps(),
+            links: outcome
+                .links
+                .into_iter()
+                .map(|link| ScenarioLinkResult {
+                    config: link.config,
+                    metrics: link.metrics,
+                    frames_interfered: link.frames_interfered,
+                    frames_capture_lost: link.frames_capture_lost,
+                })
+                .collect(),
+            air: outcome.air,
+        })
+        .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn body(line: &str) -> RequestBody {
+        parse_request(line).expect("valid request").body
+    }
+
+    #[test]
+    fn simulate_is_cached_and_byte_identical() {
+        let engine = Engine::new(4);
+        let req = body(r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0}}"#);
+        let first = engine.execute(&req).unwrap();
+        assert!(!first.cached);
+        let second = engine.execute(&req).unwrap();
+        assert!(second.cached);
+        assert_eq!(first.body.as_str(), second.body.as_str());
+        // The result parses and carries the echo fields.
+        let v = serde_json::parse(&first.body).unwrap();
+        assert_eq!(v.field("packets").as_u64(), Some(40));
+        assert_eq!(v.field("config").field("distance").as_f64(), Some(20.0));
+        assert!(v.field("metrics").field("generated").as_u64().unwrap() >= 40);
+    }
+
+    #[test]
+    fn predict_and_simulate_do_not_share_cache_lines() {
+        let engine = Engine::new(4);
+        let sim = body(r#"{"op":"simulate","packets":40}"#);
+        let prd = body(r#"{"op":"predict"}"#);
+        engine.execute(&sim).unwrap();
+        let answer = engine.execute(&prd).unwrap();
+        assert!(!answer.cached);
+        let v = serde_json::parse(&answer.body).unwrap();
+        assert!(
+            v.field("predicted")
+                .field("max_goodput_bps")
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn tune_respects_constraints_and_infeasible_is_an_error() {
+        let engine = Engine::new(4);
+        let req = body(
+            r#"{"op":"tune","objective":"goodput","constraints":[{"metric":"loss","max":0.01}],"distance_m":20.0}"#,
+        );
+        let answer = engine.execute(&req).unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        let predicted = v.field("predicted");
+        let plr_q = predicted.field("plr_queue").as_f64().unwrap();
+        let plr_r = predicted.field("plr_radio").as_f64().unwrap();
+        assert!(plr_q + (1.0 - plr_q) * plr_r <= 0.01);
+        assert_eq!(v.field("config").field("distance").as_f64(), Some(20.0));
+
+        let impossible = body(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":-1.0}]}"#,
+        );
+        let err = engine.execute(&impossible).unwrap_err();
+        assert!(err.contains("no feasible"));
+        // Errors are not cached: the same request recomputes.
+        assert!(engine.execute(&impossible).is_err());
+    }
+
+    #[test]
+    fn scenario_runs_and_unknown_id_lists_catalog() {
+        let engine = Engine::new(4);
+        let req = body(r#"{"op":"scenario","scenario":"hidden-pair","packets":40}"#);
+        let answer = engine.execute(&req).unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        assert_eq!(v.field("links").as_array().unwrap().len(), 2);
+        assert!(v.field("air").field("frames").as_u64().unwrap() > 0);
+
+        let err = engine
+            .execute(&body(r#"{"op":"scenario","scenario":"nope"}"#))
+            .unwrap_err();
+        assert!(err.contains("hidden-pair"));
+    }
+
+    #[test]
+    fn stats_reflect_cache_counters_and_are_never_cached() {
+        let engine = Engine::new(4);
+        let sim = body(r#"{"op":"simulate","packets":40}"#);
+        engine.execute(&sim).unwrap();
+        engine.execute(&sim).unwrap();
+        let stats = engine.execute(&body(r#"{"op":"stats"}"#)).unwrap();
+        assert!(!stats.cached);
+        let v = serde_json::parse(&stats.body).unwrap();
+        assert_eq!(v.field("cache_hits").as_u64(), Some(1));
+        assert_eq!(v.field("cache_entries").as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,530 @@
+//! # wsn-serve
+//!
+//! A concurrent link-configuration query service: a long-running TCP
+//! server speaking a JSON-lines protocol over the whole reproduction
+//! stack — the discrete-event simulator (`simulate`), the closed-form
+//! models of Eqs. 2–9 (`predict`), the epsilon-constraint optimizer
+//! (`tune`), and the multi-link scenario catalog (`scenario`) — plus
+//! `stats` and `shutdown` control ops.
+//!
+//! One request per line, one response line per request; responses echo
+//! the request's `id` so a client may pipeline. The protocol is specified
+//! in `docs/SERVE.md`; start a server with `repro serve --addr
+//! 127.0.0.1:0` or embed one:
+//!
+//! ```
+//! use std::io::{BufRead, BufReader, Write};
+//! use wsn_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?; // 127.0.0.1, OS port
+//! let addr = server.local_addr();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut client = std::net::TcpStream::connect(addr)?;
+//! writeln!(client, r#"{{"id":1,"op":"predict","config":{{"distance_m":20.0}}}}"#)?;
+//! let mut line = String::new();
+//! BufReader::new(client.try_clone()?).read_line(&mut line)?;
+//! assert!(line.contains("\"ok\":true"));
+//! writeln!(client, r#"{{"op":"shutdown"}}"#)?;
+//! handle.join().unwrap()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Architecture: an accept loop hands each connection a reader thread;
+//! readers parse and validate lines, then push jobs onto a bounded
+//! [`queue::JobQueue`] (blocking briefly for backpressure, answering
+//! "queue full" rather than buffering unboundedly). A fixed worker pool
+//! pops jobs, consults the sharded result [`cache`] keyed by the
+//! canonical bit pattern of every parameter, executes misses through the
+//! shared [`engine::Engine`], and writes the response line back through
+//! the connection's write lock. `shutdown` closes the queue: pending
+//! jobs still get answers, then everything drains and `run` returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod protocol;
+pub mod queue;
+pub mod stats;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::engine::Engine;
+use crate::protocol::{envelope_err, envelope_ok, parse_request, Request, RequestBody};
+use crate::queue::{JobQueue, PushError};
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Listen address, `host:port` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; 0 means available parallelism capped at 8.
+    pub threads: usize,
+    /// Most jobs the queue holds before backpressure kicks in.
+    pub queue_depth: usize,
+    /// Default per-request deadline, ms (overridable per request via
+    /// `deadline_ms`); measured from enqueue to the start of execution.
+    pub default_deadline_ms: u64,
+    /// Result-cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 0,
+            queue_depth: 256,
+            default_deadline_ms: 30_000,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// How long a full queue makes a pusher wait before refusing the job.
+const PUSH_PATIENCE: Duration = Duration::from_secs(2);
+
+/// Accept-loop and reader polling period while idle.
+const POLL: Duration = Duration::from_millis(25);
+
+/// What can go wrong starting or running a server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound.
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
+    /// A non-transient I/O failure on the listening socket.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServeError::Io(e) => write!(f, "server socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind { source, .. } => Some(source),
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+/// One client connection's write half, shared between its reader thread
+/// and every worker answering its requests.
+#[derive(Debug)]
+struct Conn {
+    writer: Mutex<TcpStream>,
+}
+
+impl Conn {
+    /// Writes one response line; a failed write means the client left,
+    /// which is their prerogative — the server stays up.
+    fn send_line(&self, line: &str) {
+        let mut writer = self.writer.lock().expect("connection writer");
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+    }
+}
+
+/// One unit of work for the pool.
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    conn: Arc<Conn>,
+    deadline: Instant,
+}
+
+/// A bound, not-yet-running query server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local: SocketAddr,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the configured address.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Bind`] when the address cannot be bound (in use,
+    /// unresolvable, privileged port…).
+    pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
+            addr: config.addr.clone(),
+            source,
+        })?;
+        let local = listener.local_addr().map_err(ServeError::Io)?;
+        Ok(Server {
+            listener,
+            local,
+            config,
+        })
+    }
+
+    /// The actually bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Runs the accept loop until a `shutdown` request drains the server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the listening socket itself fails;
+    /// per-connection errors never abort the server.
+    pub fn run(self) -> Result<(), ServeError> {
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
+        } else {
+            self.config.threads
+        };
+        let engine = Arc::new(Engine::new(self.config.cache_shards));
+        let queue: Arc<JobQueue<Job>> = Arc::new(JobQueue::new(self.config.queue_depth));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        self.listener
+            .set_nonblocking(true)
+            .map_err(ServeError::Io)?;
+
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let engine = Arc::clone(&engine);
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&engine, &queue, &shutdown)
+            }));
+        }
+
+        let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let engine = Arc::clone(&engine);
+                    let queue = Arc::clone(&queue);
+                    let shutdown = Arc::clone(&shutdown);
+                    let deadline_ms = self.config.default_deadline_ms;
+                    readers.push(std::thread::spawn(move || {
+                        connection_loop(stream, &engine, &queue, &shutdown, deadline_ms);
+                    }));
+                    readers.retain(|r| !r.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+
+        // Graceful drain: no new jobs, pending ones still answered.
+        queue.close();
+        for reader in readers {
+            let _ = reader.join();
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Pops jobs until the queue closes and drains, answering each one.
+fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool) {
+    while let Some(job) = queue.pop() {
+        let started = Instant::now();
+        let id = &job.request.id;
+        let op = job.request.op;
+
+        if started > job.deadline {
+            let overdue = started.duration_since(job.deadline).as_millis();
+            job.conn.send_line(&envelope_err(
+                id,
+                Some(op),
+                &format!("deadline exceeded: job spent its budget (+{overdue} ms) in the queue"),
+            ));
+            engine
+                .stats
+                .record(Some(op), false, started.elapsed().as_micros() as u64);
+            continue;
+        }
+
+        if matches!(job.request.body, RequestBody::Shutdown) {
+            job.conn.send_line(&envelope_ok(
+                id,
+                op,
+                false,
+                started.elapsed().as_micros() as u64,
+                "{\"shutting_down\":true}",
+            ));
+            engine
+                .stats
+                .record(Some(op), true, started.elapsed().as_micros() as u64);
+            shutdown.store(true, Ordering::SeqCst);
+            queue.close();
+            continue;
+        }
+
+        match engine.execute(&job.request.body) {
+            Ok(answer) => {
+                let service_us = started.elapsed().as_micros() as u64;
+                job.conn.send_line(&envelope_ok(
+                    id,
+                    op,
+                    answer.cached,
+                    service_us,
+                    &answer.body,
+                ));
+                engine.stats.record(Some(op), true, service_us);
+            }
+            Err(message) => {
+                let service_us = started.elapsed().as_micros() as u64;
+                job.conn.send_line(&envelope_err(id, Some(op), &message));
+                engine.stats.record(Some(op), false, service_us);
+            }
+        }
+    }
+}
+
+/// Outcome of reading one line off a connection.
+enum LineRead {
+    /// A complete line landed in the buffer.
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// Server-wide shutdown observed while idle.
+    Shutdown,
+    /// The line exceeded [`protocol::MAX_LINE_BYTES`].
+    Oversized,
+    /// The connection broke.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line, polling the shutdown flag on read
+/// timeouts and refusing lines longer than the protocol cap.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    shutdown: &AtomicBool,
+) -> LineRead {
+    buf.clear();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Timeouts only end an *idle* wait; mid-line we keep
+                // collecting so a slow writer is not cut off.
+                if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+                    return LineRead::Shutdown;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            return if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line // unterminated final line still counts
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return if buf.len() > protocol::MAX_LINE_BYTES {
+                    LineRead::Oversized
+                } else {
+                    LineRead::Line
+                };
+            }
+            None => {
+                let n = chunk.len();
+                buf.extend_from_slice(chunk);
+                reader.consume(n);
+                if buf.len() > protocol::MAX_LINE_BYTES {
+                    return LineRead::Oversized;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one client: reads lines, validates, enqueues; malformed input
+/// draws an error response, never a dead server.
+fn connection_loop(
+    stream: TcpStream,
+    engine: &Engine,
+    queue: &JobQueue<Job>,
+    shutdown: &AtomicBool,
+    default_deadline_ms: u64,
+) {
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let conn = Arc::new(Conn {
+        writer: Mutex::new(stream),
+    });
+    let mut reader = BufReader::new(read_half);
+    let mut buf: Vec<u8> = Vec::new();
+
+    loop {
+        match read_line_capped(&mut reader, &mut buf, shutdown) {
+            LineRead::Eof | LineRead::Shutdown | LineRead::Failed => return,
+            LineRead::Oversized => {
+                conn.send_line(&envelope_err(
+                    "null",
+                    None,
+                    &format!(
+                        "request line exceeds {} bytes; closing connection",
+                        protocol::MAX_LINE_BYTES
+                    ),
+                ));
+                engine.stats.record(None, false, 0);
+                // Absorb what the client already sent (bounded) before
+                // closing, so the error line is not clobbered by a reset.
+                let mut drained = 0usize;
+                while drained < (8 << 20) {
+                    match reader.fill_buf() {
+                        Ok([]) | Err(_) => break,
+                        Ok(chunk) => {
+                            let n = chunk.len();
+                            drained += n;
+                            reader.consume(n);
+                        }
+                    }
+                }
+                return;
+            }
+            LineRead::Line => {}
+        }
+        let line = String::from_utf8_lossy(&buf);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let started = Instant::now();
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err(rejection) => {
+                conn.send_line(&envelope_err(&rejection.id, None, &rejection.error));
+                engine
+                    .stats
+                    .record(None, false, started.elapsed().as_micros() as u64);
+                continue;
+            }
+        };
+        let budget_ms = request.deadline_ms.unwrap_or(default_deadline_ms);
+        let job = Job {
+            deadline: started + Duration::from_millis(budget_ms),
+            conn: Arc::clone(&conn),
+            request,
+        };
+        match queue.push(job, PUSH_PATIENCE) {
+            Ok(()) => {}
+            Err(PushError::Full(job)) => {
+                job.conn.send_line(&envelope_err(
+                    &job.request.id,
+                    Some(job.request.op),
+                    "server busy: request queue is full",
+                ));
+                engine.stats.record(
+                    Some(job.request.op),
+                    false,
+                    started.elapsed().as_micros() as u64,
+                );
+            }
+            Err(PushError::Closed(job)) => {
+                job.conn.send_line(&envelope_err(
+                    &job.request.id,
+                    Some(job.request.op),
+                    "server is shutting down",
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// Convenient glob-import of the serving layer.
+pub mod prelude {
+    pub use crate::engine::Engine;
+    pub use crate::protocol::{Op, Request, RequestBody};
+    pub use crate::stats::StatsSnapshot;
+    pub use crate::{ServeError, Server, ServerConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn request_line(client: &mut TcpStream, line: &str) -> String {
+        writeln!(client, "{line}").unwrap();
+        let mut response = String::new();
+        BufReader::new(client.try_clone().unwrap())
+            .read_line(&mut response)
+            .unwrap();
+        response
+    }
+
+    #[test]
+    fn bind_run_query_shutdown_roundtrip() {
+        let server = Server::bind(ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        let response = request_line(&mut client, r#"{"id":"q","op":"predict"}"#);
+        assert!(response.contains("\"ok\":true"), "{response}");
+        assert!(response.contains("\"id\":\"q\""), "{response}");
+
+        let response = request_line(&mut client, r#"{"id":2,"op":"shutdown"}"#);
+        assert!(response.contains("shutting_down"), "{response}");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bind_failure_is_a_typed_error() {
+        let err = Server::bind(ServerConfig {
+            addr: "256.0.0.1:1".to_string(),
+            ..ServerConfig::default()
+        })
+        .unwrap_err();
+        match err {
+            ServeError::Bind { addr, .. } => assert_eq!(addr, "256.0.0.1:1"),
+            other => panic!("expected Bind, got {other}"),
+        }
+    }
+}

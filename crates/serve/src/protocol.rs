@@ -1,0 +1,664 @@
+//! The JSON-lines wire protocol: request parsing, canonical cache keys,
+//! and response envelope rendering.
+//!
+//! One request per line, one response line per request. Requests are JSON
+//! objects with an `"op"` field naming the operation plus op-specific
+//! fields; responses echo the request's `"id"` (any string, number, or
+//! `null`) so clients with several requests in flight on one connection
+//! can route replies. The full schema lives in `docs/SERVE.md`.
+//!
+//! Parsing is strict: unknown top-level or config fields are rejected so a
+//! typo (`"payload_byte"`) fails loudly instead of silently simulating the
+//! default. The canonical [`cache_key`] is built from the exact bit
+//! patterns of every parameter (`f64::to_bits` for distances), so the
+//! result cache never conflates two requests that could differ in even the
+//! last ulp.
+
+use wsn_models::optimize::Metric;
+use wsn_params::config::StackConfig;
+
+use serde_json::Value;
+
+/// Longest accepted request line, bytes (1 MiB). Longer lines draw an
+/// error response and the connection is closed.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Most packets one `simulate`/`scenario` request may ask for — a single
+/// query is a question, not a campaign (the paper's full protocol is 4500
+/// packets per configuration; this leaves 20× headroom).
+pub const MAX_PACKETS: u64 = 100_000;
+
+/// Default packets per query, matching the harness's quick scale.
+pub const DEFAULT_PACKETS: u64 = 400;
+
+/// Default experiment seed, shared with the campaign runner.
+pub const DEFAULT_SEED: u64 = 0x5EED;
+
+/// The service's operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Run one configuration through the discrete-event link simulator.
+    Simulate,
+    /// Evaluate one configuration with the closed-form models (Eqs. 2–9).
+    Predict,
+    /// Constrained multi-objective search over the paper grid.
+    Tune,
+    /// Run a named multi-link scenario from the catalog.
+    Scenario,
+    /// Report service counters.
+    Stats,
+    /// Gracefully drain and stop the server.
+    Shutdown,
+}
+
+impl Op {
+    /// Number of operations (sizes the per-op counters).
+    pub const COUNT: usize = 6;
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Simulate => "simulate",
+            Op::Predict => "predict",
+            Op::Tune => "tune",
+            Op::Scenario => "scenario",
+            Op::Stats => "stats",
+            Op::Shutdown => "shutdown",
+        }
+    }
+
+    /// A dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Op::Simulate => 0,
+            Op::Predict => 1,
+            Op::Tune => 2,
+            Op::Scenario => 3,
+            Op::Stats => 4,
+            Op::Shutdown => 5,
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "simulate" => Op::Simulate,
+            "predict" => Op::Predict,
+            "tune" => Op::Tune,
+            "scenario" => Op::Scenario,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The client's `"id"` value, re-rendered as canonical JSON for the
+    /// response echo (`null` when absent).
+    pub id: String,
+    /// The operation.
+    pub op: Op,
+    /// Optional per-request deadline override, milliseconds from enqueue.
+    pub deadline_ms: Option<u64>,
+    /// The op-specific payload.
+    pub body: RequestBody,
+}
+
+/// Op-specific request payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// `simulate`: one configuration through the event-driven simulator.
+    Simulate {
+        /// The stack configuration (missing fields take the defaults).
+        config: StackConfig,
+        /// Packets to generate.
+        packets: u64,
+        /// Experiment seed.
+        seed: u64,
+    },
+    /// `predict`: closed-form evaluation.
+    Predict {
+        /// The stack configuration.
+        config: StackConfig,
+    },
+    /// `tune`: epsilon-constrained optimization over the paper grid.
+    Tune {
+        /// Metric to minimize (goodput internally maximized).
+        objective: Metric,
+        /// `metric ≤ max` feasibility constraints.
+        constraints: Vec<(Metric, f64)>,
+        /// Restrict the grid to one distance (meters).
+        distance_m: Option<f64>,
+    },
+    /// `scenario`: a named multi-link topology from the catalog.
+    Scenario {
+        /// Catalog id (`"hidden-pair"`, …).
+        scenario: String,
+        /// Packets per link.
+        packets: u64,
+        /// Experiment seed.
+        seed: u64,
+    },
+    /// `stats`: service counters.
+    Stats,
+    /// `shutdown`: graceful drain.
+    Shutdown,
+}
+
+/// A rejected request: the echoable id (always well-formed JSON) and the
+/// error message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rejection {
+    /// Canonical id echo (`null` when the id was absent or unreadable).
+    pub id: String,
+    /// What was wrong.
+    pub error: String,
+}
+
+impl Rejection {
+    fn anonymous(error: String) -> Self {
+        Rejection {
+            id: "null".to_string(),
+            error,
+        }
+    }
+}
+
+/// Renders a request `"id"` value back to canonical JSON for the echo.
+fn canonical_id(value: &Value) -> Result<String, String> {
+    match value {
+        Value::Null => Ok("null".to_string()),
+        Value::U64(x) => Ok(x.to_string()),
+        Value::I64(x) => Ok(x.to_string()),
+        Value::Str(s) => serde_json::to_string(s).map_err(|e| e.to_string()),
+        Value::F64(x) => serde_json::to_string(x).map_err(|e| e.to_string()),
+        other => Err(format!(
+            "id must be a string, number, or null, got {}",
+            other.kind()
+        )),
+    }
+}
+
+fn require_u64(value: &Value, what: &str) -> Result<u64, String> {
+    value.as_u64().ok_or_else(|| {
+        format!(
+            "{what} must be a non-negative integer, got {}",
+            value.kind()
+        )
+    })
+}
+
+fn require_f64(value: &Value, what: &str) -> Result<f64, String> {
+    value
+        .as_f64()
+        .ok_or_else(|| format!("{what} must be a number, got {}", value.kind()))
+}
+
+/// Builds a [`StackConfig`] from a request's `"config"` object. Missing
+/// fields keep the paper's defaults; unknown fields are rejected.
+fn parse_config(value: &Value) -> Result<StackConfig, String> {
+    let entries = value
+        .as_object()
+        .ok_or_else(|| format!("config must be an object, got {}", value.kind()))?;
+    let mut builder = StackConfig::builder();
+    for (key, field) in entries {
+        match key.as_str() {
+            "distance_m" => {
+                builder.distance_m(require_f64(field, "config.distance_m")?);
+            }
+            "power_level" => {
+                let raw = require_u64(field, "config.power_level")?;
+                builder.power_level(
+                    u8::try_from(raw)
+                        .map_err(|_| format!("config.power_level {raw} out of range"))?,
+                );
+            }
+            "max_tries" => {
+                let raw = require_u64(field, "config.max_tries")?;
+                builder.max_tries(
+                    u8::try_from(raw)
+                        .map_err(|_| format!("config.max_tries {raw} out of range"))?,
+                );
+            }
+            "retry_delay_ms" => {
+                let raw = require_u64(field, "config.retry_delay_ms")?;
+                builder.retry_delay_ms(
+                    u32::try_from(raw)
+                        .map_err(|_| format!("config.retry_delay_ms {raw} out of range"))?,
+                );
+            }
+            "queue_cap" => {
+                let raw = require_u64(field, "config.queue_cap")?;
+                builder.queue_cap(
+                    u16::try_from(raw)
+                        .map_err(|_| format!("config.queue_cap {raw} out of range"))?,
+                );
+            }
+            "packet_interval_ms" => {
+                let raw = require_u64(field, "config.packet_interval_ms")?;
+                builder.packet_interval_ms(
+                    u32::try_from(raw)
+                        .map_err(|_| format!("config.packet_interval_ms {raw} out of range"))?,
+                );
+            }
+            "payload_bytes" => {
+                let raw = require_u64(field, "config.payload_bytes")?;
+                builder.payload_bytes(
+                    u16::try_from(raw)
+                        .map_err(|_| format!("config.payload_bytes {raw} out of range"))?,
+                );
+            }
+            other => return Err(format!("unknown config field '{other}'")),
+        }
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn metric_from_name(name: &str) -> Result<Metric, String> {
+    Ok(match name {
+        "energy" => Metric::Energy,
+        "goodput" => Metric::Goodput,
+        "delay" => Metric::Delay,
+        "loss" => Metric::Loss,
+        other => {
+            return Err(format!(
+                "unknown metric '{other}'; known: energy, goodput, delay, loss"
+            ))
+        }
+    })
+}
+
+/// The wire name of a metric (for cache keys and result bodies).
+pub fn metric_name(metric: Metric) -> &'static str {
+    match metric {
+        Metric::Energy => "energy",
+        Metric::Goodput => "goodput",
+        Metric::Delay => "delay",
+        Metric::Loss => "loss",
+    }
+}
+
+fn parse_packets(value: Option<&Value>) -> Result<u64, String> {
+    let packets = match value {
+        Some(v) => require_u64(v, "packets")?,
+        None => DEFAULT_PACKETS,
+    };
+    if packets == 0 {
+        return Err("packets must be at least 1".to_string());
+    }
+    if packets > MAX_PACKETS {
+        return Err(format!(
+            "packets {packets} exceeds the per-request cap {MAX_PACKETS}"
+        ));
+    }
+    Ok(packets)
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`Rejection`] carrying the best-effort id echo and a message
+/// describing the first problem found.
+pub fn parse_request(line: &str) -> Result<Request, Rejection> {
+    let root =
+        serde_json::parse(line).map_err(|e| Rejection::anonymous(format!("invalid JSON: {e}")))?;
+    let entries = root.as_object().ok_or_else(|| {
+        Rejection::anonymous(format!("request must be an object, got {}", root.kind()))
+    })?;
+
+    let id = match canonical_id(root.field("id")) {
+        Ok(id) => id,
+        Err(e) => return Err(Rejection::anonymous(e)),
+    };
+    let reject = |error: String| Rejection {
+        id: id.clone(),
+        error,
+    };
+
+    let op_value = root.field("op");
+    let op_name = op_value
+        .as_str()
+        .ok_or_else(|| reject("missing or non-string 'op'".to_string()))?;
+    let op = Op::from_name(op_name).ok_or_else(|| {
+        reject(format!(
+            "unknown op '{op_name}'; known: simulate, predict, tune, scenario, stats, shutdown"
+        ))
+    })?;
+
+    let allowed: &[&str] = match op {
+        Op::Simulate => &["id", "op", "deadline_ms", "config", "packets", "seed"],
+        Op::Predict => &["id", "op", "deadline_ms", "config"],
+        Op::Tune => &[
+            "id",
+            "op",
+            "deadline_ms",
+            "objective",
+            "constraints",
+            "distance_m",
+        ],
+        Op::Scenario => &["id", "op", "deadline_ms", "scenario", "packets", "seed"],
+        Op::Stats | Op::Shutdown => &["id", "op", "deadline_ms"],
+    };
+    for (key, _) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(reject(format!("unknown field '{key}' for op '{op_name}'")));
+        }
+    }
+
+    let deadline_ms = match root.field("deadline_ms") {
+        Value::Null => None,
+        v => Some(require_u64(v, "deadline_ms").map_err(&reject)?),
+    };
+
+    let seed_of = |root: &Value| -> Result<u64, String> {
+        match root.field("seed") {
+            Value::Null => Ok(DEFAULT_SEED),
+            v => require_u64(v, "seed"),
+        }
+    };
+    let packets_field = match root.field("packets") {
+        Value::Null => None,
+        v => Some(v),
+    };
+
+    let body = match op {
+        Op::Simulate => RequestBody::Simulate {
+            config: match root.field("config") {
+                Value::Null => StackConfig::default(),
+                v => parse_config(v).map_err(&reject)?,
+            },
+            packets: parse_packets(packets_field).map_err(&reject)?,
+            seed: seed_of(&root).map_err(&reject)?,
+        },
+        Op::Predict => RequestBody::Predict {
+            config: match root.field("config") {
+                Value::Null => StackConfig::default(),
+                v => parse_config(v).map_err(&reject)?,
+            },
+        },
+        Op::Tune => {
+            let objective = root
+                .field("objective")
+                .as_str()
+                .ok_or_else(|| reject("tune needs a string 'objective'".to_string()))
+                .and_then(|name| metric_from_name(name).map_err(&reject))?;
+            let mut constraints = Vec::new();
+            match root.field("constraints") {
+                Value::Null => {}
+                v => {
+                    let items = v
+                        .as_array()
+                        .ok_or_else(|| reject("constraints must be an array".to_string()))?;
+                    for item in items {
+                        let metric = item
+                            .field("metric")
+                            .as_str()
+                            .ok_or_else(|| {
+                                reject("each constraint needs a string 'metric'".to_string())
+                            })
+                            .and_then(|name| metric_from_name(name).map_err(&reject))?;
+                        let max =
+                            require_f64(item.field("max"), "constraint max").map_err(&reject)?;
+                        constraints.push((metric, max));
+                    }
+                }
+            }
+            let distance_m = match root.field("distance_m") {
+                Value::Null => None,
+                v => Some(require_f64(v, "distance_m").map_err(&reject)?),
+            };
+            RequestBody::Tune {
+                objective,
+                constraints,
+                distance_m,
+            }
+        }
+        Op::Scenario => RequestBody::Scenario {
+            scenario: root
+                .field("scenario")
+                .as_str()
+                .ok_or_else(|| reject("scenario op needs a string 'scenario' id".to_string()))?
+                .to_string(),
+            packets: parse_packets(packets_field).map_err(&reject)?,
+            seed: seed_of(&root).map_err(&reject)?,
+        },
+        Op::Stats => RequestBody::Stats,
+        Op::Shutdown => RequestBody::Shutdown,
+    };
+
+    Ok(Request {
+        id,
+        op,
+        deadline_ms,
+        body,
+    })
+}
+
+/// The canonical bit-exact key of a configuration: `f64::to_bits` for the
+/// distance, raw integers for everything else.
+fn config_bits(config: &StackConfig) -> String {
+    format!(
+        "d:{:016x},p:{},t:{},r:{},q:{},i:{},l:{}",
+        config.distance.meters().to_bits(),
+        config.power.level(),
+        config.max_tries.get(),
+        config.retry_delay.millis(),
+        config.queue_cap.get(),
+        config.packet_interval.millis(),
+        config.payload.bytes()
+    )
+}
+
+/// The canonical cache key of a request body, or `None` for ops whose
+/// answers are live (`stats`, `shutdown`).
+pub fn cache_key(body: &RequestBody) -> Option<String> {
+    match body {
+        RequestBody::Simulate {
+            config,
+            packets,
+            seed,
+        } => Some(format!(
+            "sim|{}|n:{packets}|s:{seed:016x}",
+            config_bits(config)
+        )),
+        RequestBody::Predict { config } => Some(format!("prd|{}", config_bits(config))),
+        RequestBody::Tune {
+            objective,
+            constraints,
+            distance_m,
+        } => {
+            let mut key = format!("tun|o:{}", metric_name(*objective));
+            for (metric, max) in constraints {
+                key.push_str(&format!(
+                    "|c:{}<={:016x}",
+                    metric_name(*metric),
+                    max.to_bits()
+                ));
+            }
+            match distance_m {
+                Some(d) => key.push_str(&format!("|d:{:016x}", d.to_bits())),
+                None => key.push_str("|d:-"),
+            }
+            Some(key)
+        }
+        RequestBody::Scenario {
+            scenario,
+            packets,
+            seed,
+        } => Some(format!("scn|{scenario}|n:{packets}|s:{seed:016x}")),
+        RequestBody::Stats | RequestBody::Shutdown => None,
+    }
+}
+
+/// Renders a success envelope. `result` is spliced verbatim, so a cached
+/// body reproduces the original response byte-for-byte (only `cached` and
+/// `service_us` may differ between the first and repeat responses).
+pub fn envelope_ok(id: &str, op: Op, cached: bool, service_us: u64, result: &str) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"{}\",\"ok\":true,\"cached\":{cached},\"service_us\":{service_us},\"result\":{result}}}",
+        op.name()
+    )
+}
+
+/// Renders an error envelope.
+pub fn envelope_err(id: &str, op: Option<Op>, error: &str) -> String {
+    let op_name = op.map(Op::name).unwrap_or("unknown");
+    let message = serde_json::to_string(&error).unwrap_or_else(|_| "\"error\"".to_string());
+    format!("{{\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"error\":{message}}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_request_parses_with_defaults() {
+        let req = parse_request(r#"{"op":"simulate"}"#).unwrap();
+        assert_eq!(req.op, Op::Simulate);
+        assert_eq!(req.id, "null");
+        match req.body {
+            RequestBody::Simulate {
+                config,
+                packets,
+                seed,
+            } => {
+                assert_eq!(config, StackConfig::default());
+                assert_eq!(packets, DEFAULT_PACKETS);
+                assert_eq!(seed, DEFAULT_SEED);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_fields_and_id_are_honored() {
+        let req = parse_request(
+            r#"{"id":7,"op":"simulate","config":{"distance_m":20.0,"power_level":31,"payload_bytes":50},"packets":100,"seed":1}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, "7");
+        match req.body {
+            RequestBody::Simulate {
+                config,
+                packets,
+                seed,
+            } => {
+                assert_eq!(config.distance.meters(), 20.0);
+                assert_eq!(config.power.level(), 31);
+                assert_eq!(config.payload.bytes(), 50);
+                assert_eq!(packets, 100);
+                assert_eq!(seed, 1);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_fields_and_ops_are_rejected_with_id_echo() {
+        let rej = parse_request(r#"{"id":"x","op":"simulate","packet":5}"#).unwrap_err();
+        assert_eq!(rej.id, "\"x\"");
+        assert!(
+            rej.error.contains("unknown field 'packet'"),
+            "{}",
+            rej.error
+        );
+
+        let rej = parse_request(r#"{"id":3,"op":"simulify"}"#).unwrap_err();
+        assert_eq!(rej.id, "3");
+        assert!(rej.error.contains("unknown op"));
+
+        let rej = parse_request("not json at all").unwrap_err();
+        assert_eq!(rej.id, "null");
+        assert!(rej.error.contains("invalid JSON"));
+    }
+
+    #[test]
+    fn invalid_parameter_values_surface_the_domain_error() {
+        let rej = parse_request(r#"{"op":"predict","config":{"power_level":0}}"#).unwrap_err();
+        assert!(rej.error.contains("CC2420"), "{}", rej.error);
+        let rej =
+            parse_request(r#"{"op":"simulate","config":{"payload_bytes":4000}}"#).unwrap_err();
+        assert!(rej.error.contains("outside"), "{}", rej.error);
+        let rej =
+            parse_request(r#"{"op":"simulate","config":{"payload_bytes":70000}}"#).unwrap_err();
+        assert!(rej.error.contains("out of range"), "{}", rej.error);
+        let rej = parse_request(r#"{"op":"simulate","packets":0}"#).unwrap_err();
+        assert!(rej.error.contains("at least 1"));
+        let rej = parse_request(&format!(
+            r#"{{"op":"simulate","packets":{}}}"#,
+            MAX_PACKETS + 1
+        ))
+        .unwrap_err();
+        assert!(rej.error.contains("cap"));
+    }
+
+    #[test]
+    fn tune_request_parses_objective_and_constraints() {
+        let req = parse_request(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.01}],"distance_m":20.0}"#,
+        )
+        .unwrap();
+        match req.body {
+            RequestBody::Tune {
+                objective,
+                constraints,
+                distance_m,
+            } => {
+                assert_eq!(objective, Metric::Energy);
+                assert_eq!(constraints, vec![(Metric::Loss, 0.01)]);
+                assert_eq!(distance_m, Some(20.0));
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cache_keys_distinguish_bitwise_different_requests() {
+        let base = parse_request(r#"{"op":"simulate"}"#).unwrap();
+        let same = parse_request(r#"{"id":99,"op":"simulate"}"#).unwrap();
+        // The id is routing metadata, not part of the question.
+        assert_eq!(cache_key(&base.body), cache_key(&same.body));
+
+        let different =
+            parse_request(r#"{"op":"simulate","config":{"distance_m":34.999999999999996}}"#)
+                .unwrap();
+        assert_ne!(cache_key(&base.body), cache_key(&different.body));
+
+        let stats = parse_request(r#"{"op":"stats"}"#).unwrap();
+        assert_eq!(cache_key(&stats.body), None);
+    }
+
+    #[test]
+    fn envelopes_are_valid_json() {
+        let ok = envelope_ok("42", Op::Simulate, true, 17, "{\"x\":1}");
+        let v = serde_json::parse(&ok).unwrap();
+        assert_eq!(v.field("ok").as_bool(), Some(true));
+        assert_eq!(v.field("cached").as_bool(), Some(true));
+        assert_eq!(v.field("id").as_u64(), Some(42));
+        assert_eq!(v.field("result").field("x").as_u64(), Some(1));
+
+        let err = envelope_err("null", None, "bad \"quoted\" thing\n");
+        let v = serde_json::parse(&err).unwrap();
+        assert_eq!(v.field("ok").as_bool(), Some(false));
+        assert!(v.field("error").as_str().unwrap().contains("quoted"));
+    }
+
+    #[test]
+    fn scenario_request_requires_id_string() {
+        let req =
+            parse_request(r#"{"op":"scenario","scenario":"hidden-pair","packets":60}"#).unwrap();
+        match req.body {
+            RequestBody::Scenario {
+                scenario, packets, ..
+            } => {
+                assert_eq!(scenario, "hidden-pair");
+                assert_eq!(packets, 60);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+        assert!(parse_request(r#"{"op":"scenario"}"#).is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Lock-free service counters and the log₂ service-time histogram behind
+//! the `stats` op.
+//!
+//! Every counter is a relaxed atomic — workers never take a lock to record
+//! a request. Service times land in power-of-two microsecond buckets;
+//! quantiles are answered from the bucket boundaries, which is exact
+//! enough to tell "sub-millisecond cache hit" from "multi-millisecond
+//! simulation" (the contract the serving docs make).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::Op;
+
+/// Number of log₂ buckets: bucket `i` holds services in `[2^i, 2^(i+1))`
+/// microseconds; 40 buckets cover up to ~12.7 days.
+const BUCKETS: usize = 40;
+
+/// Live counters for one server instance.
+#[derive(Debug)]
+pub struct ServeStats {
+    started: Instant,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    by_op: [AtomicU64; Op::COUNT],
+    service_us: [AtomicU64; BUCKETS],
+    service_max_us: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh counters, starting the uptime clock now.
+    pub fn new() -> Self {
+        ServeStats {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            by_op: std::array::from_fn(|_| AtomicU64::new(0)),
+            service_us: std::array::from_fn(|_| AtomicU64::new(0)),
+            service_max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one completed request: its op, whether it failed, and how
+    /// long parse + execution took.
+    pub fn record(&self, op: Option<Op>, ok: bool, service_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(op) = op {
+            self.by_op[op.index()].fetch_add(1, Ordering::Relaxed);
+        }
+        let bucket = (63 - service_us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.service_us[bucket].fetch_add(1, Ordering::Relaxed);
+        self.service_max_us.fetch_max(service_us, Ordering::Relaxed);
+    }
+
+    /// The quantile `q` (0..=1) of recorded service times, microseconds:
+    /// the upper bound of the bucket where the cumulative count crosses
+    /// `q × total`. Returns 0 with no samples.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .service_us
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// A serializable snapshot of every counter.
+    pub fn snapshot(
+        &self,
+        cache_hits: u64,
+        cache_entries: usize,
+        cache_evictions: u64,
+    ) -> StatsSnapshot {
+        StatsSnapshot {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits,
+            cache_entries: cache_entries as u64,
+            cache_evictions,
+            by_op: OpCounts {
+                simulate: self.by_op[Op::Simulate.index()].load(Ordering::Relaxed),
+                predict: self.by_op[Op::Predict.index()].load(Ordering::Relaxed),
+                tune: self.by_op[Op::Tune.index()].load(Ordering::Relaxed),
+                scenario: self.by_op[Op::Scenario.index()].load(Ordering::Relaxed),
+                stats: self.by_op[Op::Stats.index()].load(Ordering::Relaxed),
+                shutdown: self.by_op[Op::Shutdown.index()].load(Ordering::Relaxed),
+            },
+            service_us: ServiceQuantiles {
+                p50: self.quantile_us(0.50),
+                p99: self.quantile_us(0.99),
+                max: self.service_max_us.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats::new()
+    }
+}
+
+/// Requests handled per op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// `simulate` requests.
+    pub simulate: u64,
+    /// `predict` requests.
+    pub predict: u64,
+    /// `tune` requests.
+    pub tune: u64,
+    /// `scenario` requests.
+    pub scenario: u64,
+    /// `stats` requests.
+    pub stats: u64,
+    /// `shutdown` requests.
+    pub shutdown: u64,
+}
+
+/// Bucket-boundary service-time quantiles, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceQuantiles {
+    /// Median (upper bucket bound).
+    pub p50: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+/// What the `stats` op returns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Requests handled (including failed ones).
+    pub requests: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache entries currently resident.
+    pub cache_entries: u64,
+    /// Result-cache shard clears (epoch evictions).
+    pub cache_evictions: u64,
+    /// Per-op request counts.
+    pub by_op: OpCounts,
+    /// Service-time distribution (parse + execute, per request).
+    pub service_us: ServiceQuantiles,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_split_fast_and_slow() {
+        let stats = ServeStats::new();
+        // One sub-millisecond hit, one multi-millisecond simulation.
+        stats.record(Some(Op::Simulate), true, 300);
+        stats.record(Some(Op::Simulate), true, 8_000);
+        let snap = stats.snapshot(1, 1, 0);
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.by_op.simulate, 2);
+        assert!(snap.service_us.p50 < 1_000, "p50 {}", snap.service_us.p50);
+        assert!(snap.service_us.p99 >= 8_000);
+        assert_eq!(snap.service_us.max, 8_000);
+    }
+
+    #[test]
+    fn errors_and_zero_service_are_counted() {
+        let stats = ServeStats::new();
+        stats.record(None, false, 0);
+        let snap = stats.snapshot(0, 0, 0);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.errors, 1);
+        // 0 µs clamps into the first bucket rather than panicking.
+        assert!(snap.service_us.p50 >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let snap = ServeStats::new().snapshot(0, 0, 0);
+        assert_eq!(snap.service_us.p50, 0);
+        assert_eq!(snap.service_us.p99, 0);
+    }
+}

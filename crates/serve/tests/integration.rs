@@ -1,0 +1,356 @@
+//! End-to-end tests of the query service over real TCP sockets: routing
+//! under concurrency, byte-identical caching, robustness against hostile
+//! input, deadlines, and graceful shutdown.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use wsn_serve::{Server, ServerConfig};
+
+/// Starts a server on an ephemeral port and returns its address plus the
+/// handle that joins `run()`.
+fn start(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), wsn_serve::ServeError>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..config
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// One request → one response over a fresh connection.
+fn roundtrip(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    request_on(&mut stream, line)
+}
+
+/// One request → one response on an existing connection.
+fn request_on(stream: &mut TcpStream, line: &str) -> String {
+    writeln!(stream, "{line}").expect("send request");
+    read_response(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> String {
+    let mut response = String::new();
+    BufReader::new(stream.try_clone().expect("clone stream"))
+        .read_line(&mut response)
+        .expect("read response");
+    response.trim_end().to_string()
+}
+
+/// Tells two servers' tests apart in the kernel's eyes: every test here
+/// shuts its server down so no thread outlives the test.
+fn shutdown(addr: SocketAddr, handle: std::thread::JoinHandle<Result<(), wsn_serve::ServeError>>) {
+    let response = roundtrip(addr, r#"{"op":"shutdown"}"#);
+    assert!(response.contains("shutting_down"), "{response}");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+/// The `result` portion of an envelope — the part the byte-identity
+/// contract covers (`cached`/`service_us` legitimately differ).
+fn result_part(envelope: &str) -> &str {
+    let idx = envelope.find("\"result\":").expect("has result");
+    &envelope[idx..]
+}
+
+#[test]
+fn ten_concurrent_clients_get_correctly_routed_responses() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 4,
+        ..ServerConfig::default()
+    });
+
+    const CLIENTS: usize = 10;
+    const REQUESTS: usize = 5;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                // Pipeline everything, then read all responses: exercises
+                // out-of-order execution with in-order-agnostic routing.
+                for r in 0..REQUESTS {
+                    let distance = 10.0 + c as f64;
+                    writeln!(
+                        stream,
+                        r#"{{"id":"c{c}-r{r}","op":"predict","config":{{"distance_m":{distance},"power_level":{power}}}}}"#,
+                        power = 3 + 4 * (r % 8),
+                    )
+                    .expect("send");
+                }
+                let mut reader = BufReader::new(stream);
+                let mut got = Vec::new();
+                for _ in 0..REQUESTS {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).expect("read");
+                    got.push(line.trim_end().to_string());
+                }
+                (c, got)
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        let (c, responses) = worker.join().expect("client thread");
+        assert_eq!(responses.len(), REQUESTS, "client {c} dropped responses");
+        // Responses may complete out of order (that is what the id echo is
+        // for), but every id this client sent must come back exactly once,
+        // carrying this client's distance — nothing leaked across
+        // connections.
+        for r in 0..REQUESTS {
+            let id = format!("\"id\":\"c{c}-r{r}\"");
+            let matching: Vec<&String> =
+                responses.iter().filter(|resp| resp.contains(&id)).collect();
+            assert_eq!(
+                matching.len(),
+                1,
+                "client {c} expected exactly one response for {id}: {responses:?}"
+            );
+            let response = matching[0];
+            assert!(response.contains("\"ok\":true"), "{response}");
+            let expected_distance = format!("\"distance\":{:.1}", 10.0 + c as f64);
+            assert!(
+                response.contains(&expected_distance),
+                "client {c} expected {expected_distance} in {response}"
+            );
+        }
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn repeated_request_is_cached_and_byte_identical_across_connections() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let request =
+        r#"{"id":1,"op":"simulate","packets":60,"config":{"distance_m":25.0,"power_level":19}}"#;
+    let first = roundtrip(addr, request);
+    assert!(first.contains("\"cached\":false"), "{first}");
+
+    // A different connection, same canonical question.
+    let second = roundtrip(addr, request);
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(
+        result_part(&first),
+        result_part(&second),
+        "cached result must be byte-identical"
+    );
+
+    // The cache hit is answered in well under a millisecond.
+    let service_us: u64 = {
+        let tail = &second[second.find("\"service_us\":").unwrap() + 13..];
+        tail[..tail.find(',').unwrap()].parse().unwrap()
+    };
+    assert!(service_us < 1_000, "cache hit took {service_us} µs");
+
+    // And the stats op agrees about the hit.
+    let stats = roundtrip(addr, r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"cache_hits\":1"), "{stats}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn malformed_requests_draw_errors_but_never_kill_the_connection() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    for (bad, expect) in [
+        ("this is not json", "invalid JSON"),
+        (r#"{"id":9,"op":"simulify"}"#, "unknown op"),
+        (r#"{"id":9,"op":"simulate","packet":5}"#, "unknown field"),
+        (
+            r#"{"id":9,"op":"simulate","config":{"power_level":0}}"#,
+            "ok\":false",
+        ),
+        (r#"[1,2,3]"#, "must be an object"),
+        (
+            r#"{"id":9,"op":"tune","objective":"vibes"}"#,
+            "unknown metric",
+        ),
+        (
+            r#"{"id":9,"op":"scenario","scenario":"nope"}"#,
+            "known: single",
+        ),
+    ] {
+        let response = request_on(&mut stream, bad);
+        assert!(response.contains("\"ok\":false"), "{bad} → {response}");
+        assert!(response.contains(expect), "{bad} → {response}");
+    }
+
+    // After all that abuse, the same connection still answers real work.
+    let response = request_on(&mut stream, r#"{"id":"ok","op":"predict"}"#);
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(response.contains("\"id\":\"ok\""), "{response}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn oversized_line_closes_that_connection_but_not_the_server() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Just over the 1 MiB line cap, with no newline in sight.
+    let garbage = vec![b'x'; (1 << 20) + 8192];
+    stream.write_all(&garbage).expect("send garbage");
+    stream.write_all(b"\n").ok();
+
+    let mut response = String::new();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    reader
+        .read_line(&mut response)
+        .expect("read error response");
+    assert!(response.contains("\"ok\":false"), "{response}");
+    assert!(response.contains("exceeds"), "{response}");
+
+    // The server closed this connection afterwards …
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "connection should be closed after oversized line");
+
+    // … but keeps serving new ones.
+    let response = roundtrip(addr, r#"{"id":"still-up","op":"predict"}"#);
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn queued_past_its_deadline_draws_a_deadline_error() {
+    // One worker: a slow simulation in front guarantees the impatient
+    // request waits in the queue past its (zero) deadline.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    writeln!(
+        stream,
+        r#"{{"id":"slow","op":"simulate","packets":50000,"config":{{"distance_m":35.0,"power_level":3}}}}"#
+    )
+    .expect("send slow");
+    writeln!(
+        stream,
+        r#"{{"id":"impatient","op":"predict","deadline_ms":0}}"#
+    )
+    .expect("send impatient");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut slow = String::new();
+    reader.read_line(&mut slow).expect("slow response");
+    assert!(slow.contains("\"id\":\"slow\""), "{slow}");
+    assert!(slow.contains("\"ok\":true"), "{slow}");
+
+    let mut impatient = String::new();
+    reader
+        .read_line(&mut impatient)
+        .expect("impatient response");
+    assert!(impatient.contains("\"id\":\"impatient\""), "{impatient}");
+    assert!(impatient.contains("deadline exceeded"), "{impatient}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn tune_over_tcp_returns_a_feasible_optimum() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let response = roundtrip(
+        addr,
+        r#"{"id":"t","op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.01}],"distance_m":20.0}"#,
+    );
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(response.contains("\"objective\":\"energy\""), "{response}");
+    assert!(response.contains("\"distance\":20.0"), "{response}");
+
+    // Identical question again: served from cache, byte-identical result.
+    let again = roundtrip(
+        addr,
+        r#"{"id":"t2","op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.01}],"distance_m":20.0}"#,
+    );
+    assert!(again.contains("\"cached\":true"), "{again}");
+    assert_eq!(result_part(&response), result_part(&again));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn scenario_over_tcp_matches_the_catalog_topology() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let response = roundtrip(
+        addr,
+        r#"{"id":"s","op":"scenario","scenario":"hidden-pair","packets":60}"#,
+    );
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(
+        response.contains("\"scenario\":\"hidden-pair\""),
+        "{response}"
+    );
+    // Two links, and the shared-air accounting came along.
+    assert!(response.contains("\"frames\":"), "{response}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn pending_requests_are_answered_before_shutdown_completes() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    // A slow job, a queued fast job, then shutdown — all three answered.
+    writeln!(stream, r#"{{"id":"a","op":"simulate","packets":20000}}"#).unwrap();
+    writeln!(stream, r#"{{"id":"b","op":"predict"}}"#).unwrap();
+    writeln!(stream, r#"{{"id":"c","op":"shutdown"}}"#).unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut seen = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        seen.push(line);
+    }
+    assert!(
+        seen[0].contains("\"id\":\"a\"") && seen[0].contains("\"ok\":true"),
+        "{:?}",
+        seen
+    );
+    assert!(
+        seen[1].contains("\"id\":\"b\"") && seen[1].contains("\"ok\":true"),
+        "{:?}",
+        seen
+    );
+    assert!(seen[2].contains("shutting_down"), "{:?}", seen);
+
+    handle.join().expect("server thread").expect("clean exit");
+}

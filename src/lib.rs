@@ -12,8 +12,11 @@
 //! * [`radio`] — CC2420 PHY model: path loss, shadowing, noise, PER, energy,
 //! * [`mac`] — unslotted CSMA-CA, ACK/retransmission, transmit queue,
 //! * [`link`] — the composed sender→receiver link simulator,
+//! * [`net`] — the multi-link shared-channel network API (scenarios,
+//!   network simulation, scenario catalog) as a first-class surface,
 //! * [`models`] — the paper's empirical models (Eqs. 2–9), curve fitting,
 //!   per-metric guidelines and multi-objective parameter optimization,
+//! * [`serve`] — the concurrent JSON-lines query service (`repro serve`),
 //! * [`experiments`] — the harness that regenerates every table and figure.
 //!
 //! ## Quickstart
@@ -36,6 +39,33 @@
 //! assert!(m.plr_total() <= 1.0);
 //! # Ok::<(), wsn_linkconf::params::error::InvalidParam>(())
 //! ```
+//!
+//! ## Multi-link scenarios
+//!
+//! The network surface mirrors the single-link one: a [`net::Scenario`]
+//! is built the same way a `StackConfig` is, then run through
+//! [`net::NetworkSimulation`]:
+//!
+//! ```
+//! use wsn_linkconf::net::{NetOptions, NetworkSimulation, Scenario};
+//! use wsn_linkconf::prelude::*;
+//!
+//! // Two crossing links 12 m apart, built with the scenario builder:
+//! let near = StackConfig::builder().distance_m(10.0).power_level(27).build()?;
+//! let far = StackConfig::builder().distance_m(20.0).power_level(31).build()?;
+//! let scenario = Scenario::builder()
+//!     .link(LinkSpec::at(Position::new(0.0, 0.0), Position::new(10.0, 0.0), near))
+//!     .link(LinkSpec::at(Position::new(0.0, 12.0), Position::new(20.0, 12.0), far))
+//!     .capture_db(3.0)
+//!     .build()?;
+//!
+//! let outcome = NetworkSimulation::new(scenario, NetOptions::quick(200)).run();
+//! assert_eq!(outcome.links.len(), 2);
+//! // Both links moved traffic over the shared air:
+//! assert!(outcome.goodput_bps() > 0.0);
+//! assert!(outcome.air.frames > 0);
+//! # Ok::<(), wsn_linkconf::params::error::InvalidParam>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +76,22 @@ pub use wsn_mac as mac;
 pub use wsn_models as models;
 pub use wsn_params as params;
 pub use wsn_radio as radio;
+pub use wsn_serve as serve;
 pub use wsn_sim_engine as sim;
+
+/// The multi-link network API, promoted to a first-class surface: scenario
+/// description and building ([`Scenario`], [`LinkSpec`], [`Position`]),
+/// the shared-channel simulator ([`NetworkSimulation`]), its outcome types
+/// ([`NetworkOutcome`], [`LinkOutcome`], [`AirStats`]), and the named
+/// scenario catalog ([`all_scenarios`], [`build_scenario`]).
+pub mod net {
+    pub use wsn_link_sim::catalog::{all_scenarios, build_scenario};
+    pub use wsn_link_sim::network::{
+        scenario_from_interference, AirStats, LinkOutcome, NetOptions, NetworkOutcome,
+        NetworkSimulation,
+    };
+    pub use wsn_params::scenario::{LinkSpec, Position, Scenario, ScenarioBuilder};
+}
 
 /// One-stop import for applications built on the library.
 pub mod prelude {
@@ -55,5 +100,6 @@ pub mod prelude {
     pub use wsn_models::prelude::*;
     pub use wsn_params::prelude::*;
     pub use wsn_radio::prelude::*;
+    pub use wsn_serve::prelude::*;
     pub use wsn_sim_engine::prelude::*;
 }
