@@ -4,16 +4,21 @@
 //! repro all [--full] [--out DIR]     run every experiment
 //! repro <id> [...]                   run selected experiments (fig06 table04 …)
 //! repro list                         list experiment ids
-//! repro campaign [--full] [--out DIR [--resume]] [--shards N]
+//! repro campaign [--full] [--out DIR [--resume]] [--shards N] [--log PATH]
 //!                                    run the whole ~48k-configuration grid,
 //!                                    streaming results + live progress;
-//!                                    with --out, checkpoint JSONL shards
+//!                                    with --out, checkpoint JSONL shards;
+//!                                    with --log, append structured JSONL
+//!                                    progress/checkpoint events to PATH
 //! repro scenario [ID...]             run multi-link shared-channel scenarios
 //!                                    (all of them when no ID is given;
 //!                                    `repro scenario list` lists ids)
-//! repro serve [--addr HOST:PORT] [--threads N]
+//! repro serve [--addr HOST:PORT] [--threads N] [--access-log PATH] [--slow-ms N]
 //!                                    start the JSON-lines query service
-//!                                    (docs/SERVE.md; port 0 picks a free port)
+//!                                    (docs/SERVE.md; port 0 picks a free port;
+//!                                    --access-log appends one JSONL record per
+//!                                    request, --slow-ms sets the slow-request
+//!                                    warning threshold, 0 disables it)
 //! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
 //! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
 //! repro bench [--json PATH] [--quick-bench]
@@ -43,9 +48,10 @@ use std::time::Instant;
 
 use wsn_experiments::campaign::{Campaign, ConfigResult, Scale};
 use wsn_experiments::report::Report;
-use wsn_experiments::shards::{read_shard_dir, run_sharded};
-use wsn_experiments::stream::{ProgressSink, SinkFn};
+use wsn_experiments::shards::{read_shard_dir, run_sharded_logged};
+use wsn_experiments::stream::{EventLogSink, ProgressSink, SinkFn};
 use wsn_experiments::{all_experiments, run_experiment};
+use wsn_obs::log::EventLog;
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 use wsn_serve::{ServeError, Server, ServerConfig};
@@ -104,8 +110,9 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: repro <all|list|campaign|scenario|serve|verify|dataset|bench|ID...> \
-         [--full] [--out DIR] [--resume] [--shards N] [--json PATH] [--quick-bench] \
-         [--addr HOST:PORT] [--threads N]\n  \
+         [--full] [--out DIR] [--resume] [--shards N] [--log PATH] [--json PATH] \
+         [--quick-bench] [--addr HOST:PORT] [--threads N] [--access-log PATH] \
+         [--slow-ms N]\n  \
          ids: {}\n  scenario ids: {}\n  \
          exit codes: 0 ok, 1 failure, 2 unknown id, 3 I/O error, 4 serve error",
         ids.join(", "),
@@ -164,6 +171,7 @@ fn run_campaign(
     out: Option<&Path>,
     resume: bool,
     shards: usize,
+    log: &EventLog,
 ) -> Result<(), CliError> {
     let grid = ParamGrid::paper();
     eprintln!(
@@ -186,7 +194,7 @@ fn run_campaign(
             }
         }
         let configs: Vec<StackConfig> = grid.iter().collect();
-        let report = run_sharded(&campaign, &configs, dir, shards)
+        let report = run_sharded_logged(&campaign, &configs, dir, shards, log)
             .map_err(|e| CliError::Io(format!("sharded campaign failed: {e}")))?;
         eprintln!(
             "shards: {} total, {} resumed from checkpoint, {} configs simulated",
@@ -210,7 +218,8 @@ fn run_campaign(
     {
         let every = (configs.len() / 100).max(1);
         let tally = SinkFn::new(|_i: usize, r: &ConfigResult| summary.add(r));
-        let mut progress = ProgressSink::new(tally, std::io::stderr(), configs.len(), every);
+        let logged = EventLogSink::new(tally, log, configs.len(), every);
+        let mut progress = ProgressSink::new(logged, std::io::stderr(), configs.len(), every);
         campaign.run_streamed(&configs, &mut progress);
     }
     summary.print(start.elapsed().as_secs_f64());
@@ -261,10 +270,17 @@ fn run_scenarios(
 /// `repro serve`: binds the query service and runs it until a client sends
 /// `shutdown`. Prints the resolved address first so callers that bound
 /// port 0 can discover the real port.
-fn run_serve(addr: String, threads: usize) -> Result<(), CliError> {
+fn run_serve(
+    addr: String,
+    threads: usize,
+    access_log: Option<PathBuf>,
+    slow_request_ms: u64,
+) -> Result<(), CliError> {
     let server = Server::bind(ServerConfig {
         addr,
         threads,
+        access_log,
+        slow_request_ms,
         ..ServerConfig::default()
     })?;
     println!("listening on {}", server.local_addr());
@@ -286,6 +302,9 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     let mut quick_bench = false;
     let mut addr = "127.0.0.1:7878".to_string();
     let mut threads = 0usize;
+    let mut log_path: Option<PathBuf> = None;
+    let mut access_log: Option<PathBuf> = None;
+    let mut slow_request_ms = 1_000u64;
     let mut selections: Vec<String> = Vec::new();
 
     let mut iter = args.iter().peekable();
@@ -313,6 +332,22 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
                 Some(n) => threads = n,
                 None => return Err(CliError::Usage("--threads needs an integer".into())),
             },
+            "--log" => match iter.next() {
+                Some(path) => log_path = Some(PathBuf::from(path)),
+                None => return Err(CliError::Usage("--log needs a file path".into())),
+            },
+            "--access-log" => match iter.next() {
+                Some(path) => access_log = Some(PathBuf::from(path)),
+                None => return Err(CliError::Usage("--access-log needs a file path".into())),
+            },
+            "--slow-ms" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => slow_request_ms = n,
+                None => {
+                    return Err(CliError::Usage(
+                        "--slow-ms needs an integer (milliseconds; 0 disables)".into(),
+                    ))
+                }
+            },
             "--quick-bench" => quick_bench = true,
             "-h" | "--help" => {
                 println!("{}", usage());
@@ -331,7 +366,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     }
 
     if selections.iter().any(|s| s == "serve") {
-        return run_serve(addr, threads);
+        return run_serve(addr, threads, access_log, slow_request_ms);
     }
 
     if selections.iter().any(|s| s == "list") {
@@ -362,7 +397,12 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
                 "--resume needs --out DIR (that's where the checkpoints live)".into(),
             ));
         }
-        return run_campaign(scale, out_dir.as_deref(), resume, shards);
+        let log = match &log_path {
+            Some(path) => EventLog::to_file(path)
+                .map_err(|e| CliError::Io(format!("cannot open {}: {e}", path.display())))?,
+            None => EventLog::disabled(),
+        };
+        return run_campaign(scale, out_dir.as_deref(), resume, shards, &log);
     }
 
     if selections.iter().any(|s| s == "verify") {

@@ -22,6 +22,9 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use wsn_obs::hist::LogLinearHistogram;
+use wsn_obs::log::EventLog;
+use wsn_obs::span::Span;
 use wsn_params::config::StackConfig;
 
 use crate::campaign::{Campaign, ConfigResult};
@@ -117,6 +120,26 @@ pub fn run_sharded(
     dir: &Path,
     shards: usize,
 ) -> Result<ShardReport, ShardError> {
+    run_sharded_logged(campaign, configs, dir, shards, &EventLog::disabled())
+}
+
+/// [`run_sharded`] with structured JSONL checkpoint events: one
+/// `shard_skipped` / `shard_complete` per shard (with its measured
+/// wall-clock) and a closing `sharded_run_complete` summarizing shard
+/// duration quantiles — the events a babysitting script tails to watch a
+/// multi-hour grid without parsing progress lines.
+///
+/// # Errors
+///
+/// Same contract as [`run_sharded`]; log-write failures never fail the
+/// run.
+pub fn run_sharded_logged(
+    campaign: &Campaign,
+    configs: &[StackConfig],
+    dir: &Path,
+    shards: usize,
+    log: &EventLog,
+) -> Result<ShardReport, ShardError> {
     fs::create_dir_all(dir).map_err(|e| ShardError::Io(dir.to_path_buf(), e))?;
     let spans = shard_spans(configs.len(), shards);
     let mut report = ShardReport {
@@ -125,6 +148,7 @@ pub fn run_sharded(
         shards_skipped: 0,
         configs_simulated: 0,
     };
+    let shard_us = LogLinearHistogram::new();
     for (shard, &(start, len)) in spans.iter().enumerate() {
         let tmp = tmp_path(dir, shard);
         if tmp.exists() {
@@ -133,12 +157,31 @@ pub fn run_sharded(
         let done = shard_path(dir, shard);
         if done.exists() {
             report.shards_skipped += 1;
+            log.info("shard_skipped")
+                .u64("shard", shard as u64)
+                .u64("configs", len as u64)
+                .emit();
             continue;
         }
+        let timer = Span::start(&shard_us);
         write_shard(campaign, &configs[start..start + len], start, &tmp)?;
         fs::rename(&tmp, &done).map_err(|e| ShardError::Io(done.clone(), e))?;
+        let elapsed_us = timer.finish();
         report.configs_simulated += len;
+        log.info("shard_complete")
+            .u64("shard", shard as u64)
+            .u64("configs", len as u64)
+            .u64("elapsed_us", elapsed_us)
+            .str("file", &shard_file_name(shard))
+            .emit();
     }
+    log.info("sharded_run_complete")
+        .u64("shards_total", report.shards_total as u64)
+        .u64("shards_skipped", report.shards_skipped as u64)
+        .u64("configs_simulated", report.configs_simulated as u64)
+        .u64("shard_p50_us", shard_us.quantile(0.5))
+        .u64("shard_max_us", shard_us.max())
+        .emit();
     Ok(report)
 }
 
@@ -332,6 +375,43 @@ mod tests {
 
         fs::remove_dir_all(&dir_a).unwrap();
         fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn logged_run_emits_shard_lifecycle_events() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let campaign = bench_campaign();
+        let configs = tiny_configs();
+        let dir = temp_dir("logged");
+
+        let buf = Buf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()), wsn_obs::log::Level::Info);
+        run_sharded_logged(&campaign, &configs, &dir, 2, &log).unwrap();
+        // Resume over a finished directory: every shard reported as skipped.
+        run_sharded_logged(&campaign, &configs, &dir, 2, &log).unwrap();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let count = |needle: &str| text.lines().filter(|l| l.contains(needle)).count();
+        assert_eq!(count("\"event\":\"shard_complete\""), 2, "{text}");
+        assert_eq!(count("\"event\":\"shard_skipped\""), 2, "{text}");
+        assert_eq!(count("\"event\":\"sharded_run_complete\""), 2, "{text}");
+        assert!(text.contains("\"file\":\"shard-0000.jsonl\""), "{text}");
+        assert!(text.contains("\"shards_skipped\":2"), "{text}");
+
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -166,6 +166,76 @@ impl<S: CampaignSink, W: Write> CampaignSink for ProgressSink<S, W> {
     }
 }
 
+/// Decorator sink that emits structured `campaign_progress` JSONL events
+/// through a [`wsn_obs::log::EventLog`] while forwarding every result to
+/// an inner sink — the machine-readable sibling of [`ProgressSink`]'s
+/// terminal line, sharing one log file (and one event vocabulary) with
+/// the serve access log and the shard runner.
+pub struct EventLogSink<'a, S> {
+    inner: S,
+    log: &'a wsn_obs::log::EventLog,
+    total: usize,
+    done: usize,
+    report_every: usize,
+    started: Instant,
+}
+
+impl<'a, S: CampaignSink> EventLogSink<'a, S> {
+    /// Wraps `inner`, logging progress over `total` configurations every
+    /// `report_every` results (clamped to ≥ 1).
+    pub fn new(
+        inner: S,
+        log: &'a wsn_obs::log::EventLog,
+        total: usize,
+        report_every: usize,
+    ) -> Self {
+        EventLogSink {
+            inner,
+            log,
+            total,
+            done: 0,
+            report_every: report_every.max(1),
+            started: Instant::now(),
+        }
+    }
+
+    /// Consumes the decorator, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    fn emit(&self, event: &str) {
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            self.done as f64 / elapsed
+        } else {
+            0.0
+        };
+        self.log
+            .info(event)
+            .u64("done", self.done as u64)
+            .u64("total", self.total as u64)
+            .f64("rate_per_s", rate)
+            .f64("elapsed_s", elapsed)
+            .emit();
+    }
+}
+
+impl<S: CampaignSink> CampaignSink for EventLogSink<'_, S> {
+    fn on_result(&mut self, index: usize, result: &ConfigResult) {
+        self.inner.on_result(index, result);
+        self.done += 1;
+        if self.done.is_multiple_of(self.report_every) {
+            self.emit("campaign_progress");
+        }
+    }
+
+    fn on_complete(&mut self, total: usize) {
+        self.emit("campaign_complete");
+        self.inner.on_complete(total);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +271,44 @@ mod tests {
             sink.on_result(1, &r);
         }
         assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn event_log_sink_emits_progress_and_completion() {
+        use std::io;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl io::Write for Buf {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let r = result();
+        let buf = Buf::default();
+        let log =
+            wsn_obs::log::EventLog::to_writer(Box::new(buf.clone()), wsn_obs::log::Level::Info);
+        let mut sink = EventLogSink::new(CollectSink::new(), &log, 4, 2);
+        for i in 0..4 {
+            sink.on_result(i, &r);
+        }
+        sink.on_complete(4);
+        assert_eq!(sink.into_inner().into_results().len(), 4);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let progress_lines = text
+            .lines()
+            .filter(|l| l.contains("\"event\":\"campaign_progress\""))
+            .count();
+        assert_eq!(progress_lines, 2, "every 2nd of 4 results: {text}");
+        assert!(text.contains("\"event\":\"campaign_complete\""), "{text}");
+        assert!(text.contains("\"done\":4,\"total\":4"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! A lock-free log-linear histogram with interpolated quantiles.
+//!
+//! Values (microseconds, byte counts, …) land in buckets laid out as
+//! log₂ octaves each split into [`SUB`] equal linear sub-buckets: the
+//! octave `[2^e, 2^(e+1))` is covered by 8 sub-buckets of width
+//! `2^(e-3)`. Values below 8 get exact unit buckets. Relative bucket
+//! width is therefore at most 12.5 % of the value — where a plain
+//! power-of-two histogram answers quantiles with up-to-2× error from the
+//! bucket's upper bound, this one answers within a few percent by
+//! linearly interpolating the rank position inside the bucket.
+//!
+//! Recording is one relaxed `fetch_add` on the bucket plus count/sum/max
+//! updates — no locks, safe from any number of threads. Quantile queries
+//! take a best-effort snapshot of the counters; under concurrent writes
+//! they are approximate in the same benign way any atomic histogram is.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave (2^3): the log-linear "linear" factor.
+pub const SUB: usize = 8;
+const SUB_BITS: u32 = 3;
+
+/// Octaves covered: values clamp at `2^40 - 1` (≈ 12.7 days in µs).
+const OCTAVES: u32 = 40;
+
+/// Total bucket count: 8 exact unit buckets below 8, then 8 sub-buckets
+/// for each of the octaves `[2^3, 2^40)`.
+pub const BUCKETS: usize = SUB + (OCTAVES as usize - SUB_BITS as usize) * SUB;
+
+/// The largest representable value; anything above clamps into the last
+/// bucket (and is still reflected exactly in [`LogLinearHistogram::max`]).
+pub const CLAMP_MAX: u64 = (1 << OCTAVES) - 1;
+
+/// Maps a value to its bucket index.
+fn bucket_index(value: u64) -> usize {
+    let v = value.min(CLAMP_MAX);
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // 2^e <= v < 2^(e+1), e >= 3
+    let sub = ((v >> (e - SUB_BITS)) - SUB as u64) as usize;
+    SUB + (e - SUB_BITS) as usize * SUB + sub
+}
+
+/// The `[lower, upper)` value range of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKETS, "bucket index {index} out of range");
+    if index < SUB {
+        return (index as u64, index as u64 + 1);
+    }
+    let octave = (index - SUB) / SUB;
+    let sub = (index - SUB) % SUB;
+    let e = SUB_BITS + octave as u32;
+    let width = 1u64 << (e - SUB_BITS);
+    let lower = (1u64 << e) + sub as u64 * width;
+    (lower, lower + width)
+}
+
+/// A fixed-size atomic log-linear histogram.
+#[derive(Debug)]
+pub struct LogLinearHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogLinearHistogram {
+            counts: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (for means).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean of recorded samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The quantile `q` (0..=1), linearly interpolated inside the bucket
+    /// where the cumulative count crosses `q × total`: the rank is placed
+    /// at its midpoint position within the bucket's samples, so a single
+    /// sample reports its bucket midpoint and uniform data reports
+    /// near-exact quantiles. Returns 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if cumulative + count >= rank {
+                let (lower, upper) = bucket_bounds(i);
+                let position = (rank - cumulative) as f64 - 0.5;
+                let width = (upper - lower) as f64;
+                return lower + (width * position / count as f64).floor().max(0.0) as u64;
+            }
+            cumulative += count;
+        }
+        self.max() // unreachable unless counters raced; max is a safe answer
+    }
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        LogLinearHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_pinned() {
+        // Unit buckets below 8.
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v + 1));
+        }
+        // First octave [8,16): still width-1 buckets, contiguous indices.
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_bounds(15), (15, 16));
+        // [16,32): width-2 sub-buckets.
+        assert_eq!(bucket_index(16), 16);
+        assert_eq!(bucket_index(17), 16);
+        assert_eq!(bucket_index(18), 17);
+        assert_eq!(bucket_bounds(16), (16, 18));
+        // [256,512): width-32 sub-buckets; 500 lands in [480,512).
+        assert_eq!(bucket_bounds(bucket_index(500)), (480, 512));
+        // [1024,2048): width-128.
+        assert_eq!(bucket_bounds(bucket_index(1024)), (1024, 1152));
+        assert_eq!(bucket_bounds(bucket_index(2047)), (1920, 2048));
+        // The top bucket holds the clamp value.
+        assert_eq!(bucket_index(CLAMP_MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let (lower, upper) = bucket_bounds(BUCKETS - 1);
+        assert!(lower <= CLAMP_MAX && CLAMP_MAX < upper);
+    }
+
+    #[test]
+    fn buckets_partition_contiguously() {
+        // Every bucket's upper bound is the next bucket's lower bound.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1, bucket_bounds(i + 1).0, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn relative_width_is_bounded() {
+        for i in SUB..BUCKETS {
+            let (lower, upper) = bucket_bounds(i);
+            assert!(
+                (upper - lower) as f64 / lower as f64 <= 0.125 + 1e-9,
+                "bucket {i}: [{lower},{upper})"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolated_quantiles_of_uniform_data_are_near_exact() {
+        let hist = LogLinearHistogram::new();
+        for v in 1..=1000u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.count(), 1000);
+        assert_eq!(hist.max(), 1000);
+        assert!((hist.mean() - 500.5).abs() < 1e-9);
+        for (q, exact) in [(0.10, 100.0), (0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let estimate = hist.quantile(q) as f64;
+            let error = (estimate - exact).abs() / exact;
+            assert!(
+                error < 0.02,
+                "q={q}: estimate {estimate} vs exact {exact} ({:.1}% off)",
+                error * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_reports_its_bucket_midpoint() {
+        let hist = LogLinearHistogram::new();
+        hist.record(500); // bucket [480, 512)
+        let p50 = hist.quantile(0.5);
+        assert!((480..512).contains(&p50), "p50 {p50}");
+        assert_eq!(hist.max(), 500);
+    }
+
+    #[test]
+    fn power_of_two_error_is_actually_fixed() {
+        // The regression this histogram exists for: 8000 µs under the old
+        // log₂ scheme reported p50 = 16384 (the upper bound, 2.05× off);
+        // here it must land within 12.5 % of the truth.
+        let hist = LogLinearHistogram::new();
+        hist.record(8_000);
+        let p50 = hist.quantile(0.5) as f64;
+        assert!(
+            (p50 - 8_000.0).abs() / 8_000.0 <= 0.125,
+            "p50 {p50} is more than 12.5% from 8000"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let hist = LogLinearHistogram::new();
+        assert_eq!(hist.quantile(0.5), 0);
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_huge_values_clamp_without_panicking() {
+        let hist = LogLinearHistogram::new();
+        hist.record(0);
+        hist.record(u64::MAX);
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.max(), u64::MAX);
+        assert_eq!(hist.quantile(0.0), 0);
+        assert!(hist.quantile(1.0) >= CLAMP_MAX / 2);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = std::sync::Arc::new(LogLinearHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let hist = std::sync::Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        hist.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(hist.count(), 4000);
+        assert_eq!(hist.max(), 3999);
+    }
+}

@@ -1,0 +1,329 @@
+//! A leveled JSONL event log.
+//!
+//! Every event is one JSON object on one line:
+//!
+//! ```json
+//! {"ts_us":1754450000000000,"level":"info","event":"request","op":"simulate","exec_us":523}
+//! ```
+//!
+//! `ts_us` is microseconds since the Unix epoch. Events are built with a
+//! borrowing builder ([`EventLog::event`] or the `info`/`warn`/… sugar)
+//! that formats straight into one `String` and writes it under a single
+//! writer lock, so lines from concurrent threads never interleave. A
+//! disabled log ([`EventLog::disabled`]) skips all formatting: the
+//! builder checks one boolean and every `field` call is a no-op, which is
+//! what lets the serve worker loop log unconditionally.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Event severity, from chattiest to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Developer-facing detail.
+    Debug,
+    /// Normal operational events (requests, checkpoints).
+    Info,
+    /// Something worth an operator's attention (slow requests).
+    Warn,
+    /// A failure.
+    Error,
+}
+
+impl Level {
+    /// The wire name (`"debug"`, `"info"`, `"warn"`, `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A shared, leveled JSONL sink.
+pub struct EventLog {
+    writer: Option<Mutex<Box<dyn Write + Send>>>,
+    min_level: Level,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("enabled", &self.writer.is_some())
+            .field("min_level", &self.min_level)
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// A log that formats nothing and writes nowhere.
+    pub fn disabled() -> Self {
+        EventLog {
+            writer: None,
+            min_level: Level::Error,
+        }
+    }
+
+    /// A log writing to `writer`, keeping events at `min_level` and above.
+    pub fn to_writer(writer: Box<dyn Write + Send>, min_level: Level) -> Self {
+        EventLog {
+            writer: Some(Mutex::new(writer)),
+            min_level,
+        }
+    }
+
+    /// A log appending to the file at `path` (created if missing),
+    /// buffered, keeping `Info` and above.
+    ///
+    /// # Errors
+    ///
+    /// Any error from opening the file.
+    pub fn to_file(path: &Path) -> io::Result<Self> {
+        let file: File = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventLog::to_writer(
+            Box::new(BufWriter::new(file)),
+            Level::Info,
+        ))
+    }
+
+    /// True when events at `level` would actually be written.
+    pub fn enabled(&self, level: Level) -> bool {
+        self.writer.is_some() && level >= self.min_level
+    }
+
+    /// Starts an event at `level` named `name`. Returns a builder; call
+    /// [`Event::emit`] to write the line (dropping without `emit` writes
+    /// nothing).
+    pub fn event<'a>(&'a self, level: Level, name: &str) -> Event<'a> {
+        if !self.enabled(level) {
+            return Event {
+                log: self,
+                line: None,
+            };
+        }
+        let ts_us = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let mut line = String::with_capacity(128);
+        let _ = write!(
+            line,
+            "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"event\":\"{}\"",
+            level.name(),
+            escape_json(name)
+        );
+        Event {
+            log: self,
+            line: Some(line),
+        }
+    }
+
+    /// Sugar for [`Self::event`] at [`Level::Debug`].
+    pub fn debug<'a>(&'a self, name: &str) -> Event<'a> {
+        self.event(Level::Debug, name)
+    }
+
+    /// Sugar for [`Self::event`] at [`Level::Info`].
+    pub fn info<'a>(&'a self, name: &str) -> Event<'a> {
+        self.event(Level::Info, name)
+    }
+
+    /// Sugar for [`Self::event`] at [`Level::Warn`].
+    pub fn warn<'a>(&'a self, name: &str) -> Event<'a> {
+        self.event(Level::Warn, name)
+    }
+
+    /// Sugar for [`Self::event`] at [`Level::Error`].
+    pub fn error<'a>(&'a self, name: &str) -> Event<'a> {
+        self.event(Level::Error, name)
+    }
+
+    fn write_line(&self, mut line: String) {
+        let Some(writer) = &self.writer else { return };
+        line.push('\n');
+        let mut writer = writer.lock().expect("event log writer");
+        let _ = writer.write_all(line.as_bytes());
+        let _ = writer.flush();
+    }
+}
+
+/// An in-progress event line; add fields, then [`emit`](Event::emit).
+#[derive(Debug)]
+#[must_use = "an event writes nothing until emit() is called"]
+pub struct Event<'a> {
+    log: &'a EventLog,
+    line: Option<String>,
+}
+
+impl Event<'_> {
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        if let Some(line) = &mut self.line {
+            let _ = write!(line, ",\"{}\":\"{}\"", escape_json(key), escape_json(value));
+        }
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        if let Some(line) = &mut self.line {
+            let _ = write!(line, ",\"{}\":{value}", escape_json(key));
+        }
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn i64(mut self, key: &str, value: i64) -> Self {
+        if let Some(line) = &mut self.line {
+            let _ = write!(line, ",\"{}\":{value}", escape_json(key));
+        }
+        self
+    }
+
+    /// Adds a float field (rendered with enough digits to round-trip).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        if let Some(line) = &mut self.line {
+            if value.is_finite() {
+                let _ = write!(line, ",\"{}\":{value}", escape_json(key));
+            } else {
+                // JSON has no Infinity/NaN; stringify rather than corrupt
+                // the line.
+                let _ = write!(line, ",\"{}\":\"{value}\"", escape_json(key));
+            }
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        if let Some(line) = &mut self.line {
+            let _ = write!(line, ",\"{}\":{value}", escape_json(key));
+        }
+        self
+    }
+
+    /// Closes the object and writes the line.
+    pub fn emit(mut self) {
+        if let Some(mut line) = self.line.take() {
+            line.push('}');
+            self.log.write_line(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A Write that appends into a shared buffer, for assertions.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn contents(buf: &SharedBuf) -> String {
+        String::from_utf8(buf.0.lock().unwrap().clone()).unwrap()
+    }
+
+    #[test]
+    fn events_are_one_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()), Level::Info);
+        log.info("request")
+            .str("op", "simulate")
+            .u64("exec_us", 523)
+            .bool("cached", false)
+            .f64("rate", 1.5)
+            .i64("delta", -2)
+            .emit();
+        let text = contents(&buf);
+        assert_eq!(text.lines().count(), 1);
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"ts_us\":"), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"event\":\"request\""), "{line}");
+        assert!(line.contains("\"op\":\"simulate\""), "{line}");
+        assert!(line.contains("\"exec_us\":523"), "{line}");
+        assert!(line.contains("\"cached\":false"), "{line}");
+        assert!(line.contains("\"rate\":1.5"), "{line}");
+        assert!(line.contains("\"delta\":-2"), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+
+    #[test]
+    fn levels_below_the_floor_are_skipped_without_formatting() {
+        let buf = SharedBuf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()), Level::Warn);
+        assert!(!log.enabled(Level::Info));
+        log.info("chatty").str("x", "y").emit();
+        log.warn("important").emit();
+        let text = contents(&buf);
+        assert!(!text.contains("chatty"));
+        assert!(text.contains("important"));
+    }
+
+    #[test]
+    fn disabled_log_writes_nothing_and_is_cheap() {
+        let log = EventLog::disabled();
+        assert!(!log.enabled(Level::Error));
+        log.error("anything").u64("n", 1).emit(); // must not panic
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let buf = SharedBuf::default();
+        let log = EventLog::to_writer(Box::new(buf.clone()), Level::Info);
+        log.info("weird")
+            .str("msg", "a \"quoted\"\nline\twith\\slash")
+            .emit();
+        let line = contents(&buf);
+        assert!(
+            line.contains(r#""msg":"a \"quoted\"\nline\twith\\slash""#),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn escape_json_is_pinned() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\nb");
+        assert_eq!(escape_json("\u{0}"), "\\u0000");
+    }
+}

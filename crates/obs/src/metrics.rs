@@ -1,0 +1,248 @@
+//! Named metric handles — counters, gauges, histograms — and the
+//! [`Registry`] that owns their names.
+//!
+//! Recording is always a relaxed atomic operation on a pre-registered
+//! handle; the registry lock is taken only at registration and snapshot
+//! time, never on the hot path. Handles are `Arc`s, so a metric outlives
+//! the registry that named it and can be stashed in whatever struct does
+//! the recording.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::LogLinearHistogram;
+use crate::log::escape_json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, high-water marks, …).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it is below it (high-water marks).
+    pub fn update_max(&self, value: i64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogLinearHistogram>),
+}
+
+/// A name→metric table; the single place observability surfaces (debug
+/// dumps, the serve `stats` op) enumerate what exists.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lookup(&self, name: &str) -> Option<Metric> {
+        self.entries
+            .lock()
+            .expect("metrics registry")
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m.clone())
+    }
+
+    fn register(&self, name: &str, metric: Metric) {
+        self.entries
+            .lock()
+            .expect("metrics registry")
+            .push((name.to_string(), metric));
+    }
+
+    /// The counter named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.lookup(name) {
+            Some(Metric::Counter(c)) => c,
+            Some(_) => panic!("metric '{name}' is registered with a different kind"),
+            None => {
+                let c = Arc::new(Counter::new());
+                self.register(name, Metric::Counter(Arc::clone(&c)));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.lookup(name) {
+            Some(Metric::Gauge(g)) => g,
+            Some(_) => panic!("metric '{name}' is registered with a different kind"),
+            None => {
+                let g = Arc::new(Gauge::new());
+                self.register(name, Metric::Gauge(Arc::clone(&g)));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name`, registering it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<LogLinearHistogram> {
+        match self.lookup(name) {
+            Some(Metric::Histogram(h)) => h,
+            Some(_) => panic!("metric '{name}' is registered with a different kind"),
+            None => {
+                let h = Arc::new(LogLinearHistogram::new());
+                self.register(name, Metric::Histogram(Arc::clone(&h)));
+                h
+            }
+        }
+    }
+
+    /// Renders every metric as one JSON object, names sorted, histograms
+    /// summarized as `{count, p50, p99, max}`.
+    pub fn to_json(&self) -> String {
+        let mut entries: Vec<(String, Metric)> =
+            self.entries.lock().expect("metrics registry").clone();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{");
+        for (i, (name, metric)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape_json(name));
+            out.push_str("\":");
+            match metric {
+                Metric::Counter(c) => out.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => out.push_str(&g.get().to_string()),
+                Metric::Histogram(h) => out.push_str(&format!(
+                    "{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                    h.count(),
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max()
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let reg = Registry::new();
+        let c = reg.counter("requests");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = reg.gauge("queue_depth");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.update_max(10);
+        assert_eq!(g.get(), 10);
+        g.update_max(3);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle_for_a_name() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn json_rendering_is_sorted_and_valid() {
+        let reg = Registry::new();
+        reg.counter("b.count").add(2);
+        reg.gauge("a.depth").set(-3);
+        reg.histogram("c.lat_us").record(100);
+        let json = reg.to_json();
+        assert_eq!(
+            json,
+            "{\"a.depth\":-3,\"b.count\":2,\"c.lat_us\":{\"count\":1,\"p50\":100,\"p99\":100,\"max\":100}}"
+        );
+    }
+}

@@ -1,0 +1,103 @@
+//! RAII span timers.
+//!
+//! A [`Span`] starts a clock when created and records the elapsed
+//! microseconds into a [`LogLinearHistogram`] when dropped — so timing a
+//! scope is one line, and early returns / `?` paths are measured for
+//! free. Call [`Span::finish`] instead to also get the measured value
+//! back (for logging it alongside the histogram record).
+
+use std::time::Instant;
+
+use crate::hist::LogLinearHistogram;
+
+/// A running timer bound to a histogram.
+#[derive(Debug)]
+pub struct Span<'a> {
+    hist: &'a LogLinearHistogram,
+    started: Instant,
+    armed: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing; the elapsed time lands in `hist` on drop.
+    pub fn start(hist: &'a LogLinearHistogram) -> Self {
+        Span {
+            hist,
+            started: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Microseconds elapsed so far (does not stop the span).
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Stops the span, records it, and returns the elapsed microseconds.
+    pub fn finish(mut self) -> u64 {
+        let elapsed = self.elapsed_us();
+        self.hist.record(elapsed);
+        self.armed = false;
+        elapsed
+    }
+
+    /// Abandons the span: nothing is recorded.
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record(self.elapsed_us());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_exactly_once() {
+        let hist = LogLinearHistogram::new();
+        {
+            let _span = Span::start(&hist);
+        }
+        assert_eq!(hist.count(), 1);
+    }
+
+    #[test]
+    fn finish_records_and_returns_the_value() {
+        let hist = LogLinearHistogram::new();
+        let span = Span::start(&hist);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let elapsed = span.finish();
+        assert!(elapsed >= 2_000, "elapsed {elapsed}");
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.max(), hist.max().max(elapsed));
+    }
+
+    #[test]
+    fn cancel_records_nothing() {
+        let hist = LogLinearHistogram::new();
+        Span::start(&hist).cancel();
+        assert_eq!(hist.count(), 0);
+    }
+
+    #[test]
+    fn early_return_paths_are_timed() {
+        let hist = LogLinearHistogram::new();
+        fn fallible(hist: &LogLinearHistogram, fail: bool) -> Result<(), ()> {
+            let _span = Span::start(hist);
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        fallible(&hist, true).unwrap_err();
+        fallible(&hist, false).unwrap();
+        assert_eq!(hist.count(), 2);
+    }
+}

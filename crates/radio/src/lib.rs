@@ -44,11 +44,6 @@ pub mod noise;
 pub mod pathloss;
 pub mod per;
 pub mod shadowing;
-#[deprecated(
-    since = "0.1.0",
-    note = "`Trajectory` moved to `wsn_params::motion`; import it from there"
-)]
-pub mod trajectory;
 
 /// Convenient glob-import of the radio substrate.
 pub mod prelude {

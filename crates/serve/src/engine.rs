@@ -163,6 +163,7 @@ impl Engine {
                 let outcome = LinkSimulation::new(*config, options)
                     .with_budget_table(Arc::clone(&self.budgets))
                     .run();
+                self.stats.observe_exec(&outcome.exec);
                 serde_json::to_string(&SimulateResult {
                     config: *config,
                     packets: *packets,
@@ -188,6 +189,7 @@ impl Engine {
             } => self.scenario(scenario, *packets, *seed),
             RequestBody::Stats => serde_json::to_string(&self.stats.snapshot(
                 self.cache.hits(),
+                self.cache.misses(),
                 self.cache.len(),
                 self.cache.evictions(),
             ))
@@ -245,6 +247,7 @@ impl Engine {
             ..NetOptions::quick(packets)
         };
         let outcome = NetworkSimulation::new(scenario, options).run();
+        self.stats.observe_exec(&outcome.exec);
         serde_json::to_string(&ScenarioResult {
             scenario: id.to_string(),
             description: description.to_string(),
@@ -359,6 +362,11 @@ mod tests {
         assert!(!stats.cached);
         let v = serde_json::parse(&stats.body).unwrap();
         assert_eq!(v.field("cache_hits").as_u64(), Some(1));
+        assert_eq!(v.field("cache_misses").as_u64(), Some(1));
+        assert_eq!(v.field("cache_hit_rate").as_f64(), Some(0.5));
         assert_eq!(v.field("cache_entries").as_u64(), Some(1));
+        // The one executed simulation surfaced its executor load.
+        assert_eq!(v.field("sim").field("runs").as_u64(), Some(1));
+        assert!(v.field("sim").field("events_handled").as_u64().unwrap() > 0);
     }
 }

@@ -51,9 +51,13 @@ pub mod stats;
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use wsn_obs::log::EventLog;
+use wsn_obs::trace::{TraceId, TraceIdGen};
 
 use crate::engine::Engine;
 use crate::protocol::{envelope_err, envelope_ok, parse_request, Request, RequestBody};
@@ -73,6 +77,12 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Result-cache shards.
     pub cache_shards: usize,
+    /// Append one JSONL access-log record per request to this file
+    /// (schema in `docs/SERVE.md`); `None` disables logging entirely.
+    pub access_log: Option<PathBuf>,
+    /// Requests whose execution takes at least this long also draw a
+    /// `slow_request` warning in the access log; 0 disables the check.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -83,8 +93,19 @@ impl Default for ServerConfig {
             queue_depth: 256,
             default_deadline_ms: 30_000,
             cache_shards: 16,
+            access_log: None,
+            slow_request_ms: 1_000,
         }
     }
+}
+
+/// Observability shared by every reader and worker thread: the (possibly
+/// disabled) access log, the trace-id generator, and the slow threshold.
+#[derive(Debug)]
+struct ServeObs {
+    log: EventLog,
+    traces: TraceIdGen,
+    slow_us: u64,
 }
 
 /// How long a full queue makes a pusher wait before refusing the job.
@@ -105,6 +126,13 @@ pub enum ServeError {
     },
     /// A non-transient I/O failure on the listening socket.
     Io(std::io::Error),
+    /// The access-log file could not be opened.
+    AccessLog {
+        /// The requested log path.
+        path: PathBuf,
+        /// The underlying file error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -112,6 +140,9 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
             ServeError::Io(e) => write!(f, "server socket error: {e}"),
+            ServeError::AccessLog { path, source } => {
+                write!(f, "cannot open access log {}: {source}", path.display())
+            }
         }
     }
 }
@@ -121,6 +152,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Bind { source, .. } => Some(source),
             ServeError::Io(e) => Some(e),
+            ServeError::AccessLog { source, .. } => Some(source),
         }
     }
 }
@@ -148,7 +180,15 @@ impl Conn {
 struct Job {
     request: Request,
     conn: Arc<Conn>,
+    /// Per-request trace id; echoed in the response envelope and every
+    /// access-log record so a client complaint can be joined to the log.
+    trace: TraceId,
+    /// When the reader thread enqueued this job — the start of the
+    /// queue-wait clock.
+    enqueued: Instant,
     deadline: Instant,
+    /// The client's address, for the access log.
+    peer: Arc<str>,
 }
 
 /// A bound, not-yet-running query server.
@@ -199,6 +239,24 @@ impl Server {
         let engine = Arc::new(Engine::new(self.config.cache_shards));
         let queue: Arc<JobQueue<Job>> = Arc::new(JobQueue::new(self.config.queue_depth));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let log = match &self.config.access_log {
+            Some(path) => EventLog::to_file(path).map_err(|source| ServeError::AccessLog {
+                path: path.clone(),
+                source,
+            })?,
+            None => EventLog::disabled(),
+        };
+        let obs = Arc::new(ServeObs {
+            log,
+            traces: TraceIdGen::new(),
+            slow_us: self.config.slow_request_ms.saturating_mul(1_000),
+        });
+        obs.log
+            .info("server_started")
+            .str("addr", &self.local.to_string())
+            .u64("threads", threads as u64)
+            .u64("queue_depth", self.config.queue_depth as u64)
+            .emit();
 
         self.listener
             .set_nonblocking(true)
@@ -209,21 +267,31 @@ impl Server {
             let engine = Arc::clone(&engine);
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
+            let obs = Arc::clone(&obs);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&engine, &queue, &shutdown)
+                worker_loop(&engine, &queue, &shutdown, &obs)
             }));
         }
 
         let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !shutdown.load(Ordering::SeqCst) {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((stream, peer)) => {
                     let engine = Arc::clone(&engine);
                     let queue = Arc::clone(&queue);
                     let shutdown = Arc::clone(&shutdown);
+                    let obs = Arc::clone(&obs);
                     let deadline_ms = self.config.default_deadline_ms;
                     readers.push(std::thread::spawn(move || {
-                        connection_loop(stream, &engine, &queue, &shutdown, deadline_ms);
+                        connection_loop(
+                            stream,
+                            peer,
+                            &engine,
+                            &queue,
+                            &shutdown,
+                            deadline_ms,
+                            &obs,
+                        );
                     }));
                     readers.retain(|r| !r.is_finished());
                 }
@@ -243,41 +311,114 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        let snapshot = engine.stats.snapshot(
+            engine.cache.hits(),
+            engine.cache.misses(),
+            engine.cache.len(),
+            engine.cache.evictions(),
+        );
+        obs.log
+            .info("server_stopped")
+            .u64("requests", snapshot.requests)
+            .u64("errors", snapshot.errors)
+            .u64("deadline_exceeded", snapshot.deadline_exceeded)
+            .f64("uptime_s", snapshot.uptime_s)
+            .emit();
         Ok(())
     }
 }
 
+/// Writes one access-log record; every request that reached the queue
+/// gets exactly one, whatever its outcome.
+#[allow(clippy::too_many_arguments)]
+fn log_request(
+    obs: &ServeObs,
+    job: &Job,
+    outcome: &str,
+    ok: bool,
+    cached: bool,
+    queue_wait_us: u64,
+    exec_us: u64,
+    bytes: usize,
+) {
+    obs.log
+        .info("request")
+        .str("trace", &job.trace.to_string())
+        .str("op", job.request.op.name())
+        .str("id", &job.request.id)
+        .str("peer", &job.peer)
+        .str("outcome", outcome)
+        .bool("ok", ok)
+        .bool("cached", cached)
+        .u64("queue_wait_us", queue_wait_us)
+        .u64("exec_us", exec_us)
+        .u64("bytes", bytes as u64)
+        .emit();
+}
+
 /// Pops jobs until the queue closes and drains, answering each one.
-fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool) {
+///
+/// Timing contract: `queue_wait_us` runs from enqueue to pop and lands in
+/// the queue-wait histogram for every popped job; `exec_us` (the
+/// envelope's `service_us`) runs from pop to answer and is recorded only
+/// for jobs that actually executed — deadline-expired jobs are counted
+/// under `deadline_exceeded` instead of polluting the execution
+/// distribution with near-zero samples.
+fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool, obs: &ServeObs) {
     while let Some(job) = queue.pop() {
-        let started = Instant::now();
+        let popped = Instant::now();
+        let queue_wait_us = popped.duration_since(job.enqueued).as_micros() as u64;
+        engine.stats.record_dequeued(queue_wait_us);
         let id = &job.request.id;
         let op = job.request.op;
+        let trace = job.trace.to_string();
 
-        if started > job.deadline {
-            let overdue = started.duration_since(job.deadline).as_millis();
+        if popped > job.deadline {
+            let overdue = popped.duration_since(job.deadline).as_millis();
             job.conn.send_line(&envelope_err(
                 id,
                 Some(op),
+                Some(&trace),
                 &format!("deadline exceeded: job spent its budget (+{overdue} ms) in the queue"),
             ));
-            engine
-                .stats
-                .record(Some(op), false, started.elapsed().as_micros() as u64);
+            engine.stats.record_deadline_exceeded(op);
+            log_request(
+                obs,
+                &job,
+                "deadline_exceeded",
+                false,
+                false,
+                queue_wait_us,
+                0,
+                0,
+            );
+            obs.log
+                .warn("deadline_exceeded")
+                .str("trace", &trace)
+                .str("op", op.name())
+                .str("peer", &job.peer)
+                .u64("queue_wait_us", queue_wait_us)
+                .u64("overdue_ms", overdue as u64)
+                .emit();
             continue;
         }
 
         if matches!(job.request.body, RequestBody::Shutdown) {
-            job.conn.send_line(&envelope_ok(
-                id,
-                op,
+            let body = "{\"shutting_down\":true}";
+            let exec_us = popped.elapsed().as_micros() as u64;
+            job.conn
+                .send_line(&envelope_ok(id, op, false, exec_us, &trace, body));
+            engine.stats.record_done(op, true, exec_us);
+            log_request(
+                obs,
+                &job,
+                "ok",
+                true,
                 false,
-                started.elapsed().as_micros() as u64,
-                "{\"shutting_down\":true}",
-            ));
-            engine
-                .stats
-                .record(Some(op), true, started.elapsed().as_micros() as u64);
+                queue_wait_us,
+                exec_us,
+                body.len(),
+            );
             shutdown.store(true, Ordering::SeqCst);
             queue.close();
             continue;
@@ -285,20 +426,42 @@ fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool) {
 
         match engine.execute(&job.request.body) {
             Ok(answer) => {
-                let service_us = started.elapsed().as_micros() as u64;
+                let exec_us = popped.elapsed().as_micros() as u64;
                 job.conn.send_line(&envelope_ok(
                     id,
                     op,
                     answer.cached,
-                    service_us,
+                    exec_us,
+                    &trace,
                     &answer.body,
                 ));
-                engine.stats.record(Some(op), true, service_us);
+                engine.stats.record_done(op, true, exec_us);
+                log_request(
+                    obs,
+                    &job,
+                    "ok",
+                    true,
+                    answer.cached,
+                    queue_wait_us,
+                    exec_us,
+                    answer.body.len(),
+                );
+                if obs.slow_us > 0 && exec_us >= obs.slow_us {
+                    obs.log
+                        .warn("slow_request")
+                        .str("trace", &trace)
+                        .str("op", op.name())
+                        .u64("exec_us", exec_us)
+                        .u64("threshold_us", obs.slow_us)
+                        .emit();
+                }
             }
             Err(message) => {
-                let service_us = started.elapsed().as_micros() as u64;
-                job.conn.send_line(&envelope_err(id, Some(op), &message));
-                engine.stats.record(Some(op), false, service_us);
+                let exec_us = popped.elapsed().as_micros() as u64;
+                job.conn
+                    .send_line(&envelope_err(id, Some(op), Some(&trace), &message));
+                engine.stats.record_done(op, false, exec_us);
+                log_request(obs, &job, "error", false, false, queue_wait_us, exec_us, 0);
             }
         }
     }
@@ -378,10 +541,12 @@ fn read_line_capped(
 /// draws an error response, never a dead server.
 fn connection_loop(
     stream: TcpStream,
+    peer: SocketAddr,
     engine: &Engine,
     queue: &JobQueue<Job>,
     shutdown: &AtomicBool,
     default_deadline_ms: u64,
+    obs: &ServeObs,
 ) {
     if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
         return;
@@ -393,6 +558,7 @@ fn connection_loop(
     let conn = Arc::new(Conn {
         writer: Mutex::new(stream),
     });
+    let peer: Arc<str> = Arc::from(peer.to_string());
     let mut reader = BufReader::new(read_half);
     let mut buf: Vec<u8> = Vec::new();
 
@@ -403,12 +569,18 @@ fn connection_loop(
                 conn.send_line(&envelope_err(
                     "null",
                     None,
+                    None,
                     &format!(
                         "request line exceeds {} bytes; closing connection",
                         protocol::MAX_LINE_BYTES
                     ),
                 ));
-                engine.stats.record(None, false, 0);
+                engine.stats.record_rejected(None);
+                obs.log
+                    .warn("oversized_line")
+                    .str("peer", &peer)
+                    .u64("limit_bytes", protocol::MAX_LINE_BYTES as u64)
+                    .emit();
                 // Absorb what the client already sent (bounded) before
                 // closing, so the error line is not clobbered by a reset.
                 let mut drained = 0usize;
@@ -434,10 +606,14 @@ fn connection_loop(
         let request = match parse_request(&line) {
             Ok(request) => request,
             Err(rejection) => {
-                conn.send_line(&envelope_err(&rejection.id, None, &rejection.error));
-                engine
-                    .stats
-                    .record(None, false, started.elapsed().as_micros() as u64);
+                conn.send_line(&envelope_err(&rejection.id, None, None, &rejection.error));
+                engine.stats.record_rejected(None);
+                obs.log
+                    .warn("request_rejected")
+                    .str("peer", &peer)
+                    .str("id", &rejection.id)
+                    .str("error", &rejection.error)
+                    .emit();
                 continue;
             }
         };
@@ -445,26 +621,36 @@ fn connection_loop(
         let job = Job {
             deadline: started + Duration::from_millis(budget_ms),
             conn: Arc::clone(&conn),
+            trace: obs.traces.next(),
+            enqueued: started,
+            peer: Arc::clone(&peer),
             request,
         };
+        engine.stats.record_enqueued();
         match queue.push(job, PUSH_PATIENCE) {
             Ok(()) => {}
             Err(PushError::Full(job)) => {
+                engine.stats.record_push_refused();
                 job.conn.send_line(&envelope_err(
                     &job.request.id,
                     Some(job.request.op),
+                    Some(&job.trace.to_string()),
                     "server busy: request queue is full",
                 ));
-                engine.stats.record(
-                    Some(job.request.op),
-                    false,
-                    started.elapsed().as_micros() as u64,
-                );
+                engine.stats.record_rejected(Some(job.request.op));
+                obs.log
+                    .warn("queue_full")
+                    .str("trace", &job.trace.to_string())
+                    .str("op", job.request.op.name())
+                    .str("peer", &peer)
+                    .emit();
             }
             Err(PushError::Closed(job)) => {
+                engine.stats.record_push_refused();
                 job.conn.send_line(&envelope_err(
                     &job.request.id,
                     Some(job.request.op),
+                    Some(&job.trace.to_string()),
                     "server is shutting down",
                 ));
                 return;
@@ -477,7 +663,7 @@ fn connection_loop(
 pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::protocol::{Op, Request, RequestBody};
-    pub use crate::stats::StatsSnapshot;
+    pub use crate::stats::{LatencyQuantiles, ServeStats, StatsSnapshot};
     pub use crate::{ServeError, Server, ServerConfig};
 }
 

@@ -494,20 +494,36 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
 }
 
 /// Renders a success envelope. `result` is spliced verbatim, so a cached
-/// body reproduces the original response byte-for-byte (only `cached` and
-/// `service_us` may differ between the first and repeat responses).
-pub fn envelope_ok(id: &str, op: Op, cached: bool, service_us: u64, result: &str) -> String {
+/// body reproduces the original response byte-for-byte (only `cached`,
+/// `service_us`, and `trace` may differ between the first and repeat
+/// responses). `service_us` is the pop-to-answer execution time; `trace`
+/// is the request's 16-hex-char trace id, joining the response to the
+/// server's access log.
+pub fn envelope_ok(
+    id: &str,
+    op: Op,
+    cached: bool,
+    service_us: u64,
+    trace: &str,
+    result: &str,
+) -> String {
     format!(
-        "{{\"id\":{id},\"op\":\"{}\",\"ok\":true,\"cached\":{cached},\"service_us\":{service_us},\"result\":{result}}}",
+        "{{\"id\":{id},\"op\":\"{}\",\"ok\":true,\"cached\":{cached},\"service_us\":{service_us},\"trace\":\"{trace}\",\"result\":{result}}}",
         op.name()
     )
 }
 
-/// Renders an error envelope.
-pub fn envelope_err(id: &str, op: Option<Op>, error: &str) -> String {
+/// Renders an error envelope. `trace` is `None` for failures that happen
+/// before a trace id is assigned (parse errors, oversized lines).
+pub fn envelope_err(id: &str, op: Option<Op>, trace: Option<&str>, error: &str) -> String {
     let op_name = op.map(Op::name).unwrap_or("unknown");
     let message = serde_json::to_string(&error).unwrap_or_else(|_| "\"error\"".to_string());
-    format!("{{\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"error\":{message}}}")
+    match trace {
+        Some(trace) => format!(
+            "{{\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"trace\":\"{trace}\",\"error\":{message}}}"
+        ),
+        None => format!("{{\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"error\":{message}}}"),
+    }
 }
 
 #[cfg(test)]
@@ -633,17 +649,44 @@ mod tests {
 
     #[test]
     fn envelopes_are_valid_json() {
-        let ok = envelope_ok("42", Op::Simulate, true, 17, "{\"x\":1}");
+        let ok = envelope_ok(
+            "42",
+            Op::Simulate,
+            true,
+            17,
+            "00c0ffee00c0ffee",
+            "{\"x\":1}",
+        );
         let v = serde_json::parse(&ok).unwrap();
         assert_eq!(v.field("ok").as_bool(), Some(true));
         assert_eq!(v.field("cached").as_bool(), Some(true));
         assert_eq!(v.field("id").as_u64(), Some(42));
+        assert_eq!(v.field("trace").as_str(), Some("00c0ffee00c0ffee"));
         assert_eq!(v.field("result").field("x").as_u64(), Some(1));
 
-        let err = envelope_err("null", None, "bad \"quoted\" thing\n");
+        let err = envelope_err("null", None, None, "bad \"quoted\" thing\n");
         let v = serde_json::parse(&err).unwrap();
         assert_eq!(v.field("ok").as_bool(), Some(false));
         assert!(v.field("error").as_str().unwrap().contains("quoted"));
+
+        let err = envelope_err("7", Some(Op::Predict), Some("00c0ffee00c0ffee"), "late");
+        let v = serde_json::parse(&err).unwrap();
+        assert_eq!(v.field("trace").as_str(), Some("00c0ffee00c0ffee"));
+        assert_eq!(v.field("op").as_str(), Some("predict"));
+    }
+
+    #[test]
+    fn trace_sits_between_service_us_and_result() {
+        // Clients (and this repo's own tests) parse `service_us` up to the
+        // next comma and locate the result with a `"result":` search —
+        // the trace field must not break either convention.
+        let ok = envelope_ok("1", Op::Stats, false, 250, "aaaaaaaaaaaaaaaa", "{}");
+        let service_idx = ok
+            .find("\"service_us\":250,")
+            .expect("service_us then comma");
+        let trace_idx = ok.find("\"trace\":").expect("trace present");
+        let result_idx = ok.find("\"result\":").expect("result present");
+        assert!(service_idx < trace_idx && trace_idx < result_idx, "{ok}");
     }
 
     #[test]

@@ -273,6 +273,106 @@ fn queued_past_its_deadline_draws_a_deadline_error() {
 }
 
 #[test]
+fn expired_request_counts_as_deadline_exceeded_without_contaminating_exec_times() {
+    // One worker: the slow simulation in front guarantees the impatient
+    // request expires in the queue. The stats op must then show the corpse
+    // under `deadline_exceeded` — NOT as a ~0 µs sample in `exec_us`.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    writeln!(
+        stream,
+        r#"{{"id":"slow","op":"simulate","packets":50000,"config":{{"distance_m":35.0,"power_level":3}}}}"#
+    )
+    .expect("send slow");
+    writeln!(
+        stream,
+        r#"{{"id":"impatient","op":"predict","deadline_ms":0}}"#
+    )
+    .expect("send impatient");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    for expect in ["\"id\":\"slow\"", "deadline exceeded"] {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        assert!(line.contains(expect), "{line}");
+    }
+
+    let stats = request_on(&mut stream, r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"deadline_exceeded\":1"), "{stats}");
+    // Exactly one executed job (the slow simulate) holds an exec sample …
+    assert!(stats.contains("\"exec_us\":{\"count\":1,"), "{stats}");
+    // … and its p50 is the slow simulation, not a near-zero corpse.
+    let p50: u64 = {
+        let tail = &stats[stats.find("\"exec_us\":{\"count\":1,\"p50\":").unwrap() + 28..];
+        tail[..tail.find(',').unwrap()].parse().unwrap()
+    };
+    assert!(p50 > 1_000, "exec p50 {p50} µs looks contaminated: {stats}");
+    // All three popped jobs (slow, impatient, stats) drew queue-wait samples.
+    assert!(stats.contains("\"queue_wait_us\":{\"count\":3"), "{stats}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn access_log_records_every_request_with_the_envelope_trace_id() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("wsn-serve-access-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        access_log: Some(path.clone()),
+        ..ServerConfig::default()
+    });
+
+    let response = roundtrip(addr, r#"{"id":"al","op":"predict"}"#);
+    assert!(response.contains("\"ok\":true"), "{response}");
+    let trace: &str = {
+        let idx = response.find("\"trace\":\"").expect("envelope has trace") + 9;
+        &response[idx..idx + 16]
+    };
+    assert!(
+        trace.chars().all(|c| c.is_ascii_hexdigit()),
+        "trace {trace:?} is not 16 hex chars"
+    );
+
+    shutdown(addr, handle);
+
+    // run() has returned, so the log's BufWriter has flushed on drop.
+    let text = std::fs::read_to_string(&path).expect("access log exists");
+    assert!(text.contains("\"event\":\"server_started\""), "{text}");
+    assert!(text.contains("\"event\":\"server_stopped\""), "{text}");
+    let request_line = text
+        .lines()
+        .find(|l| l.contains("\"event\":\"request\"") && l.contains("\"op\":\"predict\""))
+        .unwrap_or_else(|| panic!("no request record for predict in: {text}"));
+    assert!(
+        request_line.contains(&format!("\"trace\":\"{trace}\"")),
+        "log line lost the envelope's trace id: {request_line}"
+    );
+    for field in [
+        "\"outcome\":\"ok\"",
+        "\"cached\":false",
+        "\"queue_wait_us\":",
+        "\"exec_us\":",
+        "\"bytes\":",
+        "\"peer\":\"127.0.0.1:",
+        "\"id\":\"\\\"al\\\"\"",
+    ] {
+        assert!(
+            request_line.contains(field),
+            "missing {field}: {request_line}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn tune_over_tcp_returns_a_feasible_optimum() {
     let (addr, handle) = start(ServerConfig {
         threads: 2,

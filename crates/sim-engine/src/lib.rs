@@ -46,6 +46,7 @@
 
 pub mod event;
 pub mod executor;
+pub mod obs;
 pub mod rng;
 pub mod time;
 
