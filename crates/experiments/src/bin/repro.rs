@@ -4,9 +4,14 @@
 //! repro all [--full] [--out DIR]     run every experiment
 //! repro <id> [...]                   run selected experiments (fig06 table04 …)
 //! repro list                         list experiment ids
-//! repro campaign [--full] [--out DIR [--resume]] [--shards N] [--log PATH]
+//! repro campaign [--full] [--engine golden|fast] [--out DIR [--resume]]
+//!                [--shards N] [--log PATH]
 //!                                    run the whole ~48k-configuration grid,
 //!                                    streaming results + live progress;
+//!                                    --engine fast swaps in the
+//!                                    statistically-equivalent coalesced
+//!                                    engine (~an order of magnitude faster;
+//!                                    not bit-comparable to golden runs);
 //!                                    with --out, checkpoint JSONL shards;
 //!                                    with --log, append structured JSONL
 //!                                    progress/checkpoint events to PATH
@@ -55,6 +60,7 @@ use wsn_obs::log::EventLog;
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 use wsn_serve::{ServeError, Server, ServerConfig};
+use wsn_sim_engine::mode::EngineMode;
 
 /// Everything that can end a `repro` invocation unsuccessfully, with the
 /// exit-code policy in one match.
@@ -110,9 +116,9 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: repro <all|list|campaign|scenario|serve|verify|dataset|bench|ID...> \
-         [--full] [--out DIR] [--resume] [--shards N] [--log PATH] [--json PATH] \
-         [--quick-bench] [--addr HOST:PORT] [--threads N] [--access-log PATH] \
-         [--slow-ms N]\n  \
+         [--full] [--engine golden|fast] [--out DIR] [--resume] [--shards N] \
+         [--log PATH] [--json PATH] [--quick-bench] [--addr HOST:PORT] [--threads N] \
+         [--access-log PATH] [--slow-ms N]\n  \
          ids: {}\n  scenario ids: {}\n  \
          exit codes: 0 ok, 1 failure, 2 unknown id, 3 I/O error, 4 serve error",
         ids.join(", "),
@@ -168,6 +174,7 @@ impl GridSummary {
 
 fn run_campaign(
     scale: Scale,
+    engine: EngineMode,
     out: Option<&Path>,
     resume: bool,
     shards: usize,
@@ -175,11 +182,12 @@ fn run_campaign(
 ) -> Result<(), CliError> {
     let grid = ParamGrid::paper();
     eprintln!(
-        "running the full Table I grid: {} configurations × {} packets …",
+        "running the full Table I grid: {} configurations × {} packets ({} engine) …",
         grid.len(),
-        scale.packets()
+        scale.packets(),
+        engine.name()
     );
-    let campaign = Campaign::new(scale);
+    let campaign = Campaign::new(scale).with_engine(engine);
     let start = Instant::now();
 
     if let Some(dir) = out {
@@ -295,6 +303,7 @@ fn run_serve(
 
 fn run(args: Vec<String>) -> Result<(), CliError> {
     let mut scale = Scale::Quick;
+    let mut engine = EngineMode::Golden;
     let mut out_dir: Option<PathBuf> = None;
     let mut resume = false;
     let mut shards = 16usize;
@@ -311,6 +320,10 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
+            "--engine" => match iter.next().and_then(|m| EngineMode::from_name(m)) {
+                Some(mode) => engine = mode,
+                None => return Err(CliError::Usage("--engine needs `golden` or `fast`".into())),
+            },
             "--resume" => resume = true,
             "--shards" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => shards = n,
@@ -402,7 +415,7 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
                 .map_err(|e| CliError::Io(format!("cannot open {}: {e}", path.display())))?,
             None => EventLog::disabled(),
         };
-        return run_campaign(scale, out_dir.as_deref(), resume, shards, &log);
+        return run_campaign(scale, engine, out_dir.as_deref(), resume, shards, &log);
     }
 
     if selections.iter().any(|s| s == "verify") {

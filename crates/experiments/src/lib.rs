@@ -37,6 +37,7 @@ pub mod ext07;
 pub mod ext08;
 pub mod ext09;
 pub mod ext10;
+pub mod ext11;
 pub mod fig01;
 pub mod fig03;
 pub mod fig04;
@@ -97,6 +98,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ext08", ext08::run),
         ("ext09", ext09::run),
         ("ext10", ext10::run),
+        ("ext11", ext11::run),
         ("ablation01", ablation01::run),
         ("ablation02", ablation02::run),
         ("ablation03", ablation03::run),
@@ -134,8 +136,8 @@ mod tests {
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        // 19 paper artifacts + 10 extensions + 4 ablations.
-        assert_eq!(ids.len(), 33);
+        // 19 paper artifacts + 11 extensions + 4 ablations.
+        assert_eq!(ids.len(), 34);
     }
 
     #[test]

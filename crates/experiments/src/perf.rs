@@ -15,6 +15,8 @@ use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 use wsn_params::scenario::Scenario;
 
+use wsn_sim_engine::mode::EngineMode;
+
 use crate::campaign::{Campaign, ConfigResult, Scale};
 use crate::stream::SinkFn;
 
@@ -36,6 +38,8 @@ pub fn bench_grid() -> ParamGrid {
 /// Throughput at one worker-thread count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThreadThroughput {
+    /// Engine mode the row was measured under (`"golden"` or `"fast"`).
+    pub mode: String,
     /// Campaign worker threads.
     pub threads: usize,
     /// Grid configurations simulated per wall-clock second (best batch).
@@ -86,7 +90,8 @@ impl BenchReport {
         );
         for r in &self.results {
             out.push_str(&format!(
-                "  {:>2} thread{}: {:>9.0} configs/sec  ({} iters, {:.3}s)\n",
+                "  {:<6} {:>2} thread{}: {:>9.0} configs/sec  ({} iters, {:.3}s)\n",
+                r.mode,
                 r.threads,
                 if r.threads == 1 { " " } else { "s" },
                 r.configs_per_sec,
@@ -165,40 +170,44 @@ pub fn scenario_throughput(
 /// standard minimum-of-k estimator for the noise-free cost).
 pub fn campaign_throughput(thread_counts: &[usize], reps: usize, min_batch_s: f64) -> BenchReport {
     let configs: Vec<StackConfig> = bench_grid().iter().collect();
-    let mut results = Vec::with_capacity(thread_counts.len());
-    for &threads in thread_counts {
-        let campaign = Campaign {
-            threads,
-            ..Campaign::new(Scale::Bench)
-        };
-        let run_grid = || {
-            let mut sink = SinkFn::new(|_i: usize, r: &ConfigResult| {
-                std::hint::black_box(r.metrics.goodput_bps);
-            });
-            campaign.run_streamed(&configs, &mut sink);
-        };
-
-        // Warmup, doubling as the batch-size calibration.
-        run_grid();
-        let t0 = Instant::now();
-        run_grid();
-        let per_grid = t0.elapsed().as_secs_f64().max(1e-6);
-        let iters = (min_batch_s / per_grid).ceil().max(1.0) as usize;
-
-        let mut best = f64::INFINITY;
-        for _ in 0..reps.max(1) {
-            let t0 = Instant::now();
-            for _ in 0..iters {
-                run_grid();
+    let mut results = Vec::with_capacity(2 * thread_counts.len());
+    for engine in [EngineMode::Golden, EngineMode::Fast] {
+        for &threads in thread_counts {
+            let campaign = Campaign {
+                threads,
+                ..Campaign::new(Scale::Bench)
             }
-            best = best.min(t0.elapsed().as_secs_f64());
+            .with_engine(engine);
+            let run_grid = || {
+                let mut sink = SinkFn::new(|_i: usize, r: &ConfigResult| {
+                    std::hint::black_box(r.metrics.goodput_bps);
+                });
+                campaign.run_streamed(&configs, &mut sink);
+            };
+
+            // Warmup, doubling as the batch-size calibration.
+            run_grid();
+            let t0 = Instant::now();
+            run_grid();
+            let per_grid = t0.elapsed().as_secs_f64().max(1e-6);
+            let iters = (min_batch_s / per_grid).ceil().max(1.0) as usize;
+
+            let mut best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    run_grid();
+                }
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            results.push(ThreadThroughput {
+                mode: engine.name().to_string(),
+                threads,
+                configs_per_sec: (iters * configs.len()) as f64 / best,
+                elapsed_s: best,
+                iters,
+            });
         }
-        results.push(ThreadThroughput {
-            threads,
-            configs_per_sec: (iters * configs.len()) as f64 / best,
-            elapsed_s: best,
-            iters,
-        });
     }
     BenchReport {
         bench: "campaign_throughput".into(),
@@ -223,8 +232,13 @@ mod tests {
     fn report_measures_and_renders() {
         // Tiny batches: correctness of the plumbing, not the numbers.
         let report = campaign_throughput(&[1, 2], 1, 0.0);
-        assert_eq!(report.results.len(), 2);
+        // One row per (mode, thread count): golden rows first, then fast.
+        assert_eq!(report.results.len(), 4);
         assert!(report.results.iter().all(|r| r.configs_per_sec > 0.0));
+        assert_eq!(report.results[0].mode, "golden");
+        assert_eq!(report.results[2].mode, "fast");
+        assert_eq!(report.results[0].threads, 1);
+        assert_eq!(report.results[3].threads, 2);
         assert_eq!(report.scenarios.len(), 2);
         assert_eq!(report.scenarios[0].links, 2);
         assert_eq!(report.scenarios[1].links, 8);

@@ -1,0 +1,747 @@
+//! The fast-mode link engine: a coalesced per-packet simulator that is
+//! *statistically equivalent* to the golden event-driven
+//! [`LinkSimulation`](crate::simulation::LinkSimulation).
+//!
+//! # What "fast" changes — and what it must not
+//!
+//! The golden engine replays roughly six scheduler events per transmission
+//! attempt (backoff elapse, CCA, turnaround, frame airtime, ACK wait,
+//! retry gap), each a heap push/pop through the executor. The fast engine
+//! samples the **same stochastic process** — identical backoff law,
+//! identical CCA geometric loop, identical per-attempt channel
+//! observation, delivery and ACK draws from the paper's Eq. 3/7/8 chain —
+//! but composes each packet's service time arithmetically in one pass, so
+//! a packet costs a handful of RNG draws instead of a handful of events.
+//! Queueing is resolved analytically: with one server and FIFO service,
+//! a packet's service start is `max(arrival, previous departure)`, and
+//! queue occupancy at any arrival equals the number of earlier admissions
+//! whose departure lies in the future.
+//!
+//! What it must *not* change is any distribution the metrics fold sees:
+//! per-attempt success probabilities, tries-to-completion, service and
+//! sojourn times, drop depths, duplicate counts and energy per state all
+//! follow the same law as the golden engine. Draw *order* and draw *count*
+//! differ (fast uses [`FastRng`]/Ziggurat, golden uses `StdRng`/polar
+//! Box–Muller), so runs are never bit-identical across engines — the
+//! tier-2 distributional suite (`tests/distributional.rs` at the workspace
+//! root) holds the two engines to statistical agreement instead.
+//!
+//! # Determinism
+//!
+//! Fast runs are bit-reproducible *within* the fast engine: the RNG
+//! streams are derived from [`fast_seed`], a splitmix64 hash of the
+//! campaign seed, the engine tag and the canonical bits of the
+//! configuration itself. Seeding from the *configuration* (rather than a
+//! grid index) means a configuration's fast result is independent of where
+//! it sits in a campaign grid — reordering or subsetting a grid never
+//! changes a config's numbers.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use wsn_mac::timing;
+use wsn_params::config::StackConfig;
+use wsn_radio::budget::LinkBudgetTable;
+use wsn_radio::channel::Channel;
+use wsn_radio::energy::EnergyMeter;
+use wsn_sim_engine::mode::EngineMode;
+use wsn_sim_engine::rng::{splitmix64, FastRng};
+use wsn_sim_engine::time::{SimDuration, SimTime};
+
+use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
+use crate::record::{PacketFate, PacketRecord};
+use crate::simulation::SimOptions;
+
+use rand::Rng;
+
+/// The CCA retry budget, mirroring
+/// `wsn_mac::transaction::MAX_CCA_RETRIES`: after this many consecutive
+/// busy assessments the MAC transmits anyway.
+const MAX_CCA_RETRIES: u32 = 16;
+
+/// Derives the fast engine's root seed for one `(config, seed)` pair.
+///
+/// The hash chains splitmix64 over the campaign seed, the
+/// [`EngineMode::Fast`] tag and the canonical bits of every stack
+/// parameter. Two consequences, both load-bearing:
+///
+/// - fast results are a pure function of `(config, seed)` — independent of
+///   grid position, thread count or batch order;
+/// - golden and fast streams for the same `(config, seed)` are unrelated,
+///   so nobody can mistake cross-engine agreement for shared randomness.
+pub fn fast_seed(config: &StackConfig, seed: u64) -> u64 {
+    let mut z = splitmix64(seed ^ splitmix64(EngineMode::Fast.seed_tag()));
+    for word in [
+        config.distance.meters().to_bits(),
+        config.power.level() as u64,
+        config.max_tries.get() as u64,
+        config.retry_delay.millis() as u64,
+        config.queue_cap.get() as u64,
+        config.packet_interval.millis() as u64,
+        config.payload.bytes() as u64,
+    ] {
+        z = splitmix64(z ^ splitmix64(word));
+    }
+    z
+}
+
+/// Result of one fast-mode run.
+#[derive(Debug, Clone)]
+pub struct FastOutcome {
+    /// The simulated configuration.
+    pub config: StackConfig,
+    metrics: LinkMetrics,
+    /// Per-packet records if requested in [`SimOptions::record_packets`].
+    pub records: Option<Vec<PacketRecord>>,
+    /// Final simulation clock (last arrival or departure, or the horizon).
+    pub end_time: SimTime,
+}
+
+impl FastOutcome {
+    /// The summary metrics of the run.
+    pub fn metrics(&self) -> &LinkMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the outcome, returning the metrics.
+    pub fn into_metrics(self) -> LinkMetrics {
+        self.metrics
+    }
+}
+
+/// A configured, runnable fast-mode simulation of one link.
+///
+/// ```
+/// use wsn_link_sim::fast::FastLinkSimulation;
+/// use wsn_link_sim::prelude::*;
+/// use wsn_params::prelude::*;
+///
+/// let cfg = StackConfig::builder()
+///     .distance_m(20.0)
+///     .power_level(27)
+///     .payload_bytes(50)
+///     .build()?;
+/// let m = FastLinkSimulation::new(cfg, SimOptions::quick(200)).run();
+/// assert_eq!(m.metrics().generated, 200);
+/// assert!(m.metrics().conserves_packets());
+/// # Ok::<(), wsn_params::error::InvalidParam>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastLinkSimulation {
+    config: StackConfig,
+    options: SimOptions,
+    budgets: Option<Arc<LinkBudgetTable>>,
+}
+
+impl FastLinkSimulation {
+    /// Creates a fast simulation of `config` under `options`.
+    pub fn new(config: StackConfig, options: SimOptions) -> Self {
+        FastLinkSimulation {
+            config,
+            options,
+            budgets: None,
+        }
+    }
+
+    /// Attaches a campaign-shared [`LinkBudgetTable`], consulted only when
+    /// its environment matches [`SimOptions::channel`] (same contract as
+    /// the golden path).
+    pub fn with_budget_table(mut self, table: Arc<LinkBudgetTable>) -> Self {
+        self.budgets = Some(table);
+        self
+    }
+
+    /// Runs the simulation to completion and summarises it.
+    pub fn run(self) -> FastOutcome {
+        let channel = match &self.budgets {
+            Some(table) if *table.config() == self.options.channel => {
+                table.channel(self.config.power, self.config.distance)
+            }
+            _ => Channel::new(
+                self.options.channel,
+                self.config.power,
+                self.config.distance,
+            ),
+        };
+        let root = fast_seed(&self.config, self.options.seed);
+        let run = FastRun::new(self.config, channel, &self.options, root);
+        run.execute(self.config, &self.options)
+    }
+}
+
+/// Outcome of serving one packet, composed arithmetically.
+struct Served {
+    /// Total MAC service time, µs.
+    service_us: u64,
+    /// Transmissions used.
+    tries: u8,
+    /// Sender saw an ACK.
+    acked: bool,
+    /// Copies the receiver accepted (≥ 2 means ACK-loss duplicates).
+    copies: u32,
+    /// Channel observation of the last attempt.
+    last_rssi_dbm: f64,
+    last_snr_db: f64,
+    last_lqi: u8,
+}
+
+/// Mutable state of one fast run: channel, five RNG streams (same roles as
+/// the golden engine's `StreamId`s) and the running counters the metrics
+/// fold needs.
+struct FastRun {
+    cfg: StackConfig,
+    channel: Channel,
+    rng_fading: FastRng,
+    rng_noise: FastRng,
+    rng_delivery: FastRng,
+    rng_backoff: FastRng,
+    rng_traffic: FastRng,
+    cca_prob: f64,
+    // Deterministic per-packet timing, µs.
+    spi_us: u64,
+    frame_us: u64,
+    turnaround_us: u64,
+    ack_rx_us: u64,
+    ack_timeout_us: u64,
+    retry_us: u64,
+    max_tries: u8,
+    // Running counters, mirroring `LinkCore`.
+    acc: MetricsAccumulator,
+    attempts: u64,
+    attempts_unacked: u64,
+    snr_sum: f64,
+    rssi_sum: f64,
+    duplicates: u64,
+    generated: u64,
+    busy_us: u64,
+    tx_us: u64,
+    rx_us: u64,
+    idle_us: u64,
+    records: Option<Vec<PacketRecord>>,
+}
+
+impl FastRun {
+    fn new(cfg: StackConfig, channel: Channel, options: &SimOptions, root: u64) -> Self {
+        // Five independent streams, one per golden `StreamId` role, each
+        // its own splitmix64 lane off the root seed.
+        let mut lane = root;
+        let mut next = || {
+            lane = splitmix64(lane);
+            FastRng::new(lane)
+        };
+        let cca_prob = channel.cca_busy_probability();
+        FastRun {
+            rng_fading: next(),
+            rng_noise: next(),
+            rng_delivery: next(),
+            rng_backoff: next(),
+            rng_traffic: next(),
+            channel,
+            cca_prob,
+            spi_us: timing::spi_load(cfg.payload).as_micros(),
+            frame_us: timing::frame_time(cfg.payload).as_micros(),
+            turnaround_us: timing::TURNAROUND.as_micros(),
+            ack_rx_us: timing::ACK_RECEIVE.as_micros(),
+            ack_timeout_us: timing::ACK_TIMEOUT.as_micros(),
+            retry_us: cfg.retry_delay.millis() as u64 * 1_000,
+            max_tries: cfg.max_tries.get(),
+            acc: MetricsAccumulator::with_packet_hint(options.packets),
+            attempts: 0,
+            attempts_unacked: 0,
+            snr_sum: 0.0,
+            rssi_sum: 0.0,
+            duplicates: 0,
+            generated: 0,
+            busy_us: 0,
+            tx_us: 0,
+            rx_us: 0,
+            idle_us: 0,
+            records: options.record_packets.then(Vec::new),
+            cfg,
+        }
+    }
+
+    /// Serves one packet starting at absolute time `start_us`, replaying
+    /// the CSMA-CA transaction's timing and draw structure arithmetically.
+    /// Mirrors `wsn_mac::transaction::Transaction` phase by phase.
+    fn serve(&mut self, start_us: u64) -> Served {
+        let mut t: u64 = 0;
+        let mut tries: u8 = 0;
+        let mut copies: u32 = 0;
+        let mut acked = false;
+        // Assigned on every attempt; the loop body runs at least once.
+        let mut last_rssi_dbm;
+        let mut last_snr_db;
+        let mut last_lqi;
+
+        // SPI frame load: first attempt only, radio idle.
+        self.idle_us += self.spi_us;
+        t += self.spi_us;
+
+        loop {
+            // Initial (non-congestion) backoff, radio listening.
+            let backoff = timing::draw_initial_backoff(&mut self.rng_backoff).as_micros();
+            self.rx_us += backoff;
+            t += backoff;
+
+            // CCA: geometric busy loop with the transaction's retry budget.
+            // A clear assessment costs no time; each busy one costs the
+            // 128 µs assessment slot plus a congestion backoff. The golden
+            // path draws only when the busy probability is non-zero, so the
+            // fast path must too (draw-count parity per attempt).
+            if self.cca_prob > 0.0 {
+                let mut cca_retries = 0u32;
+                while cca_retries < MAX_CCA_RETRIES && self.rng_backoff.gen::<f64>() < self.cca_prob
+                {
+                    cca_retries += 1;
+                    self.rx_us += 128;
+                    t += 128;
+                    let congestion =
+                        timing::draw_congestion_backoff(&mut self.rng_backoff).as_micros();
+                    self.rx_us += congestion;
+                    t += congestion;
+                }
+            }
+
+            // RX→TX turnaround, then the frame airtime.
+            self.rx_us += self.turnaround_us;
+            t += self.turnaround_us;
+            self.tx_us += self.frame_us;
+            t += self.frame_us;
+
+            // Channel observation at the moment the frame lands (golden
+            // resolves motion at the same point: end of the frame wait).
+            // The isolated medium contributes no co-channel interference.
+            let obs = self
+                .channel
+                .observe(&mut self.rng_fading, &mut self.rng_noise);
+            let delivered =
+                self.channel
+                    .data_success(&obs, self.cfg.payload, &mut self.rng_delivery);
+            let ack_ok = delivered && self.channel.ack_success(&obs, &mut self.rng_delivery);
+            tries += 1;
+            self.attempts += 1;
+            if !ack_ok {
+                self.attempts_unacked += 1;
+            }
+            self.snr_sum += obs.snr_db;
+            self.rssi_sum += obs.rssi_dbm;
+            if delivered {
+                copies += 1;
+            }
+            last_rssi_dbm = obs.rssi_dbm;
+            last_snr_db = obs.snr_db;
+            last_lqi = obs.lqi;
+
+            if ack_ok {
+                // Receive the ACK, then the transaction is delivered.
+                self.rx_us += self.ack_rx_us;
+                t += self.ack_rx_us;
+                acked = true;
+                break;
+            }
+            // No ACK: listen out the full timeout.
+            self.rx_us += self.ack_timeout_us;
+            t += self.ack_timeout_us;
+            if tries >= self.max_tries {
+                break;
+            }
+            // Retry delay with the radio idle, then back off again.
+            self.idle_us += self.retry_us;
+            t += self.retry_us;
+        }
+        let _ = start_us; // Reserved for motion profiles (see `execute`).
+        Served {
+            service_us: t,
+            tries,
+            acked,
+            copies,
+            last_rssi_dbm,
+            last_snr_db,
+            last_lqi,
+        }
+    }
+
+    /// Re-points the channel for a moving sender at absolute time `t_us`.
+    /// Matches the golden engine's retarget point: the moment a frame's
+    /// airtime completes.
+    fn retarget_at(&mut self, t_us: u64, options: &SimOptions) {
+        if !options.trajectory.is_stationary() {
+            let here = options
+                .trajectory
+                .distance_at(t_us as f64 * 1e-6, self.cfg.distance);
+            self.channel.retarget(self.cfg.power, here);
+        }
+    }
+
+    fn emit(&mut self, record: PacketRecord) {
+        self.acc.observe(&record);
+        if let Some(records) = self.records.as_mut() {
+            records.push(record);
+        }
+    }
+
+    fn emit_drop(&mut self, seq: u64, t_arrival_us: u64, depth: usize) {
+        self.emit(PacketRecord {
+            seq,
+            t_arrival: SimTime::from_micros(t_arrival_us),
+            t_service_start: None,
+            t_done: None,
+            tries: 0,
+            queue_depth: depth,
+            fate: PacketFate::QueueDropped,
+            sender_acked: false,
+            last_rssi_dbm: f64::NAN,
+            last_snr_db: f64::NAN,
+            last_lqi: 0,
+        });
+    }
+
+    /// Serves an admitted packet and folds its record; returns the
+    /// departure time, µs.
+    fn serve_and_emit(
+        &mut self,
+        seq: u64,
+        t_arrival_us: u64,
+        start_us: u64,
+        depth: usize,
+        options: &SimOptions,
+    ) -> u64 {
+        // Motion: re-point the channel roughly where the service happens.
+        // (Attempt-exact retargeting would need the service composed
+        // incrementally; the first-frame point is within one service time
+        // of golden's, far inside the trajectory's time scale.)
+        self.retarget_at(start_us, options);
+        let served = self.serve(start_us);
+        let done_us = start_us + served.service_us;
+        self.busy_us += served.service_us;
+        self.duplicates += served.copies.saturating_sub(1) as u64;
+        let fate = if served.copies > 0 {
+            PacketFate::Delivered
+        } else {
+            PacketFate::RadioLost
+        };
+        self.emit(PacketRecord {
+            seq,
+            t_arrival: SimTime::from_micros(t_arrival_us),
+            t_service_start: Some(SimTime::from_micros(start_us)),
+            t_done: Some(SimTime::from_micros(done_us)),
+            tries: served.tries,
+            queue_depth: depth,
+            fate,
+            sender_acked: served.acked,
+            last_rssi_dbm: served.last_rssi_dbm,
+            last_snr_db: served.last_snr_db,
+            last_lqi: served.last_lqi,
+        });
+        done_us
+    }
+
+    /// Runs the arrival/service loop and closes the books.
+    fn execute(mut self, config: StackConfig, options: &SimOptions) -> FastOutcome {
+        let horizon_us = options.horizon.map(|h| h.as_micros());
+        let cap = self.cfg.queue_cap.get() as usize;
+        let interval = SimDuration::from_millis(self.cfg.packet_interval.millis() as u64);
+        let budget = options.packets;
+        // Departure times of admitted-but-not-yet-departed packets; its
+        // length is the queue occupancy (in-service packet included, as in
+        // the golden queue where the served head keeps its `Qmax` slot).
+        let mut departures: VecDeque<u64> = VecDeque::with_capacity(cap.min(64));
+        let mut prev_dep_us: u64 = 0;
+        let mut end_us: u64 = 0;
+        let mut truncated = false;
+
+        if options.traffic.is_saturating() {
+            // The saturating source fills the queue at t = 0 and tops it up
+            // on every completion, so service is back-to-back: each packet
+            // starts when its predecessor departs. Admission depths follow
+            // the golden pattern: 1..=cap for the initial fill, then `cap`
+            // for every top-up (the queue is re-filled the instant a slot
+            // frees).
+            let mut admitted: u64 = 0;
+            let mut waiting: VecDeque<(u64, u64, usize)> = VecDeque::new();
+            while admitted < budget && waiting.len() < cap {
+                self.generated += 1;
+                waiting.push_back((admitted, 0, waiting.len() + 1));
+                admitted += 1;
+            }
+            while let Some((seq, t_arr, depth)) = waiting.pop_front() {
+                let start = t_arr.max(prev_dep_us);
+                if let Some(h) = horizon_us {
+                    if start >= h {
+                        truncated = true;
+                        break;
+                    }
+                }
+                let dep = self.serve_and_emit(seq, t_arr, start, depth, options);
+                prev_dep_us = dep;
+                end_us = end_us.max(dep);
+                if admitted < budget {
+                    self.generated += 1;
+                    waiting.push_back((admitted, dep, waiting.len() + 1));
+                    admitted += 1;
+                }
+            }
+        } else {
+            let mut t_arrival_us: u64 = 0;
+            for seq in 0..budget {
+                if let Some(h) = horizon_us {
+                    if t_arrival_us > h {
+                        truncated = true;
+                        break;
+                    }
+                }
+                let t = t_arrival_us;
+                end_us = end_us.max(t);
+                // Packets that have already departed free their slots.
+                while departures.front().is_some_and(|&d| d <= t) {
+                    departures.pop_front();
+                }
+                self.generated += 1;
+                if departures.len() >= cap {
+                    self.emit_drop(seq, t, departures.len());
+                } else {
+                    let depth = departures.len() + 1;
+                    let start = t.max(prev_dep_us);
+                    if let Some(h) = horizon_us {
+                        if start >= h {
+                            // In-flight at the horizon: residual, like the
+                            // golden run's unfinished transaction.
+                            truncated = true;
+                            continue;
+                        }
+                    }
+                    let dep = self.serve_and_emit(seq, t, start, depth, options);
+                    departures.push_back(dep);
+                    prev_dep_us = dep;
+                    end_us = end_us.max(dep);
+                }
+                if seq + 1 < budget {
+                    let gap = options
+                        .traffic
+                        .next_gap(interval, &mut self.rng_traffic)
+                        .expect("interval-based traffic always yields a gap");
+                    t_arrival_us = t + gap.as_micros();
+                }
+            }
+        }
+
+        let duration_us = match horizon_us {
+            Some(h) if truncated || end_us > h => h,
+            _ => end_us,
+        };
+        let total = SimDuration::from_micros(duration_us);
+
+        // Energy: one batched add per radio state, then the idle residual —
+        // the same accounting identity `LinkCore::finalize` enforces.
+        let mut energy = EnergyMeter::new();
+        energy.add_tx(self.cfg.power, SimDuration::from_micros(self.tx_us));
+        energy.add_rx(SimDuration::from_micros(self.rx_us));
+        energy.add_idle(SimDuration::from_micros(self.idle_us));
+        let accounted = energy.accounted_time();
+        if total > accounted {
+            energy.add_idle(total - accounted);
+        }
+
+        let totals = RunTotals {
+            duration: total,
+            generated: self.generated,
+            attempts: self.attempts,
+            attempts_unacked: self.attempts_unacked,
+            duplicates: self.duplicates,
+            snr_sum: self.snr_sum,
+            rssi_sum: self.rssi_sum,
+            busy: SimDuration::from_micros(self.busy_us),
+            energy: energy.breakdown(),
+            payload_bits: self.cfg.payload.bits(),
+            offered_bps: self.cfg.offered_load_bps(),
+            fallback_snr_db: self.channel.mean_snr_db(),
+            fallback_rssi_dbm: self.channel.mean_rssi_dbm(),
+        };
+        let metrics = self.acc.finish(&totals);
+        FastOutcome {
+            config,
+            metrics,
+            records: self.records,
+            end_time: SimTime::from_micros(duration_us),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficModel;
+    use wsn_radio::channel::ChannelConfig;
+
+    fn cfg(power: u8, dist: f64) -> StackConfig {
+        StackConfig::builder()
+            .distance_m(dist)
+            .power_level(power)
+            .payload_bytes(50)
+            .max_tries(3)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(50)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_seed_is_bit_reproducible() {
+        let a = FastLinkSimulation::new(cfg(23, 35.0), SimOptions::quick(200)).run();
+        let b = FastLinkSimulation::new(cfg(23, 35.0), SimOptions::quick(200)).run();
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FastLinkSimulation::new(cfg(23, 35.0), SimOptions::quick(200)).run();
+        let b = FastLinkSimulation::new(cfg(23, 35.0), SimOptions::quick(200).with_seed(99)).run();
+        assert_ne!(a.metrics().goodput_bps, b.metrics().goodput_bps);
+    }
+
+    #[test]
+    fn conserves_packets_across_link_qualities() {
+        for (power, dist) in [(31u8, 10.0), (23, 35.0), (3, 35.0)] {
+            let m = FastLinkSimulation::new(cfg(power, dist), SimOptions::quick(300)).run();
+            assert_eq!(m.metrics().generated, 300);
+            assert!(m.metrics().conserves_packets());
+        }
+    }
+
+    #[test]
+    fn good_link_delivers_nearly_everything() {
+        let m = FastLinkSimulation::new(cfg(31, 10.0), SimOptions::quick(300)).run();
+        assert!(
+            m.metrics().plr_total() < 0.02,
+            "plr={}",
+            m.metrics().plr_total()
+        );
+        assert!(m.metrics().goodput_bps > 0.9 * m.metrics().offered_bps);
+    }
+
+    #[test]
+    fn weak_link_loses_packets_over_radio() {
+        let m = FastLinkSimulation::new(cfg(3, 35.0), SimOptions::quick(300)).run();
+        assert!(
+            m.metrics().plr_radio > 0.01,
+            "plr_radio={}",
+            m.metrics().plr_radio
+        );
+        assert!(
+            m.metrics().mean_tries > 1.05,
+            "tries={}",
+            m.metrics().mean_tries
+        );
+    }
+
+    #[test]
+    fn fast_seed_is_config_dependent_and_stable() {
+        let a = fast_seed(&cfg(23, 35.0), 1);
+        assert_eq!(a, fast_seed(&cfg(23, 35.0), 1), "same inputs, same seed");
+        assert_ne!(a, fast_seed(&cfg(23, 35.0), 2), "seed must matter");
+        assert_ne!(a, fast_seed(&cfg(24, 35.0), 1), "config must matter");
+        assert_ne!(a, fast_seed(&cfg(23, 20.0), 1), "distance must matter");
+    }
+
+    #[test]
+    fn results_are_independent_of_any_grid_index() {
+        // The fast engine seeds from (config, seed) only: the same config
+        // simulated "at another position" (fresh object, same values)
+        // yields identical numbers.
+        let options = SimOptions::quick(150);
+        let a = FastLinkSimulation::new(cfg(11, 20.0), options.clone()).run();
+        let b = FastLinkSimulation::new(cfg(11, 20.0), options).run();
+        assert_eq!(a.metrics(), b.metrics());
+    }
+
+    #[test]
+    fn budget_table_run_is_bit_identical_to_direct_run() {
+        let table = Arc::new(LinkBudgetTable::new(ChannelConfig::paper_hallway()));
+        for (power, dist) in [(23u8, 35.0), (3, 35.0), (31, 10.0)] {
+            let direct = FastLinkSimulation::new(cfg(power, dist), SimOptions::quick(200)).run();
+            let memoized = FastLinkSimulation::new(cfg(power, dist), SimOptions::quick(200))
+                .with_budget_table(Arc::clone(&table))
+                .run();
+            assert_eq!(direct.metrics(), memoized.metrics());
+            assert_eq!(direct.records, memoized.records);
+        }
+        assert_eq!(table.len(), 3, "one memo entry per operating point");
+    }
+
+    #[test]
+    fn saturating_traffic_keeps_link_busy() {
+        let m = FastLinkSimulation::new(
+            cfg(31, 10.0),
+            SimOptions::quick(200).with_traffic(TrafficModel::Saturating),
+        )
+        .run();
+        assert_eq!(m.metrics().generated, 200);
+        assert!(m.metrics().conserves_packets());
+        assert!(
+            m.metrics().utilization > 0.95,
+            "util={}",
+            m.metrics().utilization
+        );
+    }
+
+    #[test]
+    fn poisson_traffic_runs_and_conserves() {
+        let m = FastLinkSimulation::new(
+            cfg(23, 35.0),
+            SimOptions::quick(300).with_traffic(TrafficModel::Poisson),
+        )
+        .run();
+        assert_eq!(m.metrics().generated, 300);
+        assert!(m.metrics().conserves_packets());
+    }
+
+    #[test]
+    fn queue_cap_one_drops_arrivals_during_service() {
+        let cfg = StackConfig::builder()
+            .distance_m(35.0)
+            .power_level(3)
+            .payload_bytes(110)
+            .max_tries(8)
+            .retry_delay_ms(30)
+            .queue_cap(1)
+            .packet_interval_ms(10)
+            .build()
+            .unwrap();
+        let m = FastLinkSimulation::new(cfg, SimOptions::quick(300)).run();
+        assert!(m.metrics().conserves_packets());
+        assert!(
+            m.metrics().plr_queue > 0.4,
+            "plr_queue={}",
+            m.metrics().plr_queue
+        );
+    }
+
+    #[test]
+    fn horizon_leaves_residual_packets() {
+        let options = SimOptions {
+            horizon: Some(SimDuration::from_millis(40)),
+            ..SimOptions::quick(1000)
+        };
+        let m = FastLinkSimulation::new(cfg(23, 35.0), options).run();
+        assert!(m.metrics().conserves_packets());
+        assert!(m.metrics().generated < 1000);
+        assert!(m.metrics().duration_s <= 0.040 + 1e-9);
+    }
+
+    #[test]
+    fn records_match_aggregates() {
+        let outcome = FastLinkSimulation::new(cfg(23, 35.0), SimOptions::quick(250)).run();
+        let m = outcome.metrics().clone();
+        let records = outcome.records.unwrap();
+        let delivered = records
+            .iter()
+            .filter(|r| r.fate == PacketFate::Delivered)
+            .count() as u64;
+        assert_eq!(delivered, m.delivered);
+        let tries: u64 = records.iter().map(|r| r.tries as u64).sum();
+        assert_eq!(tries, m.attempts);
+    }
+}

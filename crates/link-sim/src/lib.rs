@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod catalog;
+pub mod fast;
 mod link;
 pub mod metrics;
 pub mod network;
@@ -50,6 +51,7 @@ pub mod traffic;
 pub mod prelude {
     pub use crate::analysis::{littles_law, DeliverySequence};
     pub use crate::catalog::{all_scenarios, build_scenario};
+    pub use crate::fast::{fast_seed, FastLinkSimulation, FastOutcome};
     pub use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
     pub use crate::network::{
         scenario_from_interference, AirStats, LinkOutcome, NetOptions, NetworkOutcome,

@@ -88,6 +88,32 @@ impl LinkBudgetTable {
         Channel::from_budget(self.config, self.budget(power, distance))
     }
 
+    /// Computes (and memoizes) the budgets for every operating point in
+    /// `points` up front. Campaign runners call this once, serially,
+    /// before spawning workers, so that per-worker table clones (see
+    /// [`clone_table`](Self::clone_table)) start fully populated and no
+    /// worker ever contends on a shared lock mid-run.
+    pub fn prewarm<I>(&self, points: I)
+    where
+        I: IntoIterator<Item = (PowerLevel, Distance)>,
+    {
+        for (power, distance) in points {
+            let _ = self.budget(power, distance);
+        }
+    }
+
+    /// A deep copy of this table: same environment, same memoized budgets,
+    /// its own uncontended lock. Budgets are pure functions of
+    /// `(config, power, distance)`, so clones are interchangeable with the
+    /// original — handing each campaign worker its own clone removes the
+    /// shared-lock contention without perturbing a single bit of output.
+    pub fn clone_table(&self) -> LinkBudgetTable {
+        LinkBudgetTable {
+            config: self.config,
+            cache: Mutex::new(self.cache.lock().expect("budget cache lock").clone()),
+        }
+    }
+
     /// Number of distinct operating points memoized so far.
     pub fn len(&self) -> usize {
         self.cache.lock().expect("budget cache lock").len()
@@ -166,6 +192,31 @@ mod tests {
         // Same distance ⇒ same sigma and noise terms.
         assert_eq!(first.sigma_db, other.sigma_db);
         assert_eq!(first.noise_mean_dbm, other.noise_mean_dbm);
+    }
+
+    #[test]
+    fn prewarmed_clone_matches_original_without_recomputing() {
+        let table = LinkBudgetTable::new(ChannelConfig::paper_hallway());
+        let points: Vec<_> = [(3u8, 10.0), (11, 20.0), (31, 35.0)]
+            .iter()
+            .map(|&(p, d)| pt(p, d))
+            .collect();
+        table.prewarm(points.iter().copied());
+        assert_eq!(table.len(), 3);
+        let clone = table.clone_table();
+        assert_eq!(clone.len(), 3, "clone starts fully populated");
+        for &(p, d) in &points {
+            let a = table.budget(p, d);
+            let b = clone.budget(p, d);
+            assert_eq!(a.mean_rssi_dbm.to_bits(), b.mean_rssi_dbm.to_bits());
+            assert_eq!(a.sigma_db.to_bits(), b.sigma_db.to_bits());
+            assert_eq!(a.noise_mean_dbm.to_bits(), b.noise_mean_dbm.to_bits());
+        }
+        // New points memoize independently in each copy.
+        let (p, d) = pt(19, 10.0);
+        let _ = clone.budget(p, d);
+        assert_eq!(clone.len(), 4);
+        assert_eq!(table.len(), 3, "original unaffected by clone lookups");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use wsn_params::types::{Distance, PayloadSize, PowerLevel};
+use wsn_sim_engine::rng::NormalSampler;
 
 use crate::budget::LinkBudget;
 use crate::interference::InterferenceModel;
@@ -182,10 +183,16 @@ impl Channel {
     }
 
     /// Draws the channel state for the next transmission attempt.
+    ///
+    /// Generic over [`NormalSampler`] — the engine-mode sampling seam: the
+    /// golden engine passes `StdRng` streams (polar Box–Muller, pinned by
+    /// the golden fixtures), the fast engine passes
+    /// [`FastRng`](wsn_sim_engine::rng::FastRng) streams (Ziggurat), and
+    /// both sample exactly the same shadowing/noise process.
     pub fn observe<RF, RN>(&mut self, fading_rng: &mut RF, noise_rng: &mut RN) -> Observation
     where
-        RF: Rng + ?Sized,
-        RN: Rng + ?Sized,
+        RF: NormalSampler + ?Sized,
+        RN: NormalSampler + ?Sized,
     {
         let deviation = self.shadowing.next_deviation_db(fading_rng);
         let rssi_dbm = self.mean_rssi_dbm + deviation;

@@ -10,10 +10,9 @@
 //! −95 dBm, and also provide the constant-floor variant as the ablation the
 //! paper plots.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use wsn_sim_engine::rng::standard_normal;
+use wsn_sim_engine::rng::NormalSampler;
 
 /// The constant noise-floor average the paper quotes, dBm.
 pub const NOISE_FLOOR_MEAN_DBM: f64 = -95.0;
@@ -62,7 +61,12 @@ impl NoiseModel {
     }
 
     /// Draws one noise-floor sample, dBm.
-    pub fn sample_dbm<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    ///
+    /// Generic over [`NormalSampler`] (the engine-mode sampling seam): the
+    /// generator type selects Box–Muller (golden `StdRng`) or Ziggurat
+    /// (fast [`FastRng`](wsn_sim_engine::rng::FastRng)) for the Gaussian
+    /// components.
+    pub fn sample_dbm<R: NormalSampler + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
             NoiseModel::Constant { floor_dbm } => floor_dbm,
             NoiseModel::Mixture {
@@ -77,7 +81,7 @@ impl NoiseModel {
                 } else {
                     (quiet_mean_dbm, quiet_sigma_db)
                 };
-                mean + sigma * standard_normal(rng)
+                mean + sigma * rng.sample_standard_normal()
             }
         }
     }

@@ -16,11 +16,10 @@
 //!
 //! whose stationary distribution is `N(0, σ(d)²)` independent of `ρ`.
 
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use wsn_params::types::Distance;
-use wsn_sim_engine::rng::standard_normal;
+use wsn_sim_engine::rng::NormalSampler;
 
 /// Distance-dependent shadowing deviation profile, dB.
 ///
@@ -94,6 +93,10 @@ impl Default for SigmaProfile {
 pub struct Shadowing {
     sigma_db: f64,
     correlation: f64,
+    /// `sqrt(1 − ρ²) · σ`, hoisted out of the per-attempt draw. The
+    /// product keeps the draw's original association, so cached and
+    /// recomputed deviations are bit-identical.
+    innovation_scale: f64,
     state_db: f64,
     initialised: bool,
 }
@@ -109,12 +112,7 @@ impl Shadowing {
             (0.0..1.0).contains(&correlation),
             "AR(1) correlation must be in [0, 1), got {correlation}"
         );
-        Shadowing {
-            sigma_db: profile.sigma_db(distance),
-            correlation,
-            state_db: 0.0,
-            initialised: false,
-        }
+        Shadowing::with_sigma_db(profile.sigma_db(distance), correlation)
     }
 
     /// Creates the process from an already-computed deviation (the
@@ -132,6 +130,7 @@ impl Shadowing {
         Shadowing {
             sigma_db,
             correlation,
+            innovation_scale: (1.0 - correlation * correlation).sqrt() * sigma_db,
             state_db: 0.0,
             initialised: false,
         }
@@ -143,18 +142,22 @@ impl Shadowing {
     }
 
     /// Draws the next correlated deviation, dB.
-    pub fn next_deviation_db<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+    ///
+    /// Generic over [`NormalSampler`], the engine-mode sampling seam: the
+    /// golden engine's `StdRng` keeps the polar Box–Muller transform
+    /// bit-for-bit, the fast engine's
+    /// [`FastRng`](wsn_sim_engine::rng::FastRng) substitutes the Ziggurat
+    /// sampler of the same `N(0, 1)` distribution.
+    pub fn next_deviation_db<R: NormalSampler + ?Sized>(&mut self, rng: &mut R) -> f64 {
         if self.sigma_db == 0.0 {
             return 0.0;
         }
         if !self.initialised {
             // Start in the stationary distribution.
-            self.state_db = self.sigma_db * standard_normal(rng);
+            self.state_db = self.sigma_db * rng.sample_standard_normal();
             self.initialised = true;
         } else {
-            let innovation = (1.0 - self.correlation * self.correlation).sqrt()
-                * self.sigma_db
-                * standard_normal(rng);
+            let innovation = self.innovation_scale * rng.sample_standard_normal();
             self.state_db = self.correlation * self.state_db + innovation;
         }
         self.state_db

@@ -16,6 +16,7 @@
 use std::sync::Arc;
 
 use wsn_link_sim::catalog::{all_scenarios, build_scenario};
+use wsn_link_sim::fast::FastLinkSimulation;
 use wsn_link_sim::metrics::LinkMetrics;
 use wsn_link_sim::network::{AirStats, NetOptions, NetworkSimulation};
 use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
@@ -27,6 +28,7 @@ use wsn_params::grid::ParamGrid;
 use wsn_params::types::Distance;
 use wsn_radio::budget::LinkBudgetTable;
 use wsn_radio::channel::ChannelConfig;
+use wsn_sim_engine::mode::EngineMode;
 
 use serde::Serialize;
 
@@ -62,6 +64,7 @@ struct SimulateResult {
     config: StackConfig,
     packets: u64,
     seed: u64,
+    engine: String,
     metrics: LinkMetrics,
 }
 
@@ -82,8 +85,13 @@ struct TuneResult {
     objective: String,
     constraints: Vec<ConstraintEcho>,
     grid_configs: u64,
+    engine: String,
     config: StackConfig,
     predicted: Predicted,
+    /// Fast-engine check of the analytic winner: present when the request
+    /// asked for `"engine":"fast"`, `null` on the (default) analytic-only
+    /// golden answer.
+    simulated: Option<LinkMetrics>,
 }
 
 #[derive(Serialize)]
@@ -153,22 +161,15 @@ impl Engine {
                 config,
                 packets,
                 seed,
+                engine,
             } => {
-                let options = SimOptions {
-                    packets: *packets,
-                    record_packets: false,
-                    traffic: TrafficModel::Periodic,
-                    ..SimOptions::paper(*seed)
-                };
-                let outcome = LinkSimulation::new(*config, options)
-                    .with_budget_table(Arc::clone(&self.budgets))
-                    .run();
-                self.stats.observe_exec(&outcome.exec);
+                let metrics = self.simulate(*config, *packets, *seed, *engine);
                 serde_json::to_string(&SimulateResult {
                     config: *config,
                     packets: *packets,
                     seed: *seed,
-                    metrics: outcome.metrics().clone(),
+                    engine: engine.name().to_string(),
+                    metrics,
                 })
                 .map_err(|e| e.to_string())
             }
@@ -181,7 +182,8 @@ impl Engine {
                 objective,
                 constraints,
                 distance_m,
-            } => self.tune(*objective, constraints, *distance_m),
+                engine,
+            } => self.tune(*objective, constraints, *distance_m, *engine),
             RequestBody::Scenario {
                 scenario,
                 packets,
@@ -200,11 +202,44 @@ impl Engine {
         }
     }
 
+    /// Runs one configuration under the requested engine mode. Golden is
+    /// the event-driven replay (and feeds the executor-load counters);
+    /// fast is the coalesced per-packet sampler, which has no event loop
+    /// to observe.
+    fn simulate(
+        &self,
+        config: StackConfig,
+        packets: u64,
+        seed: u64,
+        engine: EngineMode,
+    ) -> LinkMetrics {
+        let options = SimOptions {
+            packets,
+            record_packets: false,
+            traffic: TrafficModel::Periodic,
+            ..SimOptions::paper(seed)
+        };
+        match engine {
+            EngineMode::Golden => {
+                let outcome = LinkSimulation::new(config, options)
+                    .with_budget_table(Arc::clone(&self.budgets))
+                    .run();
+                self.stats.observe_exec(&outcome.exec);
+                outcome.metrics().clone()
+            }
+            EngineMode::Fast => FastLinkSimulation::new(config, options)
+                .with_budget_table(Arc::clone(&self.budgets))
+                .run()
+                .into_metrics(),
+        }
+    }
+
     fn tune(
         &self,
         objective: Metric,
         constraints: &[(Metric, f64)],
         distance_m: Option<f64>,
+        engine: EngineMode,
     ) -> Result<String, String> {
         let mut grid = ParamGrid::paper();
         if let Some(d) = distance_m {
@@ -215,6 +250,18 @@ impl Engine {
             .optimizer
             .epsilon_constraint(&grid, objective, constraints)
             .ok_or_else(|| "no feasible configuration on the grid".to_string())?;
+        // `"engine":"fast"` buys an empirical cross-check: the analytic
+        // winner is re-run through the fast sampler so the client sees
+        // simulated metrics next to the closed-form prediction.
+        let simulated = match engine {
+            EngineMode::Golden => None,
+            EngineMode::Fast => Some(self.simulate(
+                best.config,
+                crate::protocol::DEFAULT_PACKETS,
+                crate::protocol::DEFAULT_SEED,
+                EngineMode::Fast,
+            )),
+        };
         serde_json::to_string(&TuneResult {
             objective: metric_name(objective).to_string(),
             constraints: constraints
@@ -225,8 +272,10 @@ impl Engine {
                 })
                 .collect(),
             grid_configs: grid.len() as u64,
+            engine: engine.name().to_string(),
             config: best.config,
             predicted: best.predicted,
+            simulated,
         })
         .map_err(|e| e.to_string())
     }
@@ -294,6 +343,51 @@ mod tests {
         assert_eq!(v.field("packets").as_u64(), Some(40));
         assert_eq!(v.field("config").field("distance").as_f64(), Some(20.0));
         assert!(v.field("metrics").field("generated").as_u64().unwrap() >= 40);
+    }
+
+    #[test]
+    fn fast_and_golden_answers_never_share_a_cache_line() {
+        let engine = Engine::new(4);
+        let golden = body(r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0}}"#);
+        let fast =
+            body(r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0},"engine":"fast"}"#);
+        let g = engine.execute(&golden).unwrap();
+        assert!(!g.cached);
+        // The fast request must recompute, not be served the golden body.
+        let f = engine.execute(&fast).unwrap();
+        assert!(!f.cached);
+        let v = serde_json::parse(&f.body).unwrap();
+        assert_eq!(v.field("engine").as_str(), Some("fast"));
+        assert_eq!(v.field("metrics").field("generated").as_u64(), Some(40));
+        // Each mode then hits its own line, byte-identically.
+        assert!(engine.execute(&fast).unwrap().cached);
+        let g2 = engine.execute(&golden).unwrap();
+        assert!(g2.cached);
+        assert_eq!(g2.body.as_str(), g.body.as_str());
+        let vg = serde_json::parse(&g2.body).unwrap();
+        assert_eq!(vg.field("engine").as_str(), Some("golden"));
+    }
+
+    #[test]
+    fn fast_tune_simulates_the_analytic_winner() {
+        let engine = Engine::new(4);
+        let fast = body(r#"{"op":"tune","objective":"goodput","distance_m":20.0,"engine":"fast"}"#);
+        let answer = engine.execute(&fast).unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        assert_eq!(v.field("engine").as_str(), Some("fast"));
+        assert!(v.field("simulated").field("generated").as_u64().unwrap() > 0);
+
+        // The golden tune stays analytic-only on a separate cache line.
+        let golden = body(r#"{"op":"tune","objective":"goodput","distance_m":20.0}"#);
+        let g = engine.execute(&golden).unwrap();
+        assert!(!g.cached);
+        let vg = serde_json::parse(&g.body).unwrap();
+        assert_eq!(vg.field("engine").as_str(), Some("golden"));
+        assert_eq!(vg.field("simulated").kind(), "null");
+        assert_eq!(
+            vg.field("config").field("distance").as_f64(),
+            v.field("config").field("distance").as_f64()
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use wsn_models::optimize::Metric;
 use wsn_params::config::StackConfig;
+use wsn_sim_engine::mode::EngineMode;
 
 use serde_json::Value;
 
@@ -117,6 +118,8 @@ pub enum RequestBody {
         packets: u64,
         /// Experiment seed.
         seed: u64,
+        /// Which simulation backend answers (`"golden"` default).
+        engine: EngineMode,
     },
     /// `predict`: closed-form evaluation.
     Predict {
@@ -131,6 +134,8 @@ pub enum RequestBody {
         constraints: Vec<(Metric, f64)>,
         /// Restrict the grid to one distance (meters).
         distance_m: Option<f64>,
+        /// Backend validating the winner (`"golden"` default).
+        engine: EngineMode,
     },
     /// `scenario`: a named multi-link topology from the catalog.
     Scenario {
@@ -329,7 +334,15 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
     })?;
 
     let allowed: &[&str] = match op {
-        Op::Simulate => &["id", "op", "deadline_ms", "config", "packets", "seed"],
+        Op::Simulate => &[
+            "id",
+            "op",
+            "deadline_ms",
+            "config",
+            "packets",
+            "seed",
+            "engine",
+        ],
         Op::Predict => &["id", "op", "deadline_ms", "config"],
         Op::Tune => &[
             "id",
@@ -338,6 +351,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             "objective",
             "constraints",
             "distance_m",
+            "engine",
         ],
         Op::Scenario => &["id", "op", "deadline_ms", "scenario", "packets", "seed"],
         Op::Stats | Op::Shutdown => &["id", "op", "deadline_ms"],
@@ -363,6 +377,15 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         Value::Null => None,
         v => Some(v),
     };
+    let engine_of = |root: &Value| -> Result<EngineMode, String> {
+        match root.field("engine") {
+            Value::Null => Ok(EngineMode::Golden),
+            v => v
+                .as_str()
+                .and_then(EngineMode::from_name)
+                .ok_or_else(|| "engine must be \"golden\" or \"fast\"".to_string()),
+        }
+    };
 
     let body = match op {
         Op::Simulate => RequestBody::Simulate {
@@ -372,6 +395,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             },
             packets: parse_packets(packets_field).map_err(&reject)?,
             seed: seed_of(&root).map_err(&reject)?,
+            engine: engine_of(&root).map_err(&reject)?,
         },
         Op::Predict => RequestBody::Predict {
             config: match root.field("config") {
@@ -414,6 +438,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
                 objective,
                 constraints,
                 distance_m,
+                engine: engine_of(&root).map_err(&reject)?,
             }
         }
         Op::Scenario => RequestBody::Scenario {
@@ -452,6 +477,17 @@ fn config_bits(config: &StackConfig) -> String {
     )
 }
 
+/// Cache-key suffix partitioning the engine modes: empty for golden (so
+/// every pre-fast key stays byte-identical) and `|e:fast` for fast, which
+/// guarantees a fast answer can never be served to a golden request or
+/// vice versa.
+fn engine_suffix(engine: EngineMode) -> &'static str {
+    match engine {
+        EngineMode::Golden => "",
+        EngineMode::Fast => "|e:fast",
+    }
+}
+
 /// The canonical cache key of a request body, or `None` for ops whose
 /// answers are live (`stats`, `shutdown`).
 pub fn cache_key(body: &RequestBody) -> Option<String> {
@@ -460,15 +496,18 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
             config,
             packets,
             seed,
+            engine,
         } => Some(format!(
-            "sim|{}|n:{packets}|s:{seed:016x}",
-            config_bits(config)
+            "sim|{}|n:{packets}|s:{seed:016x}{}",
+            config_bits(config),
+            engine_suffix(*engine)
         )),
         RequestBody::Predict { config } => Some(format!("prd|{}", config_bits(config))),
         RequestBody::Tune {
             objective,
             constraints,
             distance_m,
+            engine,
         } => {
             let mut key = format!("tun|o:{}", metric_name(*objective));
             for (metric, max) in constraints {
@@ -482,6 +521,7 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
                 Some(d) => key.push_str(&format!("|d:{:016x}", d.to_bits())),
                 None => key.push_str("|d:-"),
             }
+            key.push_str(engine_suffix(*engine));
             Some(key)
         }
         RequestBody::Scenario {
@@ -540,10 +580,12 @@ mod tests {
                 config,
                 packets,
                 seed,
+                engine,
             } => {
                 assert_eq!(config, StackConfig::default());
                 assert_eq!(packets, DEFAULT_PACKETS);
                 assert_eq!(seed, DEFAULT_SEED);
+                assert_eq!(engine, EngineMode::Golden);
             }
             other => panic!("wrong body {other:?}"),
         }
@@ -561,6 +603,7 @@ mod tests {
                 config,
                 packets,
                 seed,
+                ..
             } => {
                 assert_eq!(config.distance.meters(), 20.0);
                 assert_eq!(config.power.level(), 31);
@@ -622,13 +665,49 @@ mod tests {
                 objective,
                 constraints,
                 distance_m,
+                engine,
             } => {
                 assert_eq!(objective, Metric::Energy);
                 assert_eq!(constraints, vec![(Metric::Loss, 0.01)]);
                 assert_eq!(distance_m, Some(20.0));
+                assert_eq!(engine, EngineMode::Golden);
             }
             other => panic!("wrong body {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_field_parses_and_partitions_cache_keys() {
+        let fast = parse_request(r#"{"op":"simulate","engine":"fast"}"#).unwrap();
+        match &fast.body {
+            RequestBody::Simulate { engine, .. } => assert_eq!(*engine, EngineMode::Fast),
+            other => panic!("wrong body {other:?}"),
+        }
+        let golden = parse_request(r#"{"op":"simulate","engine":"golden"}"#).unwrap();
+        let implicit = parse_request(r#"{"op":"simulate"}"#).unwrap();
+
+        // Golden keys are byte-identical to the pre-engine format; the
+        // fast key is a distinct cache line.
+        assert_eq!(cache_key(&golden.body), cache_key(&implicit.body));
+        assert!(!cache_key(&golden.body).unwrap().contains("|e:"));
+        assert_ne!(cache_key(&fast.body), cache_key(&golden.body));
+        assert!(cache_key(&fast.body).unwrap().ends_with("|e:fast"));
+
+        let tune_fast =
+            parse_request(r#"{"op":"tune","objective":"energy","engine":"fast"}"#).unwrap();
+        let tune_golden = parse_request(r#"{"op":"tune","objective":"energy"}"#).unwrap();
+        assert_ne!(cache_key(&tune_fast.body), cache_key(&tune_golden.body));
+        assert!(!cache_key(&tune_golden.body).unwrap().contains("|e:"));
+
+        let rej = parse_request(r#"{"op":"simulate","engine":"warp"}"#).unwrap_err();
+        assert!(rej.error.contains("golden"), "{}", rej.error);
+        // predict has no stochastic backend, so the field is rejected.
+        let rej = parse_request(r#"{"op":"predict","engine":"fast"}"#).unwrap_err();
+        assert!(
+            rej.error.contains("unknown field 'engine'"),
+            "{}",
+            rej.error
+        );
     }
 
     #[test]

@@ -161,6 +161,39 @@ fn repeated_request_is_cached_and_byte_identical_across_connections() {
 }
 
 #[test]
+fn fast_engine_requests_are_answered_and_cached_apart_from_golden() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let golden =
+        r#"{"id":1,"op":"simulate","packets":60,"config":{"distance_m":25.0,"power_level":19}}"#;
+    let fast = r#"{"id":2,"op":"simulate","packets":60,"config":{"distance_m":25.0,"power_level":19},"engine":"fast"}"#;
+
+    let g = roundtrip(addr, golden);
+    assert!(g.contains("\"cached\":false"), "{g}");
+    assert!(g.contains("\"engine\":\"golden\""), "{g}");
+
+    // Same question under the fast engine: the cache must recompute, never
+    // serve the golden body across the mode boundary.
+    let f = roundtrip(addr, fast);
+    assert!(f.contains("\"cached\":false"), "{f}");
+    assert!(f.contains("\"engine\":\"fast\""), "{f}");
+    assert_ne!(result_part(&g), result_part(&f));
+
+    // Each mode then replays byte-identically from its own line.
+    let f2 = roundtrip(addr, fast);
+    assert!(f2.contains("\"cached\":true"), "{f2}");
+    assert_eq!(result_part(&f), result_part(&f2));
+    let g2 = roundtrip(addr, golden);
+    assert!(g2.contains("\"cached\":true"), "{g2}");
+    assert_eq!(result_part(&g), result_part(&g2));
+
+    shutdown(addr, handle);
+}
+
+#[test]
 fn malformed_requests_draw_errors_but_never_kill_the_connection() {
     let (addr, handle) = start(ServerConfig {
         threads: 1,

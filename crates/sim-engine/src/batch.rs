@@ -1,0 +1,172 @@
+//! A chunk-claiming batch executor for embarrassingly-parallel sweeps.
+//!
+//! The streaming campaign runner pays per-configuration synchronisation
+//! (a claim, a reorder-buffer insert, a condvar wake) that is invisible
+//! next to a multi-millisecond golden simulation but dominates a
+//! microsecond-scale fast-mode run — the source of the negative thread
+//! scaling recorded in `BENCH_campaign.json`. [`BatchExecutor`] amortises
+//! that cost: workers claim *chunks* of the item range from one atomic
+//! counter (one `fetch_add` per `chunk` items), keep all per-worker state
+//! (RNG, scratch buffers, memo tables) thread-local via an `init` factory,
+//! and publish each finished chunk with a single lock acquisition. Results
+//! are reassembled into input order at the end, so the output is
+//! position-for-position identical to a serial map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default items claimed per atomic increment.
+const DEFAULT_CHUNK: usize = 64;
+
+/// Runs an indexed map over a slice, serially or across scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor {
+    threads: usize,
+    chunk: usize,
+}
+
+impl BatchExecutor {
+    /// An executor using `threads` workers (values below 1 mean serial).
+    pub fn new(threads: usize) -> Self {
+        BatchExecutor {
+            threads: threads.max(1),
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Overrides the per-claim chunk size (minimum 1).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Maps `run` over `items`, returning results in input order.
+    ///
+    /// `init` builds one private state value per worker (per-worker RNG
+    /// scratch, cloned memo tables, …); `run` receives that state, the
+    /// item's index and the item. With one thread (or a batch smaller than
+    /// one chunk) everything runs inline on the caller's thread.
+    pub fn map_init<I, S, T, FI, FR>(&self, items: &[I], init: FI, run: FR) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        FI: Fn() -> S + Sync,
+        FR: Fn(&mut S, usize, &I) -> T + Sync,
+    {
+        let total = items.len();
+        if self.threads <= 1 || total <= self.chunk {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| run(&mut state, i, item))
+                .collect();
+        }
+
+        let next_claim = AtomicUsize::new(0);
+        // Finished chunks, tagged with their start index; reassembled
+        // below. A coarse Mutex is fine: it is taken once per chunk, not
+        // once per item.
+        let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+        let workers = self.threads.min(total.div_ceil(self.chunk));
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut finished: Vec<(usize, Vec<T>)> = Vec::new();
+                    loop {
+                        let start = next_claim.fetch_add(self.chunk, Ordering::Relaxed);
+                        if start >= total {
+                            break;
+                        }
+                        let end = (start + self.chunk).min(total);
+                        let results: Vec<T> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(off, item)| run(&mut state, start + off, item))
+                            .collect();
+                        finished.push((start, results));
+                    }
+                    if !finished.is_empty() {
+                        done.lock()
+                            .expect("batch result lock")
+                            .append(&mut finished);
+                    }
+                });
+            }
+        });
+
+        let mut chunks = done.into_inner().expect("workers joined");
+        chunks.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(total);
+        for (_, mut results) in chunks {
+            out.append(&mut results);
+        }
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// [`map_init`](Self::map_init) without per-worker state.
+    pub fn map<I, T, FR>(&self, items: &[I], run: FR) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        FR: Fn(usize, &I) -> T + Sync,
+    {
+        self.map_init(items, || (), |_, i, item| run(i, item))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let exec = BatchExecutor::new(4).with_chunk(7);
+        let out = exec.map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let items: Vec<u64> = (0..513).collect();
+        let f = |_i: usize, &x: &u64| x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+        let serial = BatchExecutor::new(1).map(&items, f);
+        let parallel = BatchExecutor::new(8).with_chunk(16).map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn per_worker_state_is_initialised_per_worker() {
+        // Every worker's state starts from the same `init`, so an
+        // accumulating counter must show each item observed a
+        // worker-local count no larger than its index.
+        let items: Vec<usize> = (0..200).collect();
+        let out = BatchExecutor::new(4).with_chunk(8).map_init(
+            &items,
+            || 0usize,
+            |seen, i, _item| {
+                *seen += 1;
+                (*seen, i)
+            },
+        );
+        assert_eq!(out.len(), items.len());
+        for (seen, i) in out {
+            assert!(seen <= i + 1, "worker-local count {seen} at item {i}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let exec = BatchExecutor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(exec.map(&empty, |_, &x| x).is_empty());
+        assert_eq!(exec.map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+}

@@ -44,18 +44,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod event;
 pub mod executor;
+pub mod mode;
 pub mod obs;
 pub mod rng;
 pub mod time;
 
 /// Convenient glob-import of the engine's core types.
 pub mod prelude {
+    pub use crate::batch::BatchExecutor;
     pub use crate::event::EventQueue;
     pub use crate::executor::{
         ExecStats, Executor, ExecutorObserver, Model, Scheduler, StopReason,
     };
-    pub use crate::rng::{RngFactory, StreamId};
+    pub use crate::mode::EngineMode;
+    pub use crate::rng::{FastRng, NormalSampler, RngFactory, StreamId};
     pub use crate::time::{SimDuration, SimTime};
 }

@@ -13,7 +13,7 @@
 //!    methodology.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// Identifies an independent random stream within one simulation.
 ///
@@ -49,8 +49,12 @@ impl StreamId {
     }
 }
 
-/// SplitMix64 finalizer; a high-quality 64-bit mixing function.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 step: adds the golden-ratio increment and applies the
+/// finalizer — a high-quality 64-bit mixing function. Public because seed
+/// derivation schemes across the workspace (per-stream seeds here,
+/// per-configuration fast-mode seeds in the link simulator) chain it over
+/// their identifying bits.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -96,6 +100,182 @@ impl RngFactory {
     pub fn derive(&self, index: u64) -> RngFactory {
         RngFactory {
             seed: splitmix64(self.seed.wrapping_add(splitmix64(index))),
+        }
+    }
+}
+
+/// The fast-mode generator: xoshiro256++ seeded by a SplitMix64 chain.
+///
+/// `StdRng` (ChaCha12) is the golden path's generator — cryptographic
+/// quality, but ~10 rounds of ARX per block. The fast engine does not need
+/// unpredictability, only statistical quality and speed, which is exactly
+/// the xoshiro256++ design point. Seeding expands one `u64` through
+/// iterated [`splitmix64`] (the construction recommended by the xoshiro
+/// authors), so low-entropy seeds still yield well-mixed states and the
+/// all-zero state is unreachable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastRng {
+    s: [u64; 4],
+}
+
+impl FastRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = splitmix64(z);
+            *slot = z;
+        }
+        FastRng { s }
+    }
+}
+
+impl rand::RngCore for FastRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+/// A generator that also knows how to produce standard-normal variates.
+///
+/// This is the engine-mode seam at the sampling layer: the radio models
+/// (shadowing, noise) are generic over `NormalSampler` instead of calling a
+/// fixed transform, so the *generator type* selects the algorithm.
+/// [`StdRng`] keeps the golden path's polar Box–Muller bit-for-bit, while
+/// [`FastRng`] substitutes the Ziggurat method — both are exact samplers of
+/// `N(0, 1)`, so swapping them changes the draw sequence but not the
+/// distribution.
+pub trait NormalSampler: Rng {
+    /// Draws one standard-normal variate.
+    fn sample_standard_normal(&mut self) -> f64;
+}
+
+impl NormalSampler for StdRng {
+    fn sample_standard_normal(&mut self) -> f64 {
+        standard_normal(self)
+    }
+}
+
+impl NormalSampler for FastRng {
+    fn sample_standard_normal(&mut self) -> f64 {
+        standard_normal_ziggurat(self)
+    }
+}
+
+impl<T: NormalSampler + ?Sized> NormalSampler for &mut T {
+    fn sample_standard_normal(&mut self) -> f64 {
+        (**self).sample_standard_normal()
+    }
+}
+
+/// Marsaglia–Tsang Ziggurat tables for the standard normal, 128 layers.
+///
+/// Layer 0 is the base strip (its rectangle is widened to also cover the
+/// `|x| > R` tail), layers 1–127 climb the density towards the peak.
+/// `x[i]` is the layer's right edge, `f[i] = exp(-x[i]²/2)` its density,
+/// and `ratio[i] = x[i-1]/x[i]` the quick-accept threshold (a sample drawn
+/// uniformly across layer `i` that lands inside the next-narrower layer is
+/// certainly under the curve).
+struct ZigguratTables {
+    x: [f64; 128],
+    f: [f64; 128],
+    ratio: [f64; 128],
+}
+
+/// Right edge of the bottom layer (the tail boundary).
+const ZIG_R: f64 = 3.442_619_855_899;
+/// Area of each of the 128 layers (the base strip's includes the tail).
+const ZIG_V: f64 = 9.912_563_035_262_17e-3;
+
+fn ziggurat_tables() -> &'static ZigguratTables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<ZigguratTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let f_r = (-0.5 * ZIG_R * ZIG_R).exp();
+        let mut x = [0.0f64; 128];
+        let mut f = [0.0f64; 128];
+        // Base strip: virtual width V/f(R) so that a uniform draw over it
+        // covers both the rectangle [0, R] and the tail mass beyond R.
+        x[0] = ZIG_V / f_r;
+        f[0] = 1.0; // paired with layer 1's wedge top (the peak, f(0) = 1)
+        x[127] = ZIG_R;
+        f[127] = f_r;
+        let mut edge = ZIG_R;
+        for i in (1..=126).rev() {
+            // Each layer has area V: x_i · (f(x_i) − f(x_{i+1})) = V.
+            edge = (-2.0 * (ZIG_V / edge + (-0.5 * edge * edge).exp()).ln()).sqrt();
+            x[i] = edge;
+            f[i] = (-0.5 * edge * edge).exp();
+        }
+        let mut ratio = [0.0f64; 128];
+        ratio[0] = ZIG_R / x[0];
+        // Layer 1 is the peak layer; it has no narrower neighbour, so it
+        // never quick-accepts and always takes the wedge test.
+        ratio[1] = 0.0;
+        for i in 2..128 {
+            ratio[i] = x[i - 1] / x[i];
+        }
+        ZigguratTables { x, f, ratio }
+    })
+}
+
+/// Uniform in `(0, 1]` — the `ln`-safe open-at-zero unit draw.
+#[inline]
+fn unit_open_zero<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws a standard-normal variate with the Ziggurat method (128 layers).
+///
+/// One `u64` suffices for ~98.8 % of draws: 7 bits pick the layer, the
+/// remaining 53 form the position within it. The wedge and tail cases are
+/// exact rejection steps, so the output distribution is exactly `N(0, 1)`
+/// — the same distribution as [`standard_normal`], by a different (and
+/// roughly 5× cheaper) route.
+pub fn standard_normal_ziggurat<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let tables = ziggurat_tables();
+    loop {
+        let bits = rng.next_u64();
+        let layer = (bits & 127) as usize;
+        // Signed uniform in [-1, 1): 53-bit mantissa, disjoint from the
+        // 7 layer bits.
+        let u = ((bits >> 11) as i64).wrapping_sub(1 << 52) as f64 * (1.0 / (1u64 << 52) as f64);
+        if u.abs() < tables.ratio[layer] {
+            return u * tables.x[layer];
+        }
+        if layer == 0 {
+            // Tail beyond R: Marsaglia's exponential-rejection tail method.
+            let sign = if u < 0.0 { -1.0 } else { 1.0 };
+            loop {
+                let e1 = -unit_open_zero(rng).ln() / ZIG_R;
+                let e2 = -unit_open_zero(rng).ln();
+                if e2 + e2 > e1 * e1 {
+                    return sign * (ZIG_R + e1);
+                }
+            }
+        }
+        // Wedge: uniform height within the layer, accept under the curve.
+        let x = u * tables.x[layer];
+        let height =
+            tables.f[layer] + unit_open_zero(rng) * (tables.f[layer - 1] - tables.f[layer]);
+        if height < (-0.5 * x * x).exp() {
+            return x;
         }
     }
 }
@@ -225,5 +405,71 @@ mod tests {
     fn non_positive_exponential_mean_panics() {
         let mut rng = RngFactory::new(0).stream(StreamId::Custom(9));
         let _ = exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn fast_rng_is_deterministic_and_seed_sensitive() {
+        let mut a = FastRng::new(42);
+        let mut b = FastRng::new(42);
+        let mut c = FastRng::new(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fast_rng_unit_floats_are_uniform_enough() {
+        let mut rng = FastRng::new(7);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean={mean}");
+    }
+
+    #[test]
+    fn ziggurat_moments_match_standard_normal() {
+        let mut rng = FastRng::new(0xFA57);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal_ziggurat(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let skew =
+            samples.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / (n as f64 * var.powf(1.5));
+        let kurt = samples.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / (n as f64 * var * var);
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+        assert!(skew.abs() < 0.03, "skew={skew}");
+        assert!((kurt - 3.0).abs() < 0.1, "kurtosis={kurt}");
+    }
+
+    #[test]
+    fn ziggurat_tail_mass_is_correct() {
+        // P(|X| > R) with R = 3.4426… is ≈ 5.76e-4; the tail path must
+        // produce it (a broken tail would show up as ~0 or ~2×).
+        let mut rng = FastRng::new(0x7A11);
+        let n = 2_000_000u64;
+        let beyond = (0..n)
+            .filter(|_| standard_normal_ziggurat(&mut rng).abs() > 3.442_619_855_899)
+            .count() as f64;
+        let p = beyond / n as f64;
+        assert!(
+            (4.0e-4..8.0e-4).contains(&p),
+            "tail probability {p:.2e} (expected ≈ 5.8e-4)"
+        );
+    }
+
+    #[test]
+    fn normal_sampler_trait_selects_by_generator() {
+        // StdRng keeps Box–Muller bit-for-bit: the trait method and the
+        // free function must agree draw-for-draw on identical streams.
+        let mut via_trait = RngFactory::new(5).stream(StreamId::Fading);
+        let mut via_fn = RngFactory::new(5).stream(StreamId::Fading);
+        for _ in 0..64 {
+            assert_eq!(
+                via_trait.sample_standard_normal().to_bits(),
+                standard_normal(&mut via_fn).to_bits()
+            );
+        }
     }
 }

@@ -4,8 +4,30 @@ use proptest::prelude::*;
 
 use wsn_sim_engine::event::EventQueue;
 use wsn_sim_engine::executor::{Executor, Model, Scheduler};
-use wsn_sim_engine::rng::{RngFactory, StreamId};
+use wsn_sim_engine::rng::{FastRng, NormalSampler, RngFactory, StreamId};
 use wsn_sim_engine::time::{SimDuration, SimTime};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Empirical two-sample Kolmogorov–Smirnov statistic.
+fn ks_statistic(mut a: Vec<f64>, mut b: Vec<f64>) -> f64 {
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (n, m) = (a.len(), b.len());
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+    while i < n && j < m {
+        let x = if a[i] <= b[j] { a[i] } else { b[j] };
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / n as f64 - j as f64 / m as f64).abs());
+    }
+    d
+}
 
 proptest! {
     #[test]
@@ -79,6 +101,41 @@ proptest! {
             let y: u64 = f.stream(StreamId::Custom(b)).gen();
             prop_assert_ne!(x1, y); // isolated (collision chance ~2^-64)
         }
+    }
+
+    #[test]
+    fn ziggurat_moments_match_the_standard_normal(seed in any::<u64>()) {
+        // The fast engine's Ziggurat transform must produce N(0, 1) for
+        // any stream seed: mean ≈ 0, variance ≈ 1, symmetric tails.
+        let mut rng = FastRng::new(seed);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.sample_standard_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        // 5σ-ish bounds at n = 20k: se(mean) ≈ 0.0071, se(var) ≈ 0.01.
+        prop_assert!(mean.abs() < 0.036, "mean = {mean}");
+        prop_assert!((var - 1.0).abs() < 0.06, "var = {var}");
+        let above = samples.iter().filter(|&&x| x > 1.0).count() as f64 / n as f64;
+        let below = samples.iter().filter(|&&x| x < -1.0).count() as f64 / n as f64;
+        // P(X > 1) = 0.1587 on both sides.
+        prop_assert!((above - 0.1587).abs() < 0.02, "upper tail = {above}");
+        prop_assert!((below - 0.1587).abs() < 0.02, "lower tail = {below}");
+    }
+
+    #[test]
+    fn ziggurat_and_box_muller_agree_in_distribution(seed in any::<u64>()) {
+        // Cross-transform KS: the golden Box–Muller path (StdRng) and the
+        // fast Ziggurat path (FastRng) must sample the same distribution
+        // regardless of seed.
+        let n = 8_192;
+        let mut golden = StdRng::seed_from_u64(seed);
+        let mut fast = FastRng::new(seed.wrapping_add(1));
+        let a: Vec<f64> = (0..n).map(|_| golden.sample_standard_normal()).collect();
+        let b: Vec<f64> = (0..n).map(|_| fast.sample_standard_normal()).collect();
+        let d = ks_statistic(a, b);
+        // c(α)·sqrt(2n/n²) at α = 10⁻⁴ ≈ 0.0336 for n = m = 8192.
+        let threshold = 2.15 * (2.0 / n as f64).sqrt();
+        prop_assert!(d <= threshold, "KS = {d:.4} > {threshold:.4}");
     }
 
     #[test]

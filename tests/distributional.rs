@@ -1,0 +1,206 @@
+//! Tier-2 distributional gate: the fast engine must be *statistically*
+//! equivalent to the golden engine.
+//!
+//! The golden engine is pinned bit-for-bit by `tests/golden_metrics.rs`;
+//! the fast engine ([`FastLinkSimulation`]) intentionally reorders and
+//! coalesces random draws, so its outputs can never be compared that way.
+//! Its contract is weaker and is enforced here: over a stratified sample
+//! of the paper's grid, every headline metric drawn from many independent
+//! seeds must agree between the engines within confidence-interval
+//! overlap, and the per-packet delay *distributions* must pass a
+//! two-sample Kolmogorov–Smirnov test.
+//!
+//! Seeds are fixed, so this tier is deterministic: it either always
+//! passes or always fails for a given code state — a red run means the
+//! fast engine's physics drifted, not that the dice were unlucky.
+
+use wsn_link_sim::fast::FastLinkSimulation;
+use wsn_link_sim::metrics::LinkMetrics;
+use wsn_link_sim::record::{PacketFate, PacketRecord};
+use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
+use wsn_link_sim::traffic::TrafficModel;
+use wsn_params::config::StackConfig;
+
+/// Packets per run: enough that per-seed metrics are stable, small enough
+/// that the whole tier stays in test-suite territory.
+const PACKETS: u64 = 200;
+
+/// Independent seeds per (config, engine) cell of the CI-overlap test.
+const SEEDS: u64 = 24;
+
+/// The stratified sample: strong / mid / grey-zone links, light and heavy
+/// payloads, tight and loose retry budgets, slow and saturating arrivals.
+fn sample() -> Vec<StackConfig> {
+    [
+        (10.0, 31u8, 50u16, 1u8, 50u32), // strong link, no retries
+        (20.0, 11, 50, 3, 50),           // mid link, paper default budget
+        (35.0, 3, 110, 8, 50),           // grey zone, heavy payload
+        (35.0, 23, 50, 3, 20),           // shadowed distance, high load
+        (30.0, 7, 110, 3, 100),          // weak-ish, slow arrivals
+        (10.0, 31, 110, 3, 10),          // queue-pressure corner
+    ]
+    .into_iter()
+    .map(|(dist, power, payload, tries, interval)| {
+        StackConfig::builder()
+            .distance_m(dist)
+            .power_level(power)
+            .payload_bytes(payload)
+            .max_tries(tries)
+            .retry_delay_ms(0)
+            .queue_cap(30)
+            .packet_interval_ms(interval)
+            .build()
+            .expect("valid sample constants")
+    })
+    .collect()
+}
+
+/// Runs one (config, seed) under the chosen engine.
+fn run(
+    config: StackConfig,
+    seed: u64,
+    fast: bool,
+    record: bool,
+) -> (LinkMetrics, Option<Vec<PacketRecord>>) {
+    let options = SimOptions {
+        packets: PACKETS,
+        record_packets: record,
+        traffic: TrafficModel::Periodic,
+        ..SimOptions::paper(seed)
+    };
+    if fast {
+        let outcome = FastLinkSimulation::new(config, options).run();
+        let records = outcome.records.clone();
+        (outcome.into_metrics(), records)
+    } else {
+        let outcome = LinkSimulation::new(config, options).run();
+        (outcome.metrics().clone(), outcome.records)
+    }
+}
+
+/// Mean and standard error of a sample (NaN entries excluded — a seed
+/// whose run delivered nothing has no defined delay mean).
+fn mean_se(values: &[f64]) -> (f64, f64) {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let n = finite.len() as f64;
+    assert!(n >= 8.0, "too few finite samples ({n}) for a stable mean");
+    let mean = finite.iter().sum::<f64>() / n;
+    let var = finite.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+/// Asserts the two engine means agree within 3 combined standard errors
+/// plus a small equivalence margin (absolute floor, relative cap).
+fn assert_ci_overlap(
+    what: &str,
+    config: &StackConfig,
+    golden: &[f64],
+    fast: &[f64],
+    abs_floor: f64,
+    rel: f64,
+) {
+    let (mg, seg) = mean_se(golden);
+    let (mf, sef) = mean_se(fast);
+    let margin = 3.0 * (seg * seg + sef * sef).sqrt() + abs_floor.max(rel * mg.abs());
+    assert!(
+        (mg - mf).abs() <= margin,
+        "{what} disagrees on {config:?}: golden {mg:.6} ± {seg:.6}, \
+         fast {mf:.6} ± {sef:.6}, |Δ| = {:.6} > margin {margin:.6}",
+        (mg - mf).abs()
+    );
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic, sup |F_a − F_b|.
+fn ks_statistic(mut a: Vec<f64>, mut b: Vec<f64>) -> f64 {
+    a.sort_by(f64::total_cmp);
+    b.sort_by(f64::total_cmp);
+    let (n, m) = (a.len(), b.len());
+    assert!(n > 0 && m > 0, "KS needs non-empty samples");
+    let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+    while i < n && j < m {
+        let x = if a[i] <= b[j] { a[i] } else { b[j] };
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / n as f64 - j as f64 / m as f64).abs());
+    }
+    d
+}
+
+#[test]
+fn headline_metrics_agree_within_confidence_intervals() {
+    for config in sample() {
+        let mut plr = (Vec::new(), Vec::new());
+        let mut goodput = (Vec::new(), Vec::new());
+        let mut delay = (Vec::new(), Vec::new());
+        let mut energy = (Vec::new(), Vec::new());
+        for seed in 0..SEEDS {
+            // Decorrelate seeds from the tiny integers the tests use
+            // elsewhere; both engines get the identical seed list.
+            let seed = 0xD157_0000 + seed * 7919;
+            for fast in [false, true] {
+                let (metrics, _) = run(config, seed, fast, false);
+                assert!(
+                    metrics.conserves_packets(),
+                    "packet conservation broken (fast={fast}) on {config:?}"
+                );
+                if fast {
+                    plr.1.push(metrics.plr_total());
+                    goodput.1.push(metrics.goodput_bps);
+                    delay.1.push(metrics.delay_mean_ms);
+                    energy.1.push(metrics.u_eng_uj_per_bit);
+                } else {
+                    plr.0.push(metrics.plr_total());
+                    goodput.0.push(metrics.goodput_bps);
+                    delay.0.push(metrics.delay_mean_ms);
+                    energy.0.push(metrics.u_eng_uj_per_bit);
+                }
+            }
+        }
+        assert_ci_overlap("PLR", &config, &plr.0, &plr.1, 0.015, 0.0);
+        assert_ci_overlap("goodput", &config, &goodput.0, &goodput.1, 20.0, 0.03);
+        assert_ci_overlap("mean delay", &config, &delay.0, &delay.1, 0.5, 0.03);
+        assert_ci_overlap("energy/bit", &config, &energy.0, &energy.1, 0.05, 0.03);
+    }
+}
+
+#[test]
+fn delivered_delay_distributions_pass_kolmogorov_smirnov() {
+    // Two regimes with very different delay shapes: the paper-default mid
+    // link (retry tail) and the queue-pressure corner (queueing tail).
+    let configs = [sample()[1], sample()[5]];
+    for config in configs {
+        let mut pooled = (Vec::new(), Vec::new());
+        for seed in 0..8u64 {
+            let seed = 0x4B53_0000 + seed * 104_729;
+            for fast in [false, true] {
+                let (_, records) = run(config, seed, fast, true);
+                let delays = records
+                    .expect("records requested")
+                    .iter()
+                    .filter(|r| r.fate == PacketFate::Delivered)
+                    .filter_map(|r| r.delay())
+                    .map(|d| d.as_micros() as f64)
+                    .collect::<Vec<f64>>();
+                if fast {
+                    pooled.1.extend(delays);
+                } else {
+                    pooled.0.extend(delays);
+                }
+            }
+        }
+        let (n, m) = (pooled.0.len() as f64, pooled.1.len() as f64);
+        let d = ks_statistic(pooled.0, pooled.1);
+        // c(α)·sqrt((n+m)/nm) at α = 0.001, plus slack for the heavy ties
+        // a discrete-time MAC produces.
+        let threshold = 1.95 * ((n + m) / (n * m)).sqrt() + 0.02;
+        assert!(
+            d <= threshold,
+            "delay KS statistic {d:.4} exceeds {threshold:.4} on {config:?} \
+             (n = {n}, m = {m})"
+        );
+    }
+}
