@@ -67,6 +67,7 @@ pub mod loss;
 pub mod lpl;
 pub mod optimize;
 pub mod predict;
+pub mod queueing;
 pub mod sensitivity;
 pub mod service_time;
 pub mod surface;
@@ -86,8 +87,11 @@ pub mod prelude {
     pub use crate::lpl::{LplConfig, LplModel, LplPowerBudget};
     pub use crate::optimize::{Evaluation, Metric, Optimizer};
     pub use crate::predict::{LinkBudget, Predicted, Predictor};
+    pub use crate::queueing::{
+        finite_queue_outcome, gg1_waiting_time_s, pk_waiting_time_s, QueueOutcome, ServiceMoments,
+    };
     pub use crate::sensitivity::{tornado, Knob, KnobSensitivity};
-    pub use crate::service_time::ServiceTimeModel;
+    pub use crate::service_time::{attempt_count_pmf, ServiceTimeModel};
     pub use crate::surface::ExpSurface;
     pub use crate::zones::Zone;
 }

@@ -1,0 +1,265 @@
+//! Queueing-delay models for the analytic engine: M/G/1 waiting time
+//! (Pollaczek–Khinchine) and its GI/G/1 generalization (Kingman/Marchal),
+//! plus a finite-queue verdict that never leaks `NaN`/`∞` into JSON.
+//!
+//! The paper's delay metric is service time (Eqs. 5–6) plus the queueing
+//! delay induced by Eq. 9's utilization ρ. The simulators measure that
+//! delay; this module predicts it from the first two moments of the
+//! service-time distribution, which
+//! [`analytic`](../../wsn_link_sim/analytic/index.html) computes in closed
+//! form. For Poisson arrivals the Kingman form below *is* the exact
+//! Pollaczek–Khinchine mean; for the periodic sources the paper uses
+//! (`C_a² = 0`) it is the standard heavy-traffic approximation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::loss::mm1k_blocking;
+
+/// First two moments of a service-time distribution, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceMoments {
+    /// Mean service time `E[S]`, s.
+    pub mean_s: f64,
+    /// Second raw moment `E[S²]`, s².
+    pub second_moment_s2: f64,
+}
+
+impl ServiceMoments {
+    /// Builds moments from a mean and a variance (both must be finite,
+    /// mean positive, variance non-negative).
+    pub fn from_mean_var(mean_s: f64, var_s2: f64) -> ServiceMoments {
+        assert!(
+            mean_s.is_finite() && mean_s > 0.0,
+            "service mean must be finite and positive, got {mean_s}"
+        );
+        assert!(
+            var_s2.is_finite() && var_s2 >= 0.0,
+            "service variance must be finite and >= 0, got {var_s2}"
+        );
+        ServiceMoments {
+            mean_s,
+            second_moment_s2: var_s2 + mean_s * mean_s,
+        }
+    }
+
+    /// Variance `Var[S]`, s².
+    pub fn variance_s2(&self) -> f64 {
+        (self.second_moment_s2 - self.mean_s * self.mean_s).max(0.0)
+    }
+
+    /// Squared coefficient of variation `C_s² = Var[S]/E[S]²`.
+    pub fn scv(&self) -> f64 {
+        self.variance_s2() / (self.mean_s * self.mean_s)
+    }
+}
+
+/// M/G/1 mean waiting time (Pollaczek–Khinchine):
+/// `Wq = λ·E[S²] / (2·(1 − ρ))` with `ρ = λ·E[S]`.
+///
+/// Only defined in the stable region; panics if `ρ ≥ 1` (use
+/// [`finite_queue_outcome`] when saturation is a possible input).
+pub fn pk_waiting_time_s(lambda: f64, service: ServiceMoments) -> f64 {
+    let rho = lambda * service.mean_s;
+    assert!(rho < 1.0, "P-K requires rho < 1, got rho = {rho}");
+    lambda * service.second_moment_s2 / (2.0 * (1.0 - rho))
+}
+
+/// GI/G/1 mean waiting time (Kingman / Marchal):
+/// `Wq ≈ ρ/(1 − ρ) · (C_a² + C_s²)/2 · E[S]`.
+///
+/// `ca2` is the squared coefficient of variation of the inter-arrival
+/// gaps: 0 for a periodic source, 1 for Poisson — in which case this is
+/// exactly [`pk_waiting_time_s`].
+pub fn gg1_waiting_time_s(ca2: f64, lambda: f64, service: ServiceMoments) -> f64 {
+    assert!(
+        ca2.is_finite() && ca2 >= 0.0,
+        "C_a^2 must be finite and >= 0, got {ca2}"
+    );
+    let rho = lambda * service.mean_s;
+    assert!(rho < 1.0, "Kingman requires rho < 1, got rho = {rho}");
+    rho / (1.0 - rho) * (ca2 + service.scv()) / 2.0 * service.mean_s
+}
+
+/// Queueing verdict for one configuration and one finite queue: either a
+/// stable waiting time or an explicitly saturated bound.
+///
+/// Every field is always finite, so the struct can be serialized into a
+/// JSON response as-is even for overloaded (`ρ ≥ 1`) inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueOutcome {
+    /// Offered utilization `ρ = λ·E[S]` (may exceed 1).
+    pub rho: f64,
+    /// Mean waiting time in the queue, s. In the saturated regime this is
+    /// the full-queue bound `(K − 1)·E[S]`, not a diverging Kingman value.
+    pub wait_s: f64,
+    /// Blocking probability of the K-slot queue (M/M/1/K form, Eq. 9's ρ).
+    pub plr_queue: f64,
+    /// True when `ρ ≥ 1`: the queue runs at its capacity bound and
+    /// `wait_s` is the bound, not an equilibrium mean.
+    pub saturated: bool,
+}
+
+/// Waiting time and blocking for a K-slot queue fed at rate `lambda`, with
+/// the given inter-arrival variability `ca2` and service moments.
+///
+/// In the stable region the wait is Kingman's approximation capped at the
+/// full-queue bound `(K − 1)·E[S]` (a K-slot queue holds at most K − 1
+/// packets ahead of a new arrival); at and beyond saturation it *is* that
+/// bound, flagged via [`QueueOutcome::saturated`].
+pub fn finite_queue_outcome(
+    ca2: f64,
+    lambda: f64,
+    service: ServiceMoments,
+    capacity: usize,
+) -> QueueOutcome {
+    assert!(capacity >= 1, "queue must have at least one slot");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "arrival rate must be finite and >= 0, got {lambda}"
+    );
+    let rho = lambda * service.mean_s;
+    let full_queue_wait_s = (capacity as f64 - 1.0) * service.mean_s;
+    let plr_queue = mm1k_blocking(rho, capacity);
+    if rho >= 1.0 {
+        return QueueOutcome {
+            rho,
+            wait_s: full_queue_wait_s,
+            plr_queue,
+            saturated: true,
+        };
+    }
+    let wait_s = if lambda == 0.0 {
+        0.0
+    } else {
+        gg1_waiting_time_s(ca2, lambda, service).min(full_queue_wait_s)
+    };
+    QueueOutcome {
+        rho,
+        wait_s,
+        plr_queue,
+        saturated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Simulates an M/D/1 queue (Poisson arrivals, deterministic service)
+    /// and returns the mean waiting time over `n` customers.
+    fn simulate_md1_wait(lambda: f64, service_s: f64, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrival = 0.0f64;
+        let mut prev_departure = 0.0f64;
+        let mut total_wait = 0.0f64;
+        for _ in 0..n {
+            let gap = -rng.gen::<f64>().max(1e-300).ln() / lambda;
+            arrival += gap;
+            let start = arrival.max(prev_departure);
+            total_wait += start - arrival;
+            prev_departure = start + service_s;
+        }
+        total_wait / n as f64
+    }
+
+    #[test]
+    fn pk_matches_md1_simulation() {
+        // M/D/1 special case: E[S²] = E[S]², so W = ρ·E[S] / (2(1 − ρ)).
+        let service_s = 0.010;
+        for rho in [0.3, 0.6, 0.8] {
+            let lambda = rho / service_s;
+            let moments = ServiceMoments::from_mean_var(service_s, 0.0);
+            let analytic = pk_waiting_time_s(lambda, moments);
+            let simulated = simulate_md1_wait(lambda, service_s, 400_000, 0x4D44);
+            let rel = (analytic - simulated).abs() / simulated.max(1e-12);
+            assert!(
+                rel < 0.05,
+                "rho={rho}: P-K {analytic:.6} vs simulated {simulated:.6} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn kingman_reduces_to_pk_for_poisson_arrivals() {
+        let moments = ServiceMoments::from_mean_var(0.005, 9e-6);
+        let lambda = 120.0; // rho = 0.6
+        let pk = pk_waiting_time_s(lambda, moments);
+        let kingman = gg1_waiting_time_s(1.0, lambda, moments);
+        assert!((pk - kingman).abs() < 1e-12, "pk={pk} kingman={kingman}");
+    }
+
+    #[test]
+    fn waiting_time_diverges_as_rho_approaches_one() {
+        let service_s = 0.010;
+        let moments = ServiceMoments::from_mean_var(service_s, 0.0);
+        let w = |rho: f64| pk_waiting_time_s(rho / service_s, moments);
+        assert!(w(0.99) > w(0.9) && w(0.999) > w(0.99) && w(0.9999) > w(0.999));
+        // Divergence rate: halving the headroom doubles the wait.
+        assert!(w(0.9999) > 1_000.0 * w(0.5));
+        assert!(w(0.9999).is_finite());
+    }
+
+    #[test]
+    fn saturated_inputs_return_explicit_bound_not_nan() {
+        let moments = ServiceMoments::from_mean_var(0.020, 4e-6);
+        for rho in [1.0, 1.5, 10.0] {
+            let lambda = rho / moments.mean_s;
+            let out = finite_queue_outcome(0.0, lambda, moments, 30);
+            assert!(out.saturated);
+            assert!(out.wait_s.is_finite() && out.plr_queue.is_finite() && out.rho.is_finite());
+            assert_eq!(out.wait_s, 29.0 * moments.mean_s);
+            assert!((0.0..=1.0).contains(&out.plr_queue));
+        }
+    }
+
+    #[test]
+    fn idle_queue_has_zero_wait_and_loss() {
+        let moments = ServiceMoments::from_mean_var(0.020, 0.0);
+        let out = finite_queue_outcome(0.0, 0.0, moments, 30);
+        assert_eq!(out.wait_s, 0.0);
+        assert_eq!(out.plr_queue, 0.0);
+        assert!(!out.saturated);
+    }
+
+    proptest! {
+        #[test]
+        fn stable_outcomes_are_finite_and_monotone_in_rho(
+            mean_ms in 1.0f64..50.0,
+            scv in 0.0f64..2.0,
+            rho_lo in 0.05f64..0.45,
+            bump in 0.05f64..0.45,
+            ca2 in 0.0f64..1.0,
+        ) {
+            let var = scv * mean_ms * mean_ms;
+            let moments = ServiceMoments::from_mean_var(mean_ms / 1e3, var / 1e6);
+            let rho_hi = rho_lo + bump;
+            let lo = finite_queue_outcome(ca2, rho_lo / moments.mean_s, moments, 30);
+            let hi = finite_queue_outcome(ca2, rho_hi / moments.mean_s, moments, 30);
+            prop_assert!(lo.wait_s.is_finite() && hi.wait_s.is_finite());
+            prop_assert!(lo.wait_s >= 0.0);
+            prop_assert!(hi.wait_s >= lo.wait_s - 1e-12);
+            prop_assert!(hi.plr_queue >= lo.plr_queue - 1e-12);
+            prop_assert!(!lo.saturated && !hi.saturated);
+        }
+
+        #[test]
+        fn pk_never_undershoots_the_md1_floor(
+            mean_ms in 1.0f64..50.0,
+            extra_scv in 0.0f64..3.0,
+            rho in 0.05f64..0.95,
+        ) {
+            // Among all service laws with a given mean, deterministic
+            // service minimizes the P-K wait; adding variance only adds
+            // delay.
+            let mean_s = mean_ms / 1e3;
+            let lambda = rho / mean_s;
+            let floor = pk_waiting_time_s(lambda, ServiceMoments::from_mean_var(mean_s, 0.0));
+            let var = extra_scv * mean_s * mean_s;
+            let w = pk_waiting_time_s(lambda, ServiceMoments::from_mean_var(mean_s, var));
+            prop_assert!(w >= floor - 1e-15);
+        }
+    }
+}

@@ -170,6 +170,31 @@ impl Default for ServiceTimeModel {
     }
 }
 
+/// Distribution of the truncated-geometric attempt count that underlies
+/// Eqs. 5–7: each attempt independently succeeds with probability
+/// `p_success`, the budget is `max_tries`.
+///
+/// Returns `(pmf, p_exhausted)` where `pmf[k-1]` is the probability the
+/// sender stops at attempt `k` with a success, and `p_exhausted` is the
+/// probability all `max_tries` attempts are spent without one. The masses
+/// sum to 1; the analytic engine mixes per-attempt service times over
+/// exactly these weights instead of drawing the attempt count.
+pub fn attempt_count_pmf(p_success: f64, max_tries: u32) -> (Vec<f64>, f64) {
+    assert!(
+        (0.0..=1.0).contains(&p_success),
+        "success probability must be in [0, 1], got {p_success}"
+    );
+    assert!(max_tries >= 1, "at least one attempt is always made");
+    let fail = 1.0 - p_success;
+    let mut pmf = Vec::with_capacity(max_tries as usize);
+    let mut fail_pow = 1.0; // (1-p)^(k-1)
+    for _ in 1..=max_tries {
+        pmf.push(fail_pow * p_success);
+        fail_pow *= fail;
+    }
+    (pmf, fail_pow)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +204,29 @@ mod tests {
     }
     fn mt(n: u8) -> MaxTries {
         MaxTries::new(n).unwrap()
+    }
+
+    #[test]
+    fn attempt_pmf_sums_to_one_and_matches_expected_attempts() {
+        let m = ServiceTimeModel::paper();
+        for (snr, tries) in [(5.0, 1u8), (10.0, 3), (20.0, 8)] {
+            let p_fail = m.attempt_loss.eval_prob(pl(110), snr);
+            let (pmf, p_exhausted) = attempt_count_pmf(1.0 - p_fail, tries as u32);
+            let total: f64 = pmf.iter().sum::<f64>() + p_exhausted;
+            assert!((total - 1.0).abs() < 1e-12, "mass={total}");
+            // E[attempts] under the pmf must agree with the closed form.
+            let e_attempts: f64 = pmf
+                .iter()
+                .enumerate()
+                .map(|(i, w)| w * (i + 1) as f64)
+                .sum::<f64>()
+                + p_exhausted * tries as f64;
+            let closed = m.expected_attempts(snr, pl(110), mt(tries));
+            assert!(
+                (e_attempts - closed).abs() < 1e-12,
+                "{e_attempts} vs {closed}"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! repro all [--full] [--out DIR]     run every experiment
 //! repro <id> [...]                   run selected experiments (fig06 table04 …)
 //! repro list                         list experiment ids
-//! repro campaign [--full] [--engine golden|fast] [--out DIR [--resume]]
+//! repro campaign [--full] [--engine golden|fast|analytic] [--out DIR [--resume]]
 //!                [--shards N] [--log PATH]
 //!                                    run the whole ~48k-configuration grid,
 //!                                    streaming results + live progress;
@@ -12,6 +12,10 @@
 //!                                    statistically-equivalent coalesced
 //!                                    engine (~an order of magnitude faster;
 //!                                    not bit-comparable to golden runs);
+//!                                    --engine analytic swaps in the seed-free
+//!                                    M/G/1 closed form (microseconds per
+//!                                    configuration; an approximation, not a
+//!                                    sampler — see DESIGN.md §13);
 //!                                    with --out, checkpoint JSONL shards;
 //!                                    with --log, append structured JSONL
 //!                                    progress/checkpoint events to PATH
@@ -116,7 +120,7 @@ fn usage() -> String {
         .collect();
     format!(
         "usage: repro <all|list|campaign|scenario|serve|verify|dataset|bench|ID...> \
-         [--full] [--engine golden|fast] [--out DIR] [--resume] [--shards N] \
+         [--full] [--engine golden|fast|analytic] [--out DIR] [--resume] [--shards N] \
          [--log PATH] [--json PATH] [--quick-bench] [--addr HOST:PORT] [--threads N] \
          [--access-log PATH] [--slow-ms N]\n  \
          ids: {}\n  scenario ids: {}\n  \
@@ -322,7 +326,11 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
             "--full" => scale = Scale::Full,
             "--engine" => match iter.next().and_then(|m| EngineMode::from_name(m)) {
                 Some(mode) => engine = mode,
-                None => return Err(CliError::Usage("--engine needs `golden` or `fast`".into())),
+                None => {
+                    return Err(CliError::Usage(
+                        "--engine needs `golden`, `fast`, or `analytic`".into(),
+                    ))
+                }
             },
             "--resume" => resume = true,
             "--shards" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {

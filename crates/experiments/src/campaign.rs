@@ -15,6 +15,8 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+use wsn_analytic::table::AnalyticTable;
+use wsn_analytic::AnalyticLinkSimulation;
 use wsn_link_sim::fast::FastLinkSimulation;
 use wsn_link_sim::metrics::LinkMetrics;
 use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
@@ -61,7 +63,7 @@ pub struct ConfigResult {
 }
 
 /// Campaign settings shared by all configurations of one run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Campaign {
     /// Base experiment seed; each configuration derives its own streams.
     pub seed: u64,
@@ -73,23 +75,46 @@ pub struct Campaign {
     pub traffic: TrafficModel,
     /// Worker threads (1 = run inline).
     pub threads: usize,
-    /// Simulation backend: the bit-reproducible golden engine (default) or
-    /// the statistically-equivalent fast engine.
+    /// Simulation backend: the bit-reproducible golden engine (default),
+    /// the statistically-equivalent fast engine, or the closed-form
+    /// analytic engine.
     pub engine: EngineMode,
+    /// Result memo for the analytic engine, shared across runs of this
+    /// campaign value (the analytic evaluator is seed-free and
+    /// deterministic, so reuse is bit-identical to recomputation). The
+    /// sampling engines never touch it. Lookups are skipped automatically
+    /// if [`Campaign::channel`] is reassigned away from the table's
+    /// channel; use [`Campaign::with_channel`] to re-key it instead.
+    pub analytic: Arc<AnalyticTable>,
+}
+
+impl PartialEq for Campaign {
+    /// Campaign identity is its six run-defining settings; the analytic
+    /// memo is a cache and never affects results.
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed
+            && self.packets == other.packets
+            && self.channel == other.channel
+            && self.traffic == other.traffic
+            && self.threads == other.threads
+            && self.engine == other.engine
+    }
 }
 
 impl Campaign {
     /// A campaign at the given scale on the paper's hallway channel.
     pub fn new(scale: Scale) -> Self {
+        let channel = ChannelConfig::paper_hallway();
         Campaign {
             seed: 0x5EED,
             packets: scale.packets(),
-            channel: ChannelConfig::paper_hallway(),
+            channel,
             traffic: TrafficModel::Periodic,
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
             engine: EngineMode::Golden,
+            analytic: Arc::new(AnalyticTable::new(channel)),
         }
     }
 
@@ -99,9 +124,11 @@ impl Campaign {
         self
     }
 
-    /// Returns the campaign with a different channel (builder-style).
+    /// Returns the campaign with a different channel (builder-style),
+    /// re-keying the analytic memo to it.
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = channel;
+        self.analytic = Arc::new(AnalyticTable::new(channel));
         self
     }
 
@@ -165,6 +192,7 @@ impl Campaign {
                 }
             }
             EngineMode::Fast => self.run_one_fast(config, &shared.budgets),
+            EngineMode::Analytic => self.run_one_analytic(config, &shared.budgets),
         }
     }
 
@@ -188,6 +216,45 @@ impl Campaign {
             config,
             metrics: outcome.into_metrics(),
         }
+    }
+
+    /// One configuration on the closed-form analytic engine. The seed is
+    /// carried but ignored (the evaluator is deterministic); repeated
+    /// evaluations hit the campaign's shared [`AnalyticTable`] memo.
+    ///
+    /// The constructor and [`with_channel`](Self::with_channel) keep the
+    /// memo keyed to the campaign channel, so the normal path goes
+    /// straight to the table — a warm config costs one hash, one
+    /// shared-lock read and one clone, with the link budget resolved only
+    /// on a miss. The equality check guards direct field mutation of the
+    /// `pub channel` (which bypasses the re-keying builder).
+    fn run_one_analytic(
+        &self,
+        config: StackConfig,
+        budgets: &Arc<LinkBudgetTable>,
+    ) -> ConfigResult {
+        let options = SimOptions {
+            packets: self.packets,
+            seed: self.seed,
+            channel: self.channel,
+            traffic: self.traffic,
+            record_packets: false,
+            horizon: None,
+            trajectory: wsn_params::motion::Trajectory::Stationary,
+        };
+        let metrics = if *self.analytic.config() == self.channel {
+            self.analytic
+                .lookup_or_eval(&config, &options, || {
+                    budgets.budget(config.power, config.distance)
+                })
+                .0
+        } else {
+            AnalyticLinkSimulation::new(config, options)
+                .with_budget_table(Arc::clone(budgets))
+                .run()
+                .into_metrics()
+        };
+        ConfigResult { config, metrics }
     }
 
     /// Simulates every configuration in `configs`, preserving order.
@@ -254,8 +321,8 @@ impl Campaign {
             .budgets
             .prewarm(configs.iter().map(|c| (c.power, c.distance)));
 
-        if self.engine == EngineMode::Fast {
-            return self.run_span_fast_parallel(configs, base, sink, threads, &shared);
+        if self.engine != EngineMode::Golden {
+            return self.run_span_batch_parallel(configs, base, sink, threads, &shared);
         }
 
         // Workers that finish ahead of the in-order frontier may run at
@@ -329,14 +396,16 @@ impl Campaign {
         }
     }
 
-    /// The fast engine's parallel span runner: a chunk-claiming
-    /// [`BatchExecutor`] with one pre-warmed budget-table copy per worker,
-    /// no condition variables and no mid-run locking. Results are
-    /// collected and delivered to `sink` in order afterwards — at a few µs
-    /// per config the reorder machinery of the golden path would cost more
-    /// than the simulations, and holding `O(total)` summaries (a few
-    /// hundred bytes each) is cheap.
-    fn run_span_fast_parallel<S: CampaignSink + Send>(
+    /// The parallel span runner for the cheap engines (fast and
+    /// analytic): a chunk-claiming [`BatchExecutor`] with one pre-warmed
+    /// budget-table copy per worker, no condition variables and no mid-run
+    /// locking. Results are collected and delivered to `sink` in order
+    /// afterwards — at a few µs per config the reorder machinery of the
+    /// golden path would cost more than the simulations, and holding
+    /// `O(total)` summaries (a few hundred bytes each) is cheap. (The
+    /// analytic workers do share the campaign's memo table; its `RwLock`
+    /// is read-mostly and uncontended after first sight of a config.)
+    fn run_span_batch_parallel<S: CampaignSink + Send>(
         &self,
         configs: &[StackConfig],
         base: usize,
@@ -349,7 +418,11 @@ impl Campaign {
         let results = exec.map_init(
             configs,
             || Arc::new(shared.budgets.clone_table()),
-            |budgets, _i, config| self.run_one_fast(*config, budgets),
+            |budgets, _i, config| match self.engine {
+                EngineMode::Fast => self.run_one_fast(*config, budgets),
+                EngineMode::Analytic => self.run_one_analytic(*config, budgets),
+                EngineMode::Golden => unreachable!("golden uses the reorder-window path"),
+            },
         );
         for (i, result) in results.iter().enumerate() {
             sink.on_result(base + i, result);
@@ -527,6 +600,59 @@ mod tests {
         // But the campaign seed must.
         let reseeded = campaign.clone().with_seed(99).run_one(config, 0);
         assert_ne!(at_0.metrics.goodput_bps, reseeded.metrics.goodput_bps);
+    }
+
+    #[test]
+    fn analytic_parallel_equals_serial_and_is_seed_free() {
+        let grid = tiny_grid();
+        let serial = Campaign {
+            packets: 60,
+            threads: 1,
+            ..Campaign::new(Scale::Quick)
+        }
+        .with_engine(EngineMode::Analytic)
+        .run_grid(&grid);
+        let parallel = Campaign {
+            packets: 60,
+            threads: 8,
+            ..Campaign::new(Scale::Quick)
+        }
+        .with_engine(EngineMode::Analytic)
+        .run_grid(&grid);
+        assert_eq!(serial, parallel);
+        for r in &serial {
+            assert!(r.metrics.conserves_packets());
+            assert!(r.metrics.goodput_bps > 0.0);
+        }
+        // The closed form has no random draws: re-seeding the campaign
+        // changes nothing (unlike golden/fast, where it must).
+        let reseeded = Campaign {
+            packets: 60,
+            threads: 1,
+            ..Campaign::new(Scale::Quick)
+        }
+        .with_engine(EngineMode::Analytic)
+        .with_seed(99)
+        .run_grid(&grid);
+        assert_eq!(serial, reseeded);
+    }
+
+    #[test]
+    fn analytic_memo_survives_repeat_runs_bit_identically() {
+        let grid = tiny_grid();
+        let campaign = Campaign {
+            packets: 60,
+            threads: 1,
+            ..Campaign::new(Scale::Quick)
+        }
+        .with_engine(EngineMode::Analytic);
+        let cold = campaign.run_grid(&grid);
+        assert_eq!(campaign.analytic.len(), grid.len());
+        // The second sweep is answered from the memo table — and must be
+        // indistinguishable from recomputation.
+        let warm = campaign.run_grid(&grid);
+        assert_eq!(cold, warm);
+        assert_eq!(campaign.analytic.len(), grid.len());
     }
 
     #[test]

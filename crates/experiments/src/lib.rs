@@ -38,6 +38,7 @@ pub mod ext08;
 pub mod ext09;
 pub mod ext10;
 pub mod ext11;
+pub mod ext12;
 pub mod fig01;
 pub mod fig03;
 pub mod fig04;
@@ -99,6 +100,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ext09", ext09::run),
         ("ext10", ext10::run),
         ("ext11", ext11::run),
+        ("ext12", ext12::run),
         ("ablation01", ablation01::run),
         ("ablation02", ablation02::run),
         ("ablation03", ablation03::run),
@@ -136,8 +138,8 @@ mod tests {
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        // 19 paper artifacts + 11 extensions + 4 ablations.
-        assert_eq!(ids.len(), 34);
+        // 19 paper artifacts + 12 extensions + 4 ablations.
+        assert_eq!(ids.len(), 35);
     }
 
     #[test]

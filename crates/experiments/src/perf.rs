@@ -38,7 +38,8 @@ pub fn bench_grid() -> ParamGrid {
 /// Throughput at one worker-thread count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThreadThroughput {
-    /// Engine mode the row was measured under (`"golden"` or `"fast"`).
+    /// Engine mode the row was measured under (`"golden"`, `"fast"`, or
+    /// `"analytic"`).
     pub mode: String,
     /// Campaign worker threads.
     pub threads: usize,
@@ -77,6 +78,10 @@ pub struct BenchReport {
     pub packets_per_config: u64,
     /// Throughput per thread count, in the order measured.
     pub results: Vec<ThreadThroughput>,
+    /// Warm single-configuration latency of one analytic prediction
+    /// (memo-table hit), nanoseconds — the serve `predict`/`tune`
+    /// pre-scan cost per candidate.
+    pub analytic_predict_ns: f64,
     /// Multi-link shared-channel throughput per scenario size.
     pub scenarios: Vec<ScenarioThroughput>,
 }
@@ -99,6 +104,10 @@ impl BenchReport {
                 r.elapsed_s,
             ));
         }
+        out.push_str(&format!(
+            "  analytic predict (warm): {:>7.0} ns\n",
+            self.analytic_predict_ns
+        ));
         for s in &self.scenarios {
             out.push_str(&format!(
                 "  {:>2}-link scenario: {:>7.0} runs/sec  ({} iters, {:.3}s)\n",
@@ -170,8 +179,8 @@ pub fn scenario_throughput(
 /// standard minimum-of-k estimator for the noise-free cost).
 pub fn campaign_throughput(thread_counts: &[usize], reps: usize, min_batch_s: f64) -> BenchReport {
     let configs: Vec<StackConfig> = bench_grid().iter().collect();
-    let mut results = Vec::with_capacity(2 * thread_counts.len());
-    for engine in [EngineMode::Golden, EngineMode::Fast] {
+    let mut results = Vec::with_capacity(EngineMode::ALL.len() * thread_counts.len());
+    for engine in EngineMode::ALL {
         for &threads in thread_counts {
             let campaign = Campaign {
                 threads,
@@ -215,8 +224,39 @@ pub fn campaign_throughput(thread_counts: &[usize], reps: usize, min_batch_s: f6
         grid_configs: configs.len(),
         packets_per_config: Scale::Bench.packets(),
         results,
+        analytic_predict_ns: analytic_predict_latency_ns(reps, min_batch_s),
         scenarios: scenario_throughput(&[2, 8], reps, min_batch_s),
     }
+}
+
+/// Warm per-prediction latency of the analytic engine, nanoseconds: one
+/// configuration asked for over and over against a populated memo table —
+/// the steady-state cost serve's analytic `predict` (and each `tune`
+/// pre-scan candidate after the first sweep) pays.
+pub fn analytic_predict_latency_ns(reps: usize, min_batch_s: f64) -> f64 {
+    let campaign = Campaign::new(Scale::Bench).with_engine(EngineMode::Analytic);
+    let config = bench_grid().iter().next().expect("non-empty grid");
+    let run_once = || {
+        let result = campaign.run_one(config, 0);
+        std::hint::black_box(result.metrics.goodput_bps);
+    };
+
+    // Warmup populates the memo; calibration sizes the batch.
+    run_once();
+    let t0 = Instant::now();
+    run_once();
+    let per_run = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = (min_batch_s / per_run).ceil().max(1000.0) as usize;
+
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            run_once();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e9 / iters as f64
 }
 
 #[cfg(test)]
@@ -232,13 +272,16 @@ mod tests {
     fn report_measures_and_renders() {
         // Tiny batches: correctness of the plumbing, not the numbers.
         let report = campaign_throughput(&[1, 2], 1, 0.0);
-        // One row per (mode, thread count): golden rows first, then fast.
-        assert_eq!(report.results.len(), 4);
+        // One row per (mode, thread count): golden rows first, then fast,
+        // then analytic.
+        assert_eq!(report.results.len(), 6);
         assert!(report.results.iter().all(|r| r.configs_per_sec > 0.0));
         assert_eq!(report.results[0].mode, "golden");
         assert_eq!(report.results[2].mode, "fast");
+        assert_eq!(report.results[4].mode, "analytic");
         assert_eq!(report.results[0].threads, 1);
-        assert_eq!(report.results[3].threads, 2);
+        assert_eq!(report.results[5].threads, 2);
+        assert!(report.analytic_predict_ns > 0.0);
         assert_eq!(report.scenarios.len(), 2);
         assert_eq!(report.scenarios[0].links, 2);
         assert_eq!(report.scenarios[1].links, 8);

@@ -80,6 +80,59 @@ pub fn draw_congestion_backoff<R: Rng + ?Sized>(rng: &mut R) -> SimDuration {
     BACKOFF_UNIT * rng.gen_range(1..=CONGESTION_BACKOFF_MAX_UNITS) as u64
 }
 
+/// Mean and variance of a random duration, in µs / µs².
+///
+/// The analytic engine composes per-attempt service times from these
+/// instead of drawing them; keeping the moments next to the draw
+/// functions pins both to the same distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingMoments {
+    /// Mean, µs.
+    pub mean_us: f64,
+    /// Variance, µs².
+    pub var_us2: f64,
+}
+
+impl TimingMoments {
+    /// A deterministic duration: mean `us`, zero variance.
+    pub fn exact(us: f64) -> TimingMoments {
+        TimingMoments {
+            mean_us: us,
+            var_us2: 0.0,
+        }
+    }
+
+    /// Second raw moment `E[T²]`, µs².
+    pub fn second_moment_us2(self) -> f64 {
+        self.var_us2 + self.mean_us * self.mean_us
+    }
+}
+
+/// Moments of a backoff uniform over `1..=max_units` units of 320 µs —
+/// the distribution [`draw_initial_backoff`] / [`draw_congestion_backoff`]
+/// sample from.
+///
+/// For a discrete uniform on `{1, …, N}` scaled by `u` = 320 µs:
+/// mean `u·(N+1)/2`, variance `u²·(N²−1)/12`.
+pub fn uniform_backoff_moments(max_units: u32) -> TimingMoments {
+    let unit = BACKOFF_UNIT.as_micros() as f64;
+    let n = max_units as f64;
+    TimingMoments {
+        mean_us: unit * (n + 1.0) / 2.0,
+        var_us2: unit * unit * (n * n - 1.0) / 12.0,
+    }
+}
+
+/// Moments of the initial backoff (uniform over 1..=32 units; mean 5.28 ms).
+pub fn initial_backoff_moments() -> TimingMoments {
+    uniform_backoff_moments(INITIAL_BACKOFF_MAX_UNITS)
+}
+
+/// Moments of the congestion backoff (uniform over 1..=8 units).
+pub fn congestion_backoff_moments() -> TimingMoments {
+    uniform_backoff_moments(CONGESTION_BACKOFF_MAX_UNITS)
+}
+
 /// The retry delay `Dretry` of a configuration as a simulation duration.
 pub fn retry_delay(config: &StackConfig) -> SimDuration {
     SimDuration::from_millis(config.retry_delay.millis() as u64)
@@ -147,6 +200,39 @@ mod tests {
         let large = spi_load(PayloadSize::new(110).unwrap());
         assert!(large > small);
         assert_eq!(small.as_micros(), 1_500 + 18 * 45);
+    }
+
+    #[test]
+    fn backoff_moments_match_empirical_draws() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n)
+            .map(|_| draw_initial_backoff(&mut rng).as_micros() as f64)
+            .collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+        let m = initial_backoff_moments();
+        assert!(
+            (mean - m.mean_us).abs() / m.mean_us < 0.01,
+            "mean={mean} vs {}",
+            m.mean_us
+        );
+        assert!(
+            (var - m.var_us2).abs() / m.var_us2 < 0.02,
+            "var={var} vs {}",
+            m.var_us2
+        );
+    }
+
+    #[test]
+    fn moment_helpers_pin_paper_values() {
+        let init = initial_backoff_moments();
+        assert_eq!(init.mean_us, 5_280.0); // T_BO = 5.28 ms
+        let cong = congestion_backoff_moments();
+        assert_eq!(cong.mean_us, 320.0 * 4.5);
+        let exact = TimingMoments::exact(224.0);
+        assert_eq!(exact.var_us2, 0.0);
+        assert_eq!(exact.second_moment_us2(), 224.0 * 224.0);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 
 use std::sync::Arc;
 
+use wsn_analytic::table::AnalyticTable;
+use wsn_analytic::{AnalyticLinkSimulation, AnalyticOutcome, AnalyticReport};
 use wsn_link_sim::catalog::{all_scenarios, build_scenario};
 use wsn_link_sim::fast::FastLinkSimulation;
 use wsn_link_sim::metrics::LinkMetrics;
@@ -41,7 +43,10 @@ use crate::stats::ServeStats;
 pub struct Engine {
     /// Memoized link budgets shared by every worker's simulations.
     budgets: Arc<LinkBudgetTable>,
-    /// The analytic optimizer/predictor (paper constants).
+    /// Memoized closed-form evaluations for the analytic engine mode,
+    /// pinned to the same channel as `budgets`.
+    analytic: Arc<AnalyticTable>,
+    /// The golden closed-form optimizer/predictor (paper constants).
     optimizer: Optimizer,
     /// The result cache.
     pub cache: ShardedCache,
@@ -74,6 +79,30 @@ struct PredictResult {
     predicted: Predicted,
 }
 
+/// The `predict` result under `"engine":"analytic"`: the full simulated
+/// metric set from the M/G/1 closed-form engine plus its diagnostic
+/// report, at the default query scale (golden predict keeps its own
+/// historical [`PredictResult`] shape, byte-identical to before).
+#[derive(Serialize)]
+struct AnalyticPredictResult {
+    config: StackConfig,
+    engine: String,
+    packets: u64,
+    metrics: LinkMetrics,
+    report: AnalyticReport,
+}
+
+/// The analytic pre-scan block of a `tune` result: winner metrics and
+/// diagnostics plus how many candidates the scan ranked. Only the
+/// analytic result shape carries it, so golden/fast tune bodies stay
+/// byte-identical to the pre-analytic format.
+#[derive(Serialize)]
+struct AnalyticTuneDetail {
+    candidates_ranked: u64,
+    metrics: LinkMetrics,
+    report: AnalyticReport,
+}
+
 #[derive(Serialize)]
 struct ConstraintEcho {
     metric: String,
@@ -88,10 +117,28 @@ struct TuneResult {
     engine: String,
     config: StackConfig,
     predicted: Predicted,
-    /// Fast-engine check of the analytic winner: present when the request
-    /// asked for `"engine":"fast"`, `null` on the (default) analytic-only
-    /// golden answer.
+    /// Fast-engine check of the predicted winner: present when the
+    /// request asked for `"engine":"fast"`, `null` on the (default)
+    /// predictor-only golden answer.
     simulated: Option<LinkMetrics>,
+}
+
+/// The `tune` result under `"engine":"analytic"`: the [`TuneResult`]
+/// fields plus the pre-scan detail (the vendored serde_derive has no
+/// `skip_serializing_if`, so a distinct shape — rather than an optional
+/// field — is what keeps golden/fast bodies byte-identical).
+#[derive(Serialize)]
+struct AnalyticTuneResult {
+    objective: String,
+    constraints: Vec<ConstraintEcho>,
+    grid_configs: u64,
+    engine: String,
+    config: StackConfig,
+    predicted: Predicted,
+    /// The fast-engine cross-check of the pre-scan winner (the only
+    /// candidate that is re-simulated).
+    simulated: Option<LinkMetrics>,
+    analytic: AnalyticTuneDetail,
 }
 
 #[derive(Serialize)]
@@ -114,12 +161,28 @@ struct ScenarioResult {
     goodput_bps: f64,
 }
 
+/// A [`Metric`]'s value read from simulated/analytic [`LinkMetrics`], in
+/// the same minimization sense as [`Metric::value`] on a prediction
+/// (goodput negated so smaller is always better). Infeasible operating
+/// points surface as `INFINITY` (energy with zero delivery) and are
+/// filtered by the caller's finiteness check.
+fn link_metric_value(metric: Metric, m: &LinkMetrics) -> f64 {
+    match metric {
+        Metric::Energy => m.u_eng_uj_per_bit,
+        Metric::Goodput => -m.goodput_bps,
+        Metric::Delay => m.delay_mean_ms,
+        Metric::Loss => m.plr_total(),
+    }
+}
+
 impl Engine {
     /// An engine on the paper's hallway channel with a `shards`-way result
     /// cache.
     pub fn new(shards: usize) -> Self {
+        let channel = ChannelConfig::paper_hallway();
         Engine {
-            budgets: Arc::new(LinkBudgetTable::new(ChannelConfig::paper_hallway())),
+            budgets: Arc::new(LinkBudgetTable::new(channel)),
+            analytic: Arc::new(AnalyticTable::new(channel)),
             optimizer: Optimizer::paper(),
             cache: ShardedCache::new(shards),
             stats: ServeStats::new(),
@@ -173,11 +236,25 @@ impl Engine {
                 })
                 .map_err(|e| e.to_string())
             }
-            RequestBody::Predict { config } => serde_json::to_string(&PredictResult {
-                config: *config,
-                predicted: self.optimizer.predictor.evaluate(config),
-            })
-            .map_err(|e| e.to_string()),
+            RequestBody::Predict { config, engine } => match engine {
+                EngineMode::Analytic => {
+                    let outcome = self.analytic_run(*config, crate::protocol::DEFAULT_PACKETS);
+                    serde_json::to_string(&AnalyticPredictResult {
+                        config: *config,
+                        engine: engine.name().to_string(),
+                        packets: crate::protocol::DEFAULT_PACKETS,
+                        report: outcome.report,
+                        metrics: outcome.into_metrics(),
+                    })
+                    .map_err(|e| e.to_string())
+                }
+                // Golden keeps the historical body, byte-identical.
+                _ => serde_json::to_string(&PredictResult {
+                    config: *config,
+                    predicted: self.optimizer.predictor.evaluate(config),
+                })
+                .map_err(|e| e.to_string()),
+            },
             RequestBody::Tune {
                 objective,
                 constraints,
@@ -205,7 +282,7 @@ impl Engine {
     /// Runs one configuration under the requested engine mode. Golden is
     /// the event-driven replay (and feeds the executor-load counters);
     /// fast is the coalesced per-packet sampler, which has no event loop
-    /// to observe.
+    /// to observe; analytic is the seed-free M/G/1 closed form.
     fn simulate(
         &self,
         config: StackConfig,
@@ -231,7 +308,23 @@ impl Engine {
                 .with_budget_table(Arc::clone(&self.budgets))
                 .run()
                 .into_metrics(),
+            EngineMode::Analytic => self.analytic_run(config, packets).into_metrics(),
         }
+    }
+
+    /// One closed-form evaluation through the shared memo table (seed-free
+    /// by construction, so no seed parameter exists to forget).
+    fn analytic_run(&self, config: StackConfig, packets: u64) -> AnalyticOutcome {
+        let options = SimOptions {
+            packets,
+            record_packets: false,
+            traffic: TrafficModel::Periodic,
+            ..SimOptions::paper(crate::protocol::DEFAULT_SEED)
+        };
+        AnalyticLinkSimulation::new(config, options)
+            .with_budget_table(Arc::clone(&self.budgets))
+            .with_cache(Arc::clone(&self.analytic))
+            .run()
     }
 
     fn tune(
@@ -246,21 +339,24 @@ impl Engine {
             Distance::from_meters(d).map_err(|e| e.to_string())?;
             grid.distances_m = vec![d];
         }
+        if engine == EngineMode::Analytic {
+            return self.tune_analytic(objective, constraints, &grid);
+        }
         let best = self
             .optimizer
             .epsilon_constraint(&grid, objective, constraints)
             .ok_or_else(|| "no feasible configuration on the grid".to_string())?;
-        // `"engine":"fast"` buys an empirical cross-check: the analytic
+        // `"engine":"fast"` buys an empirical cross-check: the predicted
         // winner is re-run through the fast sampler so the client sees
         // simulated metrics next to the closed-form prediction.
         let simulated = match engine {
-            EngineMode::Golden => None,
             EngineMode::Fast => Some(self.simulate(
                 best.config,
                 crate::protocol::DEFAULT_PACKETS,
                 crate::protocol::DEFAULT_SEED,
                 EngineMode::Fast,
             )),
+            _ => None,
         };
         serde_json::to_string(&TuneResult {
             objective: metric_name(objective).to_string(),
@@ -276,6 +372,72 @@ impl Engine {
             config: best.config,
             predicted: best.predicted,
             simulated,
+        })
+        .map_err(|e| e.to_string())
+    }
+
+    /// The analytic tune path: every grid candidate is evaluated with the
+    /// closed-form M/G/1 engine (microseconds each through the memo table)
+    /// and ranked on the full metric set at its own periodic operating
+    /// point; only the winner is then re-simulated through the fast
+    /// sampler as an empirical cross-check. Note the goodput objective
+    /// therefore ranks *achieved* goodput under the configuration's
+    /// periodic load, where the golden predictor ranks the saturated
+    /// maximum (Eq. 4).
+    fn tune_analytic(
+        &self,
+        objective: Metric,
+        constraints: &[(Metric, f64)],
+        grid: &ParamGrid,
+    ) -> Result<String, String> {
+        let mut best: Option<(StackConfig, LinkMetrics, AnalyticReport, f64)> = None;
+        for config in grid.iter() {
+            let outcome = self.analytic_run(config, crate::protocol::DEFAULT_PACKETS);
+            let report = outcome.report;
+            let metrics = outcome.into_metrics();
+            let feasible = constraints
+                .iter()
+                .all(|(m, eps)| link_metric_value(*m, &metrics) <= *eps);
+            if !feasible {
+                continue;
+            }
+            let value = link_metric_value(objective, &metrics);
+            if !value.is_finite() {
+                continue;
+            }
+            // Strict `<` keeps the first minimum, like the golden path's
+            // `min_by`, so ties break deterministically in grid order.
+            if best.as_ref().is_none_or(|(_, _, _, b)| value < *b) {
+                best = Some((config, metrics, report, value));
+            }
+        }
+        let (config, metrics, report, _) =
+            best.ok_or_else(|| "no feasible configuration on the grid".to_string())?;
+        let simulated = self.simulate(
+            config,
+            crate::protocol::DEFAULT_PACKETS,
+            crate::protocol::DEFAULT_SEED,
+            EngineMode::Fast,
+        );
+        serde_json::to_string(&AnalyticTuneResult {
+            objective: metric_name(objective).to_string(),
+            constraints: constraints
+                .iter()
+                .map(|(m, max)| ConstraintEcho {
+                    metric: metric_name(*m).to_string(),
+                    max: *max,
+                })
+                .collect(),
+            grid_configs: grid.len() as u64,
+            engine: EngineMode::Analytic.name().to_string(),
+            config,
+            predicted: self.optimizer.predictor.evaluate(&config),
+            simulated: Some(simulated),
+            analytic: AnalyticTuneDetail {
+                candidates_ranked: grid.len() as u64,
+                metrics,
+                report,
+            },
         })
         .map_err(|e| e.to_string())
     }
@@ -388,6 +550,84 @@ mod tests {
             vg.field("config").field("distance").as_f64(),
             v.field("config").field("distance").as_f64()
         );
+    }
+
+    #[test]
+    fn analytic_simulate_is_cached_on_its_own_line() {
+        let engine = Engine::new(4);
+        let golden = body(r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0}}"#);
+        let analytic = body(
+            r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0},"engine":"analytic"}"#,
+        );
+        engine.execute(&golden).unwrap();
+        // The analytic request recomputes rather than borrowing the
+        // golden body …
+        let a = engine.execute(&analytic).unwrap();
+        assert!(!a.cached);
+        let v = serde_json::parse(&a.body).unwrap();
+        assert_eq!(v.field("engine").as_str(), Some("analytic"));
+        assert_eq!(v.field("metrics").field("generated").as_u64(), Some(40));
+        // … and then hits its own cache line byte-identically.
+        let repeat = engine.execute(&analytic).unwrap();
+        assert!(repeat.cached);
+        assert_eq!(repeat.body.as_str(), a.body.as_str());
+    }
+
+    #[test]
+    fn analytic_predict_returns_full_metrics_and_report() {
+        let engine = Engine::new(4);
+        let golden = body(r#"{"op":"predict","config":{"distance_m":20.0}}"#);
+        let analytic = body(r#"{"op":"predict","config":{"distance_m":20.0},"engine":"analytic"}"#);
+        let g = engine.execute(&golden).unwrap();
+        let a = engine.execute(&analytic).unwrap();
+        assert!(!a.cached, "analytic predict must not reuse the golden line");
+
+        // The golden body keeps its historical shape: no engine echo.
+        let vg = serde_json::parse(&g.body).unwrap();
+        assert_eq!(vg.field("engine").kind(), "null");
+        assert!(vg.field("predicted").field("rho").as_f64().is_some());
+
+        // The analytic body carries the full simulated metric set plus
+        // the M/G/1 diagnostic report.
+        let va = serde_json::parse(&a.body).unwrap();
+        assert_eq!(va.field("engine").as_str(), Some("analytic"));
+        assert!(va.field("metrics").field("goodput_bps").as_f64().unwrap() > 0.0);
+        let report = va.field("report");
+        assert!(report.field("rho").as_f64().unwrap() > 0.0);
+        assert!(report.field("expected_attempts").as_f64().unwrap() >= 1.0);
+        assert_eq!(report.field("saturated").as_bool(), Some(false));
+    }
+
+    #[test]
+    fn analytic_tune_prescans_the_grid_and_simulates_only_the_winner() {
+        let engine = Engine::new(4);
+        let req = body(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.05}],"distance_m":20.0,"engine":"analytic"}"#,
+        );
+        let answer = engine.execute(&req).unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        assert_eq!(v.field("engine").as_str(), Some("analytic"));
+        // Every candidate of the 20 m slice was ranked …
+        let ranked = v.field("analytic").field("candidates_ranked").as_u64();
+        assert_eq!(ranked, v.field("grid_configs").as_u64());
+        assert!(ranked.unwrap() > 1000);
+        // … the winner satisfies the constraint analytically …
+        let m = v.field("analytic").field("metrics");
+        let plr_q = m.field("plr_queue").as_f64().unwrap();
+        let plr_r = m.field("plr_radio").as_f64().unwrap();
+        assert!(plr_q + (1.0 - plr_q) * plr_r <= 0.05);
+        // … and exactly one fast cross-check rode along.
+        assert!(v.field("simulated").field("generated").as_u64().unwrap() > 0);
+
+        // The golden tune of the same question lives on its own cache
+        // line and keeps its historical shape (no analytic block).
+        let golden = body(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.05}],"distance_m":20.0}"#,
+        );
+        let g = engine.execute(&golden).unwrap();
+        assert!(!g.cached);
+        let vg = serde_json::parse(&g.body).unwrap();
+        assert_eq!(vg.field("analytic").kind(), "null");
     }
 
     #[test]

@@ -125,6 +125,11 @@ pub enum RequestBody {
     Predict {
         /// The stack configuration.
         config: StackConfig,
+        /// Which prediction backend answers: `"golden"` (default) is the
+        /// paper's fitted models (Eqs. 2–9), `"analytic"` the M/G/1
+        /// closed-form engine. `"fast"` is rejected — sampling backends
+        /// belong to `simulate`.
+        engine: EngineMode,
     },
     /// `tune`: epsilon-constrained optimization over the paper grid.
     Tune {
@@ -343,7 +348,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             "seed",
             "engine",
         ],
-        Op::Predict => &["id", "op", "deadline_ms", "config"],
+        Op::Predict => &["id", "op", "deadline_ms", "config", "engine"],
         Op::Tune => &[
             "id",
             "op",
@@ -383,7 +388,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             v => v
                 .as_str()
                 .and_then(EngineMode::from_name)
-                .ok_or_else(|| "engine must be \"golden\" or \"fast\"".to_string()),
+                .ok_or_else(|| "engine must be \"golden\", \"fast\", or \"analytic\"".to_string()),
         }
     };
 
@@ -397,12 +402,23 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             seed: seed_of(&root).map_err(&reject)?,
             engine: engine_of(&root).map_err(&reject)?,
         },
-        Op::Predict => RequestBody::Predict {
-            config: match root.field("config") {
-                Value::Null => StackConfig::default(),
-                v => parse_config(v).map_err(&reject)?,
-            },
-        },
+        Op::Predict => {
+            let engine = engine_of(&root).map_err(&reject)?;
+            if engine == EngineMode::Fast {
+                return Err(reject(
+                    "predict engine must be \"golden\" or \"analytic\"; \
+                     \"fast\" is a sampling backend — use op \"simulate\""
+                        .to_string(),
+                ));
+            }
+            RequestBody::Predict {
+                config: match root.field("config") {
+                    Value::Null => StackConfig::default(),
+                    v => parse_config(v).map_err(&reject)?,
+                },
+                engine,
+            }
+        }
         Op::Tune => {
             let objective = root
                 .field("objective")
@@ -478,13 +494,14 @@ fn config_bits(config: &StackConfig) -> String {
 }
 
 /// Cache-key suffix partitioning the engine modes: empty for golden (so
-/// every pre-fast key stays byte-identical) and `|e:fast` for fast, which
-/// guarantees a fast answer can never be served to a golden request or
-/// vice versa.
+/// every pre-engine key stays byte-identical) and `|e:fast` / `|e:analytic`
+/// otherwise, which guarantees an answer from one backend can never be
+/// served to a request for another.
 fn engine_suffix(engine: EngineMode) -> &'static str {
     match engine {
         EngineMode::Golden => "",
         EngineMode::Fast => "|e:fast",
+        EngineMode::Analytic => "|e:analytic",
     }
 }
 
@@ -502,7 +519,11 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
             config_bits(config),
             engine_suffix(*engine)
         )),
-        RequestBody::Predict { config } => Some(format!("prd|{}", config_bits(config))),
+        RequestBody::Predict { config, engine } => Some(format!(
+            "prd|{}{}",
+            config_bits(config),
+            engine_suffix(*engine)
+        )),
         RequestBody::Tune {
             objective,
             constraints,
@@ -700,14 +721,42 @@ mod tests {
         assert!(!cache_key(&tune_golden.body).unwrap().contains("|e:"));
 
         let rej = parse_request(r#"{"op":"simulate","engine":"warp"}"#).unwrap_err();
-        assert!(rej.error.contains("golden"), "{}", rej.error);
-        // predict has no stochastic backend, so the field is rejected.
+        // Unknown engines draw the full valid set in the message.
+        for name in ["golden", "fast", "analytic"] {
+            assert!(rej.error.contains(name), "{}", rej.error);
+        }
+    }
+
+    #[test]
+    fn analytic_engine_parses_everywhere_and_partitions_cache_keys() {
+        for op in ["simulate", "tune"] {
+            let line = if op == "tune" {
+                format!(r#"{{"op":"{op}","objective":"energy","engine":"analytic"}}"#)
+            } else {
+                format!(r#"{{"op":"{op}","engine":"analytic"}}"#)
+            };
+            let req = parse_request(&line).unwrap();
+            let key = cache_key(&req.body).unwrap();
+            assert!(key.ends_with("|e:analytic"), "{op}: {key}");
+        }
+
+        // predict accepts golden (default) and analytic; the analytic key
+        // is a distinct cache line while the golden key stays byte-
+        // identical to the historical `prd|…` format.
+        let golden = parse_request(r#"{"op":"predict"}"#).unwrap();
+        let explicit = parse_request(r#"{"op":"predict","engine":"golden"}"#).unwrap();
+        let analytic = parse_request(r#"{"op":"predict","engine":"analytic"}"#).unwrap();
+        assert_eq!(cache_key(&golden.body), cache_key(&explicit.body));
+        assert!(!cache_key(&golden.body).unwrap().contains("|e:"));
+        assert!(cache_key(&golden.body).unwrap().starts_with("prd|"));
+        assert_ne!(cache_key(&analytic.body), cache_key(&golden.body));
+        assert!(cache_key(&analytic.body).unwrap().ends_with("|e:analytic"));
+
+        // predict is closed-form only: the sampling backend is refused
+        // with a pointer at simulate.
         let rej = parse_request(r#"{"op":"predict","engine":"fast"}"#).unwrap_err();
-        assert!(
-            rej.error.contains("unknown field 'engine'"),
-            "{}",
-            rej.error
-        );
+        assert!(rej.error.contains("analytic"), "{}", rej.error);
+        assert!(rej.error.contains("simulate"), "{}", rej.error);
     }
 
     #[test]

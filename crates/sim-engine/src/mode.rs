@@ -25,15 +25,23 @@ pub enum EngineMode {
     /// The coalesced per-packet engine; statistically equivalent to
     /// [`EngineMode::Golden`] and roughly an order of magnitude faster.
     Fast,
+    /// The closed-form engine: no sampling at all. Evaluates the same
+    /// stochastic process analytically (Gaussian-mixture SNR marginal,
+    /// truncated-geometric retry count, service-time moments into an
+    /// M/G/1-style waiting-time approximation) and returns the full
+    /// metric set in microseconds per configuration. Deterministic:
+    /// the seed never changes its answers.
+    Analytic,
 }
 
 impl EngineMode {
-    /// Canonical lower-case name (`"golden"` / `"fast"`), as accepted by
-    /// CLI flags and the serve protocol.
+    /// Canonical lower-case name (`"golden"` / `"fast"` / `"analytic"`),
+    /// as accepted by CLI flags and the serve protocol.
     pub fn name(self) -> &'static str {
         match self {
             EngineMode::Golden => "golden",
             EngineMode::Fast => "fast",
+            EngineMode::Analytic => "analytic",
         }
     }
 
@@ -42,6 +50,7 @@ impl EngineMode {
         match name {
             "golden" => Some(EngineMode::Golden),
             "fast" => Some(EngineMode::Fast),
+            "analytic" => Some(EngineMode::Analytic),
             _ => None,
         }
     }
@@ -51,11 +60,17 @@ impl EngineMode {
     /// `(config, seed)` pairs.
     pub fn seed_tag(self) -> u64 {
         match self {
-            // ASCII "GOLD" / "FAST" — arbitrary distinct constants.
+            // ASCII "GOLD" / "FAST" / "ANLY" — arbitrary distinct constants.
+            // The analytic engine draws nothing, but it still gets a tag so
+            // seed derivation stays total over the enum.
             EngineMode::Golden => 0x474F_4C44,
             EngineMode::Fast => 0x4641_5354,
+            EngineMode::Analytic => 0x414E_4C59,
         }
     }
+
+    /// All modes, in declaration order. Handy for sweeps and benches.
+    pub const ALL: [EngineMode; 3] = [EngineMode::Golden, EngineMode::Fast, EngineMode::Analytic];
 }
 
 #[cfg(test)]
@@ -64,7 +79,7 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for mode in [EngineMode::Golden, EngineMode::Fast] {
+        for mode in EngineMode::ALL {
             assert_eq!(EngineMode::from_name(mode.name()), Some(mode));
         }
         assert_eq!(EngineMode::from_name("warp"), None);
@@ -77,6 +92,12 @@ mod tests {
 
     #[test]
     fn seed_tags_differ() {
-        assert_ne!(EngineMode::Golden.seed_tag(), EngineMode::Fast.seed_tag());
+        for a in EngineMode::ALL {
+            for b in EngineMode::ALL {
+                if a != b {
+                    assert_ne!(a.seed_tag(), b.seed_tag());
+                }
+            }
+        }
     }
 }

@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use wsn_analytic as analytic;
 pub use wsn_experiments as experiments;
 pub use wsn_link_sim as link;
 pub use wsn_mac as mac;
@@ -95,6 +96,7 @@ pub mod net {
 
 /// One-stop import for applications built on the library.
 pub mod prelude {
+    pub use wsn_analytic::prelude::*;
     pub use wsn_link_sim::prelude::*;
     pub use wsn_mac::prelude::*;
     pub use wsn_models::prelude::*;
