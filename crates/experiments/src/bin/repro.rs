@@ -22,6 +22,14 @@
 //! repro scenario [ID...]             run multi-link shared-channel scenarios
 //!                                    (all of them when no ID is given;
 //!                                    `repro scenario list` lists ids)
+//! repro timeline <SCENARIO> <TIMELINE> [--engine golden|fast] [--log PATH]
+//!                                    replay a topology timeline over a
+//!                                    catalog scenario with per-epoch link
+//!                                    metrics (TIMELINE is a builtin id —
+//!                                    `repro timeline list` — or a JSON
+//!                                    file holding a ScenarioTimeline;
+//!                                    --log streams one structured epoch
+//!                                    event per snapshot)
 //! repro serve [--addr HOST:PORT] [--threads N] [--access-log PATH] [--slow-ms N]
 //!                                    start the JSON-lines query service
 //!                                    (docs/SERVE.md; port 0 picks a free port;
@@ -45,9 +53,10 @@
 //!
 //! Every failure path funnels through one [`CliError`] enum, so the exit
 //! code mapping lives in exactly one place: `0` success, `1` generic
-//! failure (bad flags, failed verify claims), `2` unknown experiment or
-//! scenario id, `3` I/O error, `4` query-service failure (bind error or a
-//! fatal socket error in the accept loop).
+//! failure (bad flags, failed verify claims, malformed timeline files),
+//! `2` unknown experiment, scenario, or timeline id, `3` I/O error
+//! (including an unreadable timeline file), `4` query-service failure
+//! (bind error or a fatal socket error in the accept loop).
 
 use std::fmt;
 use std::io::Write;
@@ -56,6 +65,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use wsn_experiments::campaign::{Campaign, ConfigResult, Scale};
+use wsn_experiments::dynamics::TimelineError;
 use wsn_experiments::report::Report;
 use wsn_experiments::shards::{read_shard_dir, run_sharded_logged};
 use wsn_experiments::stream::{EventLogSink, ProgressSink, SinkFn};
@@ -118,15 +128,20 @@ fn usage() -> String {
         .iter()
         .map(|(n, _)| *n)
         .collect();
+    let timeline_ids: Vec<&str> = wsn_link_sim::catalog::all_timelines()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
     format!(
-        "usage: repro <all|list|campaign|scenario|serve|verify|dataset|bench|ID...> \
+        "usage: repro <all|list|campaign|scenario|timeline|serve|verify|dataset|bench|ID...> \
          [--full] [--engine golden|fast|analytic] [--out DIR] [--resume] [--shards N] \
          [--log PATH] [--json PATH] [--quick-bench] [--addr HOST:PORT] [--threads N] \
          [--access-log PATH] [--slow-ms N]\n  \
-         ids: {}\n  scenario ids: {}\n  \
+         ids: {}\n  scenario ids: {}\n  timeline ids: {} (or a ScenarioTimeline JSON file)\n  \
          exit codes: 0 ok, 1 failure, 2 unknown id, 3 I/O error, 4 serve error",
         ids.join(", "),
-        scenario_ids.join(", ")
+        scenario_ids.join(", "),
+        timeline_ids.join(", ")
     )
 }
 
@@ -279,6 +294,57 @@ fn run_scenarios(
     Ok(())
 }
 
+/// `repro timeline <SCENARIO> <TIMELINE>`: replays a builtin or
+/// file-provided topology timeline over a catalog scenario, with one
+/// structured `epoch` obs event per snapshot when `--log` is given.
+fn run_timeline(
+    args: &[String],
+    scale: Scale,
+    engine: EngineMode,
+    out_dir: Option<&Path>,
+    log_path: Option<&Path>,
+) -> Result<(), CliError> {
+    if args.iter().any(|s| s == "list") {
+        for (id, description) in wsn_link_sim::catalog::all_timelines() {
+            println!("{id}: {description}");
+        }
+        return Ok(());
+    }
+    let [scenario_id, timeline_arg] = args else {
+        return Err(CliError::Usage(
+            "timeline needs exactly <SCENARIO> <TIMELINE> (or `timeline list`)".into(),
+        ));
+    };
+    let log = match log_path {
+        Some(path) => EventLog::to_file(path)
+            .map_err(|e| CliError::Io(format!("cannot open {}: {e}", path.display())))?,
+        None => EventLog::disabled(),
+    };
+    let start = Instant::now();
+    let report =
+        wsn_experiments::dynamics::run_timeline(scenario_id, timeline_arg, scale, engine, &log)
+            .map_err(|e| match e {
+                TimelineError::UnknownScenario(msg) | TimelineError::UnknownTimeline(msg) => {
+                    CliError::UnknownId(msg)
+                }
+                TimelineError::Io(msg) => CliError::Io(msg),
+                TimelineError::Invalid(msg) => CliError::Failure(msg),
+            })?;
+    print!("{}", report.render());
+    println!(
+        "[timeline {} + {} completed in {:.1}s]\n",
+        scenario_id,
+        timeline_arg,
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(dir) = out_dir {
+        write_outputs(&dir.to_path_buf(), &report)
+            .map_err(|e| CliError::Io(format!("failed to write timeline outputs: {e}")))?;
+    }
+    let _ = std::io::stdout().flush();
+    Ok(())
+}
+
 /// `repro serve`: binds the query service and runs it until a client sends
 /// `shutdown`. Prints the resolved address first so callers that bound
 /// port 0 can discover the real port.
@@ -384,6 +450,16 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
 
     if let Some(pos) = selections.iter().position(|s| s == "scenario") {
         return run_scenarios(&selections[pos + 1..], scale, out_dir.as_deref());
+    }
+
+    if let Some(pos) = selections.iter().position(|s| s == "timeline") {
+        return run_timeline(
+            &selections[pos + 1..],
+            scale,
+            engine,
+            out_dir.as_deref(),
+            log_path.as_deref(),
+        );
     }
 
     if selections.iter().any(|s| s == "serve") {

@@ -14,6 +14,7 @@
 
 pub mod campaign;
 pub mod dataset;
+pub mod dynamics;
 pub mod perf;
 pub mod report;
 pub mod scenarios;
@@ -39,6 +40,7 @@ pub mod ext09;
 pub mod ext10;
 pub mod ext11;
 pub mod ext12;
+pub mod ext13;
 pub mod fig01;
 pub mod fig03;
 pub mod fig04;
@@ -101,6 +103,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ext10", ext10::run),
         ("ext11", ext11::run),
         ("ext12", ext12::run),
+        ("ext13", ext13::run),
         ("ablation01", ablation01::run),
         ("ablation02", ablation02::run),
         ("ablation03", ablation03::run),
@@ -138,8 +141,8 @@ mod tests {
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        // 19 paper artifacts + 12 extensions + 4 ablations.
-        assert_eq!(ids.len(), 35);
+        // 19 paper artifacts + 13 extensions + 4 ablations.
+        assert_eq!(ids.len(), 36);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use wsn_params::config::StackConfig;
 use wsn_params::scenario::Scenario;
+use wsn_params::timeline::{self, ScenarioTimeline};
 use wsn_radio::channel::ChannelConfig;
 use wsn_radio::interference::InterferenceModel;
 
@@ -73,6 +74,39 @@ pub fn build_scenario(id: &str) -> Option<Scenario> {
     }
 }
 
+/// All builtin topology timelines: `(id, description)` pairs. Applied on
+/// top of a scenario with `repro timeline <scenario> <timeline>` or the
+/// serve `scenario` op's `timeline` field.
+pub fn all_timelines() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "storm20",
+            "failure storm: 20% of the links leave at t = 10 s and rejoin at t = 18 s (fixed seed)",
+        ),
+        (
+            "waypoint",
+            "random-waypoint mobility: every link pair wanders a 200 m square at 1.5 m/s, one Move per second for 30 s (fixed seed)",
+        ),
+    ]
+}
+
+/// Builds a builtin timeline by id, sized for `scenario`.
+pub fn build_timeline(id: &str, scenario: &Scenario) -> Option<ScenarioTimeline> {
+    match id {
+        "storm20" => Some(timeline::failure_storm(
+            scenario.len(),
+            0.20,
+            10.0,
+            18.0,
+            0x5702_0020,
+        )),
+        "waypoint" => Some(timeline::random_waypoint(
+            scenario, 200.0, 1.5, 1.0, 30.0, 0x0A0_1234,
+        )),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,5 +122,25 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(build_scenario("nope").is_none());
+    }
+
+    #[test]
+    fn every_cataloged_timeline_builds_and_validates() {
+        let scenario = build_scenario("parallel-4").unwrap();
+        for (id, _) in all_timelines() {
+            let tl = build_timeline(id, &scenario).unwrap_or_else(|| panic!("{id} missing"));
+            assert!(!tl.is_empty(), "{id} has no events");
+            tl.validate(scenario.len())
+                .unwrap_or_else(|e| panic!("{id} invalid: {e}"));
+            // Cataloged timelines are deterministic: same id, same digest.
+            let again = build_timeline(id, &scenario).unwrap();
+            assert_eq!(tl.digest(), again.digest(), "{id} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn unknown_timeline_id_is_none() {
+        let scenario = build_scenario("single").unwrap();
+        assert!(build_timeline("nope", &scenario).is_none());
     }
 }

@@ -50,12 +50,12 @@ pub mod traffic;
 /// Convenient glob-import of the link simulator.
 pub mod prelude {
     pub use crate::analysis::{littles_law, DeliverySequence};
-    pub use crate::catalog::{all_scenarios, build_scenario};
+    pub use crate::catalog::{all_scenarios, all_timelines, build_scenario, build_timeline};
     pub use crate::fast::{fast_seed, FastLinkSimulation, FastOutcome};
     pub use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
     pub use crate::network::{
-        scenario_from_interference, AirStats, LinkOutcome, NetOptions, NetworkOutcome,
-        NetworkSimulation,
+        scenario_from_interference, AirStats, EpochLink, EpochSnapshot, LinkOutcome, NetOptions,
+        NetworkOutcome, NetworkSimulation, TopoStats,
     };
     pub use crate::record::{PacketFate, PacketRecord};
     pub use crate::simulation::{LinkSimulation, SimOptions, SimOutcome};

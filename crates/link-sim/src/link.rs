@@ -15,16 +15,18 @@
 //! occupancy and resolves overlapping frames by SINR.
 
 use rand::rngs::StdRng;
+use rand::Rng;
 
 use wsn_mac::queue::{Admission, TxQueue};
 use wsn_mac::transaction::{Action, RadioActivity, Transaction, TxOutcome};
 use wsn_params::config::StackConfig;
 use wsn_params::motion::Trajectory;
+use wsn_params::types::{Distance, PowerLevel};
 use wsn_radio::channel::{lqi_from_snr, Channel, Observation};
 use wsn_radio::energy::EnergyMeter;
 use wsn_radio::interference::combine_dbm;
 use wsn_sim_engine::executor::Scheduler;
-use wsn_sim_engine::rng::{RngFactory, StreamId};
+use wsn_sim_engine::rng::{FactoryStream, NormalSampler, RngFactory, StreamId};
 use wsn_sim_engine::time::{SimDuration, SimTime};
 
 use crate::metrics::{LinkMetrics, MetricsAccumulator, RunTotals};
@@ -53,8 +55,16 @@ pub(crate) trait Medium {
     /// exactly once per CCA with the backoff RNG; implementations that
     /// consult real occupancy must still fall back to
     /// [`Transaction::sample_cca_busy`] so external-interferer
-    /// probabilities keep their draws.
-    fn cca_busy(&mut self, link: usize, now: SimTime, txn: &Transaction, rng: &mut StdRng) -> bool;
+    /// probabilities keep their draws. Generic over the generator so the
+    /// same medium serves the golden (`StdRng`) and fast (`FastRng`)
+    /// engines.
+    fn cca_busy<R: Rng + ?Sized>(
+        &mut self,
+        link: usize,
+        now: SimTime,
+        txn: &Transaction,
+        rng: &mut R,
+    ) -> bool;
 
     /// `link`'s data frame occupies the air over `[start, end)`.
     fn frame_on_air(&mut self, link: usize, start: SimTime, end: SimTime);
@@ -73,12 +83,12 @@ pub(crate) trait Medium {
 pub(crate) struct Isolated;
 
 impl Medium for Isolated {
-    fn cca_busy(
+    fn cca_busy<R: Rng + ?Sized>(
         &mut self,
         _link: usize,
         _now: SimTime,
         txn: &Transaction,
-        rng: &mut StdRng,
+        rng: &mut R,
     ) -> bool {
         Transaction::sample_cca_busy(txn, rng)
     }
@@ -121,7 +131,14 @@ struct Active {
 }
 
 /// One sender→receiver link's complete simulation state.
-pub(crate) struct LinkCore {
+///
+/// Generic over the generator type `R` — the engine-mode seam of the
+/// network path: `LinkCore<StdRng>` is the golden engine (ChaCha12 +
+/// Box–Muller, bit-for-bit the single-link behavior) and
+/// `LinkCore<FastRng>` the fast engine (xoshiro256++ + Ziggurat,
+/// statistically equivalent). The default keeps the single-link
+/// simulator's spelling unchanged.
+pub(crate) struct LinkCore<R = StdRng> {
     /// This link's index in its scenario (0 for the single-link path);
     /// passed to every [`Medium`] call.
     index: usize,
@@ -129,11 +146,11 @@ pub(crate) struct LinkCore {
     channel: Channel,
     /// Pristine per-packet MAC transaction, copied on each service start.
     txn_template: Transaction,
-    rng_fading: StdRng,
-    rng_noise: StdRng,
-    rng_delivery: StdRng,
-    rng_backoff: StdRng,
-    rng_traffic: StdRng,
+    rng_fading: R,
+    rng_noise: R,
+    rng_delivery: R,
+    rng_backoff: R,
+    rng_traffic: R,
     traffic: TrafficModel,
     queue: TxQueue<Pending>,
     current: Option<Active>,
@@ -160,7 +177,7 @@ pub(crate) struct LinkCore {
     frames_capture_lost: u64,
 }
 
-impl LinkCore {
+impl<R: NormalSampler> LinkCore<R> {
     /// Builds a link core with its five named RNG streams drawn from
     /// `factory` — the same derivation order as the single-link simulator,
     /// which is what makes a 1-link scenario bit-identical to it.
@@ -172,7 +189,10 @@ impl LinkCore {
         trajectory: Trajectory,
         budget: u64,
         factory: &RngFactory,
-    ) -> Self {
+    ) -> Self
+    where
+        R: FactoryStream,
+    {
         // The MAC transaction state machine starts every packet from the
         // same state; build it once and copy per packet instead of
         // re-deriving the CCA busy probability each service start.
@@ -187,11 +207,11 @@ impl LinkCore {
             cfg,
             channel,
             txn_template,
-            rng_fading: factory.stream(StreamId::Fading),
-            rng_noise: factory.stream(StreamId::Noise),
-            rng_delivery: factory.stream(StreamId::Delivery),
-            rng_backoff: factory.stream(StreamId::Backoff),
-            rng_traffic: factory.stream(StreamId::Traffic),
+            rng_fading: R::from_factory(factory, StreamId::Fading),
+            rng_noise: R::from_factory(factory, StreamId::Noise),
+            rng_delivery: R::from_factory(factory, StreamId::Delivery),
+            rng_backoff: R::from_factory(factory, StreamId::Backoff),
+            rng_traffic: R::from_factory(factory, StreamId::Traffic),
             traffic,
             queue: TxQueue::new(cfg.queue_cap),
             current: None,
@@ -232,6 +252,38 @@ impl LinkCore {
     /// MAC transaction, if any, still runs to completion.
     pub(crate) fn depart(&mut self) {
         self.departed = true;
+    }
+
+    /// Clears the departed flag so a later `Join` event resumes traffic
+    /// generation (failure/recovery storms). A no-op for links that never
+    /// departed, which is what keeps the compiled-timeline replay of a
+    /// churn-free scenario bit-identical to the legacy seeding.
+    pub(crate) fn rejoin(&mut self) {
+        self.departed = false;
+    }
+
+    /// Re-targets the link's own budget to a new sender–receiver distance
+    /// (a timeline `Move`). Degenerate geometry clamps to the 0.1 m floor
+    /// the cross-link gain path already uses.
+    pub(crate) fn set_distance(&mut self, meters: f64) {
+        if let Ok(d) = Distance::from_meters(meters.max(0.1)) {
+            self.cfg.distance = d;
+            self.channel.retarget(self.cfg.power, d);
+        }
+    }
+
+    /// Changes the transmit power (a timeline `PowerChange`): the link
+    /// budget and the energy meter's TX draw both follow the new level.
+    pub(crate) fn set_power(&mut self, power: PowerLevel) {
+        self.cfg.power = power;
+        self.channel.retarget(power, self.cfg.distance);
+    }
+
+    /// Cumulative per-link progress counters for epoch snapshots:
+    /// `(generated, delivered, radio_lost, queue_dropped)`.
+    pub(crate) fn progress(&self) -> (u64, u64, u64, u64) {
+        let (queue_dropped, radio_lost, delivered) = self.acc.counts();
+        (self.generated, delivered, radio_lost, queue_dropped)
     }
 
     /// Folds a finished record into the running metrics and streams it on.

@@ -42,6 +42,7 @@ pub mod frame;
 pub mod grid;
 pub mod motion;
 pub mod scenario;
+pub mod timeline;
 pub mod types;
 
 /// Convenient glob-import of the parameter vocabulary.
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crate::grid::ParamGrid;
     pub use crate::motion::Trajectory;
     pub use crate::scenario::{LinkSpec, Position, Scenario, ScenarioBuilder};
+    pub use crate::timeline::{ScenarioTimeline, TopologyAction, TopologyEvent};
     pub use crate::types::{
         Distance, MaxTries, PacketInterval, PayloadSize, PowerLevel, QueueCap, RetryDelay,
     };

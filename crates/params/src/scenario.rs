@@ -208,6 +208,30 @@ impl Scenario {
         ])
     }
 
+    /// `n` identical links on a square grid with `cell_m` meter cells —
+    /// the constant-density placement of the ext13 scale sweep. Link `i`
+    /// sits in cell `(i % cols, i / cols)` with `cols = ceil(sqrt(n))`;
+    /// its sender at the cell origin and its receiver `config.distance`
+    /// along x. Density (links per m²) is constant as `n` grows, so every
+    /// link's interference neighborhood stays bounded while the scenario
+    /// footprint — not the contention — scales.
+    pub fn grid(config: StackConfig, n: usize, cell_m: f64) -> Self {
+        let cols = (n as f64).sqrt().ceil().max(1.0) as usize;
+        Scenario::new(
+            (0..n)
+                .map(|i| {
+                    let x = (i % cols) as f64 * cell_m;
+                    let y = (i / cols) as f64 * cell_m;
+                    LinkSpec::at(
+                        Position::new(x, y),
+                        Position::new(x + config.distance.meters(), y),
+                        config,
+                    )
+                })
+                .collect(),
+        )
+    }
+
     /// Returns the scenario with a different capture threshold.
     pub fn with_capture_db(mut self, capture_db: f64) -> Self {
         self.capture_db = capture_db;
@@ -357,6 +381,19 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert_eq!(s.links[2].sender.y_m, 4.0);
         assert_eq!(s.links[2].receiver.y_m, 4.0);
+    }
+
+    #[test]
+    fn grid_places_constant_density_cells() {
+        let s = Scenario::grid(cfg(), 10, 25.0);
+        assert_eq!(s.len(), 10);
+        // cols = ceil(sqrt(10)) = 4: link 5 sits in cell (1, 1).
+        assert_eq!(s.links[5].sender.x_m, 25.0);
+        assert_eq!(s.links[5].sender.y_m, 25.0);
+        // Own geometry still matches the configured distance.
+        let l = &s.links[5];
+        assert!((l.sender.distance_m(&l.receiver) - 35.0).abs() < 1e-12);
+        assert!(!s.has_churn());
     }
 
     #[test]

@@ -1,0 +1,709 @@
+//! Scheduled topology dynamics: the [`ScenarioTimeline`] event stream that
+//! turns a static [`Scenario`] into a dynamic network.
+//!
+//! The paper's study (and the first seven PRs of this reproduction) hold
+//! the topology fixed while sweeping the seven stack parameters. Real
+//! deployments see churn: nodes join, fail, recover, move, and change
+//! transmit power. A timeline is the declarative form of that dynamism —
+//! an ordered stream of [`TopologyEvent`]s the network simulator replays
+//! against the scenario, applying each event between MAC transactions (an
+//! in-flight frame always finishes under the neighborhood it started
+//! with).
+//!
+//! ## Ordering contract
+//!
+//! Events are totally ordered by `(t_s, id)`: the timestamp first, then
+//! the event id as a deterministic tiebreak. Construction
+//! ([`ScenarioTimeline::new`], [`push`](ScenarioTimeline::push),
+//! [`merge`](ScenarioTimeline::merge)) always normalizes to that order
+//! with a *stable* sort, so events that tie on both fields keep their
+//! insertion order (and merged streams keep the base stream first). Any
+//! permutation of the same events therefore replays identically — the
+//! property the timeline proptests pin.
+//!
+//! ## The compiled special case
+//!
+//! The pre-timeline churn fields ([`LinkSpec::join_s`] /
+//! [`LinkSpec::leave_s`](crate::scenario::LinkSpec::leave_s)) are absorbed
+//! by [`ScenarioTimeline::compile`]: every link contributes a `Join` at
+//! its join instant (t = 0 when unset) and a `Leave` when it has one, with
+//! ids assigned in the exact per-link order the pre-timeline simulator
+//! seeded its events. Replaying the compiled timeline through the event
+//! queue therefore reproduces the legacy event order bit-for-bit — old
+//! `Scenario` construction stays source-compatible *and* byte-compatible.
+//!
+//! [`LinkSpec::join_s`]: crate::scenario::LinkSpec::join_s
+
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::{Position, Scenario};
+use crate::types::PowerLevel;
+
+/// What happens to one link at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologyAction {
+    /// The link (re)starts generating traffic. A `Join` on a link that
+    /// previously left clears the departed state — failure/recovery storms
+    /// are `Leave` + `Join` pairs.
+    Join,
+    /// The link stops generating traffic; an in-flight MAC transaction
+    /// still completes and the queue drains.
+    Leave,
+    /// The link's endpoints move: cross-link gains are recomputed
+    /// incrementally (sparse neighborhoods only), and the link's own
+    /// budget retargets to the new sender–receiver distance.
+    Move {
+        /// New sender position.
+        sender: Position,
+        /// New receiver position.
+        receiver: Position,
+    },
+    /// The link's transmit power changes; its outgoing interference and
+    /// carrier-sense footprints are recomputed.
+    PowerChange {
+        /// New CC2420 power level (1–31).
+        power_level: u8,
+    },
+}
+
+/// One scheduled topology event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyEvent {
+    /// Seconds after scenario start.
+    pub t_s: f64,
+    /// Index of the affected link in the scenario.
+    pub link: u32,
+    /// Deterministic tiebreak for events sharing a timestamp. Ids need not
+    /// be unique across merged streams; full `(t_s, id)` ties keep
+    /// insertion (base-before-merged) order.
+    pub id: u64,
+    /// The action applied at `t_s`.
+    pub action: TopologyAction,
+}
+
+/// An ordered stream of scheduled topology events over a [`Scenario`].
+///
+/// ```
+/// use wsn_params::scenario::Position;
+/// use wsn_params::timeline::{ScenarioTimeline, TopologyAction, TopologyEvent};
+///
+/// let timeline = ScenarioTimeline::new(vec![
+///     TopologyEvent { t_s: 10.0, link: 1, id: 1, action: TopologyAction::Leave },
+///     TopologyEvent { t_s: 10.0, link: 0, id: 0, action: TopologyAction::Leave },
+///     TopologyEvent {
+///         t_s: 20.0,
+///         link: 1,
+///         id: 2,
+///         action: TopologyAction::Join,
+///     },
+/// ]);
+/// // Normalized to (t_s, id) order regardless of construction order.
+/// assert_eq!(timeline.events()[0].link, 0);
+/// assert_eq!(timeline.end_s(), 20.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioTimeline {
+    events: Vec<TopologyEvent>,
+}
+
+impl ScenarioTimeline {
+    /// A timeline from arbitrary events, normalized to `(t_s, id)` order.
+    pub fn new(mut events: Vec<TopologyEvent>) -> Self {
+        sort_events(&mut events);
+        ScenarioTimeline { events }
+    }
+
+    /// An empty timeline.
+    pub fn empty() -> Self {
+        ScenarioTimeline::default()
+    }
+
+    /// Appends one event, keeping the stream ordered.
+    pub fn push(&mut self, event: TopologyEvent) {
+        self.events.push(event);
+        sort_events(&mut self.events);
+    }
+
+    /// The events in replay order.
+    pub fn events(&self) -> &[TopologyEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the timeline has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the last event, seconds (0 for an empty timeline).
+    pub fn end_s(&self) -> f64 {
+        self.events.last().map_or(0.0, |e| e.t_s)
+    }
+
+    /// Compiles a scenario's legacy churn fields (`join_s` / `leave_s`)
+    /// into an explicit timeline.
+    ///
+    /// Ids are assigned in the per-link interleaved order the pre-timeline
+    /// simulator seeded its churn events (link 0's join, link 0's leave,
+    /// link 1's join, …), which is exactly what makes the replay of a
+    /// compiled timeline bit-identical to the legacy path: sorting by
+    /// `(t_s, id)` reproduces the legacy event-queue pop order, ties
+    /// included.
+    pub fn compile(scenario: &Scenario) -> Self {
+        let mut events = Vec::with_capacity(scenario.len());
+        let mut id = 0u64;
+        for (i, spec) in scenario.links.iter().enumerate() {
+            events.push(TopologyEvent {
+                t_s: spec.join_s.unwrap_or(0.0),
+                link: i as u32,
+                id,
+                action: TopologyAction::Join,
+            });
+            id += 1;
+            if let Some(leave_s) = spec.leave_s {
+                events.push(TopologyEvent {
+                    t_s: leave_s,
+                    link: i as u32,
+                    id,
+                    action: TopologyAction::Leave,
+                });
+                id += 1;
+            }
+        }
+        ScenarioTimeline::new(events)
+    }
+
+    /// Merges two timelines into one ordered stream. On full `(t_s, id)`
+    /// ties, `self`'s events replay before `other`'s (stable sort over the
+    /// concatenation).
+    pub fn merge(&self, other: &ScenarioTimeline) -> ScenarioTimeline {
+        let mut events = Vec::with_capacity(self.events.len() + other.events.len());
+        events.extend_from_slice(&self.events);
+        events.extend_from_slice(&other.events);
+        ScenarioTimeline::new(events)
+    }
+
+    /// Checks the timeline against a scenario of `n_links` links: every
+    /// event must target an existing link, carry a finite non-negative
+    /// timestamp, and (for `PowerChange`) a valid power level.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first offending event.
+    pub fn validate(&self, n_links: usize) -> Result<(), String> {
+        for e in &self.events {
+            if !(e.t_s.is_finite() && e.t_s >= 0.0) {
+                return Err(format!("event id {} has invalid timestamp {}", e.id, e.t_s));
+            }
+            if e.link as usize >= n_links {
+                return Err(format!(
+                    "event id {} targets link {} but the scenario has {} links",
+                    e.id, e.link, n_links
+                ));
+            }
+            if let TopologyAction::PowerChange { power_level } = e.action {
+                if PowerLevel::new(power_level).is_err() {
+                    return Err(format!(
+                        "event id {} has invalid power level {power_level}",
+                        e.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A canonical 64-bit digest over the normalized event stream.
+    ///
+    /// Two timelines digest equal iff their normalized streams are
+    /// identical (timestamps compared by bit pattern), which is what lets
+    /// a response cache partition scenario keys by dynamics: the empty /
+    /// absent timeline never collides with a non-empty one, and inline
+    /// events equal to a catalog timeline share its partition.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-64 offset basis
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = splitmix64(h);
+        };
+        mix(self.events.len() as u64);
+        for e in &self.events {
+            mix(e.t_s.to_bits());
+            mix(e.link as u64);
+            mix(e.id);
+            match e.action {
+                TopologyAction::Join => mix(1),
+                TopologyAction::Leave => mix(2),
+                TopologyAction::Move { sender, receiver } => {
+                    mix(3);
+                    mix(sender.x_m.to_bits());
+                    mix(sender.y_m.to_bits());
+                    mix(receiver.x_m.to_bits());
+                    mix(receiver.y_m.to_bits());
+                }
+                TopologyAction::PowerChange { power_level } => {
+                    mix(4);
+                    mix(power_level as u64);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Stable `(t_s, id)` normalization; `total_cmp` keeps the order total
+/// even for pathological float inputs.
+fn sort_events(events: &mut [TopologyEvent]) {
+    events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s).then_with(|| a.id.cmp(&b.id)));
+}
+
+/// SplitMix64 finalizer chain, duplicated here (three multiply-xor lines)
+/// rather than taking a dependency on `wsn-sim-engine` from the bottom of
+/// the crate graph.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A tiny deterministic generator for the synthetic-timeline builders —
+/// SplitMix64 iterated over a counter, which is all the quality a topology
+/// generator needs and keeps `wsn-params` free of the `rand` dependency.
+struct GenRng {
+    state: u64,
+}
+
+impl GenRng {
+    fn new(seed: u64) -> Self {
+        GenRng {
+            state: splitmix64(seed),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    fn next_index(&mut self, n: usize) -> usize {
+        (self.next_f64() * n as f64) as usize % n.max(1)
+    }
+}
+
+/// A seeded failure/recovery storm: a random `fraction` of the links
+/// leaves at `t_fail_s` and rejoins at `t_recover_s` (à la the add/remove
+/// 20 %-of-nodes experiments of the dynamic-network literature — turn a
+/// subset off, then turn it back on).
+///
+/// At least one link fails whenever `fraction > 0` and `n_links > 0`. The
+/// failing subset is a seeded Fisher–Yates prefix, so the same
+/// `(n_links, fraction, seed)` triple always storms the same links.
+pub fn failure_storm(
+    n_links: usize,
+    fraction: f64,
+    t_fail_s: f64,
+    t_recover_s: f64,
+    seed: u64,
+) -> ScenarioTimeline {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let k = ((n_links as f64 * fraction).round() as usize)
+        .clamp(usize::from(fraction > 0.0 && n_links > 0), n_links);
+    let mut order: Vec<u32> = (0..n_links as u32).collect();
+    let mut rng = GenRng::new(seed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.next_index(i + 1));
+    }
+    let mut events = Vec::with_capacity(2 * k);
+    let mut id = 0u64;
+    for &link in order.iter().take(k) {
+        events.push(TopologyEvent {
+            t_s: t_fail_s,
+            link,
+            id,
+            action: TopologyAction::Leave,
+        });
+        id += 1;
+        events.push(TopologyEvent {
+            t_s: t_recover_s,
+            link,
+            id,
+            action: TopologyAction::Join,
+        });
+        id += 1;
+    }
+    ScenarioTimeline::new(events)
+}
+
+/// A random-waypoint fleet over the scenario's links: each sender–receiver
+/// pair translates rigidly (a vehicle carrying both nodes) towards
+/// uniformly random waypoints in the `area_m × area_m` square at
+/// `speed_mps`, and every `epoch_s` a `Move` event publishes the pair's
+/// new position.
+///
+/// Rigid translation keeps each link's *own* distance — and therefore its
+/// own link budget — constant; what changes is every cross-link gain.
+/// Per-link own-budget motion stays the province of
+/// [`Trajectory`](crate::motion::Trajectory) (see [`from_trajectories`]),
+/// and the two compose: the simulator retargets the own budget from the
+/// trajectory and the cross gains from the `Move` stream.
+pub fn random_waypoint(
+    scenario: &Scenario,
+    area_m: f64,
+    speed_mps: f64,
+    epoch_s: f64,
+    duration_s: f64,
+    seed: u64,
+) -> ScenarioTimeline {
+    assert!(epoch_s > 0.0, "epoch must be positive");
+    assert!(speed_mps >= 0.0, "speed must be non-negative");
+    let mut rng = GenRng::new(seed);
+    let n = scenario.len();
+    let mut pos: Vec<Position> = scenario.links.iter().map(|l| l.sender).collect();
+    let offsets: Vec<(f64, f64)> = scenario
+        .links
+        .iter()
+        .map(|l| (l.receiver.x_m - l.sender.x_m, l.receiver.y_m - l.sender.y_m))
+        .collect();
+    let mut target: Vec<Position> = (0..n)
+        .map(|_| Position::new(rng.next_f64() * area_m, rng.next_f64() * area_m))
+        .collect();
+
+    let epochs = (duration_s / epoch_s).floor() as usize;
+    let mut events = Vec::with_capacity(epochs * n);
+    let mut id = 0u64;
+    for step in 1..=epochs {
+        let t_s = step as f64 * epoch_s;
+        for link in 0..n {
+            // Walk the remaining leg budget of this epoch, re-picking
+            // waypoints as they are reached.
+            let mut remaining = speed_mps * epoch_s;
+            while remaining > 0.0 {
+                let dx = target[link].x_m - pos[link].x_m;
+                let dy = target[link].y_m - pos[link].y_m;
+                let dist = dx.hypot(dy);
+                if dist <= remaining {
+                    pos[link] = target[link];
+                    remaining -= dist;
+                    target[link] = Position::new(rng.next_f64() * area_m, rng.next_f64() * area_m);
+                    if dist == 0.0 {
+                        break;
+                    }
+                } else {
+                    let f = remaining / dist;
+                    pos[link] = Position::new(pos[link].x_m + dx * f, pos[link].y_m + dy * f);
+                    remaining = 0.0;
+                }
+            }
+            let (ox, oy) = offsets[link];
+            events.push(TopologyEvent {
+                t_s,
+                link: link as u32,
+                id,
+                action: TopologyAction::Move {
+                    sender: pos[link],
+                    receiver: Position::new(pos[link].x_m + ox, pos[link].y_m + oy),
+                },
+            });
+            id += 1;
+        }
+    }
+    ScenarioTimeline::new(events)
+}
+
+/// Samples every link's [`Trajectory`](crate::motion::Trajectory) at epoch
+/// boundaries and emits `Move` events that slide the receiver along the
+/// link axis to the sampled distance — the bridge from the legacy
+/// own-budget motion model to timeline-driven cross-link gains.
+///
+/// Stationary links emit nothing, so a trajectory-free scenario compiles
+/// to an empty timeline and the static path stays untouched.
+pub fn from_trajectories(scenario: &Scenario, epoch_s: f64, duration_s: f64) -> ScenarioTimeline {
+    assert!(epoch_s > 0.0, "epoch must be positive");
+    let epochs = (duration_s / epoch_s).floor() as usize;
+    let mut events = Vec::new();
+    let mut id = 0u64;
+    for step in 1..=epochs {
+        let t_s = step as f64 * epoch_s;
+        for (link, spec) in scenario.links.iter().enumerate() {
+            if spec.trajectory.is_stationary() {
+                continue;
+            }
+            let d = spec
+                .trajectory
+                .distance_at(t_s, spec.config.distance)
+                .meters();
+            // Unit vector of the link axis (x̂ for coincident endpoints).
+            let dx = spec.receiver.x_m - spec.sender.x_m;
+            let dy = spec.receiver.y_m - spec.sender.y_m;
+            let len = dx.hypot(dy);
+            let (ux, uy) = if len > 0.0 {
+                (dx / len, dy / len)
+            } else {
+                (1.0, 0.0)
+            };
+            events.push(TopologyEvent {
+                t_s,
+                link: link as u32,
+                id,
+                action: TopologyAction::Move {
+                    sender: spec.sender,
+                    receiver: Position::new(spec.sender.x_m + ux * d, spec.sender.y_m + uy * d),
+                },
+            });
+            id += 1;
+        }
+    }
+    ScenarioTimeline::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StackConfig;
+    use crate::motion::Trajectory;
+    use crate::scenario::Scenario;
+
+    fn cfg() -> StackConfig {
+        StackConfig::builder()
+            .distance_m(20.0)
+            .power_level(31)
+            .payload_bytes(50)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn events_normalize_to_time_then_id_order() {
+        let t = ScenarioTimeline::new(vec![
+            TopologyEvent {
+                t_s: 5.0,
+                link: 0,
+                id: 7,
+                action: TopologyAction::Leave,
+            },
+            TopologyEvent {
+                t_s: 5.0,
+                link: 1,
+                id: 2,
+                action: TopologyAction::Join,
+            },
+            TopologyEvent {
+                t_s: 1.0,
+                link: 2,
+                id: 9,
+                action: TopologyAction::Join,
+            },
+        ]);
+        let ids: Vec<u64> = t.events().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![9, 2, 7]);
+        assert_eq!(t.end_s(), 5.0);
+    }
+
+    #[test]
+    fn compile_absorbs_join_and_leave_in_seed_order() {
+        let mut s = Scenario::parallel(&[cfg(), cfg(), cfg()], 2.0);
+        s.links[1] = s.links[1].joining_at(5.0).leaving_at(10.0);
+        let t = ScenarioTimeline::compile(&s);
+        // Joins for links 0 and 2 at t = 0 (ids 0 and 3), link 1's join at
+        // 5 s (id 1) and leave at 10 s (id 2).
+        let shape: Vec<(f64, u32, u64)> =
+            t.events().iter().map(|e| (e.t_s, e.link, e.id)).collect();
+        assert_eq!(
+            shape,
+            vec![(0.0, 0, 0), (0.0, 2, 3), (5.0, 1, 1), (10.0, 1, 2)]
+        );
+        assert!(matches!(t.events()[3].action, TopologyAction::Leave));
+    }
+
+    #[test]
+    fn churn_free_scenario_compiles_to_pure_joins_at_zero() {
+        let s = Scenario::parallel(&[cfg(), cfg()], 2.0);
+        let t = ScenarioTimeline::compile(&s);
+        assert_eq!(t.len(), 2);
+        assert!(t
+            .events()
+            .iter()
+            .all(|e| e.t_s == 0.0 && matches!(e.action, TopologyAction::Join)));
+    }
+
+    #[test]
+    fn merge_is_ordered_and_stable() {
+        let base = ScenarioTimeline::new(vec![TopologyEvent {
+            t_s: 1.0,
+            link: 0,
+            id: 0,
+            action: TopologyAction::Join,
+        }]);
+        let extra = ScenarioTimeline::new(vec![TopologyEvent {
+            t_s: 1.0,
+            link: 1,
+            id: 0,
+            action: TopologyAction::Leave,
+        }]);
+        let merged = base.merge(&extra);
+        assert_eq!(merged.len(), 2);
+        // Full tie on (t_s, id): the base stream replays first.
+        assert_eq!(merged.events()[0].link, 0);
+        assert_eq!(merged.events()[1].link, 1);
+    }
+
+    #[test]
+    fn validate_rejects_bad_links_times_and_power() {
+        let ok = ScenarioTimeline::new(vec![TopologyEvent {
+            t_s: 1.0,
+            link: 1,
+            id: 0,
+            action: TopologyAction::PowerChange { power_level: 7 },
+        }]);
+        assert!(ok.validate(2).is_ok());
+        assert!(ok.validate(1).is_err());
+
+        let bad_t = ScenarioTimeline::new(vec![TopologyEvent {
+            t_s: -1.0,
+            link: 0,
+            id: 0,
+            action: TopologyAction::Join,
+        }]);
+        assert!(bad_t.validate(1).is_err());
+
+        let bad_p = ScenarioTimeline::new(vec![TopologyEvent {
+            t_s: 0.0,
+            link: 0,
+            id: 0,
+            action: TopologyAction::PowerChange { power_level: 99 },
+        }]);
+        assert!(bad_p.validate(1).is_err());
+    }
+
+    #[test]
+    fn digest_separates_timelines_and_ignores_input_order() {
+        let a = TopologyEvent {
+            t_s: 1.0,
+            link: 0,
+            id: 0,
+            action: TopologyAction::Join,
+        };
+        let b = TopologyEvent {
+            t_s: 2.0,
+            link: 1,
+            id: 1,
+            action: TopologyAction::Leave,
+        };
+        let fwd = ScenarioTimeline::new(vec![a, b]);
+        let rev = ScenarioTimeline::new(vec![b, a]);
+        assert_eq!(fwd.digest(), rev.digest());
+        assert_ne!(fwd.digest(), ScenarioTimeline::empty().digest());
+        let mut moved = fwd.clone();
+        moved.push(TopologyEvent {
+            t_s: 3.0,
+            link: 0,
+            id: 2,
+            action: TopologyAction::Move {
+                sender: Position::new(1.0, 2.0),
+                receiver: Position::new(3.0, 4.0),
+            },
+        });
+        assert_ne!(moved.digest(), fwd.digest());
+    }
+
+    #[test]
+    fn failure_storm_pairs_leaves_with_rejoins() {
+        let t = failure_storm(20, 0.2, 8.0, 16.0, 42);
+        let leaves: Vec<u32> = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, TopologyAction::Leave))
+            .map(|e| e.link)
+            .collect();
+        let joins: Vec<u32> = t
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, TopologyAction::Join))
+            .map(|e| e.link)
+            .collect();
+        assert_eq!(leaves.len(), 4, "20% of 20 links");
+        assert_eq!(
+            {
+                let mut l = leaves.clone();
+                l.sort_unstable();
+                l
+            },
+            {
+                let mut j = joins;
+                j.sort_unstable();
+                j
+            },
+            "every failed link recovers"
+        );
+        assert!(t.events().iter().all(|e| e.t_s == 8.0 || e.t_s == 16.0));
+        // Seeded: same inputs, same storm; different seed, different subset.
+        assert_eq!(t, failure_storm(20, 0.2, 8.0, 16.0, 42));
+        assert_ne!(t, failure_storm(20, 0.2, 8.0, 16.0, 43));
+        // A tiny fraction still fails at least one link.
+        assert!(!failure_storm(3, 0.05, 1.0, 2.0, 1).is_empty());
+    }
+
+    #[test]
+    fn random_waypoint_moves_pairs_rigidly_inside_the_area() {
+        let s = Scenario::grid(cfg(), 9, 25.0);
+        let t = random_waypoint(&s, 60.0, 1.4, 1.0, 10.0, 7);
+        assert_eq!(t.len(), 9 * 10, "one Move per link per epoch");
+        for e in t.events() {
+            let TopologyAction::Move { sender, receiver } = e.action else {
+                panic!("waypoint timelines contain only moves");
+            };
+            assert!((0.0..=60.0).contains(&sender.x_m) && (0.0..=60.0).contains(&sender.y_m));
+            let own = sender.distance_m(&receiver);
+            let configured = s.links[e.link as usize]
+                .sender
+                .distance_m(&s.links[e.link as usize].receiver);
+            assert!(
+                (own - configured).abs() < 1e-9,
+                "rigid translation preserves the own distance"
+            );
+        }
+        assert_eq!(t, random_waypoint(&s, 60.0, 1.4, 1.0, 10.0, 7));
+    }
+
+    #[test]
+    fn from_trajectories_tracks_the_motion_profile() {
+        let mut s = Scenario::parallel(&[cfg(), cfg()], 2.0);
+        s.links[1].trajectory = Trajectory::Linear {
+            start_m: 10.0,
+            end_m: 30.0,
+            duration_s: 10.0,
+        };
+        let t = from_trajectories(&s, 1.0, 10.0);
+        // Only the moving link emits events.
+        assert!(t.events().iter().all(|e| e.link == 1));
+        assert_eq!(t.len(), 10);
+        let TopologyAction::Move { sender, receiver } = t.events()[4].action else {
+            panic!("move expected");
+        };
+        // At t = 5 s the linear profile is halfway: 20 m.
+        assert!((sender.distance_m(&receiver) - 20.0).abs() < 1e-9);
+        assert!(from_trajectories(&s, 1.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn timeline_serde_round_trips() {
+        let s = Scenario::grid(cfg(), 4, 25.0);
+        let t =
+            failure_storm(4, 0.5, 2.0, 4.0, 9).merge(&random_waypoint(&s, 50.0, 1.0, 1.0, 3.0, 9));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ScenarioTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.digest(), t.digest());
+    }
+}

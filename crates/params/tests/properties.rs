@@ -142,3 +142,94 @@ proptest! {
         prop_assert_eq!(back, grid);
     }
 }
+
+// ---------------------------------------------------------------------------
+// ScenarioTimeline: lossless JSON round-trip and order-stable replay.
+// ---------------------------------------------------------------------------
+
+use wsn_params::scenario::Position;
+use wsn_params::timeline::{ScenarioTimeline, TopologyAction, TopologyEvent};
+
+fn arb_action() -> impl Strategy<Value = TopologyAction> {
+    // (kind, four coordinates, power) — the tag picks the variant and the
+    // rest parameterizes it, sidestepping the need for a union combinator.
+    (
+        0u8..4,
+        0.0f64..200.0,
+        0.0f64..200.0,
+        0.0f64..200.0,
+        0.0f64..200.0,
+        1u8..=31,
+    )
+        .prop_map(|(kind, sx, sy, rx, ry, power_level)| match kind {
+            0 => TopologyAction::Join,
+            1 => TopologyAction::Leave,
+            2 => TopologyAction::Move {
+                sender: Position::new(sx, sy),
+                receiver: Position::new(rx, ry),
+            },
+            _ => TopologyAction::PowerChange { power_level },
+        })
+}
+
+fn arb_timeline_events() -> impl Strategy<Value = Vec<TopologyEvent>> {
+    // Narrow timestamp/id domains on purpose: collisions are the case the
+    // (t_s, id) tiebreak exists for, so make ties common.
+    prop::collection::vec(
+        (0.0f64..4.0, 0u32..8, 0u64..6, arb_action()).prop_map(|(t_s, link, id, action)| {
+            TopologyEvent {
+                t_s,
+                link,
+                id,
+                action,
+            }
+        }),
+        0..24,
+    )
+}
+
+proptest! {
+    #[test]
+    fn timeline_json_round_trip_is_lossless(events in arb_timeline_events()) {
+        let timeline = ScenarioTimeline::new(events);
+        let json = serde_json::to_string(&timeline).expect("serializes");
+        let back: ScenarioTimeline = serde_json::from_str(&json).expect("deserializes");
+        prop_assert_eq!(&back, &timeline);
+        prop_assert_eq!(back.digest(), timeline.digest());
+    }
+
+    #[test]
+    fn timeline_replay_order_is_stable_under_ties(events in arb_timeline_events()) {
+        let timeline = ScenarioTimeline::new(events.clone());
+
+        // Normalized order is (t_s, id)-sorted regardless of input order.
+        for pair in timeline.events().windows(2) {
+            let key = |e: &TopologyEvent| (e.t_s, e.id);
+            prop_assert!(
+                key(&pair[0]) <= key(&pair[1]),
+                "stream not sorted: {:?} before {:?}", pair[0], pair[1]
+            );
+        }
+
+        // Reversing the input only permutes full (t_s, id) ties, and ties
+        // replay by deterministic id order — so where (t_s, id) keys are
+        // unique the normalized streams must agree event-for-event, and
+        // digests agree whenever the tied events are themselves equal.
+        let reversed = ScenarioTimeline::new(events.iter().rev().copied().collect());
+        for (a, b) in timeline.events().iter().zip(reversed.events()) {
+            prop_assert_eq!((a.t_s, a.id), (b.t_s, b.id));
+        }
+
+        // Re-normalizing an already-normalized stream is the identity, and
+        // push-one-at-a-time construction agrees with batch construction.
+        prop_assert_eq!(
+            &ScenarioTimeline::new(timeline.events().to_vec()),
+            &timeline
+        );
+        let mut pushed = ScenarioTimeline::empty();
+        for e in timeline.events() {
+            pushed.push(*e);
+        }
+        prop_assert_eq!(&pushed, &timeline);
+    }
+}

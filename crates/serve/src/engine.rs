@@ -20,7 +20,7 @@ use wsn_analytic::{AnalyticLinkSimulation, AnalyticOutcome, AnalyticReport};
 use wsn_link_sim::catalog::{all_scenarios, build_scenario};
 use wsn_link_sim::fast::FastLinkSimulation;
 use wsn_link_sim::metrics::LinkMetrics;
-use wsn_link_sim::network::{AirStats, NetOptions, NetworkSimulation};
+use wsn_link_sim::network::{AirStats, NetOptions, NetworkSimulation, TopoStats};
 use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
 use wsn_link_sim::traffic::TrafficModel;
 use wsn_models::optimize::{Metric, Optimizer};
@@ -35,7 +35,7 @@ use wsn_sim_engine::mode::EngineMode;
 use serde::Serialize;
 
 use crate::cache::ShardedCache;
-use crate::protocol::{cache_key, metric_name, RequestBody};
+use crate::protocol::{cache_key, metric_name, RequestBody, TimelineSpec};
 use crate::stats::ServeStats;
 
 /// The shared request executor.
@@ -161,6 +161,26 @@ struct ScenarioResult {
     goodput_bps: f64,
 }
 
+/// The `scenario` result when a `timeline` rode along: the
+/// [`ScenarioResult`] fields plus the timeline's canonical digest (the
+/// same value that partitions the cache key) and the replayed topology
+/// counters. A distinct shape — not optional fields — keeps static
+/// scenario bodies byte-identical to the pre-timeline format (the
+/// vendored serde_derive has no `skip_serializing_if`).
+#[derive(Serialize)]
+struct TimelineScenarioResult {
+    scenario: String,
+    description: String,
+    packets: u64,
+    seed: u64,
+    timeline_digest: String,
+    topo: TopoStats,
+    links: Vec<ScenarioLinkResult>,
+    air: AirStats,
+    plr_radio: f64,
+    goodput_bps: f64,
+}
+
 /// A [`Metric`]'s value read from simulated/analytic [`LinkMetrics`], in
 /// the same minimization sense as [`Metric::value`] on a prediction
 /// (goodput negated so smaller is always better). Infeasible operating
@@ -265,7 +285,8 @@ impl Engine {
                 scenario,
                 packets,
                 seed,
-            } => self.scenario(scenario, *packets, *seed),
+                timeline,
+            } => self.scenario(scenario, *packets, *seed, timeline.as_ref()),
             RequestBody::Stats => serde_json::to_string(&self.stats.snapshot(
                 self.cache.hits(),
                 self.cache.misses(),
@@ -442,7 +463,13 @@ impl Engine {
         .map_err(|e| e.to_string())
     }
 
-    fn scenario(&self, id: &str, packets: u64, seed: u64) -> Result<String, String> {
+    fn scenario(
+        &self,
+        id: &str,
+        packets: u64,
+        seed: u64,
+        timeline: Option<&TimelineSpec>,
+    ) -> Result<String, String> {
         let scenario = build_scenario(id).ok_or_else(|| {
             let known: Vec<&str> = all_scenarios().iter().map(|(n, _)| *n).collect();
             format!("unknown scenario '{id}'; known: {}", known.join(", "))
@@ -457,28 +484,57 @@ impl Engine {
             record_packets: false,
             ..NetOptions::quick(packets)
         };
-        let outcome = NetworkSimulation::new(scenario, options).run();
+        let timeline = match timeline {
+            Some(spec) => Some(spec.resolve(id)?),
+            None => None,
+        };
+        let mut sim = NetworkSimulation::new(scenario, options);
+        let digest = timeline.as_ref().map(|t| t.digest());
+        if let Some(timeline) = timeline {
+            sim = sim.with_timeline(timeline);
+        }
+        let outcome = sim.run();
         self.stats.observe_exec(&outcome.exec);
-        serde_json::to_string(&ScenarioResult {
-            scenario: id.to_string(),
-            description: description.to_string(),
-            packets,
-            seed,
-            plr_radio: outcome.plr_radio(),
-            goodput_bps: outcome.goodput_bps(),
-            links: outcome
-                .links
-                .into_iter()
-                .map(|link| ScenarioLinkResult {
-                    config: link.config,
-                    metrics: link.metrics,
-                    frames_interfered: link.frames_interfered,
-                    frames_capture_lost: link.frames_capture_lost,
-                })
-                .collect(),
-            air: outcome.air,
-        })
-        .map_err(|e| e.to_string())
+        let plr_radio = outcome.plr_radio();
+        let goodput_bps = outcome.goodput_bps();
+        let links: Vec<ScenarioLinkResult> = outcome
+            .links
+            .into_iter()
+            .map(|link| ScenarioLinkResult {
+                config: link.config,
+                metrics: link.metrics,
+                frames_interfered: link.frames_interfered,
+                frames_capture_lost: link.frames_capture_lost,
+            })
+            .collect();
+        match digest {
+            // Static scenarios keep the historical result shape,
+            // byte-identical to the pre-timeline format.
+            None => serde_json::to_string(&ScenarioResult {
+                scenario: id.to_string(),
+                description: description.to_string(),
+                packets,
+                seed,
+                plr_radio,
+                goodput_bps,
+                links,
+                air: outcome.air,
+            })
+            .map_err(|e| e.to_string()),
+            Some(digest) => serde_json::to_string(&TimelineScenarioResult {
+                scenario: id.to_string(),
+                description: description.to_string(),
+                packets,
+                seed,
+                timeline_digest: format!("{digest:016x}"),
+                topo: outcome.topo,
+                plr_radio,
+                goodput_bps,
+                links,
+                air: outcome.air,
+            })
+            .map_err(|e| e.to_string()),
+        }
     }
 }
 
@@ -684,6 +740,42 @@ mod tests {
             .execute(&body(r#"{"op":"scenario","scenario":"nope"}"#))
             .unwrap_err();
         assert!(err.contains("hidden-pair"));
+    }
+
+    #[test]
+    fn timeline_scenario_runs_on_its_own_cache_line() {
+        let engine = Engine::new(4);
+        let static_req = body(r#"{"op":"scenario","scenario":"parallel-4","packets":60}"#);
+        let storm =
+            body(r#"{"op":"scenario","scenario":"parallel-4","packets":60,"timeline":"storm20"}"#);
+        let s = engine.execute(&static_req).unwrap();
+        assert!(!s.cached);
+        // The static body keeps the historical shape: no timeline echo.
+        let vs = serde_json::parse(&s.body).unwrap();
+        assert_eq!(vs.field("timeline_digest").kind(), "null");
+
+        // The timeline request recomputes rather than borrowing the
+        // static body, and echoes the digest plus topology counters.
+        let t = engine.execute(&storm).unwrap();
+        assert!(!t.cached);
+        let vt = serde_json::parse(&t.body).unwrap();
+        assert_eq!(vt.field("timeline_digest").as_str().unwrap().len(), 16);
+        assert!(vt.field("topo").field("leaves").as_u64().unwrap() > 0);
+        assert_eq!(vt.field("links").as_array().unwrap().len(), 4);
+
+        // Both then hit their own lines byte-identically.
+        assert!(engine.execute(&static_req).unwrap().cached);
+        let repeat = engine.execute(&storm).unwrap();
+        assert!(repeat.cached);
+        assert_eq!(repeat.body.as_str(), t.body.as_str());
+
+        // An unknown timeline id errors (and is never cached).
+        let err = engine
+            .execute(&body(
+                r#"{"op":"scenario","scenario":"parallel-4","timeline":"blizzard"}"#,
+            ))
+            .unwrap_err();
+        assert!(err.contains("storm20"), "{err}");
     }
 
     #[test]

@@ -14,8 +14,10 @@
 //! result cache never conflates two requests that could differ in even the
 //! last ulp.
 
+use wsn_link_sim::catalog::{all_timelines, build_scenario, build_timeline};
 use wsn_models::optimize::Metric;
 use wsn_params::config::StackConfig;
+use wsn_params::timeline::{ScenarioTimeline, TopologyEvent};
 use wsn_sim_engine::mode::EngineMode;
 
 use serde_json::Value;
@@ -150,11 +152,48 @@ pub enum RequestBody {
         packets: u64,
         /// Experiment seed.
         seed: u64,
+        /// Optional topology timeline replayed over the scenario.
+        timeline: Option<TimelineSpec>,
     },
     /// `stats`: service counters.
     Stats,
     /// `shutdown`: graceful drain.
     Shutdown,
+}
+
+/// How a `scenario` request names its topology timeline: a catalog id
+/// (`"storm20"`, `"waypoint"`) or an inline [`ScenarioTimeline`] carried
+/// in the request body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimelineSpec {
+    /// A cataloged timeline id, built against the request's scenario.
+    Id(String),
+    /// A full timeline object (or bare event array) from the request.
+    Inline(ScenarioTimeline),
+}
+
+impl TimelineSpec {
+    /// Resolves the spec against a scenario id into a validated timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown timeline id (with the known
+    /// set) or the validation failure of an inline timeline.
+    pub fn resolve(&self, scenario_id: &str) -> Result<ScenarioTimeline, String> {
+        let scenario = build_scenario(scenario_id)
+            .ok_or_else(|| format!("unknown scenario '{scenario_id}'"))?;
+        let timeline = match self {
+            TimelineSpec::Id(id) => build_timeline(id, &scenario).ok_or_else(|| {
+                let known: Vec<&str> = all_timelines().iter().map(|(n, _)| *n).collect();
+                format!("unknown timeline '{id}'; known: {}", known.join(", "))
+            })?,
+            TimelineSpec::Inline(timeline) => timeline.clone(),
+        };
+        timeline
+            .validate(scenario.len())
+            .map_err(|e| format!("invalid timeline: {e}"))?;
+        Ok(timeline)
+    }
 }
 
 /// A rejected request: the echoable id (always well-formed JSON) and the
@@ -306,6 +345,29 @@ fn parse_packets(value: Option<&Value>) -> Result<u64, String> {
     Ok(packets)
 }
 
+/// Parses a `scenario` request's optional `"timeline"` field: a string
+/// catalog id, a full `ScenarioTimeline` object, or a bare event array.
+fn parse_timeline(value: &Value) -> Result<Option<TimelineSpec>, String> {
+    match value {
+        Value::Null => Ok(None),
+        Value::Str(id) => Ok(Some(TimelineSpec::Id(id.clone()))),
+        Value::Object(_) => {
+            let timeline: ScenarioTimeline = serde_json::from_value(value)
+                .map_err(|e| format!("timeline object does not parse: {e}"))?;
+            Ok(Some(TimelineSpec::Inline(timeline)))
+        }
+        Value::Array(_) => {
+            let events: Vec<TopologyEvent> = serde_json::from_value(value)
+                .map_err(|e| format!("timeline events do not parse: {e}"))?;
+            Ok(Some(TimelineSpec::Inline(ScenarioTimeline::new(events))))
+        }
+        other => Err(format!(
+            "timeline must be a catalog id string, a timeline object, or an event array, got {}",
+            other.kind()
+        )),
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -358,7 +420,15 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             "distance_m",
             "engine",
         ],
-        Op::Scenario => &["id", "op", "deadline_ms", "scenario", "packets", "seed"],
+        Op::Scenario => &[
+            "id",
+            "op",
+            "deadline_ms",
+            "scenario",
+            "packets",
+            "seed",
+            "timeline",
+        ],
         Op::Stats | Op::Shutdown => &["id", "op", "deadline_ms"],
     };
     for (key, _) in entries {
@@ -465,6 +535,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
                 .to_string(),
             packets: parse_packets(packets_field).map_err(&reject)?,
             seed: seed_of(&root).map_err(&reject)?,
+            timeline: parse_timeline(root.field("timeline")).map_err(&reject)?,
         },
         Op::Stats => RequestBody::Stats,
         Op::Shutdown => RequestBody::Shutdown,
@@ -549,7 +620,21 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
             scenario,
             packets,
             seed,
-        } => Some(format!("scn|{scenario}|n:{packets}|s:{seed:016x}")),
+            timeline,
+        } => {
+            let mut key = format!("scn|{scenario}|n:{packets}|s:{seed:016x}");
+            // Static scenario keys stay byte-identical to the pre-timeline
+            // format; a timeline partitions the cache by its canonical
+            // digest. An unresolvable spec gets a sentinel key — harmless,
+            // because error responses are never cached.
+            if let Some(spec) = timeline {
+                match spec.resolve(scenario) {
+                    Ok(timeline) => key.push_str(&format!("|t:{:016x}", timeline.digest())),
+                    Err(_) => key.push_str("|t:invalid"),
+                }
+            }
+            Some(key)
+        }
         RequestBody::Stats | RequestBody::Shutdown => None,
     }
 }
@@ -823,13 +908,143 @@ mod tests {
             parse_request(r#"{"op":"scenario","scenario":"hidden-pair","packets":60}"#).unwrap();
         match req.body {
             RequestBody::Scenario {
-                scenario, packets, ..
+                scenario,
+                packets,
+                timeline,
+                ..
             } => {
                 assert_eq!(scenario, "hidden-pair");
                 assert_eq!(packets, 60);
+                assert_eq!(timeline, None);
             }
             other => panic!("wrong body {other:?}"),
         }
         assert!(parse_request(r#"{"op":"scenario"}"#).is_err());
+    }
+
+    #[test]
+    fn timeline_field_parses_id_object_and_array_forms() {
+        let by_id =
+            parse_request(r#"{"op":"scenario","scenario":"parallel-4","timeline":"storm20"}"#)
+                .unwrap();
+        match &by_id.body {
+            RequestBody::Scenario { timeline, .. } => {
+                assert_eq!(timeline, &Some(TimelineSpec::Id("storm20".to_string())));
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+
+        // A full timeline object and a bare event array both carry the
+        // same inline timeline.
+        let event = r#"{"id":9,"t_s":2.5,"link":1,"action":"Leave"}"#;
+        let as_object = parse_request(&format!(
+            r#"{{"op":"scenario","scenario":"parallel-4","timeline":{{"events":[{event}]}}}}"#
+        ))
+        .unwrap();
+        let as_array = parse_request(&format!(
+            r#"{{"op":"scenario","scenario":"parallel-4","timeline":[{event}]}}"#
+        ))
+        .unwrap();
+        match (&as_object.body, &as_array.body) {
+            (
+                RequestBody::Scenario { timeline: a, .. },
+                RequestBody::Scenario { timeline: b, .. },
+            ) => {
+                assert_eq!(a, b);
+                match a {
+                    Some(TimelineSpec::Inline(t)) => {
+                        assert_eq!(t.events().len(), 1);
+                        assert_eq!(t.events()[0].link, 1);
+                    }
+                    other => panic!("wrong spec {other:?}"),
+                }
+            }
+            other => panic!("wrong bodies {other:?}"),
+        }
+
+        // Wrong kinds and malformed events are rejected at parse time.
+        let rej =
+            parse_request(r#"{"op":"scenario","scenario":"parallel-4","timeline":7}"#).unwrap_err();
+        assert!(rej.error.contains("timeline must be"), "{}", rej.error);
+        let rej =
+            parse_request(r#"{"op":"scenario","scenario":"parallel-4","timeline":[{"nope":1}]}"#)
+                .unwrap_err();
+        assert!(rej.error.contains("do not parse"), "{}", rej.error);
+
+        // Other ops refuse the field outright.
+        let rej = parse_request(r#"{"op":"simulate","timeline":"storm20"}"#).unwrap_err();
+        assert!(rej.error.contains("unknown field 'timeline'"));
+    }
+
+    #[test]
+    fn timeline_partitions_scenario_cache_keys_by_digest() {
+        let static_req =
+            parse_request(r#"{"op":"scenario","scenario":"parallel-4","packets":60,"seed":2}"#)
+                .unwrap();
+        // The static key stays byte-identical to the pre-timeline format.
+        assert_eq!(
+            cache_key(&static_req.body).unwrap(),
+            "scn|parallel-4|n:60|s:0000000000000002"
+        );
+
+        let storm = parse_request(
+            r#"{"op":"scenario","scenario":"parallel-4","packets":60,"seed":2,"timeline":"storm20"}"#,
+        )
+        .unwrap();
+        let storm_key = cache_key(&storm.body).unwrap();
+        assert!(
+            storm_key.starts_with("scn|parallel-4|n:60|s:0000000000000002|t:"),
+            "{storm_key}"
+        );
+        assert_ne!(storm_key, cache_key(&static_req.body).unwrap());
+
+        // Different timelines get different digests; the same timeline
+        // named by id and spelled inline collapses to the same key.
+        let waypoint = parse_request(
+            r#"{"op":"scenario","scenario":"parallel-4","packets":60,"seed":2,"timeline":"waypoint"}"#,
+        )
+        .unwrap();
+        assert_ne!(cache_key(&waypoint.body).unwrap(), storm_key);
+
+        let resolved = TimelineSpec::Id("storm20".to_string())
+            .resolve("parallel-4")
+            .unwrap();
+        let inline = RequestBody::Scenario {
+            scenario: "parallel-4".to_string(),
+            packets: 60,
+            seed: 2,
+            timeline: Some(TimelineSpec::Inline(resolved)),
+        };
+        assert_eq!(cache_key(&inline).unwrap(), storm_key);
+
+        // An unresolvable spec keys to the sentinel — the request then
+        // errors at execution and is never cached under it.
+        let bad =
+            parse_request(r#"{"op":"scenario","scenario":"parallel-4","timeline":"blizzard"}"#)
+                .unwrap();
+        assert!(cache_key(&bad.body).unwrap().ends_with("|t:invalid"));
+    }
+
+    #[test]
+    fn timeline_spec_resolution_validates_against_the_scenario() {
+        let known = TimelineSpec::Id("storm20".to_string()).resolve("parallel-4");
+        assert!(known.is_ok());
+        let err = TimelineSpec::Id("blizzard".to_string())
+            .resolve("parallel-4")
+            .unwrap_err();
+        assert!(err.contains("storm20"), "{err}");
+
+        // An inline event aimed past the scenario's links fails
+        // validation instead of panicking inside the simulator.
+        let out_of_range = ScenarioTimeline::new(vec![TopologyEvent {
+            id: 0,
+            t_s: 1.0,
+            link: 99,
+            action: wsn_params::timeline::TopologyAction::Leave,
+        }]);
+        let err = TimelineSpec::Inline(out_of_range)
+            .resolve("parallel-4")
+            .unwrap_err();
+        assert!(err.contains("invalid timeline"), "{err}");
     }
 }

@@ -60,6 +60,6 @@ pub mod prelude {
         ExecStats, Executor, ExecutorObserver, Model, Scheduler, StopReason,
     };
     pub use crate::mode::EngineMode;
-    pub use crate::rng::{FastRng, NormalSampler, RngFactory, StreamId};
+    pub use crate::rng::{FactoryStream, FastRng, NormalSampler, RngFactory, StreamId};
     pub use crate::time::{SimDuration, SimTime};
 }

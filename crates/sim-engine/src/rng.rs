@@ -184,6 +184,32 @@ impl<T: NormalSampler + ?Sized> NormalSampler for &mut T {
     }
 }
 
+/// A generator constructible from a factory and a stream label — the
+/// engine-mode seam at the *construction* layer, completing what
+/// [`NormalSampler`] does at the sampling layer: code generic over
+/// `R: FactoryStream` can build its named streams without knowing whether
+/// it runs the golden (`StdRng`) or fast (`FastRng`) generator.
+///
+/// Both impls mix the label into the factory seed with the identical
+/// SplitMix64 chain [`RngFactory::stream`] uses, so distinct labels stay
+/// independent under either generator.
+pub trait FactoryStream: NormalSampler + Sized {
+    /// Instantiates this generator for `stream` of `factory`.
+    fn from_factory(factory: &RngFactory, stream: StreamId) -> Self;
+}
+
+impl FactoryStream for StdRng {
+    fn from_factory(factory: &RngFactory, stream: StreamId) -> Self {
+        factory.stream(stream)
+    }
+}
+
+impl FactoryStream for FastRng {
+    fn from_factory(factory: &RngFactory, stream: StreamId) -> Self {
+        FastRng::new(splitmix64(factory.seed ^ splitmix64(stream.label())))
+    }
+}
+
 /// Marsaglia–Tsang Ziggurat tables for the standard normal, 128 layers.
 ///
 /// Layer 0 is the base strip (its rectangle is widened to also cover the

@@ -82,16 +82,23 @@ pub use wsn_sim_engine as sim;
 
 /// The multi-link network API, promoted to a first-class surface: scenario
 /// description and building ([`Scenario`], [`LinkSpec`], [`Position`]),
-/// the shared-channel simulator ([`NetworkSimulation`]), its outcome types
-/// ([`NetworkOutcome`], [`LinkOutcome`], [`AirStats`]), and the named
-/// scenario catalog ([`all_scenarios`], [`build_scenario`]).
+/// topology dynamics ([`ScenarioTimeline`], [`TopologyEvent`]), the
+/// shared-channel simulator ([`NetworkSimulation`]), its outcome types
+/// ([`NetworkOutcome`], [`LinkOutcome`], [`AirStats`], [`TopoStats`],
+/// [`EpochSnapshot`]), and the named scenario and timeline catalogs
+/// ([`all_scenarios`], [`build_scenario`], [`all_timelines`],
+/// [`build_timeline`]).
 pub mod net {
-    pub use wsn_link_sim::catalog::{all_scenarios, build_scenario};
+    pub use wsn_link_sim::catalog::{all_scenarios, all_timelines, build_scenario, build_timeline};
     pub use wsn_link_sim::network::{
-        scenario_from_interference, AirStats, LinkOutcome, NetOptions, NetworkOutcome,
-        NetworkSimulation,
+        scenario_from_interference, AirStats, EpochLink, EpochSnapshot, LinkOutcome, NetOptions,
+        NetworkOutcome, NetworkSimulation, TopoStats,
     };
     pub use wsn_params::scenario::{LinkSpec, Position, Scenario, ScenarioBuilder};
+    pub use wsn_params::timeline::{
+        failure_storm, from_trajectories, random_waypoint, ScenarioTimeline, TopologyAction,
+        TopologyEvent,
+    };
 }
 
 /// One-stop import for applications built on the library.

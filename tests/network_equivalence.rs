@@ -22,8 +22,7 @@ fn net_options_for(campaign: &Campaign, index: u64) -> NetOptions {
         seed: RngFactory::new(campaign.seed).derive(index).seed(),
         channel: campaign.channel,
         traffic: campaign.traffic,
-        record_packets: false,
-        horizon: None,
+        ..NetOptions::quick(campaign.packets)
     }
 }
 
@@ -217,6 +216,158 @@ fn churn_bounds_generation_windows() {
         "joining at 15 s of 30 s must cut generation ({} vs {})",
         joined.links[0].metrics.generated,
         full.links[0].metrics.generated
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Static-catalog golden pins.
+//
+// These fixtures were generated on the dense N×N `SharedAir` (pre-timeline)
+// and must keep replaying byte-identically through the sparse,
+// timeline-driven medium: same metrics on every link, same air counters.
+// Regenerate (only for an intentional contract change) with
+// `WSN_UPDATE_GOLDEN=1 cargo test --test network_equivalence golden_pin`.
+// ---------------------------------------------------------------------------
+
+use serde::{Deserialize, Serialize};
+
+/// One pinned catalog run: every link's full metric set plus the shared-air
+/// counters, compared field-for-field (all floats bit-exact via PartialEq).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ScenarioPin {
+    scenario: String,
+    links: Vec<LinkMetrics>,
+    air: AirStats,
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_or_update_pin(name: &str, pins: &[ScenarioPin]) {
+    let path = golden_path(name);
+    let rendered: String = pins
+        .iter()
+        .map(|p| serde_json::to_string(p).expect("pin serializes") + "\n")
+        .collect();
+    if std::env::var_os("WSN_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden pin");
+        return;
+    }
+    let want: Vec<ScenarioPin> = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()))
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).expect("pin line parses"))
+        .collect();
+    assert_eq!(want.len(), pins.len(), "{name}: pin count");
+    for (got, want) in pins.iter().zip(&want) {
+        assert_eq!(
+            got, want,
+            "{name}: scenario '{}' diverged from golden pin",
+            want.scenario
+        );
+    }
+}
+
+/// Every static catalog scenario (N = 1 through N = 4, hidden/exposed/
+/// interference geometries) pinned against the dense-medium snapshot.
+#[test]
+fn catalog_scenarios_replay_golden_pin() {
+    let pins: Vec<ScenarioPin> = wsn_linkconf::net::all_scenarios()
+        .iter()
+        .map(|(id, _)| {
+            let scenario = wsn_linkconf::net::build_scenario(id).expect("catalog id builds");
+            let outcome =
+                NetworkSimulation::new(scenario, NetOptions::quick(120).with_seed(0x5EED)).run();
+            ScenarioPin {
+                scenario: id.to_string(),
+                links: outcome.links.iter().map(|l| l.metrics.clone()).collect(),
+                air: outcome.air,
+            }
+        })
+        .collect();
+    check_or_update_pin("scenarios.jsonl", &pins);
+}
+
+/// Satellite regression: a `Leave` landing mid-transaction drains the link
+/// cleanly. The leave instant is derived from a baseline run so it provably
+/// falls inside one of link 1's MAC transactions; the test then asserts the
+/// in-flight transaction completes after the leave, the packet accounting
+/// identity holds on both links, and the whole outcome matches the pinned
+/// fixture (so no deferral leak can creep into link 0's CCA counters).
+#[test]
+fn leave_mid_transaction_drains_cleanly_golden_pin() {
+    let config = StackConfig::builder()
+        .distance_m(35.0)
+        .power_level(11)
+        .payload_bytes(110)
+        .max_tries(3)
+        .retry_delay_ms(0)
+        .queue_cap(30)
+        .packet_interval_ms(10)
+        .build()
+        .expect("valid constants");
+    let options = || {
+        let mut o = NetOptions::quick(200).with_seed(0xD12A);
+        o.record_packets = true;
+        o
+    };
+
+    // Baseline: find a mid-run transaction of link 1 and aim the leave at
+    // its midpoint. Both runs are deterministic, so the derived instant is
+    // stable across machines.
+    let baseline = NetworkSimulation::new(Scenario::exposed_pair(config), options()).run();
+    let records = baseline.links[1].records.as_ref().expect("records kept");
+    let span = records
+        .iter()
+        .filter(|r| r.fate != PacketFate::QueueDropped)
+        .nth(20)
+        .expect("baseline serves >20 packets");
+    let (start, done) = (
+        span.t_service_start.expect("served packet has start"),
+        span.t_done.expect("served packet has end"),
+    );
+    let leave_s = (start.as_secs_f64() + done.as_secs_f64()) / 2.0;
+
+    let mut scenario = Scenario::exposed_pair(config);
+    scenario.links[1] = scenario.links[1].leaving_at(leave_s);
+    let outcome = NetworkSimulation::new(scenario, options()).run();
+
+    // The transaction in flight at the leave instant still completes …
+    let last_done = outcome.links[1]
+        .records
+        .as_ref()
+        .expect("records kept")
+        .iter()
+        .filter_map(|r| r.t_done)
+        .map(|t| t.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    assert!(
+        last_done > leave_s,
+        "in-flight transaction must drain past the leave ({last_done} vs {leave_s})"
+    );
+    // … no packets vanish from the accounting identity on either link …
+    for link in &outcome.links {
+        assert!(
+            link.metrics.conserves_packets(),
+            "accounting identity violated: {:?}",
+            link.metrics
+        );
+    }
+    // … and the departed link generated strictly less than its budget.
+    assert!(outcome.links[1].metrics.generated < 200);
+    assert_eq!(outcome.links[0].metrics.generated, 200);
+
+    check_or_update_pin(
+        "leave_drain.jsonl",
+        &[ScenarioPin {
+            scenario: format!("exposed-pair/leave@{leave_s:.6}"),
+            links: outcome.links.iter().map(|l| l.metrics.clone()).collect(),
+            air: outcome.air,
+        }],
     );
 }
 
