@@ -31,11 +31,28 @@
 //!                                    --log streams one structured epoch
 //!                                    event per snapshot)
 //! repro serve [--addr HOST:PORT] [--threads N] [--access-log PATH] [--slow-ms N]
+//!             [--io-model epoll|threads] [--store DIR]
+//!             [--warm-from-campaign DIR [--warm-engine E] [--warm-packets N]]
 //!                                    start the JSON-lines query service
 //!                                    (docs/SERVE.md; port 0 picks a free port;
 //!                                    --access-log appends one JSONL record per
 //!                                    request, --slow-ms sets the slow-request
-//!                                    warning threshold, 0 disables it)
+//!                                    warning threshold, 0 disables it;
+//!                                    --io-model picks the connection front-end,
+//!                                    default epoll where supported; --store
+//!                                    persists the result cache across restarts;
+//!                                    --warm-from-campaign seeds the cache from
+//!                                    a sharded campaign checkpoint directory)
+//! repro loadgen [--duration SECS] [--connections N] [--senders N] [--rate RPS]
+//!               [--arrivals poisson|fixed] [--io-model both|epoll|threads]
+//!               [--addr HOST:PORT] [--json PATH] [--label STR]
+//!                                    open-loop load benchmark of the query
+//!                                    service: spawns `repro serve` per
+//!                                    io-model (or targets --addr), parks idle
+//!                                    connections, calibrates capacity, then
+//!                                    drives 1x/2x/4x phases and reports
+//!                                    QPS/p50/p99/p999 + error/deadline rates
+//!                                    (BENCH_serve.json with --json)
 //! repro dataset --out DIR [--full]   export a per-packet trace (paper-style dataset)
 //! repro verify [--full]              re-check every quantitative claim (PASS/FAIL)
 //! repro bench [--json PATH] [--quick-bench]
@@ -66,6 +83,7 @@ use std::time::Instant;
 
 use wsn_experiments::campaign::{Campaign, ConfigResult, Scale};
 use wsn_experiments::dynamics::TimelineError;
+use wsn_experiments::loadgen::{Arrivals, LoadgenOptions};
 use wsn_experiments::report::Report;
 use wsn_experiments::shards::{read_shard_dir, run_sharded_logged};
 use wsn_experiments::stream::{EventLogSink, ProgressSink, SinkFn};
@@ -73,7 +91,7 @@ use wsn_experiments::{all_experiments, run_experiment};
 use wsn_obs::log::EventLog;
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
-use wsn_serve::{ServeError, Server, ServerConfig};
+use wsn_serve::{IoModel, ServeError, Server, ServerConfig};
 use wsn_sim_engine::mode::EngineMode;
 
 /// Everything that can end a `repro` invocation unsuccessfully, with the
@@ -133,10 +151,13 @@ fn usage() -> String {
         .map(|(n, _)| *n)
         .collect();
     format!(
-        "usage: repro <all|list|campaign|scenario|timeline|serve|verify|dataset|bench|ID...> \
+        "usage: repro <all|list|campaign|scenario|timeline|serve|loadgen|verify|dataset|bench|ID...> \
          [--full] [--engine golden|fast|analytic] [--out DIR] [--resume] [--shards N] \
          [--log PATH] [--json PATH] [--quick-bench] [--addr HOST:PORT] [--threads N] \
-         [--access-log PATH] [--slow-ms N]\n  \
+         [--access-log PATH] [--slow-ms N] [--io-model epoll|threads|both] [--store DIR] \
+         [--warm-from-campaign DIR] [--warm-engine golden|fast|analytic] [--warm-packets N] \
+         [--duration SECS] [--connections N] [--senders N] [--rate RPS] \
+         [--arrivals poisson|fixed] [--label STR]\n  \
          ids: {}\n  scenario ids: {}\n  timeline ids: {} (or a ScenarioTimeline JSON file)\n  \
          exit codes: 0 ok, 1 failure, 2 unknown id, 3 I/O error, 4 serve error",
         ids.join(", "),
@@ -348,19 +369,39 @@ fn run_timeline(
 /// `repro serve`: binds the query service and runs it until a client sends
 /// `shutdown`. Prints the resolved address first so callers that bound
 /// port 0 can discover the real port.
+#[allow(clippy::too_many_arguments)]
 fn run_serve(
     addr: String,
     threads: usize,
     access_log: Option<PathBuf>,
     slow_request_ms: u64,
+    io_model: IoModel,
+    store: Option<PathBuf>,
+    warm_from: Option<PathBuf>,
+    warm_engine: EngineMode,
+    warm_packets: u64,
 ) -> Result<(), CliError> {
     let server = Server::bind(ServerConfig {
         addr,
         threads,
         access_log,
         slow_request_ms,
+        io_model,
+        store,
         ..ServerConfig::default()
     })?;
+    if let Some(dir) = &warm_from {
+        let entries = wsn_experiments::shards::serve_warm_entries(dir, warm_engine, warm_packets)
+            .map_err(CliError::Failure)?;
+        let installed = server
+            .warm(entries)
+            .map_err(|e| CliError::Io(format!("cache warm-up failed: {e}")))?;
+        eprintln!(
+            "warmed {installed} cached results from {} ({} engine, {warm_packets} packets)",
+            dir.display(),
+            warm_engine.name()
+        );
+    }
     println!("listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
     eprintln!(
@@ -368,6 +409,28 @@ fn run_serve(
     );
     server.run()?;
     eprintln!("server drained, bye");
+    Ok(())
+}
+
+/// `repro loadgen`: runs the open-loop benchmark and optionally writes
+/// `BENCH_serve.json`.
+fn run_loadgen(opts: &LoadgenOptions, json_path: Option<&Path>) -> Result<(), CliError> {
+    let report = wsn_experiments::loadgen::run(opts).map_err(CliError::Failure)?;
+    print!("{}", report.render());
+    for run in &report.runs {
+        if run.idle_alive < run.idle_probed {
+            return Err(CliError::Failure(format!(
+                "[{}] only {}/{} probed idle connections survived the load",
+                run.io_model, run.idle_alive, run.idle_probed
+            )));
+        }
+    }
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("loadgen report serializes");
+        std::fs::write(path, json + "\n")
+            .map_err(|e| CliError::Io(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote {}", path.display());
+    }
     Ok(())
 }
 
@@ -380,10 +443,22 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     let mut json_path: Option<PathBuf> = None;
     let mut quick_bench = false;
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut addr_given = false;
     let mut threads = 0usize;
     let mut log_path: Option<PathBuf> = None;
     let mut access_log: Option<PathBuf> = None;
     let mut slow_request_ms = 1_000u64;
+    let mut io_model_flag: Option<String> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut warm_from: Option<PathBuf> = None;
+    let mut warm_engine = EngineMode::Golden;
+    let mut warm_packets = 400u64;
+    let mut duration_s = 10.0f64;
+    let mut connections = 500usize;
+    let mut senders = 8usize;
+    let mut rate: Option<f64> = None;
+    let mut arrivals = Arrivals::Poisson;
+    let mut label = String::new();
     let mut selections: Vec<String> = Vec::new();
 
     let mut iter = args.iter().peekable();
@@ -412,7 +487,10 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
                 None => return Err(CliError::Usage("--json needs a file path".into())),
             },
             "--addr" => match iter.next() {
-                Some(a) => addr = a.clone(),
+                Some(a) => {
+                    addr = a.clone();
+                    addr_given = true;
+                }
                 None => return Err(CliError::Usage("--addr needs HOST:PORT".into())),
             },
             "--threads" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
@@ -436,6 +514,80 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
                 }
             },
             "--quick-bench" => quick_bench = true,
+            "--io-model" => match iter.next() {
+                Some(m) if m == "both" || IoModel::from_name(m).is_some() => {
+                    io_model_flag = Some(m.clone());
+                }
+                _ => {
+                    return Err(CliError::Usage(
+                        "--io-model needs `epoll`, `threads`, or (loadgen only) `both`".into(),
+                    ))
+                }
+            },
+            "--store" => match iter.next() {
+                Some(dir) => store = Some(PathBuf::from(dir)),
+                None => return Err(CliError::Usage("--store needs a directory".into())),
+            },
+            "--warm-from-campaign" => match iter.next() {
+                Some(dir) => warm_from = Some(PathBuf::from(dir)),
+                None => {
+                    return Err(CliError::Usage(
+                        "--warm-from-campaign needs a shard directory".into(),
+                    ))
+                }
+            },
+            "--warm-engine" => match iter.next().and_then(|m| EngineMode::from_name(m)) {
+                Some(mode) => warm_engine = mode,
+                None => {
+                    return Err(CliError::Usage(
+                        "--warm-engine needs `golden`, `fast`, or `analytic`".into(),
+                    ))
+                }
+            },
+            "--warm-packets" => match iter.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => warm_packets = n,
+                _ => {
+                    return Err(CliError::Usage(
+                        "--warm-packets needs a positive integer".into(),
+                    ))
+                }
+            },
+            "--duration" => match iter
+                .next()
+                .map(|s| s.trim_end_matches('s'))
+                .and_then(|s| s.parse::<f64>().ok())
+            {
+                Some(s) if s > 0.0 => duration_s = s,
+                _ => {
+                    return Err(CliError::Usage(
+                        "--duration needs seconds (e.g. 10 or 3s)".into(),
+                    ))
+                }
+            },
+            "--connections" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) => connections = n,
+                None => return Err(CliError::Usage("--connections needs an integer".into())),
+            },
+            "--senders" => match iter.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => senders = n,
+                _ => return Err(CliError::Usage("--senders needs a positive integer".into())),
+            },
+            "--rate" => match iter.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => rate = Some(r),
+                _ => return Err(CliError::Usage("--rate needs requests/second".into())),
+            },
+            "--arrivals" => match iter.next().and_then(|m| Arrivals::from_name(m)) {
+                Some(a) => arrivals = a,
+                None => {
+                    return Err(CliError::Usage(
+                        "--arrivals needs `poisson` or `fixed`".into(),
+                    ))
+                }
+            },
+            "--label" => match iter.next() {
+                Some(s) => label = s.clone(),
+                None => return Err(CliError::Usage("--label needs a string".into())),
+            },
             "-h" | "--help" => {
                 println!("{}", usage());
                 return Ok(());
@@ -463,7 +615,45 @@ fn run(args: Vec<String>) -> Result<(), CliError> {
     }
 
     if selections.iter().any(|s| s == "serve") {
-        return run_serve(addr, threads, access_log, slow_request_ms);
+        let io_model = match io_model_flag.as_deref() {
+            None => IoModel::default(),
+            Some("both") => {
+                return Err(CliError::Usage(
+                    "serve runs one io-model; `both` is for loadgen".into(),
+                ))
+            }
+            Some(name) => IoModel::from_name(name).expect("validated during parsing"),
+        };
+        return run_serve(
+            addr,
+            threads,
+            access_log,
+            slow_request_ms,
+            io_model,
+            store,
+            warm_from,
+            warm_engine,
+            warm_packets,
+        );
+    }
+
+    if selections.iter().any(|s| s == "loadgen") {
+        let io_models = match io_model_flag.as_deref() {
+            None | Some("both") => vec!["epoll".to_string(), "threads".to_string()],
+            Some(name) => vec![name.to_string()],
+        };
+        let opts = LoadgenOptions {
+            duration: std::time::Duration::from_secs_f64(duration_s),
+            connections,
+            senders,
+            rate,
+            arrivals,
+            addr: addr_given.then_some(addr),
+            io_models,
+            label,
+            ..LoadgenOptions::default()
+        };
+        return run_loadgen(&opts, json_path.as_deref());
     }
 
     if selections.iter().any(|s| s == "list") {

@@ -15,6 +15,7 @@
 pub mod campaign;
 pub mod dataset;
 pub mod dynamics;
+pub mod loadgen;
 pub mod perf;
 pub mod report;
 pub mod scenarios;

@@ -1,0 +1,809 @@
+//! `repro loadgen` — an open-loop load generator for the query service.
+//!
+//! Closed-loop benchmarks (send, wait, send again) cannot see overload:
+//! the client slows down with the server, so queues never grow and tail
+//! latency looks flat. This generator is **open-loop**: request arrival
+//! times come from a schedule (Poisson or fixed-rate) fixed *before* the
+//! server answers anything, and latency is measured from the scheduled
+//! arrival, not the actual write — so a sender that falls behind does not
+//! hide queueing delay (no coordinated omission).
+//!
+//! One run per io-model: spawn `repro serve --io-model M` as a child
+//! process (or target `--addr` for an already-running server), park
+//! `connections` idle connections on it, calibrate capacity with a short
+//! closed-loop burst, then drive three open-loop phases at 1×, 2×, and 4×
+//! the base rate, where 1× is 40 % of the calibrated closed-loop
+//! capacity — comfortably stable — and 4× is far past saturation, so the
+//! report shows exactly how the server degrades: `overloaded` rejections
+//! from the bounded queue, `deadline` errors from jobs that aged out, and
+//! the latency tail in between. The idle connections are probed again at
+//! the end: a server that sheds load by dropping quiet connections fails
+//! the run.
+//!
+//! The op mix exercises every engine: analytic predictions (the
+//! microsecond path, reported in its own histogram), golden predictions,
+//! golden and fast simulations, a multi-link scenario, and the optimizer.
+//! Latencies land in wsn-obs log-linear histograms (~4 % resolution);
+//! `--json` writes the whole report as `BENCH_serve.json`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use wsn_obs::hist::LogLinearHistogram;
+
+/// How request arrival times are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrivals {
+    /// Exponential inter-arrival gaps (memoryless, bursty — the usual
+    /// model for independent clients).
+    Poisson,
+    /// A metronome: every gap exactly `1/rate`.
+    Fixed,
+}
+
+impl Arrivals {
+    /// The CLI/report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrivals::Poisson => "poisson",
+            Arrivals::Fixed => "fixed",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "poisson" => Arrivals::Poisson,
+            "fixed" => Arrivals::Fixed,
+            _ => return None,
+        })
+    }
+}
+
+/// Knobs for one `repro loadgen` invocation.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Wall-clock length of each load phase.
+    pub duration: Duration,
+    /// Idle connections parked on the server for the whole run.
+    pub connections: usize,
+    /// Sender threads (each with its own connection and schedule).
+    pub senders: usize,
+    /// Base offered rate, requests/s; `None` uses 40 % of the measured
+    /// closed-loop capacity. (The calibration burst runs either way — it
+    /// doubles as cache warm-up.)
+    pub rate: Option<f64>,
+    /// Arrival process for the open-loop schedule.
+    pub arrivals: Arrivals,
+    /// Benchmark an already-running server at this address instead of
+    /// spawning one per io-model.
+    pub addr: Option<String>,
+    /// io-models to spawn-and-bench when `addr` is `None`.
+    pub io_models: Vec<String>,
+    /// Free-form label copied into the report.
+    pub label: String,
+    /// Seed for the op mix and the arrival schedule.
+    pub seed: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            duration: Duration::from_secs(10),
+            connections: 500,
+            senders: 8,
+            rate: None,
+            arrivals: Arrivals::Poisson,
+            addr: None,
+            io_models: vec!["epoll".to_string(), "threads".to_string()],
+            label: String::new(),
+            seed: 0x10AD,
+        }
+    }
+}
+
+/// Latency quantiles read off one log-linear histogram, µs.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// 99.9th percentile.
+    pub p999_us: u64,
+    /// Largest sample.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from(hist: &LogLinearHistogram) -> Self {
+        LatencySummary {
+            count: hist.count(),
+            p50_us: hist.quantile(0.50),
+            p90_us: hist.quantile(0.90),
+            p99_us: hist.quantile(0.99),
+            p999_us: hist.quantile(0.999),
+            max_us: hist.max(),
+        }
+    }
+}
+
+/// One open-loop phase at a fixed offered rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseReport {
+    /// Multiple of the base rate (1, 2, 4).
+    pub overload: f64,
+    /// Scheduled arrival rate, requests/s.
+    pub offered_rps: f64,
+    /// Requests actually written to the sockets.
+    pub sent: u64,
+    /// Responses received (any outcome).
+    pub answered: u64,
+    /// Requests the drain window gave up waiting for.
+    pub unanswered: u64,
+    /// Responses over the phase duration, /s.
+    pub achieved_qps: f64,
+    /// `"ok":true` responses.
+    pub ok: u64,
+    /// Error responses of any code.
+    pub errors: u64,
+    /// `"code":"deadline"` — aged out in the queue.
+    pub deadline: u64,
+    /// `"code":"overloaded"` — bounced off the full queue.
+    pub overloaded: u64,
+    /// `"code":"internal"` — server bugs; must stay 0.
+    pub internal: u64,
+    /// Errors with any other code.
+    pub other_errors: u64,
+    /// Fraction of ok responses served from the cache.
+    pub cache_hit_rate: f64,
+    /// Client-observed latency (from *scheduled* arrival), all ops.
+    pub latency: LatencySummary,
+    /// Latency of ok analytic predictions only — the microsecond path.
+    pub analytic_predict: LatencySummary,
+}
+
+/// One io-model's full bench: calibration, three phases, idle-probe.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// `"epoll"`, `"threads"`, or `"external"`.
+    pub io_model: String,
+    /// Closed-loop calibration throughput, /s.
+    pub calibrated_qps: f64,
+    /// The 1× offered rate derived from it (or pinned by `--rate`).
+    pub base_rps: f64,
+    /// Idle connections parked for the whole run.
+    pub idle_connections: usize,
+    /// Idle connections probed after the load phases…
+    pub idle_probed: usize,
+    /// …and how many still answered.
+    pub idle_alive: usize,
+    /// The 1×/2×/4× phases.
+    pub phases: Vec<PhaseReport>,
+}
+
+/// The whole `repro loadgen` result (`BENCH_serve.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadgenReport {
+    /// Report schema tag.
+    pub schema: &'static str,
+    /// Free-form label from `--label`.
+    pub label: String,
+    /// Arrival process name.
+    pub arrivals: String,
+    /// Per-phase duration, s.
+    pub duration_s: f64,
+    /// Idle connections requested.
+    pub connections: usize,
+    /// Sender threads.
+    pub senders: usize,
+    /// Op-mix / schedule seed.
+    pub seed: u64,
+    /// One entry per benched server.
+    pub runs: Vec<RunReport>,
+}
+
+impl LoadgenReport {
+    /// Renders the human-readable summary printed after a run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "loadgen: {} arrivals, {} idle conns, {} senders, {:.1}s/phase\n",
+            self.arrivals, self.connections, self.senders, self.duration_s
+        ));
+        for run in &self.runs {
+            out.push_str(&format!(
+                "\n[{}] calibrated {:.0} qps closed-loop, base rate {:.0} rps; \
+                 idle {}/{} alive after load\n",
+                run.io_model, run.calibrated_qps, run.base_rps, run.idle_alive, run.idle_probed
+            ));
+            out.push_str(
+                "  load   offered   achieved    ok     err   dline  ovrld  \
+                 hit%      p50      p99     p999  analytic-p99\n",
+            );
+            for phase in &run.phases {
+                out.push_str(&format!(
+                    "  {:>3.0}x  {:>8.0}  {:>9.1}  {:>6} {:>6}  {:>6} {:>6}  {:>4.0}  \
+                     {:>7} {:>8} {:>8}  {:>12}\n",
+                    phase.overload,
+                    phase.offered_rps,
+                    phase.achieved_qps,
+                    phase.ok,
+                    phase.errors,
+                    phase.deadline,
+                    phase.overloaded,
+                    phase.cache_hit_rate * 100.0,
+                    format!("{}us", phase.latency.p50_us),
+                    format!("{}us", phase.latency.p99_us),
+                    format!("{}us", phase.latency.p999_us),
+                    format!("{}us", phase.analytic_predict.p99_us),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The 4×4×4 pool of distinct configurations the mix draws from — enough
+/// spread that phase 1 is mostly cache misses and phase 3 mostly hits.
+const DISTANCES_M: [f64; 4] = [10.0, 15.0, 20.0, 25.0];
+const POWER_LEVELS: [u8; 4] = [15, 23, 27, 31];
+const PAYLOAD_BYTES: [u16; 4] = [30, 50, 80, 110];
+
+/// Builds one request line from the weighted op mix. Returns the line and
+/// whether it is an analytic prediction (tracked in its own histogram).
+fn build_request(rng: &mut StdRng, id: &str) -> (String, bool) {
+    let d = DISTANCES_M[rng.gen_range(0..DISTANCES_M.len())];
+    let p = POWER_LEVELS[rng.gen_range(0..POWER_LEVELS.len())];
+    let b = PAYLOAD_BYTES[rng.gen_range(0..PAYLOAD_BYTES.len())];
+    let cfg = format!(r#"{{"distance_m":{d:.1},"power_level":{p},"payload_bytes":{b}}}"#);
+    let roll: u32 = rng.gen_range(0..100);
+    match roll {
+        // 40 % analytic predictions — the path the <5 ms p99 target is on.
+        0..=39 => (
+            format!(
+                r#"{{"id":"{id}","op":"predict","proto":1,"deadline_ms":1000,"engine":"analytic","config":{cfg}}}"#
+            ),
+            true,
+        ),
+        // 20 % golden (closed-form model) predictions.
+        40..=59 => (
+            format!(r#"{{"id":"{id}","op":"predict","deadline_ms":1000,"config":{cfg}}}"#),
+            false,
+        ),
+        // 15 % golden simulations, short runs.
+        60..=74 => (
+            format!(
+                r#"{{"id":"{id}","op":"simulate","deadline_ms":1000,"packets":60,"config":{cfg}}}"#
+            ),
+            false,
+        ),
+        // 15 % fast-engine simulations.
+        75..=89 => (
+            format!(
+                r#"{{"id":"{id}","op":"simulate","deadline_ms":1000,"packets":60,"engine":"fast","config":{cfg}}}"#
+            ),
+            false,
+        ),
+        // 5 % multi-link scenarios.
+        90..=94 => (
+            format!(
+                r#"{{"id":"{id}","op":"scenario","deadline_ms":1000,"scenario":"hidden-pair","packets":40}}"#
+            ),
+            false,
+        ),
+        // 5 % optimizer calls.
+        _ => (
+            format!(
+                r#"{{"id":"{id}","op":"tune","deadline_ms":1000,"objective":"energy","constraints":[{{"metric":"loss","max":0.05}}],"distance_m":{d:.1}}}"#
+            ),
+            false,
+        ),
+    }
+}
+
+/// Pulls the string `"id"` value back out of a response line. Loadgen ids
+/// never contain escapes, so a scan to the closing quote is exact.
+fn response_id(line: &str) -> Option<&str> {
+    let at = line.find(r#""id":""#)? + 6;
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// In-flight bookkeeping: when the request was *scheduled* to arrive (the
+/// open-loop latency origin) and whether it was an analytic prediction.
+struct Pending {
+    scheduled: Instant,
+    analytic: bool,
+}
+
+/// The per-connection in-flight map, shared between a sender and its reader.
+type PendingMap = Arc<Mutex<HashMap<String, Pending>>>;
+
+/// Shared tallies for one phase; histograms and counters are all atomic.
+#[derive(Default)]
+struct PhaseStats {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    cached: AtomicU64,
+    deadline: AtomicU64,
+    overloaded: AtomicU64,
+    internal: AtomicU64,
+    other_err: AtomicU64,
+    latency: LogLinearHistogram,
+    analytic: LogLinearHistogram,
+}
+
+impl PhaseStats {
+    /// Classifies one response line against its pending record.
+    fn record(&self, line: &str, pending: &Pending) {
+        let us = pending.scheduled.elapsed().as_micros() as u64;
+        self.latency.record(us);
+        if line.contains(r#""ok":true"#) {
+            self.ok.fetch_add(1, Ordering::Relaxed);
+            if line.contains(r#""cached":true"#) {
+                self.cached.fetch_add(1, Ordering::Relaxed);
+            }
+            if pending.analytic {
+                self.analytic.record(us);
+            }
+        } else if line.contains(r#""code":"deadline""#) {
+            self.deadline.fetch_add(1, Ordering::Relaxed);
+        } else if line.contains(r#""code":"overloaded""#) {
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+        } else if line.contains(r#""code":"internal""#) {
+            self.internal.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.other_err.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    // One small request line per write: Nagle+delayed-ACK would serialize
+    // the benchmark on ~40 ms timer ticks instead of the server.
+    stream.set_nodelay(true).map_err(|e| e.to_string())?;
+    Ok(stream)
+}
+
+/// Sends one request and reads one response on a dedicated connection.
+fn oneshot(addr: &str, line: &str) -> Result<String, String> {
+    let mut stream = connect(addr)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    writeln!(stream, "{line}").map_err(|e| format!("write to {addr} failed: {e}"))?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| format!("read from {addr} failed: {e}"))?;
+    Ok(response)
+}
+
+/// A server under test: either spawned for this run or already out there.
+enum ServerUnderTest {
+    Spawned { child: Child, addr: String },
+    External { addr: String },
+}
+
+impl ServerUnderTest {
+    /// Spawns `repro serve --io-model <model>` (this same binary) on an
+    /// OS-assigned port and parses the announced address off stdout.
+    fn spawn(io_model: &str) -> Result<Self, String> {
+        let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+        let mut child = Command::new(&exe)
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--io-model",
+                io_model,
+                "--slow-ms",
+                "0",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("cannot spawn {}: {e}", exe.display()))?;
+        let stdout = child.stdout.take().expect("child stdout is piped");
+        let mut first_line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut first_line)
+            .map_err(|e| format!("cannot read server banner: {e}"))?;
+        let addr = first_line
+            .trim()
+            .strip_prefix("listening on ")
+            .map(str::to_string)
+            .ok_or_else(|| {
+                let _ = child.kill();
+                format!("unexpected server banner: {first_line:?}")
+            })?;
+        Ok(ServerUnderTest::Spawned { child, addr })
+    }
+
+    fn addr(&self) -> &str {
+        match self {
+            ServerUnderTest::Spawned { addr, .. } | ServerUnderTest::External { addr } => addr,
+        }
+    }
+
+    /// Shuts a spawned server down (external servers are left alone).
+    fn finish(self) -> Result<(), String> {
+        match self {
+            ServerUnderTest::External { .. } => Ok(()),
+            ServerUnderTest::Spawned { mut child, addr } => {
+                let _ = oneshot(&addr, r#"{"op":"shutdown"}"#);
+                match child.wait() {
+                    Ok(status) if status.success() => Ok(()),
+                    Ok(status) => Err(format!("server exited with {status}")),
+                    Err(e) => Err(format!("cannot reap server: {e}")),
+                }
+            }
+        }
+    }
+}
+
+/// Closed-loop calibration: `senders` threads hammer the mix with zero
+/// think time for ~1.2 s; the combined answer rate approximates capacity.
+fn calibrate(addr: &str, senders: usize, seed: u64) -> Result<f64, String> {
+    let window = Duration::from_millis(1_200);
+    let answered = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for s in 0..senders {
+        let answered = Arc::clone(&answered);
+        let stream = connect(addr)?;
+        threads.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xCA11 ^ s as u64);
+            let mut reader = BufReader::new(match stream.try_clone() {
+                Ok(clone) => clone,
+                Err(_) => return,
+            });
+            let mut stream = stream;
+            let mut response = String::new();
+            let mut seq = 0u64;
+            while started.elapsed() < window {
+                let (line, _) = build_request(&mut rng, &format!("cal{s}-{seq}"));
+                seq += 1;
+                if writeln!(stream, "{line}").is_err() {
+                    return;
+                }
+                response.clear();
+                match reader.read_line(&mut response) {
+                    Ok(0) | Err(_) => return,
+                    Ok(_) => {
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let qps = answered.load(Ordering::Relaxed) as f64 / elapsed;
+    if qps <= 0.0 {
+        return Err(format!("calibration got no answers from {addr}"));
+    }
+    Ok(qps)
+}
+
+/// One open-loop phase: `senders` schedules at `rate/senders` each.
+fn run_phase(
+    addr: &str,
+    rate: f64,
+    duration: Duration,
+    senders: usize,
+    arrivals: Arrivals,
+    seed: u64,
+    overload: f64,
+) -> Result<PhaseReport, String> {
+    let stats = Arc::new(PhaseStats::default());
+    let per_sender = rate / senders.max(1) as f64;
+    let mut sender_threads = Vec::new();
+    let mut reader_threads = Vec::new();
+    let mut conns: Vec<(TcpStream, PendingMap)> = Vec::new();
+
+    for s in 0..senders {
+        let stream = connect(addr)?;
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection: {e}"))?;
+        let write_half = stream
+            .try_clone()
+            .map_err(|e| format!("cannot clone connection: {e}"))?;
+        conns.push((stream, Arc::clone(&pending)));
+
+        {
+            let stats = Arc::clone(&stats);
+            let pending = Arc::clone(&pending);
+            reader_threads.push(std::thread::spawn(move || {
+                let mut reader = BufReader::new(read_half);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {
+                            let Some(id) = response_id(&line) else {
+                                continue;
+                            };
+                            let record = pending.lock().expect("pending map").remove(id);
+                            if let Some(record) = record {
+                                stats.record(&line, &record);
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+
+        {
+            let stats = Arc::clone(&stats);
+            let pending = Arc::clone(&pending);
+            sender_threads.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (s as u64).wrapping_mul(0x9E37));
+                let mut stream = write_half;
+                let started = Instant::now();
+                let end = started + duration;
+                let mut scheduled = started;
+                let mut seq = 0u64;
+                loop {
+                    let gap_s = match arrivals {
+                        Arrivals::Fixed => 1.0 / per_sender,
+                        Arrivals::Poisson => -(1.0 - rng.gen::<f64>()).max(1e-12).ln() / per_sender,
+                    };
+                    scheduled += Duration::from_secs_f64(gap_s);
+                    if scheduled >= end {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let id = format!("s{s}-{seq}");
+                    seq += 1;
+                    let (line, analytic) = build_request(&mut rng, &id);
+                    pending.lock().expect("pending map").insert(
+                        id,
+                        Pending {
+                            scheduled,
+                            analytic,
+                        },
+                    );
+                    if writeln!(stream, "{line}").is_err() {
+                        return;
+                    }
+                    stats.sent.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+    }
+
+    for t in sender_threads {
+        let _ = t.join();
+    }
+    // Drain: give in-flight requests up to 5 s past the phase end (the
+    // per-request deadline is 1 s, so anything alive answers well within
+    // that), then cut the sockets to unblock the readers.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let in_flight: usize = conns
+            .iter()
+            .map(|(_, p)| p.lock().expect("pending map").len())
+            .sum();
+        if in_flight == 0 || Instant::now() >= drain_deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut unanswered = 0u64;
+    for (stream, pending) in &conns {
+        unanswered += pending.lock().expect("pending map").len() as u64;
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    for t in reader_threads {
+        let _ = t.join();
+    }
+
+    let sent = stats.sent.load(Ordering::Relaxed);
+    let ok = stats.ok.load(Ordering::Relaxed);
+    let deadline = stats.deadline.load(Ordering::Relaxed);
+    let overloaded = stats.overloaded.load(Ordering::Relaxed);
+    let internal = stats.internal.load(Ordering::Relaxed);
+    let other_errors = stats.other_err.load(Ordering::Relaxed);
+    let errors = deadline + overloaded + internal + other_errors;
+    let answered = ok + errors;
+    Ok(PhaseReport {
+        overload,
+        offered_rps: rate,
+        sent,
+        answered,
+        unanswered,
+        achieved_qps: answered as f64 / duration.as_secs_f64(),
+        ok,
+        errors,
+        deadline,
+        overloaded,
+        internal,
+        other_errors,
+        cache_hit_rate: if ok > 0 {
+            stats.cached.load(Ordering::Relaxed) as f64 / ok as f64
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from(&stats.latency),
+        analytic_predict: LatencySummary::from(&stats.analytic),
+    })
+}
+
+/// Benches one server end to end: idle fleet, calibration, 1×/2×/4×
+/// phases, idle probe.
+fn bench_server(
+    server: &ServerUnderTest,
+    io_model: &str,
+    opts: &LoadgenOptions,
+) -> Result<RunReport, String> {
+    let addr = server.addr();
+
+    // Park the idle fleet first so every load phase runs against a
+    // server that is already holding `connections` quiet sockets.
+    let mut idle = Vec::with_capacity(opts.connections);
+    for _ in 0..opts.connections {
+        idle.push(connect(addr)?);
+    }
+
+    // The burst always runs: besides measuring capacity it warms the
+    // result cache with the same op mix, so phase 1 measures the steady
+    // state rather than a one-off cold start.
+    let calibrated_qps = calibrate(addr, opts.senders, opts.seed)?;
+    // 1× at 40 % of the closed-loop capacity — a stable nominal
+    // operating point — so 2× approaches saturation and 4× lands past
+    // it, where the queue bound and deadlines take over.
+    let base_rps = match opts.rate {
+        Some(rate) => rate,
+        None => (calibrated_qps * 0.40).max(10.0),
+    };
+
+    let mut phases = Vec::new();
+    for overload in [1.0f64, 2.0, 4.0] {
+        phases.push(run_phase(
+            addr,
+            base_rps * overload,
+            opts.duration,
+            opts.senders,
+            opts.arrivals,
+            opts.seed ^ overload.to_bits(),
+            overload,
+        )?);
+    }
+
+    // The idle fleet must have survived the overload phases: probe a
+    // sample and expect real answers on connections that never spoke.
+    let idle_probed = idle.len().min(5);
+    let mut idle_alive = 0usize;
+    for (i, stream) in idle.iter_mut().take(idle_probed).enumerate() {
+        let probe = format!(r#"{{"id":"idle-{i}","op":"predict","engine":"analytic"}}"#);
+        let alive = stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .is_ok()
+            && writeln!(stream, "{probe}").is_ok()
+            && {
+                let mut response = String::new();
+                let mut reader = BufReader::new(match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => continue,
+                });
+                reader.read_line(&mut response).is_ok() && response.contains(r#""ok":true"#)
+            };
+        if alive {
+            idle_alive += 1;
+        }
+    }
+
+    Ok(RunReport {
+        io_model: io_model.to_string(),
+        calibrated_qps,
+        base_rps,
+        idle_connections: idle.len(),
+        idle_probed,
+        idle_alive,
+        phases,
+    })
+}
+
+/// Runs the whole benchmark: one [`RunReport`] per io-model (or a single
+/// `"external"` run when `addr` targets a server someone else started).
+///
+/// # Errors
+///
+/// Returns a message when the server cannot be spawned or reached, a
+/// connection fails mid-setup, or calibration gets no answers.
+pub fn run(opts: &LoadgenOptions) -> Result<LoadgenReport, String> {
+    let mut runs = Vec::new();
+    match &opts.addr {
+        Some(addr) => {
+            let server = ServerUnderTest::External { addr: addr.clone() };
+            runs.push(bench_server(&server, "external", opts)?);
+        }
+        None => {
+            for io_model in &opts.io_models {
+                let server = ServerUnderTest::spawn(io_model)?;
+                let run = bench_server(&server, io_model, opts);
+                let finish = server.finish();
+                runs.push(run?);
+                finish?;
+            }
+        }
+    }
+    Ok(LoadgenReport {
+        schema: "bench_serve_v1",
+        label: opts.label.clone(),
+        arrivals: opts.arrivals.name().to_string(),
+        duration_s: opts.duration.as_secs_f64(),
+        connections: opts.connections,
+        senders: opts.senders,
+        seed: opts.seed,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_op_mix_produces_parseable_requests_with_the_documented_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut analytic = 0usize;
+        for i in 0..400 {
+            let (line, is_analytic) = build_request(&mut rng, &format!("t-{i}"));
+            let parsed = wsn_serve::protocol::parse_request(&line)
+                .unwrap_or_else(|e| panic!("mix produced a rejected request: {e:?}\n{line}"));
+            assert_eq!(parsed.deadline_ms, Some(1000));
+            if is_analytic {
+                analytic += 1;
+                assert!(line.contains(r#""engine":"analytic""#));
+            }
+        }
+        // 40 % nominal; 400 draws keep the band generous.
+        assert!(
+            (100..=220).contains(&analytic),
+            "analytic draws: {analytic}"
+        );
+    }
+
+    #[test]
+    fn response_ids_are_extracted_from_envelopes() {
+        assert_eq!(
+            response_id(r#"{"proto":1,"id":"s3-17","op":"predict","ok":true}"#),
+            Some("s3-17")
+        );
+        assert_eq!(response_id(r#"{"proto":1,"id":4,"ok":false}"#), None);
+    }
+
+    #[test]
+    fn arrivals_names_round_trip() {
+        assert_eq!(Arrivals::from_name("poisson"), Some(Arrivals::Poisson));
+        assert_eq!(Arrivals::from_name("fixed"), Some(Arrivals::Fixed));
+        assert_eq!(Arrivals::from_name("bursty"), None);
+        assert_eq!(Arrivals::Poisson.name(), "poisson");
+    }
+}

@@ -26,6 +26,8 @@ use wsn_obs::hist::LogLinearHistogram;
 use wsn_obs::log::EventLog;
 use wsn_obs::span::Span;
 use wsn_params::config::StackConfig;
+use wsn_sim_engine::mode::EngineMode;
+use wsn_sim_engine::rng::RngFactory;
 
 use crate::campaign::{Campaign, ConfigResult};
 use crate::stream::SinkFn;
@@ -269,6 +271,57 @@ pub fn read_shard_dir(dir: &Path) -> Result<Vec<ConfigResult>, ShardError> {
     Ok(results)
 }
 
+/// Derives the `(cache key, result body)` pairs a live `wsn-serve` server
+/// would compute for every configuration of a campaign checkpoint
+/// directory — the `repro serve --warm-from-campaign` path. Hits against
+/// the warmed cache are byte-identical to fresh answers because both
+/// sides serialize the same structs with the same serializer; what this
+/// function must replay exactly is the campaign's **seed derivation**:
+/// the golden engine derives one seed per global grid index, while the
+/// fast and analytic engines take the campaign seed verbatim (fast
+/// re-derives per-config streams internally; analytic ignores seeds).
+///
+/// `packets` must match the campaign's per-configuration packet count
+/// (quick scale is 400 — also the serve protocol's default).
+///
+/// # Errors
+///
+/// Returns a message on shard-read failure or (practically unreachable)
+/// serialization failure.
+pub fn serve_warm_entries(
+    dir: &Path,
+    engine: EngineMode,
+    packets: u64,
+) -> Result<Vec<(String, String)>, String> {
+    let results = read_shard_dir(dir)
+        .map_err(|e| format!("cannot read campaign shards from {}: {e}", dir.display()))?;
+    let campaign_seed = Campaign::new(crate::campaign::Scale::Quick).seed;
+    let base = RngFactory::new(campaign_seed);
+    let mut entries = Vec::with_capacity(results.len());
+    for (index, result) in results.iter().enumerate() {
+        let seed = match engine {
+            EngineMode::Golden => base.derive(index as u64).seed(),
+            EngineMode::Fast | EngineMode::Analytic => campaign_seed,
+        };
+        let body = wsn_serve::engine::simulate_result_body(
+            &result.config,
+            packets,
+            seed,
+            engine,
+            &result.metrics,
+        )?;
+        let key = wsn_serve::protocol::cache_key(&wsn_serve::protocol::RequestBody::Simulate {
+            config: result.config,
+            packets,
+            seed,
+            engine,
+        })
+        .expect("simulate requests always have a cache key");
+        entries.push((key, body));
+    }
+    Ok(entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +463,46 @@ mod tests {
         assert_eq!(count("\"event\":\"sharded_run_complete\""), 2, "{text}");
         assert!(text.contains("\"file\":\"shard-0000.jsonl\""), "{text}");
         assert!(text.contains("\"shards_skipped\":2"), "{text}");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_entries_are_byte_identical_to_live_golden_answers() {
+        // A quick-scale campaign over a tiny grid, checkpointed to
+        // shards, must warm a serve engine such that the live question —
+        // same config, campaign-derived seed, quick packets — is a cache
+        // hit with the exact bytes a cold compute would produce.
+        let campaign = Campaign {
+            threads: 2,
+            ..Campaign::new(Scale::Quick)
+        };
+        let configs = tiny_configs();
+        let dir = temp_dir("warm");
+        run_sharded(&campaign, &configs, &dir, 2).unwrap();
+
+        let entries = serve_warm_entries(&dir, EngineMode::Golden, campaign.packets).unwrap();
+        assert_eq!(entries.len(), configs.len());
+
+        let warmed = wsn_serve::engine::Engine::new(4);
+        for (key, body) in &entries {
+            warmed.warm_insert(key, body).unwrap();
+        }
+        let cold = wsn_serve::engine::Engine::new(4);
+        let base = RngFactory::new(campaign.seed);
+        for (index, config) in configs.iter().enumerate() {
+            let request = wsn_serve::protocol::RequestBody::Simulate {
+                config: *config,
+                packets: campaign.packets,
+                seed: base.derive(index as u64).seed(),
+                engine: EngineMode::Golden,
+            };
+            let hit = warmed.execute(&request).unwrap();
+            assert!(hit.cached, "config {index} missed the warmed cache");
+            let computed = cold.execute(&request).unwrap();
+            assert!(!computed.cached);
+            assert_eq!(*hit.body, *computed.body, "config {index} bytes differ");
+        }
 
         fs::remove_dir_all(&dir).unwrap();
     }

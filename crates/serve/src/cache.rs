@@ -19,8 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// FNV-1a, the classic minimal string hash: deterministic across runs
-/// (unlike `RandomState`), which keeps shard placement reproducible.
-fn fnv1a(key: &str) -> u64 {
+/// (unlike `RandomState`), which keeps shard placement reproducible. The
+/// disk tier ([`crate::store`]) shares it for its record index.
+pub(crate) fn fnv1a(key: &str) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for byte in key.as_bytes() {
         hash ^= u64::from(*byte);
@@ -111,6 +112,21 @@ impl ShardedCache {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Drops every entry (the `cache` op's `{"action":"flush"}`),
+    /// returning how many were dropped. Hit/miss/eviction counters are
+    /// lifetime counters and survive the flush.
+    pub fn flush(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut shard = s.lock().expect("cache shard");
+                let dropped = shard.len();
+                shard.clear();
+                dropped
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -153,6 +169,20 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.evictions(), 1);
         assert!(cache.get("overflow").is_some());
+    }
+
+    #[test]
+    fn flush_drops_entries_but_keeps_lifetime_counters() {
+        let cache = ShardedCache::new(4);
+        cache.insert("a".into(), Arc::new("1".into()));
+        cache.insert("b".into(), Arc::new("2".into()));
+        assert!(cache.get("a").is_some());
+        assert_eq!(cache.flush(), 2);
+        assert!(cache.is_empty());
+        assert!(cache.get("a").is_none());
+        // One hit and one miss from before/after the flush both persist.
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]

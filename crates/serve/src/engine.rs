@@ -35,8 +35,45 @@ use wsn_sim_engine::mode::EngineMode;
 use serde::Serialize;
 
 use crate::cache::ShardedCache;
-use crate::protocol::{cache_key, metric_name, RequestBody, TimelineSpec};
+use crate::protocol::{cache_key, metric_name, ErrCode, RequestBody, TimelineSpec};
 use crate::stats::ServeStats;
+use crate::store::Store;
+
+/// A failed execution: the stable machine-readable code for the error
+/// envelope plus the human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// The envelope's `"code"`.
+    pub code: ErrCode,
+    /// The envelope's `"error"`.
+    pub message: String,
+}
+
+impl ExecError {
+    /// The request was semantically wrong (unknown scenario, infeasible
+    /// constraints, out-of-domain parameter).
+    fn bad_request(message: String) -> Self {
+        ExecError {
+            code: ErrCode::BadRequest,
+            message,
+        }
+    }
+
+    /// The server failed on its own (serialization) — never the
+    /// client's fault.
+    fn internal(message: String) -> Self {
+        ExecError {
+            code: ErrCode::Internal,
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
 
 /// The shared request executor.
 #[derive(Debug)]
@@ -48,8 +85,10 @@ pub struct Engine {
     analytic: Arc<AnalyticTable>,
     /// The golden closed-form optimizer/predictor (paper constants).
     optimizer: Optimizer,
-    /// The result cache.
+    /// The in-memory result cache (tier 1).
     pub cache: ShardedCache,
+    /// The optional persistent result store (tier 2).
+    store: Option<Arc<Store>>,
     /// Service counters.
     pub stats: ServeStats,
 }
@@ -181,6 +220,63 @@ struct TimelineScenarioResult {
     goodput_bps: f64,
 }
 
+/// The memory tier of a `cache` op result.
+#[derive(Serialize)]
+struct CacheTierMem {
+    entries: u64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    evictions: u64,
+}
+
+/// The disk tier of a `cache` op result. All-zero with `enabled:false`
+/// when the server runs without `--store`.
+#[derive(Serialize)]
+struct CacheTierDisk {
+    enabled: bool,
+    records: u64,
+    segments: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    appends: u64,
+}
+
+/// What the `cache` op returns.
+#[derive(Serialize)]
+struct CacheOpResult {
+    mem: CacheTierMem,
+    disk: CacheTierDisk,
+    flushed: bool,
+    flushed_entries: u64,
+}
+
+/// Serializes the result body a `simulate` request for this exact
+/// (`config`, `packets`, `seed`, `engine`) tuple would produce from
+/// `metrics` — the warm-from-campaign path. Byte-identity with a live
+/// answer is by construction: same struct, same serializer.
+///
+/// # Errors
+///
+/// Returns the serializer's message (practically unreachable).
+pub fn simulate_result_body(
+    config: &StackConfig,
+    packets: u64,
+    seed: u64,
+    engine: EngineMode,
+    metrics: &LinkMetrics,
+) -> Result<String, String> {
+    serde_json::to_string(&SimulateResult {
+        config: *config,
+        packets,
+        seed,
+        engine: engine.name().to_string(),
+        metrics: metrics.clone(),
+    })
+    .map_err(|e| e.to_string())
+}
+
 /// A [`Metric`]'s value read from simulated/analytic [`LinkMetrics`], in
 /// the same minimization sense as [`Metric::value`] on a prediction
 /// (goodput negated so smaller is always better). Infeasible operating
@@ -205,8 +301,42 @@ impl Engine {
             analytic: Arc::new(AnalyticTable::new(channel)),
             optimizer: Optimizer::paper(),
             cache: ShardedCache::new(shards),
+            store: None,
             stats: ServeStats::new(),
         }
+    }
+
+    /// Attaches a persistent store as the cache's second tier: memory
+    /// misses fall through to disk (promoting hits back to memory), and
+    /// freshly computed results are appended for the next restart.
+    #[must_use]
+    pub fn with_store(mut self, store: Store) -> Self {
+        self.store = Some(Arc::new(store));
+        self
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_deref()
+    }
+
+    /// Installs `body` as the answer for `key` in both tiers — the
+    /// warm-from-campaign path. The memory tier always learns the entry;
+    /// the disk tier is only appended when it does not already hold the
+    /// key, so re-warming from the same campaign is idempotent on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store append failures.
+    pub fn warm_insert(&self, key: &str, body: &str) -> std::io::Result<()> {
+        if let Some(store) = &self.store {
+            if store.get(key).is_none() {
+                store.append(key, body)?;
+            }
+        }
+        self.cache
+            .insert(key.to_string(), Arc::new(body.to_string()));
+        Ok(())
     }
 
     /// Executes `body`, serving from the cache when the canonical key has
@@ -218,7 +348,7 @@ impl Engine {
     /// `no feasible configuration`, …). Errors are never cached, so a
     /// query that fails for transient semantic reasons (e.g. a tune that
     /// becomes feasible after loosening a constraint) is recomputed.
-    pub fn execute(&self, body: &RequestBody) -> Result<Answer, String> {
+    pub fn execute(&self, body: &RequestBody) -> Result<Answer, ExecError> {
         let key = cache_key(body);
         if let Some(key) = &key {
             if let Some(hit) = self.cache.get(key) {
@@ -227,9 +357,26 @@ impl Engine {
                     cached: true,
                 });
             }
+            // Memory miss: consult the disk tier, promoting a hit back
+            // into memory so the next lookup is one hash probe again.
+            if let Some(store) = &self.store {
+                if let Some(hit) = store.get(key) {
+                    let hit = Arc::new(hit);
+                    self.cache.insert(key.clone(), Arc::clone(&hit));
+                    return Ok(Answer {
+                        body: hit,
+                        cached: true,
+                    });
+                }
+            }
         }
         let body = Arc::new(self.compute(body)?);
         if let Some(key) = key {
+            if let Some(store) = &self.store {
+                // A store write failure must not fail the request — the
+                // answer is correct, it just will not survive a restart.
+                let _ = store.append(&key, &body);
+            }
             self.cache.insert(key, Arc::clone(&body));
         }
         Ok(Answer {
@@ -238,7 +385,7 @@ impl Engine {
         })
     }
 
-    fn compute(&self, body: &RequestBody) -> Result<String, String> {
+    fn compute(&self, body: &RequestBody) -> Result<String, ExecError> {
         match body {
             RequestBody::Simulate {
                 config,
@@ -254,7 +401,7 @@ impl Engine {
                     engine: engine.name().to_string(),
                     metrics,
                 })
-                .map_err(|e| e.to_string())
+                .map_err(|e| ExecError::internal(e.to_string()))
             }
             RequestBody::Predict { config, engine } => match engine {
                 EngineMode::Analytic => {
@@ -266,14 +413,14 @@ impl Engine {
                         report: outcome.report,
                         metrics: outcome.into_metrics(),
                     })
-                    .map_err(|e| e.to_string())
+                    .map_err(|e| ExecError::internal(e.to_string()))
                 }
                 // Golden keeps the historical body, byte-identical.
                 _ => serde_json::to_string(&PredictResult {
                     config: *config,
                     predicted: self.optimizer.predictor.evaluate(config),
                 })
-                .map_err(|e| e.to_string()),
+                .map_err(|e| ExecError::internal(e.to_string())),
             },
             RequestBody::Tune {
                 objective,
@@ -287,13 +434,61 @@ impl Engine {
                 seed,
                 timeline,
             } => self.scenario(scenario, *packets, *seed, timeline.as_ref()),
+            RequestBody::Cache { flush } => {
+                // Flush first so the reported memory tier reflects the
+                // state the client asked for.
+                let flushed_entries = if *flush { self.cache.flush() as u64 } else { 0 };
+                let hits = self.cache.hits();
+                let misses = self.cache.misses();
+                let lookups = hits + misses;
+                let disk = match &self.store {
+                    Some(store) => {
+                        let s = store.stats();
+                        CacheTierDisk {
+                            enabled: true,
+                            records: s.records,
+                            segments: s.segments,
+                            bytes: s.bytes,
+                            hits: s.hits,
+                            misses: s.misses,
+                            appends: s.appends,
+                        }
+                    }
+                    None => CacheTierDisk {
+                        enabled: false,
+                        records: 0,
+                        segments: 0,
+                        bytes: 0,
+                        hits: 0,
+                        misses: 0,
+                        appends: 0,
+                    },
+                };
+                serde_json::to_string(&CacheOpResult {
+                    mem: CacheTierMem {
+                        entries: self.cache.len() as u64,
+                        hits,
+                        misses,
+                        hit_rate: if lookups == 0 {
+                            0.0
+                        } else {
+                            hits as f64 / lookups as f64
+                        },
+                        evictions: self.cache.evictions(),
+                    },
+                    disk,
+                    flushed: *flush,
+                    flushed_entries,
+                })
+                .map_err(|e| ExecError::internal(e.to_string()))
+            }
             RequestBody::Stats => serde_json::to_string(&self.stats.snapshot(
                 self.cache.hits(),
                 self.cache.misses(),
                 self.cache.len(),
                 self.cache.evictions(),
             ))
-            .map_err(|e| e.to_string()),
+            .map_err(|e| ExecError::internal(e.to_string())),
             // The server answers shutdown itself; reaching here means a
             // worker was handed one anyway — answer it honestly.
             RequestBody::Shutdown => Ok("{\"shutting_down\":true}".to_string()),
@@ -354,10 +549,10 @@ impl Engine {
         constraints: &[(Metric, f64)],
         distance_m: Option<f64>,
         engine: EngineMode,
-    ) -> Result<String, String> {
+    ) -> Result<String, ExecError> {
         let mut grid = ParamGrid::paper();
         if let Some(d) = distance_m {
-            Distance::from_meters(d).map_err(|e| e.to_string())?;
+            Distance::from_meters(d).map_err(|e| ExecError::bad_request(e.to_string()))?;
             grid.distances_m = vec![d];
         }
         if engine == EngineMode::Analytic {
@@ -366,7 +561,9 @@ impl Engine {
         let best = self
             .optimizer
             .epsilon_constraint(&grid, objective, constraints)
-            .ok_or_else(|| "no feasible configuration on the grid".to_string())?;
+            .ok_or_else(|| {
+                ExecError::bad_request("no feasible configuration on the grid".to_string())
+            })?;
         // `"engine":"fast"` buys an empirical cross-check: the predicted
         // winner is re-run through the fast sampler so the client sees
         // simulated metrics next to the closed-form prediction.
@@ -394,7 +591,7 @@ impl Engine {
             predicted: best.predicted,
             simulated,
         })
-        .map_err(|e| e.to_string())
+        .map_err(|e| ExecError::internal(e.to_string()))
     }
 
     /// The analytic tune path: every grid candidate is evaluated with the
@@ -410,7 +607,7 @@ impl Engine {
         objective: Metric,
         constraints: &[(Metric, f64)],
         grid: &ParamGrid,
-    ) -> Result<String, String> {
+    ) -> Result<String, ExecError> {
         let mut best: Option<(StackConfig, LinkMetrics, AnalyticReport, f64)> = None;
         for config in grid.iter() {
             let outcome = self.analytic_run(config, crate::protocol::DEFAULT_PACKETS);
@@ -432,8 +629,9 @@ impl Engine {
                 best = Some((config, metrics, report, value));
             }
         }
-        let (config, metrics, report, _) =
-            best.ok_or_else(|| "no feasible configuration on the grid".to_string())?;
+        let (config, metrics, report, _) = best.ok_or_else(|| {
+            ExecError::bad_request("no feasible configuration on the grid".to_string())
+        })?;
         let simulated = self.simulate(
             config,
             crate::protocol::DEFAULT_PACKETS,
@@ -460,7 +658,7 @@ impl Engine {
                 report,
             },
         })
-        .map_err(|e| e.to_string())
+        .map_err(|e| ExecError::internal(e.to_string()))
     }
 
     fn scenario(
@@ -469,10 +667,13 @@ impl Engine {
         packets: u64,
         seed: u64,
         timeline: Option<&TimelineSpec>,
-    ) -> Result<String, String> {
+    ) -> Result<String, ExecError> {
         let scenario = build_scenario(id).ok_or_else(|| {
             let known: Vec<&str> = all_scenarios().iter().map(|(n, _)| *n).collect();
-            format!("unknown scenario '{id}'; known: {}", known.join(", "))
+            ExecError::bad_request(format!(
+                "unknown scenario '{id}'; known: {}",
+                known.join(", ")
+            ))
         })?;
         let description = all_scenarios()
             .iter()
@@ -485,7 +686,7 @@ impl Engine {
             ..NetOptions::quick(packets)
         };
         let timeline = match timeline {
-            Some(spec) => Some(spec.resolve(id)?),
+            Some(spec) => Some(spec.resolve(id).map_err(ExecError::bad_request)?),
             None => None,
         };
         let mut sim = NetworkSimulation::new(scenario, options);
@@ -520,7 +721,7 @@ impl Engine {
                 links,
                 air: outcome.air,
             })
-            .map_err(|e| e.to_string()),
+            .map_err(|e| ExecError::internal(e.to_string())),
             Some(digest) => serde_json::to_string(&TimelineScenarioResult {
                 scenario: id.to_string(),
                 description: description.to_string(),
@@ -533,7 +734,7 @@ impl Engine {
                 links,
                 air: outcome.air,
             })
-            .map_err(|e| e.to_string()),
+            .map_err(|e| ExecError::internal(e.to_string())),
         }
     }
 }
@@ -722,7 +923,7 @@ mod tests {
             r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":-1.0}]}"#,
         );
         let err = engine.execute(&impossible).unwrap_err();
-        assert!(err.contains("no feasible"));
+        assert!(err.message.contains("no feasible"));
         // Errors are not cached: the same request recomputes.
         assert!(engine.execute(&impossible).is_err());
     }
@@ -739,7 +940,8 @@ mod tests {
         let err = engine
             .execute(&body(r#"{"op":"scenario","scenario":"nope"}"#))
             .unwrap_err();
-        assert!(err.contains("hidden-pair"));
+        assert!(err.message.contains("hidden-pair"));
+        assert_eq!(err.code, crate::protocol::ErrCode::BadRequest);
     }
 
     #[test]
@@ -775,7 +977,105 @@ mod tests {
                 r#"{"op":"scenario","scenario":"parallel-4","timeline":"blizzard"}"#,
             ))
             .unwrap_err();
-        assert!(err.contains("storm20"), "{err}");
+        assert!(err.message.contains("storm20"), "{err}");
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wsn-engine-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn cache_op_reports_both_tiers_and_flushes_only_memory() {
+        let dir = temp_store_dir("cacheop");
+        let engine = Engine::new(4).with_store(Store::open(&dir).expect("store"));
+        let sim = body(r#"{"op":"simulate","packets":40}"#);
+        engine.execute(&sim).unwrap();
+        engine.execute(&sim).unwrap();
+
+        let report = engine.execute(&body(r#"{"op":"cache"}"#)).unwrap();
+        assert!(!report.cached, "cache op must never be cached");
+        let v = serde_json::parse(&report.body).unwrap();
+        assert_eq!(v.field("mem").field("entries").as_u64(), Some(1));
+        assert_eq!(v.field("mem").field("hits").as_u64(), Some(1));
+        assert_eq!(v.field("disk").field("enabled").as_bool(), Some(true));
+        assert_eq!(v.field("disk").field("records").as_u64(), Some(1));
+        assert_eq!(v.field("disk").field("appends").as_u64(), Some(1));
+        assert!(v.field("disk").field("bytes").as_u64().unwrap() > 0);
+        assert_eq!(v.field("flushed").as_bool(), Some(false));
+
+        let flushed = engine
+            .execute(&body(r#"{"op":"cache","action":"flush"}"#))
+            .unwrap();
+        let v = serde_json::parse(&flushed.body).unwrap();
+        assert_eq!(v.field("flushed").as_bool(), Some(true));
+        assert_eq!(v.field("flushed_entries").as_u64(), Some(1));
+        assert_eq!(v.field("mem").field("entries").as_u64(), Some(0));
+        // The disk tier is immutable under flush: the record survives,
+        // and the next lookup is a disk-warm hit.
+        assert_eq!(v.field("disk").field("records").as_u64(), Some(1));
+        let after = engine.execute(&sim).unwrap();
+        assert!(after.cached, "flush must not lose the disk tier");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn without_a_store_the_cache_op_reports_a_disabled_disk_tier() {
+        let engine = Engine::new(4);
+        let report = engine.execute(&body(r#"{"op":"cache"}"#)).unwrap();
+        let v = serde_json::parse(&report.body).unwrap();
+        assert_eq!(v.field("disk").field("enabled").as_bool(), Some(false));
+        assert_eq!(v.field("disk").field("records").as_u64(), Some(0));
+    }
+
+    #[test]
+    fn store_tier_answers_a_fresh_engine_byte_identically() {
+        let dir = temp_store_dir("restart");
+        let sim = body(r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0}}"#);
+        let first = {
+            let engine = Engine::new(4).with_store(Store::open(&dir).expect("store"));
+            engine.execute(&sim).unwrap().body.as_str().to_string()
+        };
+        // A fresh engine over the same store — the "restart" — answers
+        // from disk without computing, byte-identically.
+        let engine = Engine::new(4).with_store(Store::open(&dir).expect("reopen"));
+        let again = engine.execute(&sim).unwrap();
+        assert!(again.cached, "restart must serve the disk-warm hit");
+        assert_eq!(again.body.as_str(), first);
+        // The promotion seeded the memory tier: the disk tier is not
+        // consulted twice.
+        let hits_before = engine.store().unwrap().stats().hits;
+        assert!(engine.execute(&sim).unwrap().cached);
+        assert_eq!(engine.store().unwrap().stats().hits, hits_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_insert_matches_a_live_answer_byte_for_byte() {
+        let dir = temp_store_dir("warm");
+        let sim = body(r#"{"op":"simulate","packets":40,"config":{"distance_m":20.0}}"#);
+        let live = {
+            let engine = Engine::new(4);
+            engine.execute(&sim).unwrap().body.as_str().to_string()
+        };
+        let engine = Engine::new(4).with_store(Store::open(&dir).expect("store"));
+        let key = cache_key(&sim).unwrap();
+        engine.warm_insert(&key, &live).expect("warm");
+        // Idempotent on disk: re-warming the same entry appends nothing.
+        engine.warm_insert(&key, &live).expect("re-warm");
+        assert_eq!(engine.store().unwrap().stats().records, 1);
+        let answer = engine.execute(&sim).unwrap();
+        assert!(answer.cached, "warmed entry must hit");
+        assert_eq!(answer.body.as_str(), live);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! stack — the discrete-event simulator (`simulate`), the closed-form
 //! models of Eqs. 2–9 (`predict`), the epsilon-constraint optimizer
 //! (`tune`), and the multi-link scenario catalog (`scenario`) — plus
-//! `stats` and `shutdown` control ops.
+//! `stats`, `cache`, and `shutdown` control ops.
 //!
 //! One request per line, one response line per request; responses echo
 //! the request's `id` so a client may pipeline. The protocol is specified
@@ -30,24 +30,32 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! Architecture: an accept loop hands each connection a reader thread;
-//! readers parse and validate lines, then push jobs onto a bounded
-//! [`queue::JobQueue`] (blocking briefly for backpressure, answering
-//! "queue full" rather than buffering unboundedly). A fixed worker pool
-//! pops jobs, consults the sharded result [`cache`] keyed by the
+//! Architecture: connections are owned by an I/O front-end selected by
+//! [`ServerConfig::io_model`]. The default [`IoModel::Epoll`] front-end
+//! is a sharded nonblocking event loop ([`reactor`], on a std-only
+//! syscall shim in [`sys`]) where an idle connection costs one file
+//! descriptor; [`IoModel::Threads`] is the classic
+//! blocking-reader-thread-per-connection pool, kept for differential
+//! testing. Either way, complete request lines are parsed, validated,
+//! and pushed onto a bounded [`queue::JobQueue`]; a fixed worker pool
+//! pops jobs, consults the tiered result cache (the sharded in-memory
+//! [`cache`] over the optional persistent [`store`]) keyed by the
 //! canonical bit pattern of every parameter, executes misses through the
-//! shared [`engine::Engine`], and writes the response line back through
-//! the connection's write lock. `shutdown` closes the queue: pending
-//! jobs still get answers, then everything drains and `run` returns.
+//! shared [`engine::Engine`], and sends the response line back through
+//! the connection's sink. `shutdown` closes the queue: pending jobs
+//! still get answers, then everything drains and `run` returns.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // unsafe lives only in `sys`, behind its own allow
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod engine;
 pub mod protocol;
 pub mod queue;
+pub mod reactor;
 pub mod stats;
+pub mod store;
+pub mod sys;
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -60,8 +68,51 @@ use wsn_obs::log::EventLog;
 use wsn_obs::trace::{TraceId, TraceIdGen};
 
 use crate::engine::Engine;
-use crate::protocol::{envelope_err, envelope_ok, parse_request, Request, RequestBody};
+use crate::protocol::{envelope_err, envelope_ok, parse_request, ErrCode, Request, RequestBody};
 use crate::queue::{JobQueue, PushError};
+use crate::reactor::Reactor;
+use crate::store::Store;
+
+/// Which I/O front-end owns the connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoModel {
+    /// Sharded nonblocking event loops over epoll (Linux x86-64/AArch64):
+    /// an idle connection costs a file descriptor, not a thread.
+    Epoll,
+    /// One blocking reader thread per connection — the original model,
+    /// kept for differential testing and non-epoll targets.
+    Threads,
+}
+
+impl IoModel {
+    /// The CLI/wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IoModel::Epoll => "epoll",
+            IoModel::Threads => "threads",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "epoll" => IoModel::Epoll,
+            "threads" => IoModel::Threads,
+            _ => return None,
+        })
+    }
+}
+
+impl Default for IoModel {
+    /// Epoll where the platform supports it, threads elsewhere.
+    fn default() -> Self {
+        if sys::SUPPORTED {
+            IoModel::Epoll
+        } else {
+            IoModel::Threads
+        }
+    }
+}
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +134,14 @@ pub struct ServerConfig {
     /// Requests whose execution takes at least this long also draw a
     /// `slow_request` warning in the access log; 0 disables the check.
     pub slow_request_ms: u64,
+    /// The connection-handling front-end.
+    pub io_model: IoModel,
+    /// Event-loop shards under [`IoModel::Epoll`]; 0 means available
+    /// parallelism capped at 4. Ignored under [`IoModel::Threads`].
+    pub reactor_shards: usize,
+    /// Directory of the persistent result store (tier 2 of the cache);
+    /// `None` keeps the cache memory-only.
+    pub store: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +154,9 @@ impl Default for ServerConfig {
             cache_shards: 16,
             access_log: None,
             slow_request_ms: 1_000,
+            io_model: IoModel::default(),
+            reactor_shards: 0,
+            store: None,
         }
     }
 }
@@ -108,7 +170,20 @@ struct ServeObs {
     slow_us: u64,
 }
 
-/// How long a full queue makes a pusher wait before refusing the job.
+/// Everything a connection front-end needs to turn a request line into a
+/// queued job — shared by the blocking reader threads and the reactor
+/// shards, so both io-models validate, enqueue, and account identically.
+#[derive(Debug)]
+pub(crate) struct ReactorCtx {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) queue: Arc<JobQueue<Job>>,
+    pub(crate) obs: Arc<ServeObs>,
+    pub(crate) default_deadline_ms: u64,
+}
+
+/// How long a full queue makes a *blocking* pusher wait before refusing
+/// the job. The reactor pushes with zero patience instead — an event
+/// loop must never block.
 const PUSH_PATIENCE: Duration = Duration::from_secs(2);
 
 /// Accept-loop and reader polling period while idle.
@@ -124,13 +199,22 @@ pub enum ServeError {
         /// The underlying socket error.
         source: std::io::Error,
     },
-    /// A non-transient I/O failure on the listening socket.
+    /// A non-transient I/O failure on the listening socket or the
+    /// reactor's epoll machinery.
     Io(std::io::Error),
     /// The access-log file could not be opened.
     AccessLog {
         /// The requested log path.
         path: PathBuf,
         /// The underlying file error.
+        source: std::io::Error,
+    },
+    /// The persistent result store could not be opened (I/O failure, or
+    /// corruption before the tail of the last segment).
+    Store {
+        /// The requested store directory.
+        path: PathBuf,
+        /// The underlying error.
         source: std::io::Error,
     },
 }
@@ -143,6 +227,9 @@ impl std::fmt::Display for ServeError {
             ServeError::AccessLog { path, source } => {
                 write!(f, "cannot open access log {}: {source}", path.display())
             }
+            ServeError::Store { path, source } => {
+                write!(f, "cannot open result store {}: {source}", path.display())
+            }
         }
     }
 }
@@ -153,18 +240,29 @@ impl std::error::Error for ServeError {
             ServeError::Bind { source, .. } => Some(source),
             ServeError::Io(e) => Some(e),
             ServeError::AccessLog { source, .. } => Some(source),
+            ServeError::Store { source, .. } => Some(source),
         }
     }
 }
 
-/// One client connection's write half, shared between its reader thread
-/// and every worker answering its requests.
+/// A connection's write half as workers see it: something that accepts
+/// one response line. The blocking model writes straight to the socket
+/// under a lock; the reactor buffers and wakes the owning shard.
+pub(crate) trait ResponseSink: Send + Sync + std::fmt::Debug {
+    /// Delivers one response line (terminator added by the sink). Failed
+    /// or late deliveries are dropped silently — a vanished client is
+    /// not a server error.
+    fn send_line(&self, line: &str);
+}
+
+/// One client connection's write half under [`IoModel::Threads`], shared
+/// between its reader thread and every worker answering its requests.
 #[derive(Debug)]
 struct Conn {
     writer: Mutex<TcpStream>,
 }
 
-impl Conn {
+impl ResponseSink for Conn {
     /// Writes one response line; a failed write means the client left,
     /// which is their prerogative — the server stays up.
     fn send_line(&self, line: &str) {
@@ -177,13 +275,13 @@ impl Conn {
 
 /// One unit of work for the pool.
 #[derive(Debug)]
-struct Job {
+pub(crate) struct Job {
     request: Request,
-    conn: Arc<Conn>,
+    conn: Arc<dyn ResponseSink>,
     /// Per-request trace id; echoed in the response envelope and every
     /// access-log record so a client complaint can be joined to the log.
     trace: TraceId,
-    /// When the reader thread enqueued this job — the start of the
+    /// When the front-end enqueued this job — the start of the
     /// queue-wait clock.
     enqueued: Instant,
     deadline: Instant,
@@ -192,30 +290,46 @@ struct Job {
 }
 
 /// A bound, not-yet-running query server.
+///
+/// The engine (and with it the tiered result cache) exists from
+/// [`bind`](Server::bind) on, so a warm-up pass ([`warm`](Server::warm))
+/// can seed the cache before the first client connects.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     local: SocketAddr,
     config: ServerConfig,
+    engine: Arc<Engine>,
 }
 
 impl Server {
-    /// Binds the configured address.
+    /// Binds the configured address and opens the persistent store (when
+    /// configured).
     ///
     /// # Errors
     ///
     /// [`ServeError::Bind`] when the address cannot be bound (in use,
-    /// unresolvable, privileged port…).
+    /// unresolvable, privileged port…); [`ServeError::Store`] when the
+    /// store directory cannot be opened or is corrupt.
     pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
         let listener = TcpListener::bind(&config.addr).map_err(|source| ServeError::Bind {
             addr: config.addr.clone(),
             source,
         })?;
         let local = listener.local_addr().map_err(ServeError::Io)?;
+        let mut engine = Engine::new(config.cache_shards);
+        if let Some(path) = &config.store {
+            let store = Store::open(path).map_err(|source| ServeError::Store {
+                path: path.clone(),
+                source,
+            })?;
+            engine = engine.with_store(store);
+        }
         Ok(Server {
             listener,
             local,
             config,
+            engine: Arc::new(engine),
         })
     }
 
@@ -224,19 +338,39 @@ impl Server {
         self.local
     }
 
+    /// Seeds the tiered cache with precomputed `(cache key, result
+    /// body)` entries — the `--warm-from-campaign` path. Returns how
+    /// many entries were installed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store append failures.
+    pub fn warm(
+        &self,
+        entries: impl IntoIterator<Item = (String, String)>,
+    ) -> std::io::Result<usize> {
+        let mut installed = 0usize;
+        for (key, body) in entries {
+            self.engine.warm_insert(&key, &body)?;
+            installed += 1;
+        }
+        Ok(installed)
+    }
+
     /// Runs the accept loop until a `shutdown` request drains the server.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Io`] if the listening socket itself fails;
-    /// per-connection errors never abort the server.
+    /// [`ServeError::Io`] if the listening socket (or, under
+    /// [`IoModel::Epoll`], the reactor) itself fails; per-connection
+    /// errors never abort the server.
     pub fn run(self) -> Result<(), ServeError> {
         let threads = if self.config.threads == 0 {
             std::thread::available_parallelism().map_or(4, |n| n.get().min(8))
         } else {
             self.config.threads
         };
-        let engine = Arc::new(Engine::new(self.config.cache_shards));
+        let engine = Arc::clone(&self.engine);
         let queue: Arc<JobQueue<Job>> = Arc::new(JobQueue::new(self.config.queue_depth));
         let shutdown = Arc::new(AtomicBool::new(false));
         let log = match &self.config.access_log {
@@ -254,6 +388,7 @@ impl Server {
         obs.log
             .info("server_started")
             .str("addr", &self.local.to_string())
+            .str("io_model", self.config.io_model.name())
             .u64("threads", threads as u64)
             .u64("queue_depth", self.config.queue_depth as u64)
             .emit();
@@ -273,44 +408,78 @@ impl Server {
             }));
         }
 
-        let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        while !shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, peer)) => {
-                    let engine = Arc::clone(&engine);
-                    let queue = Arc::clone(&queue);
-                    let shutdown = Arc::clone(&shutdown);
-                    let obs = Arc::clone(&obs);
-                    let deadline_ms = self.config.default_deadline_ms;
-                    readers.push(std::thread::spawn(move || {
-                        connection_loop(
-                            stream,
-                            peer,
-                            &engine,
-                            &queue,
-                            &shutdown,
-                            deadline_ms,
-                            &obs,
-                        );
-                    }));
-                    readers.retain(|r| !r.is_finished());
+        let ctx = Arc::new(ReactorCtx {
+            engine: Arc::clone(&engine),
+            queue: Arc::clone(&queue),
+            obs: Arc::clone(&obs),
+            default_deadline_ms: self.config.default_deadline_ms,
+        });
+
+        match self.config.io_model {
+            IoModel::Epoll => {
+                let shards = if self.config.reactor_shards == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get().min(4))
+                } else {
+                    self.config.reactor_shards
+                };
+                let mut reactor =
+                    Reactor::start(shards, Arc::clone(&ctx)).map_err(ServeError::Io)?;
+                while !shutdown.load(Ordering::SeqCst) {
+                    match self.listener.accept() {
+                        Ok((stream, peer)) => {
+                            // Response lines are small; Nagle+delayed-ACK
+                            // would add ~40 ms to every answer.
+                            let _ = stream.set_nodelay(true);
+                            reactor.assign(stream, peer);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(ServeError::Io(e)),
+                    }
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(POLL);
+                // Graceful drain: the queue is closed, workers finish
+                // every pending job (buffering answers through the still-
+                // running shards), and only then do the shards stop and
+                // deliver what remains.
+                queue.close();
+                for worker in workers {
+                    let _ = worker.join();
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(ServeError::Io(e)),
+                reactor.shutdown();
+            }
+            IoModel::Threads => {
+                let mut readers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::SeqCst) {
+                    match self.listener.accept() {
+                        Ok((stream, peer)) => {
+                            let _ = stream.set_nodelay(true);
+                            let ctx = Arc::clone(&ctx);
+                            let shutdown = Arc::clone(&shutdown);
+                            readers.push(std::thread::spawn(move || {
+                                connection_loop(stream, peer, &ctx, &shutdown);
+                            }));
+                            readers.retain(|r| !r.is_finished());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(POLL);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(ServeError::Io(e)),
+                    }
+                }
+                // Graceful drain: no new jobs, pending ones still answered.
+                queue.close();
+                for reader in readers {
+                    let _ = reader.join();
+                }
+                for worker in workers {
+                    let _ = worker.join();
+                }
             }
         }
 
-        // Graceful drain: no new jobs, pending ones still answered.
-        queue.close();
-        for reader in readers {
-            let _ = reader.join();
-        }
-        for worker in workers {
-            let _ = worker.join();
-        }
         let snapshot = engine.stats.snapshot(
             engine.cache.hits(),
             engine.cache.misses(),
@@ -379,6 +548,7 @@ fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool, ob
                 id,
                 Some(op),
                 Some(&trace),
+                ErrCode::Deadline,
                 &format!("deadline exceeded: job spent its budget (+{overdue} ms) in the queue"),
             ));
             engine.stats.record_deadline_exceeded(op);
@@ -456,13 +626,109 @@ fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool, ob
                         .emit();
                 }
             }
-            Err(message) => {
+            Err(error) => {
                 let exec_us = popped.elapsed().as_micros() as u64;
-                job.conn
-                    .send_line(&envelope_err(id, Some(op), Some(&trace), &message));
+                job.conn.send_line(&envelope_err(
+                    id,
+                    Some(op),
+                    Some(&trace),
+                    error.code,
+                    &error.message,
+                ));
                 engine.stats.record_done(op, false, exec_us);
                 log_request(obs, &job, "error", false, false, queue_wait_us, exec_us, 0);
             }
+        }
+    }
+}
+
+/// What the front-end should do with the connection after one line.
+pub(crate) enum LineDisposition {
+    /// Keep reading.
+    Continue,
+    /// Stop serving this connection (after flushing pending answers).
+    Close,
+}
+
+/// Validates one request line and enqueues it — the single path shared
+/// by both io-models, so they reject, account, and log identically. The
+/// only model-specific choice is `patience`: how long a full queue may
+/// block the caller (2 s for a dedicated reader thread, zero for an
+/// event-loop shard).
+pub(crate) fn handle_request_line(
+    line: &str,
+    sink: &Arc<dyn ResponseSink>,
+    peer: &Arc<str>,
+    ctx: &ReactorCtx,
+    patience: Duration,
+) -> LineDisposition {
+    if line.trim().is_empty() {
+        return LineDisposition::Continue;
+    }
+    let started = Instant::now();
+    let request = match parse_request(line) {
+        Ok(request) => request,
+        Err(rejection) => {
+            sink.send_line(&envelope_err(
+                &rejection.id,
+                None,
+                None,
+                rejection.code,
+                &rejection.error,
+            ));
+            ctx.engine.stats.record_rejected(None);
+            ctx.obs
+                .log
+                .warn("request_rejected")
+                .str("peer", peer)
+                .str("id", &rejection.id)
+                .str("code", rejection.code.name())
+                .str("error", &rejection.error)
+                .emit();
+            return LineDisposition::Continue;
+        }
+    };
+    let budget_ms = request.deadline_ms.unwrap_or(ctx.default_deadline_ms);
+    let job = Job {
+        deadline: started + Duration::from_millis(budget_ms),
+        conn: Arc::clone(sink),
+        trace: ctx.obs.traces.next(),
+        enqueued: started,
+        peer: Arc::clone(peer),
+        request,
+    };
+    ctx.engine.stats.record_enqueued();
+    match ctx.queue.push(job, patience) {
+        Ok(()) => LineDisposition::Continue,
+        Err(PushError::Full(job)) => {
+            ctx.engine.stats.record_push_refused();
+            job.conn.send_line(&envelope_err(
+                &job.request.id,
+                Some(job.request.op),
+                Some(&job.trace.to_string()),
+                ErrCode::Overloaded,
+                "server busy: request queue is full",
+            ));
+            ctx.engine.stats.record_rejected(Some(job.request.op));
+            ctx.obs
+                .log
+                .warn("queue_full")
+                .str("trace", &job.trace.to_string())
+                .str("op", job.request.op.name())
+                .str("peer", peer)
+                .emit();
+            LineDisposition::Continue
+        }
+        Err(PushError::Closed(job)) => {
+            ctx.engine.stats.record_push_refused();
+            job.conn.send_line(&envelope_err(
+                &job.request.id,
+                Some(job.request.op),
+                Some(&job.trace.to_string()),
+                ErrCode::Overloaded,
+                "server is shutting down",
+            ));
+            LineDisposition::Close
         }
     }
 }
@@ -537,17 +803,10 @@ fn read_line_capped(
     }
 }
 
-/// Serves one client: reads lines, validates, enqueues; malformed input
-/// draws an error response, never a dead server.
-fn connection_loop(
-    stream: TcpStream,
-    peer: SocketAddr,
-    engine: &Engine,
-    queue: &JobQueue<Job>,
-    shutdown: &AtomicBool,
-    default_deadline_ms: u64,
-    obs: &ServeObs,
-) {
+/// Serves one client under [`IoModel::Threads`]: reads lines, validates,
+/// enqueues; malformed input draws an error response, never a dead
+/// server.
+fn connection_loop(stream: TcpStream, peer: SocketAddr, ctx: &ReactorCtx, shutdown: &AtomicBool) {
     if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
@@ -555,7 +814,7 @@ fn connection_loop(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let conn = Arc::new(Conn {
+    let sink: Arc<dyn ResponseSink> = Arc::new(Conn {
         writer: Mutex::new(stream),
     });
     let peer: Arc<str> = Arc::from(peer.to_string());
@@ -566,17 +825,19 @@ fn connection_loop(
         match read_line_capped(&mut reader, &mut buf, shutdown) {
             LineRead::Eof | LineRead::Shutdown | LineRead::Failed => return,
             LineRead::Oversized => {
-                conn.send_line(&envelope_err(
+                sink.send_line(&envelope_err(
                     "null",
                     None,
                     None,
+                    ErrCode::Oversized,
                     &format!(
                         "request line exceeds {} bytes; closing connection",
                         protocol::MAX_LINE_BYTES
                     ),
                 ));
-                engine.stats.record_rejected(None);
-                obs.log
+                ctx.engine.stats.record_rejected(None);
+                ctx.obs
+                    .log
                     .warn("oversized_line")
                     .str("peer", &peer)
                     .u64("limit_bytes", protocol::MAX_LINE_BYTES as u64)
@@ -599,72 +860,20 @@ fn connection_loop(
             LineRead::Line => {}
         }
         let line = String::from_utf8_lossy(&buf);
-        if line.trim().is_empty() {
-            continue;
-        }
-        let started = Instant::now();
-        let request = match parse_request(&line) {
-            Ok(request) => request,
-            Err(rejection) => {
-                conn.send_line(&envelope_err(&rejection.id, None, None, &rejection.error));
-                engine.stats.record_rejected(None);
-                obs.log
-                    .warn("request_rejected")
-                    .str("peer", &peer)
-                    .str("id", &rejection.id)
-                    .str("error", &rejection.error)
-                    .emit();
-                continue;
-            }
-        };
-        let budget_ms = request.deadline_ms.unwrap_or(default_deadline_ms);
-        let job = Job {
-            deadline: started + Duration::from_millis(budget_ms),
-            conn: Arc::clone(&conn),
-            trace: obs.traces.next(),
-            enqueued: started,
-            peer: Arc::clone(&peer),
-            request,
-        };
-        engine.stats.record_enqueued();
-        match queue.push(job, PUSH_PATIENCE) {
-            Ok(()) => {}
-            Err(PushError::Full(job)) => {
-                engine.stats.record_push_refused();
-                job.conn.send_line(&envelope_err(
-                    &job.request.id,
-                    Some(job.request.op),
-                    Some(&job.trace.to_string()),
-                    "server busy: request queue is full",
-                ));
-                engine.stats.record_rejected(Some(job.request.op));
-                obs.log
-                    .warn("queue_full")
-                    .str("trace", &job.trace.to_string())
-                    .str("op", job.request.op.name())
-                    .str("peer", &peer)
-                    .emit();
-            }
-            Err(PushError::Closed(job)) => {
-                engine.stats.record_push_refused();
-                job.conn.send_line(&envelope_err(
-                    &job.request.id,
-                    Some(job.request.op),
-                    Some(&job.trace.to_string()),
-                    "server is shutting down",
-                ));
-                return;
-            }
+        match handle_request_line(&line, &sink, &peer, ctx, PUSH_PATIENCE) {
+            LineDisposition::Continue => {}
+            LineDisposition::Close => return,
         }
     }
 }
 
 /// Convenient glob-import of the serving layer.
 pub mod prelude {
-    pub use crate::engine::Engine;
-    pub use crate::protocol::{Op, Request, RequestBody};
+    pub use crate::engine::{Engine, ExecError};
+    pub use crate::protocol::{ErrCode, Op, Request, RequestBody};
     pub use crate::stats::{LatencyQuantiles, ServeStats, StatsSnapshot};
-    pub use crate::{ServeError, Server, ServerConfig};
+    pub use crate::store::Store;
+    pub use crate::{IoModel, ServeError, Server, ServerConfig};
 }
 
 #[cfg(test)]
@@ -681,10 +890,10 @@ mod tests {
         response
     }
 
-    #[test]
-    fn bind_run_query_shutdown_roundtrip() {
+    fn roundtrip_on(io_model: IoModel) {
         let server = Server::bind(ServerConfig {
             threads: 2,
+            io_model,
             ..ServerConfig::default()
         })
         .unwrap();
@@ -702,6 +911,16 @@ mod tests {
     }
 
     #[test]
+    fn bind_run_query_shutdown_roundtrip() {
+        roundtrip_on(IoModel::default());
+    }
+
+    #[test]
+    fn bind_run_query_shutdown_roundtrip_on_threads_model() {
+        roundtrip_on(IoModel::Threads);
+    }
+
+    #[test]
     fn bind_failure_is_a_typed_error() {
         let err = Server::bind(ServerConfig {
             addr: "256.0.0.1:1".to_string(),
@@ -712,5 +931,14 @@ mod tests {
             ServeError::Bind { addr, .. } => assert_eq!(addr, "256.0.0.1:1"),
             other => panic!("expected Bind, got {other}"),
         }
+    }
+
+    #[test]
+    fn io_model_names_round_trip() {
+        assert_eq!(IoModel::from_name("epoll"), Some(IoModel::Epoll));
+        assert_eq!(IoModel::from_name("threads"), Some(IoModel::Threads));
+        assert_eq!(IoModel::from_name("fibers"), None);
+        assert_eq!(IoModel::Epoll.name(), "epoll");
+        assert_eq!(IoModel::Threads.name(), "threads");
     }
 }

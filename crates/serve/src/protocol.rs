@@ -37,6 +37,52 @@ pub const DEFAULT_PACKETS: u64 = 400;
 /// Default experiment seed, shared with the campaign runner.
 pub const DEFAULT_SEED: u64 = 0x5EED;
 
+/// The protocol version this server speaks. Every response envelope
+/// carries it as `"proto"`, and a request carrying a different `"proto"`
+/// is rejected so a future client never silently misreads v1 answers.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Stable machine-readable error codes, carried as `"code"` in every
+/// `ok:false` envelope. Clients branch on these; the `"error"` string is
+/// for humans and may change wording freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request parsed as JSON but something in it is wrong: unknown
+    /// or ill-typed fields, out-of-range parameters, invalid JSON,
+    /// unsupported `proto`, unknown scenario/timeline/metric ids.
+    BadRequest,
+    /// The `op` field names no known operation.
+    UnknownOp,
+    /// The `engine` field names no backend valid for this op.
+    UnknownEngine,
+    /// The request's deadline expired before a worker could answer it.
+    Deadline,
+    /// The bounded worker queue refused the request (full, or draining
+    /// for shutdown).
+    Overloaded,
+    /// The request line exceeded [`MAX_LINE_BYTES`]; the connection is
+    /// closed after this answer.
+    Oversized,
+    /// The server failed internally (e.g. serialization); never the
+    /// client's fault.
+    Internal,
+}
+
+impl ErrCode {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrCode::BadRequest => "bad_request",
+            ErrCode::UnknownOp => "unknown_op",
+            ErrCode::UnknownEngine => "unknown_engine",
+            ErrCode::Deadline => "deadline",
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::Oversized => "oversized",
+            ErrCode::Internal => "internal",
+        }
+    }
+}
+
 /// The service's operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
@@ -50,13 +96,15 @@ pub enum Op {
     Scenario,
     /// Report service counters.
     Stats,
+    /// Report tiered-cache stats; optionally flush the memory tier.
+    Cache,
     /// Gracefully drain and stop the server.
     Shutdown,
 }
 
 impl Op {
     /// Number of operations (sizes the per-op counters).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// The wire name.
     pub fn name(self) -> &'static str {
@@ -66,6 +114,7 @@ impl Op {
             Op::Tune => "tune",
             Op::Scenario => "scenario",
             Op::Stats => "stats",
+            Op::Cache => "cache",
             Op::Shutdown => "shutdown",
         }
     }
@@ -78,7 +127,8 @@ impl Op {
             Op::Tune => 2,
             Op::Scenario => 3,
             Op::Stats => 4,
-            Op::Shutdown => 5,
+            Op::Cache => 5,
+            Op::Shutdown => 6,
         }
     }
 
@@ -89,6 +139,7 @@ impl Op {
             "tune" => Op::Tune,
             "scenario" => Op::Scenario,
             "stats" => Op::Stats,
+            "cache" => Op::Cache,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -157,6 +208,11 @@ pub enum RequestBody {
     },
     /// `stats`: service counters.
     Stats,
+    /// `cache`: tiered-cache stats, optionally flushing the memory tier.
+    Cache {
+        /// True when the request carried `"action":"flush"`.
+        flush: bool,
+    },
     /// `shutdown`: graceful drain.
     Shutdown,
 }
@@ -196,12 +252,14 @@ impl TimelineSpec {
     }
 }
 
-/// A rejected request: the echoable id (always well-formed JSON) and the
-/// error message.
+/// A rejected request: the echoable id (always well-formed JSON), the
+/// machine-readable code, and the human error message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rejection {
     /// Canonical id echo (`null` when the id was absent or unreadable).
     pub id: String,
+    /// The stable error code.
+    pub code: ErrCode,
     /// What was wrong.
     pub error: String,
 }
@@ -210,6 +268,7 @@ impl Rejection {
     fn anonymous(error: String) -> Self {
         Rejection {
             id: "null".to_string(),
+            code: ErrCode::BadRequest,
             error,
         }
     }
@@ -385,35 +444,54 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         Ok(id) => id,
         Err(e) => return Err(Rejection::anonymous(e)),
     };
-    let reject = |error: String| Rejection {
+    let reject_code = |code: ErrCode, error: String| Rejection {
         id: id.clone(),
+        code,
         error,
     };
+    let reject = |error: String| reject_code(ErrCode::BadRequest, error);
+
+    match root.field("proto") {
+        Value::Null => {}
+        v => {
+            let proto = require_u64(v, "proto").map_err(&reject)?;
+            if proto != PROTO_VERSION {
+                return Err(reject(format!(
+                    "unsupported proto {proto}; this server speaks proto {PROTO_VERSION}"
+                )));
+            }
+        }
+    }
 
     let op_value = root.field("op");
     let op_name = op_value
         .as_str()
         .ok_or_else(|| reject("missing or non-string 'op'".to_string()))?;
     let op = Op::from_name(op_name).ok_or_else(|| {
-        reject(format!(
-            "unknown op '{op_name}'; known: simulate, predict, tune, scenario, stats, shutdown"
-        ))
+        reject_code(
+            ErrCode::UnknownOp,
+            format!(
+                "unknown op '{op_name}'; known: simulate, predict, tune, scenario, stats, cache, shutdown"
+            ),
+        )
     })?;
 
     let allowed: &[&str] = match op {
         Op::Simulate => &[
             "id",
             "op",
+            "proto",
             "deadline_ms",
             "config",
             "packets",
             "seed",
             "engine",
         ],
-        Op::Predict => &["id", "op", "deadline_ms", "config", "engine"],
+        Op::Predict => &["id", "op", "proto", "deadline_ms", "config", "engine"],
         Op::Tune => &[
             "id",
             "op",
+            "proto",
             "deadline_ms",
             "objective",
             "constraints",
@@ -423,13 +501,15 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         Op::Scenario => &[
             "id",
             "op",
+            "proto",
             "deadline_ms",
             "scenario",
             "packets",
             "seed",
             "timeline",
         ],
-        Op::Stats | Op::Shutdown => &["id", "op", "deadline_ms"],
+        Op::Cache => &["id", "op", "proto", "deadline_ms", "action"],
+        Op::Stats | Op::Shutdown => &["id", "op", "proto", "deadline_ms"],
     };
     for (key, _) in entries {
         if !allowed.contains(&key.as_str()) {
@@ -470,10 +550,10 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             },
             packets: parse_packets(packets_field).map_err(&reject)?,
             seed: seed_of(&root).map_err(&reject)?,
-            engine: engine_of(&root).map_err(&reject)?,
+            engine: engine_of(&root).map_err(|e| reject_code(ErrCode::UnknownEngine, e))?,
         },
         Op::Predict => {
-            let engine = engine_of(&root).map_err(&reject)?;
+            let engine = engine_of(&root).map_err(|e| reject_code(ErrCode::UnknownEngine, e))?;
             if engine == EngineMode::Fast {
                 return Err(reject(
                     "predict engine must be \"golden\" or \"analytic\"; \
@@ -524,7 +604,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
                 objective,
                 constraints,
                 distance_m,
-                engine: engine_of(&root).map_err(&reject)?,
+                engine: engine_of(&root).map_err(|e| reject_code(ErrCode::UnknownEngine, e))?,
             }
         }
         Op::Scenario => RequestBody::Scenario {
@@ -536,6 +616,20 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             packets: parse_packets(packets_field).map_err(&reject)?,
             seed: seed_of(&root).map_err(&reject)?,
             timeline: parse_timeline(root.field("timeline")).map_err(&reject)?,
+        },
+        Op::Cache => RequestBody::Cache {
+            flush: match root.field("action") {
+                Value::Null => false,
+                v => match v.as_str() {
+                    Some("flush") => true,
+                    _ => {
+                        return Err(reject(format!(
+                            "cache action must be \"flush\", got {}",
+                            v.kind()
+                        )))
+                    }
+                },
+            },
         },
         Op::Stats => RequestBody::Stats,
         Op::Shutdown => RequestBody::Shutdown,
@@ -635,7 +729,7 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
             }
             Some(key)
         }
-        RequestBody::Stats | RequestBody::Shutdown => None,
+        RequestBody::Stats | RequestBody::Cache { .. } | RequestBody::Shutdown => None,
     }
 }
 
@@ -654,21 +748,31 @@ pub fn envelope_ok(
     result: &str,
 ) -> String {
     format!(
-        "{{\"id\":{id},\"op\":\"{}\",\"ok\":true,\"cached\":{cached},\"service_us\":{service_us},\"trace\":\"{trace}\",\"result\":{result}}}",
+        "{{\"proto\":{PROTO_VERSION},\"id\":{id},\"op\":\"{}\",\"ok\":true,\"cached\":{cached},\"service_us\":{service_us},\"trace\":\"{trace}\",\"result\":{result}}}",
         op.name()
     )
 }
 
 /// Renders an error envelope. `trace` is `None` for failures that happen
-/// before a trace id is assigned (parse errors, oversized lines).
-pub fn envelope_err(id: &str, op: Option<Op>, trace: Option<&str>, error: &str) -> String {
+/// before a trace id is assigned (parse errors, oversized lines); `code`
+/// is the stable machine-readable classification of the failure.
+pub fn envelope_err(
+    id: &str,
+    op: Option<Op>,
+    trace: Option<&str>,
+    code: ErrCode,
+    error: &str,
+) -> String {
     let op_name = op.map(Op::name).unwrap_or("unknown");
+    let code = code.name();
     let message = serde_json::to_string(&error).unwrap_or_else(|_| "\"error\"".to_string());
     match trace {
         Some(trace) => format!(
-            "{{\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"trace\":\"{trace}\",\"error\":{message}}}"
+            "{{\"proto\":{PROTO_VERSION},\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"trace\":\"{trace}\",\"code\":\"{code}\",\"error\":{message}}}"
         ),
-        None => format!("{{\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"error\":{message}}}"),
+        None => format!(
+            "{{\"proto\":{PROTO_VERSION},\"id\":{id},\"op\":\"{op_name}\",\"ok\":false,\"code\":\"{code}\",\"error\":{message}}}"
+        ),
     }
 }
 
@@ -871,21 +975,117 @@ mod tests {
             "{\"x\":1}",
         );
         let v = serde_json::parse(&ok).unwrap();
+        assert_eq!(v.field("proto").as_u64(), Some(PROTO_VERSION));
         assert_eq!(v.field("ok").as_bool(), Some(true));
         assert_eq!(v.field("cached").as_bool(), Some(true));
         assert_eq!(v.field("id").as_u64(), Some(42));
         assert_eq!(v.field("trace").as_str(), Some("00c0ffee00c0ffee"));
         assert_eq!(v.field("result").field("x").as_u64(), Some(1));
 
-        let err = envelope_err("null", None, None, "bad \"quoted\" thing\n");
+        let err = envelope_err(
+            "null",
+            None,
+            None,
+            ErrCode::BadRequest,
+            "bad \"quoted\" thing\n",
+        );
         let v = serde_json::parse(&err).unwrap();
+        assert_eq!(v.field("proto").as_u64(), Some(PROTO_VERSION));
         assert_eq!(v.field("ok").as_bool(), Some(false));
+        assert_eq!(v.field("code").as_str(), Some("bad_request"));
         assert!(v.field("error").as_str().unwrap().contains("quoted"));
 
-        let err = envelope_err("7", Some(Op::Predict), Some("00c0ffee00c0ffee"), "late");
+        let err = envelope_err(
+            "7",
+            Some(Op::Predict),
+            Some("00c0ffee00c0ffee"),
+            ErrCode::Deadline,
+            "late",
+        );
         let v = serde_json::parse(&err).unwrap();
         assert_eq!(v.field("trace").as_str(), Some("00c0ffee00c0ffee"));
         assert_eq!(v.field("op").as_str(), Some("predict"));
+        assert_eq!(v.field("code").as_str(), Some("deadline"));
+    }
+
+    #[test]
+    fn proto_field_is_accepted_at_v1_and_rejected_otherwise() {
+        // A v1 client may pin the protocol explicitly on any op.
+        let req = parse_request(r#"{"op":"stats","proto":1}"#).unwrap();
+        assert_eq!(req.op, Op::Stats);
+
+        let rej = parse_request(r#"{"id":5,"op":"stats","proto":2}"#).unwrap_err();
+        assert_eq!(rej.id, "5");
+        assert_eq!(rej.code, ErrCode::BadRequest);
+        assert!(rej.error.contains("unsupported proto 2"), "{}", rej.error);
+        assert!(rej.error.contains("proto 1"), "{}", rej.error);
+
+        let rej = parse_request(r#"{"op":"stats","proto":"1"}"#).unwrap_err();
+        assert!(rej.error.contains("proto"), "{}", rej.error);
+    }
+
+    #[test]
+    fn rejections_carry_machine_readable_codes() {
+        let rej = parse_request("not json").unwrap_err();
+        assert_eq!(rej.code, ErrCode::BadRequest);
+
+        let rej = parse_request(r#"{"op":"simulify"}"#).unwrap_err();
+        assert_eq!(rej.code, ErrCode::UnknownOp);
+
+        let rej = parse_request(r#"{"op":"simulate","engine":"warp"}"#).unwrap_err();
+        assert_eq!(rej.code, ErrCode::UnknownEngine);
+        let rej =
+            parse_request(r#"{"op":"tune","objective":"energy","engine":"warp"}"#).unwrap_err();
+        assert_eq!(rej.code, ErrCode::UnknownEngine);
+
+        // predict+fast is a *valid* engine aimed at the wrong op: the
+        // request is malformed, not the engine name.
+        let rej = parse_request(r#"{"op":"predict","engine":"fast"}"#).unwrap_err();
+        assert_eq!(rej.code, ErrCode::BadRequest);
+
+        let rej = parse_request(r#"{"op":"simulate","packet":5}"#).unwrap_err();
+        assert_eq!(rej.code, ErrCode::BadRequest);
+    }
+
+    #[test]
+    fn cache_op_parses_action_and_is_never_cached() {
+        let plain = parse_request(r#"{"op":"cache"}"#).unwrap();
+        assert_eq!(plain.op, Op::Cache);
+        assert_eq!(plain.body, RequestBody::Cache { flush: false });
+        assert_eq!(cache_key(&plain.body), None);
+
+        let flush = parse_request(r#"{"op":"cache","action":"flush"}"#).unwrap();
+        assert_eq!(flush.body, RequestBody::Cache { flush: true });
+
+        let rej = parse_request(r#"{"op":"cache","action":"drop"}"#).unwrap_err();
+        assert_eq!(rej.code, ErrCode::BadRequest);
+        assert!(rej.error.contains("flush"), "{}", rej.error);
+
+        // The action field belongs to cache alone.
+        let rej = parse_request(r#"{"op":"stats","action":"flush"}"#).unwrap_err();
+        assert!(
+            rej.error.contains("unknown field 'action'"),
+            "{}",
+            rej.error
+        );
+    }
+
+    #[test]
+    fn proto_is_the_first_envelope_field() {
+        // Wire compatibility: `proto` prefixes the envelope so the
+        // `"id":…,"op":…,"ok":…` run stays contiguous for line-oriented
+        // consumers (CI smoke greps included).
+        let ok = envelope_ok("1", Op::Simulate, false, 9, "aaaaaaaaaaaaaaaa", "{}");
+        assert!(
+            ok.starts_with("{\"proto\":1,\"id\":1,\"op\":\"simulate\",\"ok\":true,"),
+            "{ok}"
+        );
+        let err = envelope_err("1", None, None, ErrCode::Overloaded, "busy");
+        assert!(
+            err.starts_with("{\"proto\":1,\"id\":1,\"op\":\"unknown\",\"ok\":false,"),
+            "{err}"
+        );
+        assert!(err.contains("\"code\":\"overloaded\",\"error\":"), "{err}");
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl ServeStats {
             Op::Tune,
             Op::Scenario,
             Op::Stats,
+            Op::Cache,
             Op::Shutdown,
         ];
         let by_op =
@@ -183,6 +184,7 @@ impl ServeStats {
                 tune: self.by_op[Op::Tune.index()].get(),
                 scenario: self.by_op[Op::Scenario.index()].get(),
                 stats: self.by_op[Op::Stats.index()].get(),
+                cache: self.by_op[Op::Cache.index()].get(),
                 shutdown: self.by_op[Op::Shutdown.index()].get(),
             },
             exec_us: LatencyQuantiles::of(&self.exec_us),
@@ -216,6 +218,8 @@ pub struct OpCounts {
     pub scenario: u64,
     /// `stats` requests.
     pub stats: u64,
+    /// `cache` requests.
+    pub cache: u64,
     /// `shutdown` requests.
     pub shutdown: u64,
 }

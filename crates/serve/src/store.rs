@@ -1,0 +1,481 @@
+//! Append-only on-disk result store: the persistent tier under the
+//! in-memory splice cache.
+//!
+//! Layout: a directory of JSONL segments (`seg-00000.jsonl`, …), each
+//! line one `{"k":"<cache key>","v":"<envelope result body>"}` record.
+//! Records are immutable once written; re-answering a key appends a new
+//! record and lookups walk the index newest-first (last-wins). An FNV
+//! hash index maps key hashes to record locations, so a lookup is one
+//! `pread` plus a key verification — no seeks through cold segments.
+//!
+//! Crash safety is by construction: the only mutation is an append, so
+//! the only possible corruption is a torn tail on the *last* segment. On
+//! open, a trailing record that fails to parse (or lacks its newline) is
+//! truncated away and the store continues from the previous record. A
+//! malformed line in any *earlier* segment is real corruption and fails
+//! the open loudly rather than silently serving damaged bodies.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::fnv1a;
+
+/// Default segment roll threshold: 4 MiB keeps torn-tail scans and
+/// per-segment reader handles cheap without fragmenting small stores.
+const DEFAULT_ROLL_BYTES: u64 = 4 << 20;
+
+/// One persisted record. Bodies are stored verbatim as JSON strings, so
+/// the round-trip through the vendored serializer is byte-exact.
+#[derive(Debug, Serialize, Deserialize)]
+struct StoreRecord {
+    k: String,
+    v: String,
+}
+
+/// Where a record lives: segment ordinal, byte offset, line length
+/// (including the trailing newline).
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    seg: usize,
+    off: u64,
+    len: u32,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// FNV-64 of the key → locations, oldest first.
+    index: HashMap<u64, Vec<Loc>>,
+    /// One shared read handle per segment, ordinal order.
+    readers: Vec<Arc<File>>,
+    /// Append handle for the last segment.
+    active: File,
+    active_seg: usize,
+    active_len: u64,
+    records: u64,
+    total_bytes: u64,
+}
+
+/// Counters and sizes for the `cache` op's disk tier report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Indexed records (all segments; superseded versions included).
+    pub records: u64,
+    /// Segment files on disk, the active one included.
+    pub segments: u64,
+    /// Total bytes across all segments.
+    pub bytes: u64,
+    /// Lifetime lookups that found the key.
+    pub hits: u64,
+    /// Lifetime lookups that missed.
+    pub misses: u64,
+    /// Lifetime records appended through this handle.
+    pub appends: u64,
+}
+
+/// The append-only store. All methods take `&self`; appends serialize on
+/// an internal lock while reads clone the segment handle out of the lock
+/// and `pread` concurrently.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    roll_bytes: u64,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    appends: AtomicU64,
+}
+
+fn segment_name(seg: usize) -> String {
+    format!("seg-{seg:05}.jsonl")
+}
+
+impl Store {
+    /// Opens (or creates) a store directory with the default segment
+    /// roll threshold.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, on a malformed record anywhere but the tail
+    /// of the last segment, and on a gap in the segment sequence.
+    pub fn open(dir: &Path) -> std::io::Result<Store> {
+        Store::open_with_roll(dir, DEFAULT_ROLL_BYTES)
+    }
+
+    /// [`Store::open`] with an explicit roll threshold — a test hook so
+    /// segment rolling is exercised without 4 MiB fixtures.
+    pub fn open_with_roll(dir: &Path, roll_bytes: u64) -> std::io::Result<Store> {
+        std::fs::create_dir_all(dir)?;
+        let mut segs: Vec<usize> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(ord) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".jsonl"))
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                segs.push(ord);
+            }
+        }
+        segs.sort_unstable();
+        if segs.is_empty() {
+            segs.push(0);
+            File::create(dir.join(segment_name(0)))?;
+        }
+        for (i, &ord) in segs.iter().enumerate() {
+            if i != ord {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "store {}: segment sequence has a gap at ordinal {i} (found {ord})",
+                        dir.display()
+                    ),
+                ));
+            }
+        }
+
+        let last = segs.len() - 1;
+        let mut index: HashMap<u64, Vec<Loc>> = HashMap::new();
+        let mut readers = Vec::with_capacity(segs.len());
+        let mut records = 0u64;
+        let mut total_bytes = 0u64;
+        let mut active_len = 0u64;
+        for &seg in &segs {
+            let path = dir.join(segment_name(seg));
+            let mut raw = Vec::new();
+            File::open(&path)?.read_to_end(&mut raw)?;
+            let keep = index_segment(&mut index, seg, &raw, &mut records).map_err(|line| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "store {}: malformed record at byte {line} of non-tail segment {}",
+                        dir.display(),
+                        segment_name(seg)
+                    ),
+                )
+            });
+            let keep = match keep {
+                Ok(keep) => keep,
+                Err(e) if seg == last => {
+                    // A torn tail is expected after a crash; anything
+                    // unparseable before the tail is not.
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            };
+            if keep < raw.len() as u64 {
+                if seg == last {
+                    OpenOptions::new().write(true).open(&path)?.set_len(keep)?;
+                } else {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!(
+                            "store {}: trailing garbage in non-tail segment {}",
+                            dir.display(),
+                            segment_name(seg)
+                        ),
+                    ));
+                }
+            }
+            if seg == last {
+                active_len = keep;
+            }
+            total_bytes += keep;
+            readers.push(Arc::new(File::open(&path)?));
+        }
+
+        let active = OpenOptions::new()
+            .append(true)
+            .open(dir.join(segment_name(last)))?;
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            roll_bytes,
+            inner: Mutex::new(Inner {
+                index,
+                readers,
+                active,
+                active_seg: last,
+                active_len,
+                records,
+                total_bytes,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up the newest body stored under `key`, verifying the key
+    /// match on the record itself (the index is only a hash).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        let hash = fnv1a(key);
+        let candidates: Vec<(Arc<File>, Loc)> = {
+            let inner = self.inner.lock().expect("store lock");
+            match inner.index.get(&hash) {
+                Some(locs) => locs
+                    .iter()
+                    .rev()
+                    .map(|&loc| (Arc::clone(&inner.readers[loc.seg]), loc))
+                    .collect(),
+                None => Vec::new(),
+            }
+        };
+        for (file, loc) in candidates {
+            let mut buf = vec![0u8; loc.len as usize];
+            if file.read_exact_at(&mut buf, loc.off).is_err() {
+                continue;
+            }
+            let Ok(text) = std::str::from_utf8(&buf) else {
+                continue;
+            };
+            let Ok(record) = serde_json::from_str::<StoreRecord>(text.trim_end()) else {
+                continue;
+            };
+            if record.k == key {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(record.v);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Appends a record, rolling to a fresh segment past the threshold.
+    /// The line is flushed before the index learns about it, so a reader
+    /// never sees a location that is not yet durable in the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the segment write or roll; the store
+    /// stays usable (the failed record is simply not indexed).
+    pub fn append(&self, key: &str, body: &str) -> std::io::Result<()> {
+        let mut line = serde_json::to_string(&StoreRecord {
+            k: key.to_string(),
+            v: body.to_string(),
+        })
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+
+        let mut inner = self.inner.lock().expect("store lock");
+        if inner.active_len > 0 && inner.active_len + line.len() as u64 > self.roll_bytes {
+            let seg = inner.active_seg + 1;
+            let path = self.dir.join(segment_name(seg));
+            inner.active = OpenOptions::new().append(true).create(true).open(&path)?;
+            inner.readers.push(Arc::new(File::open(&path)?));
+            inner.active_seg = seg;
+            inner.active_len = 0;
+        }
+        let loc = Loc {
+            seg: inner.active_seg,
+            off: inner.active_len,
+            len: line.len() as u32,
+        };
+        inner.active.write_all(line.as_bytes())?;
+        inner.active.flush()?;
+        inner.active_len += line.len() as u64;
+        inner.total_bytes += line.len() as u64;
+        inner.records += 1;
+        inner.index.entry(fnv1a(key)).or_default().push(loc);
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot of sizes and counters for the `cache` op.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store lock");
+        StoreStats {
+            records: inner.records,
+            segments: inner.readers.len() as u64,
+            bytes: inner.total_bytes,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Indexes one segment's raw bytes, returning how many bytes form whole,
+/// valid records (the durable prefix). A malformed *complete* line is an
+/// error carrying its byte offset; an incomplete tail line just ends the
+/// durable prefix.
+fn index_segment(
+    index: &mut HashMap<u64, Vec<Loc>>,
+    seg: usize,
+    raw: &[u8],
+    records: &mut u64,
+) -> Result<u64, u64> {
+    let mut off = 0usize;
+    while off < raw.len() {
+        let Some(nl) = raw[off..].iter().position(|&b| b == b'\n') else {
+            break; // incomplete tail — durable prefix ends here
+        };
+        let line = &raw[off..off + nl];
+        let parsed = std::str::from_utf8(line)
+            .ok()
+            .and_then(|text| serde_json::from_str::<StoreRecord>(text).ok());
+        let Some(record) = parsed else {
+            return Err(off as u64);
+        };
+        index.entry(fnv1a(&record.k)).or_default().push(Loc {
+            seg,
+            off: off as u64,
+            len: (nl + 1) as u32,
+        });
+        *records += 1;
+        off += nl + 1;
+    }
+    Ok(off as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wsn-store-{tag}-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn round_trips_bodies_byte_identically_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let body = "{\"metrics\":{\"prr\":0.925,\"delay_ms\":12.0}}";
+        {
+            let store = Store::open(&dir).expect("open");
+            store.append("sim|d:0001|n:400", body).expect("append");
+            assert_eq!(store.get("sim|d:0001|n:400").as_deref(), Some(body));
+        }
+        let store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.get("sim|d:0001|n:400").as_deref(), Some(body));
+        assert_eq!(store.get("sim|d:0002|n:400"), None);
+        let stats = store.stats();
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_earlier_records_survive() {
+        let dir = temp_dir("torn");
+        {
+            let store = Store::open(&dir).expect("open");
+            store.append("a", "1").expect("append");
+            store.append("b", "2").expect("append");
+        }
+        let path = dir.join(segment_name(0));
+        let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+        f.write_all(b"{\"k\":\"c\",\"v\":\"3")
+            .expect("write torn tail");
+        drop(f);
+
+        let store = Store::open(&dir).expect("recover");
+        assert_eq!(store.get("a").as_deref(), Some("1"));
+        assert_eq!(store.get("b").as_deref(), Some("2"));
+        assert_eq!(store.get("c"), None);
+        assert_eq!(store.stats().records, 2);
+        // The torn bytes are physically gone, not just skipped.
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let store_bytes = store.stats().bytes;
+        assert_eq!(len, store_bytes);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_line_before_the_tail_fails_the_open() {
+        let dir = temp_dir("corrupt");
+        {
+            let store = Store::open(&dir).expect("open");
+            store.append("a", "1").expect("append");
+        }
+        let path = dir.join(segment_name(0));
+        let good = std::fs::read(&path).expect("read");
+        let mut bad = b"not json at all\n".to_vec();
+        bad.extend_from_slice(&good);
+        std::fs::write(&path, bad).expect("write");
+        let err = Store::open(&dir).expect_err("corrupt mid-segment must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_roll_at_the_threshold_and_reload_contiguously() {
+        let dir = temp_dir("roll");
+        {
+            let store = Store::open_with_roll(&dir, 128).expect("open");
+            for i in 0..20 {
+                store
+                    .append(&format!("key-{i}"), &format!("body-{i:04}"))
+                    .expect("append");
+            }
+            assert!(store.stats().segments > 1, "roll threshold never tripped");
+        }
+        let store = Store::open_with_roll(&dir, 128).expect("reopen");
+        for i in 0..20 {
+            assert_eq!(
+                store.get(&format!("key-{i}")).as_deref(),
+                Some(format!("body-{i:04}").as_str())
+            );
+        }
+        assert_eq!(store.stats().records, 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn last_wins_when_a_key_is_appended_twice() {
+        let dir = temp_dir("lastwins");
+        let store = Store::open(&dir).expect("open");
+        store.append("k", "old").expect("append");
+        store.append("k", "new").expect("append");
+        assert_eq!(store.get("k").as_deref(), Some("new"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bodies_with_escapes_and_floats_survive_the_jsonl_round_trip() {
+        let dir = temp_dir("escape");
+        let body = "{\"s\":\"line\\nbreak \\\"quoted\\\"\",\"x\":0.30000000000000004,\"y\":-1e-9}";
+        {
+            let store = Store::open(&dir).expect("open");
+            store.append("esc", body).expect("append");
+        }
+        let store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.get("esc").as_deref(), Some(body));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_recovered_like_a_torn_tail() {
+        let dir = temp_dir("nonewline");
+        {
+            let store = Store::open(&dir).expect("open");
+            store.append("a", "1").expect("append");
+        }
+        let path = dir.join(segment_name(0));
+        let mut raw = std::fs::read(&path).expect("read");
+        assert_eq!(raw.pop(), Some(b'\n'));
+        std::fs::write(&path, &raw).expect("strip newline");
+        let store = Store::open(&dir).expect("recover");
+        // Without its newline the sole record is an incomplete tail.
+        assert_eq!(store.get("a"), None);
+        assert_eq!(store.stats().records, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

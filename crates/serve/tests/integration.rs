@@ -201,27 +201,34 @@ fn malformed_requests_draw_errors_but_never_kill_the_connection() {
     });
     let mut stream = TcpStream::connect(addr).expect("connect");
 
-    for (bad, expect) in [
-        ("this is not json", "invalid JSON"),
-        (r#"{"id":9,"op":"simulify"}"#, "unknown op"),
-        (r#"{"id":9,"op":"simulate","packet":5}"#, "unknown field"),
+    // Every rejection carries its machine-readable `code` — clients
+    // dispatch on that, not on message prose.
+    for (bad, code) in [
+        ("this is not json", "bad_request"),
+        (r#"{"id":9,"op":"simulify"}"#, "unknown_op"),
+        (r#"{"id":9,"op":"simulate","packet":5}"#, "bad_request"),
         (
             r#"{"id":9,"op":"simulate","config":{"power_level":0}}"#,
-            "ok\":false",
+            "bad_request",
         ),
-        (r#"[1,2,3]"#, "must be an object"),
+        (r#"[1,2,3]"#, "bad_request"),
         (
-            r#"{"id":9,"op":"tune","objective":"vibes"}"#,
-            "unknown metric",
+            r#"{"id":9,"op":"simulate","engine":"warp"}"#,
+            "unknown_engine",
         ),
+        (r#"{"id":9,"op":"tune","objective":"vibes"}"#, "bad_request"),
         (
             r#"{"id":9,"op":"scenario","scenario":"nope"}"#,
-            "known: single",
+            "bad_request",
         ),
+        (r#"{"id":9,"op":"predict","proto":2}"#, "bad_request"),
     ] {
         let response = request_on(&mut stream, bad);
         assert!(response.contains("\"ok\":false"), "{bad} → {response}");
-        assert!(response.contains(expect), "{bad} → {response}");
+        assert!(
+            response.contains(&format!("\"code\":\"{code}\"")),
+            "{bad} → {response}"
+        );
     }
 
     // After all that abuse, the same connection still answers real work.
@@ -251,7 +258,7 @@ fn oversized_line_closes_that_connection_but_not_the_server() {
         .read_line(&mut response)
         .expect("read error response");
     assert!(response.contains("\"ok\":false"), "{response}");
-    assert!(response.contains("exceeds"), "{response}");
+    assert!(response.contains("\"code\":\"oversized\""), "{response}");
 
     // The server closed this connection afterwards …
     stream
@@ -300,7 +307,7 @@ fn queued_past_its_deadline_draws_a_deadline_error() {
         .read_line(&mut impatient)
         .expect("impatient response");
     assert!(impatient.contains("\"id\":\"impatient\""), "{impatient}");
-    assert!(impatient.contains("deadline exceeded"), "{impatient}");
+    assert!(impatient.contains("\"code\":\"deadline\""), "{impatient}");
 
     shutdown(addr, handle);
 }
@@ -328,7 +335,7 @@ fn expired_request_counts_as_deadline_exceeded_without_contaminating_exec_times(
     .expect("send impatient");
 
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-    for expect in ["\"id\":\"slow\"", "deadline exceeded"] {
+    for expect in ["\"id\":\"slow\"", "\"code\":\"deadline\""] {
         let mut line = String::new();
         reader.read_line(&mut line).expect("response");
         assert!(line.contains(expect), "{line}");
@@ -486,4 +493,170 @@ fn pending_requests_are_answered_before_shutdown_completes() {
     assert!(seen[2].contains("shutting_down"), "{:?}", seen);
 
     handle.join().expect("server thread").expect("clean exit");
+}
+
+/// A unique per-test store directory under the system temp dir.
+fn temp_store(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "wsn-serve-it-{tag}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn every_envelope_leads_with_proto_1_and_other_protos_are_refused() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    // Explicit proto 1 is accepted; the response envelope leads with the
+    // version so clients can dispatch before reading anything else. The
+    // whole prefix is pinned: a field reorder is a protocol break.
+    let ok = request_on(&mut stream, r#"{"id":7,"op":"predict","proto":1}"#);
+    assert!(
+        ok.starts_with(r#"{"proto":1,"id":7,"op":"predict","ok":true,"#),
+        "{ok}"
+    );
+
+    // Error envelopes carry the same version, and `code` sits directly
+    // before `error`.
+    let err = request_on(&mut stream, r#"{"id":8,"op":"predict","proto":3}"#);
+    assert!(err.starts_with(r#"{"proto":1,"id":8,"#), "{err}");
+    assert!(err.contains(r#""code":"bad_request","error":"#), "{err}");
+    assert!(err.contains("this server speaks proto 1"), "{err}");
+
+    // A proto-3 speaker is refused per request, not disconnected.
+    let still = request_on(&mut stream, r#"{"id":9,"op":"predict"}"#);
+    assert!(still.contains("\"ok\":true"), "{still}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn flooding_a_tiny_queue_draws_overloaded_codes_not_hangs() {
+    // Depth-1 queue behind one worker on the event-loop front-end, which
+    // pushes with zero patience: pipelining a slow job plus a burst must
+    // bounce at least one request with `overloaded`, and every request
+    // still gets exactly one response line.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        queue_depth: 1,
+        io_model: wsn_serve::IoModel::Epoll,
+        ..ServerConfig::default()
+    });
+    let mut stream = TcpStream::connect(addr).expect("connect");
+
+    writeln!(
+        stream,
+        r#"{{"id":"slow","op":"simulate","packets":50000,"config":{{"distance_m":35.0,"power_level":3}}}}"#
+    )
+    .expect("send slow");
+    const BURST: usize = 8;
+    for i in 0..BURST {
+        writeln!(stream, r#"{{"id":"b{i}","op":"predict"}}"#).expect("send burst");
+    }
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut overloaded = 0;
+    let mut answered = 0;
+    for _ in 0..BURST + 1 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("response");
+        answered += 1;
+        if line.contains("\"code\":\"overloaded\"") {
+            assert!(line.contains("queue is full"), "{line}");
+            overloaded += 1;
+        }
+    }
+    assert_eq!(answered, BURST + 1, "a response line went missing");
+    assert!(
+        overloaded > 0,
+        "no request was bounced by the depth-1 queue"
+    );
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn cache_op_reports_both_tiers_over_tcp_and_flush_spares_the_disk() {
+    let dir = temp_store("cacheop");
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        store: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+
+    let request = r#"{"id":1,"op":"simulate","packets":60,"config":{"distance_m":25.0}}"#;
+    let first = roundtrip(addr, request);
+    assert!(first.contains("\"cached\":false"), "{first}");
+
+    let report = roundtrip(addr, r#"{"id":2,"op":"cache"}"#);
+    assert!(report.contains("\"mem\":{\"entries\":1,"), "{report}");
+    assert!(
+        report.contains("\"disk\":{\"enabled\":true,\"records\":1,"),
+        "{report}"
+    );
+
+    let flush = roundtrip(addr, r#"{"id":3,"op":"cache","action":"flush"}"#);
+    assert!(flush.contains("\"flushed\":true"), "{flush}");
+    assert!(flush.contains("\"flushed_entries\":1"), "{flush}");
+    assert!(flush.contains("\"entries\":0,"), "{flush}");
+
+    // The memory tier is empty, the disk tier is not: the same question
+    // comes back as a (byte-identical) disk hit.
+    let second = roundtrip(addr, request);
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(result_part(&first), result_part(&second));
+
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_with_the_same_store_serves_disk_warm_byte_identical_hits() {
+    let dir = temp_store("restart");
+    let request =
+        r#"{"id":1,"op":"simulate","packets":80,"config":{"distance_m":17.5,"power_level":23}}"#;
+
+    // First server computes and persists.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        store: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let first = roundtrip(addr, request);
+    assert!(first.contains("\"cached\":false"), "{first}");
+    shutdown(addr, handle);
+
+    // Second server, same store directory, fresh memory: the answer is a
+    // disk-warm hit and byte-identical to the original computation.
+    let (addr, handle) = start(ServerConfig {
+        threads: 1,
+        store: Some(dir.clone()),
+        ..ServerConfig::default()
+    });
+    let second = roundtrip(addr, request);
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(
+        result_part(&first),
+        result_part(&second),
+        "disk-warm hit must replay the original bytes"
+    );
+    let report = roundtrip(addr, r#"{"id":2,"op":"cache"}"#);
+    assert!(
+        report.contains("\"disk\":{\"enabled\":true,\"records\":1,"),
+        "{report}"
+    );
+    assert!(report.contains("\"hits\":1"), "{report}");
+    shutdown(addr, handle);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

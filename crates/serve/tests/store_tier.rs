@@ -1,0 +1,150 @@
+//! Property tests for the persistent result store.
+//!
+//! The disk tier must agree with a trivially-correct in-memory reference
+//! model under arbitrary append/lookup interleavings, including across a
+//! close-and-reopen cycle (the restart path that disk-warm cache hits
+//! depend on).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wsn_serve::cache::ShardedCache;
+use wsn_serve::store::Store;
+
+/// A unique scratch directory for one proptest case.
+fn scratch() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wsn-store-prop-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Keys are drawn from a small pool so overwrites actually happen; body
+/// payloads are arbitrary u16s rendered into JSON by the tests, so "last
+/// write wins" is distinguishable.
+fn ops() -> impl Strategy<Value = Vec<(u8, u16)>> {
+    prop::collection::vec((0u8..8, any::<u16>()), 1..48)
+}
+
+/// A key shaped like the live cache keys: a config stem plus one of the
+/// engine/timeline partition suffixes the protocol appends.
+fn partitioned_key(stem: u8, partition: u8) -> String {
+    let suffix = match partition % 4 {
+        0 => "",
+        1 => "|e:fast",
+        2 => "|e:analytic",
+        _ => "|tl:0011223344556677",
+    };
+    format!("cfg-{stem}{suffix}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn store_agrees_with_a_hashmap_reference_model(ops in ops()) {
+        let dir = scratch();
+        let store = Store::open(&dir).expect("open");
+        let mut model: HashMap<String, String> = HashMap::new();
+
+        for (i, (key_idx, payload)) in ops.iter().enumerate() {
+            let key = format!("key-{key_idx}");
+            let body = format!("{{\"i\":{i},\"payload\":{payload}}}");
+            store.append(&key, &body).expect("append");
+            model.insert(key.clone(), body.clone());
+            prop_assert_eq!(store.get(&key), Some(body));
+        }
+
+        // Every key the model knows (and one it does not) agrees.
+        for (key, body) in &model {
+            prop_assert_eq!(store.get(key), Some(body.clone()));
+        }
+        prop_assert_eq!(store.get("key-never-written"), None);
+        prop_assert_eq!(store.stats().appends, ops.len() as u64);
+
+        // Reopening from disk replays the exact same mapping.
+        drop(store);
+        let reopened = Store::open(&dir).expect("reopen");
+        for (key, body) in &model {
+            prop_assert_eq!(reopened.get(key), Some(body.clone()));
+        }
+        // The log is append-only: every write survives as a record, and
+        // replay resolves duplicates to the newest.
+        prop_assert_eq!(reopened.stats().records, ops.len() as u64);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_and_disk_tiers_agree_for_random_partitioned_keys(
+        ops in prop::collection::vec((0u8..6, 0u8..4, any::<u16>()), 1..48),
+    ) {
+        // The two tiers are fed identical writes under keys spanning the
+        // engine/timeline partitions; every lookup must agree — and keep
+        // agreeing from disk alone after the memory tier is flushed
+        // (the restart-warm contract).
+        let dir = scratch();
+        let store = Store::open(&dir).expect("open");
+        let mem = ShardedCache::new(4);
+        let mut written: HashMap<String, String> = HashMap::new();
+
+        for (stem, partition, payload) in &ops {
+            let key = partitioned_key(*stem, *partition);
+            let body = format!("{{\"payload\":{payload}}}");
+            mem.insert(key.clone(), Arc::new(body.clone()));
+            store.append(&key, &body).expect("append");
+            written.insert(key, body);
+        }
+        for (key, body) in &written {
+            let from_mem = mem.get(key);
+            prop_assert_eq!(from_mem.as_deref().map(String::as_str), Some(body.as_str()));
+            let from_disk = store.get(key);
+            prop_assert_eq!(from_disk.as_deref(), Some(body.as_str()));
+        }
+        let missing = "cfg-99|e:fast";
+        prop_assert!(mem.get(missing).is_none());
+        prop_assert!(store.get(missing).is_none());
+
+        mem.flush();
+        for (key, body) in &written {
+            prop_assert!(mem.get(key).is_none());
+            let from_disk = store.get(key);
+            prop_assert_eq!(from_disk.as_deref(), Some(body.as_str()));
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_segments_roll_without_losing_or_reordering_writes(ops in ops()) {
+        let dir = scratch();
+        // A 64-byte roll threshold forces a new segment nearly every
+        // append, exercising the multi-segment replay path hard.
+        let store = Store::open_with_roll(&dir, 64).expect("open");
+        let mut model: HashMap<String, String> = HashMap::new();
+
+        for (key_idx, payload) in &ops {
+            let key = format!("key-{key_idx}");
+            let body = format!("{{\"payload\":{payload}}}");
+            store.append(&key, &body).expect("append");
+            model.insert(key, body);
+        }
+        let segments = store.stats().segments;
+        prop_assert!(segments >= 1);
+
+        drop(store);
+        let reopened = Store::open_with_roll(&dir, 64).expect("reopen");
+        for (key, body) in &model {
+            prop_assert_eq!(reopened.get(key), Some(body.clone()));
+        }
+        prop_assert_eq!(reopened.stats().segments, segments);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
