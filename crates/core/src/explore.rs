@@ -1,0 +1,396 @@
+//! Budgeted parameter-space exploration (the APEX direction).
+//!
+//! The paper answers its Sec. VIII-B optimization instances by exhaustive
+//! evaluation — affordable with the closed-form models, but not with
+//! per-candidate simulation or on grids larger than Table I's. This module
+//! provides the budget-bounded alternative: [`explore_grid`] spends at most
+//! `budget` candidate evaluations on a [`ParamGrid`] and combines three
+//! deterministic strategies:
+//!
+//! 1. **Sweep** — a coprime-stride (low-discrepancy) sample of the grid,
+//!    spending about half the budget, so every axis is covered without the
+//!    aliasing a plain `n/k` stride suffers on the lexicographic index.
+//! 2. **Successive halving** — the best swept candidates seed a pool whose
+//!    members are refined by evaluating their axis neighbors; after each
+//!    round only the better half survives.
+//! 3. **Local search** — plain hill climbing on the axis neighborhood of
+//!    the incumbent until no neighbor improves or the budget runs out.
+//!
+//! The evaluator is a caller-supplied closure (closed-form predictor,
+//! memoized analytic engine, seeded fast simulation, …) returning the
+//! objective in minimization sense, `None` for infeasible candidates, or
+//! an error to abort the whole search — which is how a serving layer
+//! threads a cooperative deadline through the scan. Each grid index is
+//! evaluated at most once and counted once; repeat visits hit the memo.
+
+use std::collections::HashMap;
+
+use wsn_params::config::StackConfig;
+use wsn_params::grid::ParamGrid;
+
+/// How many of the best swept candidates seed the halving pool.
+const POOL_SEEDS: usize = 8;
+
+/// The outcome of a budgeted search: the winning grid index plus the
+/// evaluation ledger that proves the budget was honored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreOutcome {
+    /// Lexicographic grid index of the best feasible candidate found.
+    pub best_index: usize,
+    /// Its objective value, in minimization sense.
+    pub best_value: f64,
+    /// Total candidate evaluations spent (unique grid indices; never
+    /// exceeds the budget).
+    pub evaluations: u64,
+    /// Evaluations spent by the stride sweep.
+    pub swept: u64,
+    /// Evaluations spent by successive halving of the seed pool.
+    pub refined: u64,
+    /// Evaluations spent by the final local search.
+    pub local: u64,
+}
+
+/// Mixed-radix axis view of a [`ParamGrid`], payload fastest — the same
+/// order as [`ParamGrid::config_at`].
+struct Axes {
+    lens: [usize; 7],
+}
+
+impl Axes {
+    fn of(grid: &ParamGrid) -> Self {
+        Axes {
+            lens: [
+                grid.payloads.len(),
+                grid.packet_intervals_ms.len(),
+                grid.queue_caps.len(),
+                grid.retry_delays_ms.len(),
+                grid.max_tries.len(),
+                grid.power_levels.len(),
+                grid.distances_m.len(),
+            ],
+        }
+    }
+
+    fn decode(&self, index: usize) -> [usize; 7] {
+        let mut rest = index;
+        let mut coords = [0usize; 7];
+        for (c, &len) in coords.iter_mut().zip(&self.lens) {
+            *c = rest % len;
+            rest /= len;
+        }
+        coords
+    }
+
+    fn encode(&self, coords: &[usize; 7]) -> usize {
+        let mut index = 0usize;
+        for (&c, &len) in coords.iter().zip(&self.lens).rev() {
+            index = index * len + c;
+        }
+        index
+    }
+
+    /// Grid indices one step away along each axis (at most 14).
+    fn neighbors(&self, index: usize) -> Vec<usize> {
+        let coords = self.decode(index);
+        let mut out = Vec::with_capacity(14);
+        for axis in 0..7 {
+            if coords[axis] > 0 {
+                let mut c = coords;
+                c[axis] -= 1;
+                out.push(self.encode(&c));
+            }
+            if coords[axis] + 1 < self.lens[axis] {
+                let mut c = coords;
+                c[axis] += 1;
+                out.push(self.encode(&c));
+            }
+        }
+        out
+    }
+}
+
+/// The smallest integer `>= near` coprime to `n` (for the sweep stride).
+fn coprime_step(n: usize, near: usize) -> usize {
+    fn gcd(mut a: usize, mut b: usize) -> usize {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    }
+    let mut s = near.max(1);
+    while gcd(s, n) != 1 {
+        s += 1;
+    }
+    s
+}
+
+/// Runs the budgeted three-phase search over `grid`, spending at most
+/// `budget` evaluations of `eval`.
+///
+/// `eval` receives the lexicographic grid index and the configuration and
+/// returns the objective value in minimization sense (`None` marks the
+/// candidate infeasible; non-finite values are treated the same). Returns
+/// `Ok(None)` when the grid is empty, the budget is zero, or no feasible
+/// candidate was found within budget.
+///
+/// # Errors
+///
+/// Propagates the first error `eval` returns, aborting the search — the
+/// hook for cooperative deadline enforcement.
+pub fn explore_grid<F, E>(
+    grid: &ParamGrid,
+    budget: u64,
+    mut eval: F,
+) -> Result<Option<ExploreOutcome>, E>
+where
+    F: FnMut(usize, &StackConfig) -> Result<Option<f64>, E>,
+{
+    let n = grid.len();
+    if n == 0 || budget == 0 {
+        return Ok(None);
+    }
+    let axes = Axes::of(grid);
+    let mut memo: HashMap<usize, Option<f64>> = HashMap::new();
+    let mut evaluations: u64 = 0;
+    let mut best: Option<(usize, f64)> = None;
+
+    // probe(idx) → Ok(Some(value)) once known, Ok(None) when the budget is
+    // spent; `fresh` distinguishes a paid evaluation from a memo hit.
+    let mut probe = |idx: usize,
+                     counter: &mut u64,
+                     best: &mut Option<(usize, f64)>|
+     -> Result<Option<Option<f64>>, E> {
+        let v = match memo.get(&idx) {
+            Some(v) => *v,
+            None => {
+                if evaluations >= budget {
+                    return Ok(None);
+                }
+                evaluations += 1;
+                *counter += 1;
+                let v = eval(idx, &grid.config_at(idx))?.filter(|x| x.is_finite());
+                memo.insert(idx, v);
+                v
+            }
+        };
+        // Memo hits update the slot too: a later phase must see values an
+        // earlier phase already paid for.
+        if let Some(v) = v {
+            if best.is_none_or(|(_, b)| v < b) {
+                *best = Some((idx, v));
+            }
+        }
+        Ok(Some(v))
+    };
+
+    // Phase 1: coprime-stride sweep over about half the budget.
+    let mut swept: u64 = 0;
+    let target = ((budget / 2).max(1) as usize).min(n);
+    let step = coprime_step(n, (n * 61) / 100);
+    let mut pool: Vec<(usize, f64)> = Vec::new();
+    let mut at = 0usize;
+    for _ in 0..target {
+        match probe(at, &mut swept, &mut best)? {
+            Some(Some(v)) => pool.push((at, v)),
+            Some(None) => {}
+            None => break,
+        }
+        at = (at + step) % n;
+    }
+
+    // Phase 2: successive halving of the best seeds' neighborhoods.
+    let mut refined: u64 = 0;
+    pool.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+    pool.truncate(POOL_SEEDS);
+    'halving: while pool.len() > 1 {
+        let mut round: Vec<(usize, f64)> = Vec::with_capacity(pool.len());
+        for &(idx, v) in &pool {
+            let mut champ = (idx, v);
+            for nb in axes.neighbors(idx) {
+                match probe(nb, &mut refined, &mut best)? {
+                    Some(Some(nv)) if nv < champ.1 => champ = (nb, nv),
+                    Some(_) => {}
+                    // Budget spent mid-round: the incumbent is already
+                    // tracked through the probe slot, so just stop.
+                    None => break 'halving,
+                }
+            }
+            round.push(champ);
+        }
+        round.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite").then(a.0.cmp(&b.0)));
+        round.dedup_by_key(|c| c.0);
+        round.truncate((round.len() / 2).max(1));
+        pool = round;
+    }
+
+    // Phase 3: hill climbing from the incumbent.
+    let mut local: u64 = 0;
+    if let Some((mut bi, mut bv)) = best {
+        loop {
+            let mut improved: Option<(usize, f64)> = None;
+            let mut exhausted = false;
+            for nb in axes.neighbors(bi) {
+                match probe(nb, &mut local, &mut improved)? {
+                    Some(_) => {}
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            match improved {
+                Some((i, v)) if v < bv => {
+                    bi = i;
+                    bv = v;
+                }
+                _ => break,
+            }
+            if exhausted {
+                break;
+            }
+        }
+        // The climb starts at the incumbent and only ever improves.
+        best = Some((bi, bv));
+    }
+
+    Ok(best.map(|(best_index, best_value)| ExploreOutcome {
+        best_index,
+        best_value,
+        evaluations,
+        swept,
+        refined,
+        local,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> ParamGrid {
+        ParamGrid {
+            distances_m: vec![35.0],
+            ..ParamGrid::paper()
+        }
+    }
+
+    /// A deterministic synthetic objective with a unique optimum.
+    fn objective(idx: usize, n: usize) -> f64 {
+        let x = idx as f64 / n as f64;
+        (x - 0.37).powi(2)
+    }
+
+    #[test]
+    fn never_exceeds_the_budget_and_counts_match() {
+        let g = grid();
+        let n = g.len();
+        for budget in [1u64, 7, 64, 500, 10_000, 100_000] {
+            let mut calls = 0u64;
+            let out = explore_grid(&g, budget, |idx, _cfg| {
+                calls += 1;
+                Ok::<_, ()>(Some(objective(idx, n)))
+            })
+            .unwrap()
+            .expect("feasible grid");
+            assert!(calls <= budget, "budget {budget}: {calls} calls");
+            assert_eq!(out.evaluations, calls);
+            assert_eq!(out.evaluations, out.swept + out.refined + out.local);
+            assert!(out.evaluations <= n as u64, "memo dedups repeat visits");
+        }
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let g = grid();
+        let n = g.len();
+        let run = || {
+            explore_grid(&g, 300, |idx, _| Ok::<_, ()>(Some(objective(idx, n))))
+                .unwrap()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn full_budget_matches_the_exhaustive_winner() {
+        let g = grid();
+        let n = g.len();
+        let out = explore_grid(&g, n as u64, |idx, _| Ok::<_, ()>(Some(objective(idx, n))))
+            .unwrap()
+            .unwrap();
+        let exhaustive = (0..n)
+            .min_by(|&a, &b| {
+                objective(a, n)
+                    .partial_cmp(&objective(b, n))
+                    .expect("finite")
+            })
+            .unwrap();
+        assert_eq!(out.best_index, exhaustive);
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none() {
+        let out = explore_grid(&grid(), 100, |_, _| Ok::<Option<f64>, ()>(None)).unwrap();
+        assert!(out.is_none());
+        let nan = explore_grid(&grid(), 100, |_, _| Ok::<_, ()>(Some(f64::NAN))).unwrap();
+        assert!(nan.is_none(), "non-finite objectives are infeasible");
+    }
+
+    #[test]
+    fn evaluator_error_aborts_the_search() {
+        let mut calls = 0;
+        let err = explore_grid(&grid(), 1000, |_, _| {
+            calls += 1;
+            if calls > 5 {
+                Err("deadline")
+            } else {
+                Ok(Some(1.0))
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "deadline");
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn zero_budget_and_empty_grid_return_none() {
+        assert!(explore_grid(&grid(), 0, |_, _| Ok::<_, ()>(Some(1.0)))
+            .unwrap()
+            .is_none());
+        let mut empty = grid();
+        empty.payloads.clear();
+        assert!(explore_grid(&empty, 10, |_, _| Ok::<_, ()>(Some(1.0)))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn neighbors_round_trip_the_mixed_radix_encoding() {
+        let g = ParamGrid::paper();
+        let axes = Axes::of(&g);
+        for idx in [0usize, 1, 8063, 8064, 48_383] {
+            assert_eq!(axes.encode(&axes.decode(idx)), idx);
+            for nb in axes.neighbors(idx) {
+                assert!(nb < g.len());
+                assert_ne!(nb, idx);
+                // A neighbor differs in exactly one coordinate, by one step.
+                let a = axes.decode(idx);
+                let b = axes.decode(nb);
+                let diffs: Vec<usize> = (0..7).filter(|&k| a[k] != b[k]).collect();
+                assert_eq!(diffs.len(), 1);
+                let k = diffs[0];
+                assert_eq!(a[k].abs_diff(b[k]), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_stride_is_coprime_and_aliasing_free() {
+        let n = ParamGrid::paper().len();
+        let step = coprime_step(n, (n * 61) / 100);
+        // The stride visits distinct indices and all payload residues.
+        let residues: std::collections::HashSet<usize> =
+            (0..16).map(|i| (i * step) % n % 8).collect();
+        assert_eq!(residues.len(), 8, "payload axis fully covered");
+    }
+}

@@ -60,6 +60,7 @@ pub mod baselines;
 pub mod battery;
 pub mod constants;
 pub mod energy;
+pub mod explore;
 pub mod fit;
 pub mod goodput;
 pub mod guidelines;
@@ -80,12 +81,15 @@ pub mod prelude {
     pub use crate::battery::{Battery, LifetimeEstimate};
     pub use crate::constants::PaperConstants;
     pub use crate::energy::EnergyModel;
+    pub use crate::explore::{explore_grid, ExploreOutcome};
     pub use crate::fit::{fit_exp_surface, linear_fit, SurfaceFit, SurfacePoint};
     pub use crate::goodput::GoodputModel;
     pub use crate::guidelines::{EnergyAdvice, Guidelines, LossAdvice};
     pub use crate::loss::{mm1k_blocking, LossEstimate, LossModel, RadioLossModel};
     pub use crate::lpl::{LplConfig, LplModel, LplPowerBudget};
-    pub use crate::optimize::{Evaluation, Metric, Optimizer};
+    pub use crate::optimize::{
+        dominates, knee_of_front, pareto_front_indices, Evaluation, Metric, Optimizer,
+    };
     pub use crate::predict::{LinkBudget, Predicted, Predictor};
     pub use crate::queueing::{
         finite_queue_outcome, gg1_waiting_time_s, pk_waiting_time_s, QueueOutcome, ServiceMoments,

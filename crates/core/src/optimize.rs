@@ -97,22 +97,7 @@ impl Optimizer {
             .iter()
             .map(|e| metrics.iter().map(|m| m.value(&e.predicted)).collect())
             .collect();
-        let mut front: Vec<usize> = Vec::new();
-        'candidate: for i in 0..evals.len() {
-            if values[i].iter().any(|v| !v.is_finite()) {
-                continue;
-            }
-            for j in 0..evals.len() {
-                if i != j && dominates(&values[j], &values[i]) {
-                    continue 'candidate;
-                }
-            }
-            // Skip exact duplicates already on the front.
-            if front.iter().any(|&k| values[k] == values[i]) {
-                continue;
-            }
-            front.push(i);
-        }
+        let mut front = pareto_front_indices(&values);
         front.sort_by(|&a, &b| {
             values[a][0]
                 .partial_cmp(&values[b][0])
@@ -236,9 +221,6 @@ impl Optimizer {
     /// interior point to pick).
     pub fn knee_point(&self, grid: &ParamGrid, metrics: [Metric; 2]) -> Option<Evaluation> {
         let front = self.pareto_front(grid, &metrics);
-        if front.len() < 3 {
-            return None;
-        }
         let xy: Vec<(f64, f64)> = front
             .iter()
             .map(|e| {
@@ -248,22 +230,62 @@ impl Optimizer {
                 )
             })
             .collect();
-        let (x0, y0) = xy[0];
-        let (x1, y1) = xy[xy.len() - 1];
-        let span_x = (x1 - x0).abs().max(f64::MIN_POSITIVE);
-        let span_y = (y0 - y1).abs().max(f64::MIN_POSITIVE);
-        let mut best: Option<(usize, f64)> = None;
-        for (i, &(x, y)) in xy.iter().enumerate().skip(1).take(xy.len() - 2) {
-            // Normalized signed distance below the chord.
-            let tx = (x - x0) / span_x;
-            let chord_y = y0 + (y1 - y0) * tx.clamp(0.0, 1.0);
-            let dist = (chord_y - y) / span_y;
-            if best.is_none_or(|(_, d)| dist > d) {
-                best = Some((i, dist));
+        knee_of_front(&xy).map(|i| front[i])
+    }
+}
+
+/// The knee index of a two-metric Pareto front sorted by its first
+/// coordinate: the member with the greatest normalized distance below the
+/// chord between the front's endpoints. Returns `None` when the front has
+/// fewer than three points (no interior point to pick).
+pub fn knee_of_front(xy: &[(f64, f64)]) -> Option<usize> {
+    if xy.len() < 3 {
+        return None;
+    }
+    let (x0, y0) = xy[0];
+    let (x1, y1) = xy[xy.len() - 1];
+    let span_x = (x1 - x0).abs().max(f64::MIN_POSITIVE);
+    let span_y = (y0 - y1).abs().max(f64::MIN_POSITIVE);
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &(x, y)) in xy.iter().enumerate().skip(1).take(xy.len() - 2) {
+        // Normalized signed distance below the chord.
+        let tx = (x - x0) / span_x;
+        let chord_y = y0 + (y1 - y0) * tx.clamp(0.0, 1.0);
+        let dist = (chord_y - y) / span_y;
+        if best.is_none_or(|(_, d)| dist > d) {
+            best = Some((i, dist));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Indices of the exact Pareto front of `values` (each row one candidate's
+/// metric vector, all in minimization sense), ascending. Rows with any
+/// non-finite coordinate never join the front; among duplicate-valued rows
+/// only the first survives. Candidates are compared incrementally against
+/// the running front, so the cost is `O(n · |front|)` rather than `O(n²)`.
+pub fn pareto_front_indices(values: &[Vec<f64>]) -> Vec<usize> {
+    let mut front: Vec<usize> = Vec::new();
+    'candidate: for (i, v) in values.iter().enumerate() {
+        if v.iter().any(|x| !x.is_finite()) {
+            continue;
+        }
+        let mut j = 0;
+        while j < front.len() {
+            let f = &values[front[j]];
+            if dominates(f, v) || f == v {
+                continue 'candidate;
+            }
+            if dominates(v, f) {
+                front.swap_remove(j);
+            } else {
+                j += 1;
             }
         }
-        best.map(|(i, _)| front[i])
+        front.push(i);
     }
+    front.sort_unstable();
+    front
 }
 
 impl Default for Optimizer {
@@ -273,7 +295,7 @@ impl Default for Optimizer {
 }
 
 /// True if `a` Pareto-dominates `b` (all coordinates ≤, at least one <).
-fn dominates(a: &[f64], b: &[f64]) -> bool {
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
     let mut strictly = false;
     for (x, y) in a.iter().zip(b) {
         if x > y {
@@ -400,6 +422,106 @@ mod tests {
     fn empty_metric_list_panics() {
         let opt = Optimizer::paper();
         let _ = opt.pareto_front(&small_grid(), &[]);
+    }
+
+    #[test]
+    fn epsilon_constraint_winner_always_lies_on_the_front() {
+        // Property: for any objective and any constraint set, the
+        // epsilon-constraint winner is Pareto-optimal over the metric set
+        // {objective} ∪ {constrained metrics}. Randomized over a
+        // deterministic LCG so failures reproduce.
+        let opt = Optimizer::paper();
+        let grid = small_grid();
+        let all = [Metric::Energy, Metric::Goodput, Metric::Delay, Metric::Loss];
+        let mut state: u64 = 0x9e3779b97f4a7c15;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..50 {
+            let objective = all[(next() % 4) as usize];
+            let mut metrics = vec![objective];
+            let mut constraints = Vec::new();
+            for _ in 0..(next() % 3) {
+                let m = all[(next() % 4) as usize];
+                // Anchor the bound to a real grid value so some runs are
+                // tight and some loose, but most are feasible.
+                let anchor = opt
+                    .evaluate_grid(&grid)
+                    .into_iter()
+                    .map(|e| m.value(&e.predicted))
+                    .filter(|v| v.is_finite())
+                    .nth((next() % 20) as usize)
+                    .unwrap_or(f64::INFINITY);
+                constraints.push((m, anchor * (1.0 + f64::from(next() % 10) / 100.0)));
+                if !metrics.contains(&m) {
+                    metrics.push(m);
+                }
+            }
+            let Some(winner) = opt.epsilon_constraint(&grid, objective, &constraints) else {
+                continue;
+            };
+            // Epsilon-constraint optima are weakly Pareto optimal: under
+            // objective ties the grid-order pick may be dominated in the
+            // secondary metrics, but a feasible front member always
+            // attains the same objective value.
+            let wobj = objective.value(&winner.predicted);
+            let front = opt.pareto_front(&grid, &metrics);
+            assert!(
+                front.iter().any(|f| {
+                    objective.value(&f.predicted) == wobj
+                        && constraints
+                            .iter()
+                            .all(|(m, eps)| m.value(&f.predicted) <= *eps)
+                }),
+                "winner objective {wobj} for {objective:?} s.t. {constraints:?} \
+                 is not attained on the front"
+            );
+        }
+    }
+
+    #[test]
+    fn pareto_front_indices_rejects_non_finite_and_keeps_first_duplicate() {
+        let values = vec![
+            vec![1.0, 4.0],
+            vec![2.0, f64::NAN],
+            vec![1.0, 4.0],           // duplicate of row 0
+            vec![0.5, f64::INFINITY], // non-finite never joins
+            vec![3.0, 1.0],
+            vec![2.0, 2.0],
+            vec![4.0, 4.0], // dominated by rows 0 and 5
+        ];
+        assert_eq!(pareto_front_indices(&values), vec![0, 4, 5]);
+        // A later candidate evicts an earlier front member it dominates.
+        let evict = vec![vec![2.0, 2.0], vec![1.0, 1.0]];
+        assert_eq!(pareto_front_indices(&evict), vec![1]);
+    }
+
+    #[test]
+    fn knee_of_front_matches_knee_point() {
+        let opt = Optimizer::paper();
+        let grid = small_grid();
+        let metrics = [Metric::Energy, Metric::Goodput];
+        let front = opt.pareto_front(&grid, &metrics);
+        let xy: Vec<(f64, f64)> = front
+            .iter()
+            .map(|e| {
+                (
+                    metrics[0].value(&e.predicted),
+                    metrics[1].value(&e.predicted),
+                )
+            })
+            .collect();
+        match opt.knee_point(&grid, metrics) {
+            Some(knee) => {
+                let i = knee_of_front(&xy).expect("interior point");
+                assert_eq!(front[i].config, knee.config);
+            }
+            None => assert!(knee_of_front(&xy).is_none()),
+        }
+        assert!(knee_of_front(&[(0.0, 1.0), (1.0, 0.0)]).is_none());
     }
 
     #[test]

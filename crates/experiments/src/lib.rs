@@ -42,6 +42,7 @@ pub mod ext10;
 pub mod ext11;
 pub mod ext12;
 pub mod ext13;
+pub mod ext14;
 pub mod fig01;
 pub mod fig03;
 pub mod fig04;
@@ -105,6 +106,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ext11", ext11::run),
         ("ext12", ext12::run),
         ("ext13", ext13::run),
+        ("ext14", ext14::run),
         ("ablation01", ablation01::run),
         ("ablation02", ablation02::run),
         ("ablation03", ablation03::run),
@@ -142,8 +144,8 @@ mod tests {
         ] {
             assert!(ids.contains(&expected), "missing {expected}");
         }
-        // 19 paper artifacts + 13 extensions + 4 ablations.
-        assert_eq!(ids.len(), 36);
+        // 19 paper artifacts + 14 extensions + 4 ablations.
+        assert_eq!(ids.len(), 37);
     }
 
     #[test]

@@ -304,10 +304,17 @@ fn build_request(rng: &mut StdRng, id: &str) -> (String, bool) {
             ),
             false,
         ),
-        // 5 % optimizer calls.
-        _ => (
+        // 3 % optimizer calls.
+        95..=97 => (
             format!(
                 r#"{{"id":"{id}","op":"tune","deadline_ms":1000,"objective":"energy","constraints":[{{"metric":"loss","max":0.05}}],"distance_m":{d:.1}}}"#
+            ),
+            false,
+        ),
+        // 2 % budgeted explorations (a few hundred analytic evaluations).
+        _ => (
+            format!(
+                r#"{{"id":"{id}","op":"explore","deadline_ms":1000,"objective":"energy","budget":256,"engine":"analytic","distance_m":{d:.1}}}"#
             ),
             false,
         ),
@@ -773,11 +780,15 @@ mod tests {
     fn the_op_mix_produces_parseable_requests_with_the_documented_weights() {
         let mut rng = StdRng::seed_from_u64(7);
         let mut analytic = 0usize;
+        let mut explore = 0usize;
         for i in 0..400 {
             let (line, is_analytic) = build_request(&mut rng, &format!("t-{i}"));
             let parsed = wsn_serve::protocol::parse_request(&line)
                 .unwrap_or_else(|e| panic!("mix produced a rejected request: {e:?}\n{line}"));
             assert_eq!(parsed.deadline_ms, Some(1000));
+            if parsed.op == wsn_serve::protocol::Op::Explore {
+                explore += 1;
+            }
             if is_analytic {
                 analytic += 1;
                 assert!(line.contains(r#""engine":"analytic""#));
@@ -788,6 +799,8 @@ mod tests {
             (100..=220).contains(&analytic),
             "analytic draws: {analytic}"
         );
+        // 2 % nominal — the mix must actually exercise the explore op.
+        assert!((1..=30).contains(&explore), "explore draws: {explore}");
     }
 
     #[test]

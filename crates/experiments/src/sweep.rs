@@ -60,9 +60,7 @@ pub fn payload_sweep(base: &StackConfig, payloads: &[u16]) -> Vec<StackConfig> {
 /// of extra shadowing so that the 35 m link reaches only 6 dB SNR at
 /// maximum power (matching `LinkBudget::case_study`).
 pub fn case_study_channel() -> ChannelConfig {
-    let mut channel = ChannelConfig::paper_hallway();
-    channel.pathloss.reference_loss_db = 55.2;
-    channel
+    ChannelConfig::case_study()
 }
 
 /// Mean of an iterator of f64 values; 0.0 when empty.

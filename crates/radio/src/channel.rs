@@ -51,6 +51,15 @@ impl ChannelConfig {
         }
     }
 
+    /// The channel of the paper's Sec. VIII case study: the hallway with
+    /// ~23 dB of extra shadowing so that the 35 m link reaches only 6 dB
+    /// SNR at maximum power (matching `LinkBudget::case_study`).
+    pub fn case_study() -> Self {
+        let mut channel = Self::paper_hallway();
+        channel.pathloss.reference_loss_db = 55.2;
+        channel
+    }
+
     /// An idealised environment without fading or noise variation, with a
     /// constant −95 dBm floor. Used by ablations and calibration tests that
     /// need the mean SNR to be exact.

@@ -14,6 +14,7 @@
 //! live ops (`stats`, `shutdown`) are never cached.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use wsn_analytic::table::AnalyticTable;
 use wsn_analytic::{AnalyticLinkSimulation, AnalyticOutcome, AnalyticReport};
@@ -23,8 +24,9 @@ use wsn_link_sim::metrics::LinkMetrics;
 use wsn_link_sim::network::{AirStats, NetOptions, NetworkSimulation, TopoStats};
 use wsn_link_sim::simulation::{LinkSimulation, SimOptions};
 use wsn_link_sim::traffic::TrafficModel;
-use wsn_models::optimize::{Metric, Optimizer};
-use wsn_models::predict::Predicted;
+use wsn_models::explore::explore_grid;
+use wsn_models::optimize::{knee_of_front, pareto_front_indices, Metric, Optimizer};
+use wsn_models::predict::{LinkBudget, Predicted};
 use wsn_params::config::StackConfig;
 use wsn_params::grid::ParamGrid;
 use wsn_params::types::Distance;
@@ -35,7 +37,7 @@ use wsn_sim_engine::mode::EngineMode;
 use serde::Serialize;
 
 use crate::cache::ShardedCache;
-use crate::protocol::{cache_key, metric_name, ErrCode, RequestBody, TimelineSpec};
+use crate::protocol::{cache_key, metric_name, ErrCode, Profile, RequestBody, TimelineSpec};
 use crate::stats::ServeStats;
 use crate::store::Store;
 
@@ -56,6 +58,14 @@ impl ExecError {
         ExecError {
             code: ErrCode::BadRequest,
             message,
+        }
+    }
+
+    /// The request's deadline expired mid-scan.
+    fn deadline(scanned: u64) -> Self {
+        ExecError {
+            code: ErrCode::Deadline,
+            message: format!("deadline expired after {scanned} candidate evaluations"),
         }
     }
 
@@ -85,12 +95,58 @@ pub struct Engine {
     analytic: Arc<AnalyticTable>,
     /// The golden closed-form optimizer/predictor (paper constants).
     optimizer: Optimizer,
+    /// Case-study counterparts (Sec. VIII-C: the shadowed channel),
+    /// powering `"profile":"case-study"` requests. Separate tables are
+    /// required because each memo is pinned to one channel.
+    budgets_cs: Arc<LinkBudgetTable>,
+    /// Closed-form memo on the case-study channel.
+    analytic_cs: Arc<AnalyticTable>,
+    /// The golden optimizer on the case-study link budget.
+    optimizer_cs: Optimizer,
     /// The in-memory result cache (tier 1).
     pub cache: ShardedCache,
     /// The optional persistent result store (tier 2).
     store: Option<Arc<Store>>,
     /// Service counters.
     pub stats: ServeStats,
+}
+
+/// How many candidate evaluations a grid scan runs between deadline
+/// checks. Analytic memo hits cost ~100 ns and golden predictions ~1 µs,
+/// so this stride bounds the overshoot past an expired deadline to well
+/// under a millisecond while keeping `Instant::now` off the hot path.
+const DEADLINE_STRIDE: u64 = 64;
+
+/// A cooperative deadline for long grid scans: counts candidate
+/// evaluations and fails with [`ErrCode::Deadline`] once the wall clock
+/// passes the request's deadline. `None` never fires, so undeadlined
+/// requests pay only the counter increment.
+struct ScanDeadline {
+    deadline: Option<Instant>,
+    scanned: u64,
+}
+
+impl ScanDeadline {
+    fn new(deadline: Option<Instant>) -> Self {
+        ScanDeadline {
+            deadline,
+            scanned: 0,
+        }
+    }
+
+    /// Counts one candidate evaluation; errs when the deadline has
+    /// passed (checked every [`DEADLINE_STRIDE`] evaluations).
+    fn tick(&mut self) -> Result<(), ExecError> {
+        self.scanned += 1;
+        if self.scanned.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    return Err(ExecError::deadline(self.scanned));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// How a request was answered: the serialized `result` body, and whether
@@ -178,6 +234,78 @@ struct AnalyticTuneResult {
     /// candidate that is re-simulated).
     simulated: Option<LinkMetrics>,
     analytic: AnalyticTuneDetail,
+}
+
+/// One non-dominated configuration of a `pareto` result. `values` line up
+/// with the request's metric order, in display sense (goodput positive).
+#[derive(Serialize, Clone)]
+struct FrontMember {
+    config: StackConfig,
+    values: Vec<f64>,
+}
+
+/// The Pareto front of one grid distance, sorted by the first metric
+/// (minimization sense), plus the chord-rule knee when the front is
+/// two-dimensional with at least 3 points.
+#[derive(Serialize)]
+struct DistanceFront {
+    distance_m: f64,
+    front: Vec<FrontMember>,
+    knee: Option<FrontMember>,
+}
+
+#[derive(Serialize)]
+struct ParetoResult {
+    metrics: Vec<String>,
+    engine: String,
+    profile: String,
+    grid_configs: u64,
+    distances: Vec<DistanceFront>,
+}
+
+/// How an `explore` budget was spent across the three search phases.
+#[derive(Serialize)]
+struct ExploreStrategy {
+    swept: u64,
+    refined: u64,
+    local: u64,
+}
+
+/// The `explore` result under the golden predictor: the winner and its
+/// closed-form prediction.
+#[derive(Serialize)]
+struct ExploreResult {
+    objective: String,
+    constraints: Vec<ConstraintEcho>,
+    budget: u64,
+    evaluations: u64,
+    grid_configs: u64,
+    engine: String,
+    profile: String,
+    strategy: ExploreStrategy,
+    config: StackConfig,
+    /// The winner's objective in display sense (goodput positive).
+    objective_value: f64,
+    predicted: Predicted,
+}
+
+/// The `explore` result under the analytic/fast backends: the winner and
+/// the full metric set from the engine that scored it (a distinct shape —
+/// the vendored serde_derive has no `skip_serializing_if`).
+#[derive(Serialize)]
+struct ExploreSimResult {
+    objective: String,
+    constraints: Vec<ConstraintEcho>,
+    budget: u64,
+    evaluations: u64,
+    grid_configs: u64,
+    engine: String,
+    profile: String,
+    strategy: ExploreStrategy,
+    config: StackConfig,
+    /// The winner's objective in display sense (goodput positive).
+    objective_value: f64,
+    metrics: LinkMetrics,
 }
 
 #[derive(Serialize)]
@@ -291,15 +419,42 @@ fn link_metric_value(metric: Metric, m: &LinkMetrics) -> f64 {
     }
 }
 
+/// Converts a minimization-sense value back to display sense (goodput is
+/// internally negated so smaller-is-better holds uniformly).
+fn display_value(metric: Metric, value: f64) -> f64 {
+    match metric {
+        Metric::Goodput => -value,
+        _ => value,
+    }
+}
+
+/// The constraint echo block shared by `tune`/`explore` result bodies,
+/// in request order.
+fn constraint_echo(constraints: &[(Metric, f64)]) -> Vec<ConstraintEcho> {
+    constraints
+        .iter()
+        .map(|(m, max)| ConstraintEcho {
+            metric: metric_name(*m).to_string(),
+            max: *max,
+        })
+        .collect()
+}
+
 impl Engine {
     /// An engine on the paper's hallway channel with a `shards`-way result
     /// cache.
     pub fn new(shards: usize) -> Self {
         let channel = ChannelConfig::paper_hallway();
+        let channel_cs = ChannelConfig::case_study();
+        let mut optimizer_cs = Optimizer::paper();
+        optimizer_cs.predictor.budget = LinkBudget::case_study();
         Engine {
             budgets: Arc::new(LinkBudgetTable::new(channel)),
             analytic: Arc::new(AnalyticTable::new(channel)),
             optimizer: Optimizer::paper(),
+            budgets_cs: Arc::new(LinkBudgetTable::new(channel_cs)),
+            analytic_cs: Arc::new(AnalyticTable::new(channel_cs)),
+            optimizer_cs,
             cache: ShardedCache::new(shards),
             store: None,
             stats: ServeStats::new(),
@@ -349,6 +504,23 @@ impl Engine {
     /// query that fails for transient semantic reasons (e.g. a tune that
     /// becomes feasible after loosening a constraint) is recomputed.
     pub fn execute(&self, body: &RequestBody) -> Result<Answer, ExecError> {
+        self.execute_with_deadline(body, None)
+    }
+
+    /// [`Engine::execute`] under a cooperative deadline: long grid scans
+    /// (`tune`, `pareto`, `explore`) check the clock between candidate
+    /// evaluations and abort with [`ErrCode::Deadline`] instead of
+    /// burning a worker past the client's patience. Cache hits ignore the
+    /// deadline — a stored answer is free.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::execute`], plus the `deadline` code on expiry.
+    pub fn execute_with_deadline(
+        &self,
+        body: &RequestBody,
+        deadline: Option<Instant>,
+    ) -> Result<Answer, ExecError> {
         let key = cache_key(body);
         if let Some(key) = &key {
             if let Some(hit) = self.cache.get(key) {
@@ -370,7 +542,7 @@ impl Engine {
                 }
             }
         }
-        let body = Arc::new(self.compute(body)?);
+        let body = Arc::new(self.compute(body, deadline)?);
         if let Some(key) = key {
             if let Some(store) = &self.store {
                 // A store write failure must not fail the request — the
@@ -385,7 +557,7 @@ impl Engine {
         })
     }
 
-    fn compute(&self, body: &RequestBody) -> Result<String, ExecError> {
+    fn compute(&self, body: &RequestBody, deadline: Option<Instant>) -> Result<String, ExecError> {
         match body {
             RequestBody::Simulate {
                 config,
@@ -427,7 +599,29 @@ impl Engine {
                 constraints,
                 distance_m,
                 engine,
-            } => self.tune(*objective, constraints, *distance_m, *engine),
+            } => self.tune(*objective, constraints, *distance_m, *engine, deadline),
+            RequestBody::Pareto {
+                metrics,
+                distance_m,
+                engine,
+                profile,
+            } => self.pareto(metrics, *distance_m, *engine, *profile, deadline),
+            RequestBody::Explore {
+                objective,
+                constraints,
+                budget,
+                distance_m,
+                engine,
+                profile,
+            } => self.explore(
+                *objective,
+                constraints,
+                *budget,
+                *distance_m,
+                *engine,
+                *profile,
+                deadline,
+            ),
             RequestBody::Scenario {
                 scenario,
                 packets,
@@ -543,12 +737,87 @@ impl Engine {
             .run()
     }
 
+    /// The golden optimizer/predictor backing a profile.
+    fn profile_optimizer(&self, profile: Profile) -> &Optimizer {
+        match profile {
+            Profile::Paper => &self.optimizer,
+            Profile::CaseStudy => &self.optimizer_cs,
+        }
+    }
+
+    /// One closed-form evaluation under a profile. The paper profile is
+    /// the hallway channel at the configuration's periodic operating
+    /// point; the case study is the shadowed channel under saturating
+    /// (bulk-transfer) load — the Sec. VIII-C regime where the published
+    /// winner (`Ptx=31`, interior payload, `N=3`) emerges.
+    fn analytic_run_profile(
+        &self,
+        config: StackConfig,
+        packets: u64,
+        profile: Profile,
+    ) -> AnalyticOutcome {
+        match profile {
+            Profile::Paper => self.analytic_run(config, packets),
+            Profile::CaseStudy => {
+                // The evaluator is a function of `options.channel` (the
+                // memo tables only engage when their channel matches), so
+                // the shadowed channel must be set on the options too.
+                let options = SimOptions {
+                    packets,
+                    record_packets: false,
+                    channel: ChannelConfig::case_study(),
+                    traffic: TrafficModel::Saturating,
+                    ..SimOptions::paper(crate::protocol::DEFAULT_SEED)
+                };
+                AnalyticLinkSimulation::new(config, options)
+                    .with_budget_table(Arc::clone(&self.budgets_cs))
+                    .with_cache(Arc::clone(&self.analytic_cs))
+                    .run()
+            }
+        }
+    }
+
+    /// One fast-sampler run under a profile (same channel/traffic pairing
+    /// as [`Engine::analytic_run_profile`]).
+    fn fast_run_profile(
+        &self,
+        config: StackConfig,
+        packets: u64,
+        seed: u64,
+        profile: Profile,
+    ) -> LinkMetrics {
+        let (budgets, channel, traffic) = match profile {
+            Profile::Paper => (
+                &self.budgets,
+                ChannelConfig::paper_hallway(),
+                TrafficModel::Periodic,
+            ),
+            Profile::CaseStudy => (
+                &self.budgets_cs,
+                ChannelConfig::case_study(),
+                TrafficModel::Saturating,
+            ),
+        };
+        let options = SimOptions {
+            packets,
+            record_packets: false,
+            channel,
+            traffic,
+            ..SimOptions::paper(seed)
+        };
+        FastLinkSimulation::new(config, options)
+            .with_budget_table(Arc::clone(budgets))
+            .run()
+            .into_metrics()
+    }
+
     fn tune(
         &self,
         objective: Metric,
         constraints: &[(Metric, f64)],
         distance_m: Option<f64>,
         engine: EngineMode,
+        deadline: Option<Instant>,
     ) -> Result<String, ExecError> {
         let mut grid = ParamGrid::paper();
         if let Some(d) = distance_m {
@@ -556,14 +825,38 @@ impl Engine {
             grid.distances_m = vec![d];
         }
         if engine == EngineMode::Analytic {
-            return self.tune_analytic(objective, constraints, &grid);
+            return self.tune_analytic(objective, constraints, &grid, deadline);
         }
-        let best = self
-            .optimizer
-            .epsilon_constraint(&grid, objective, constraints)
-            .ok_or_else(|| {
-                ExecError::bad_request("no feasible configuration on the grid".to_string())
-            })?;
+        // Inlined `Optimizer::epsilon_constraint` so the scan can honor
+        // the request deadline between candidates. Strict `<` keeps the
+        // *first* minimum, matching `min_by`'s tie-breaking exactly — a
+        // cached pre-inline answer and a fresh one must agree
+        // byte-for-byte.
+        let mut scan = ScanDeadline::new(deadline);
+        let mut best: Option<(wsn_models::optimize::Evaluation, f64)> = None;
+        for config in grid.iter() {
+            scan.tick()?;
+            let predicted = self.optimizer.predictor.evaluate(&config);
+            if !constraints
+                .iter()
+                .all(|(m, eps)| m.value(&predicted) <= *eps)
+            {
+                continue;
+            }
+            let value = objective.value(&predicted);
+            if !value.is_finite() {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(_, b)| value < *b) {
+                best = Some((
+                    wsn_models::optimize::Evaluation { config, predicted },
+                    value,
+                ));
+            }
+        }
+        let (best, _) = best.ok_or_else(|| {
+            ExecError::bad_request("no feasible configuration on the grid".to_string())
+        })?;
         // `"engine":"fast"` buys an empirical cross-check: the predicted
         // winner is re-run through the fast sampler so the client sees
         // simulated metrics next to the closed-form prediction.
@@ -578,13 +871,7 @@ impl Engine {
         };
         serde_json::to_string(&TuneResult {
             objective: metric_name(objective).to_string(),
-            constraints: constraints
-                .iter()
-                .map(|(m, max)| ConstraintEcho {
-                    metric: metric_name(*m).to_string(),
-                    max: *max,
-                })
-                .collect(),
+            constraints: constraint_echo(constraints),
             grid_configs: grid.len() as u64,
             engine: engine.name().to_string(),
             config: best.config,
@@ -607,9 +894,12 @@ impl Engine {
         objective: Metric,
         constraints: &[(Metric, f64)],
         grid: &ParamGrid,
+        deadline: Option<Instant>,
     ) -> Result<String, ExecError> {
+        let mut scan = ScanDeadline::new(deadline);
         let mut best: Option<(StackConfig, LinkMetrics, AnalyticReport, f64)> = None;
         for config in grid.iter() {
+            scan.tick()?;
             let outcome = self.analytic_run(config, crate::protocol::DEFAULT_PACKETS);
             let report = outcome.report;
             let metrics = outcome.into_metrics();
@@ -640,13 +930,7 @@ impl Engine {
         );
         serde_json::to_string(&AnalyticTuneResult {
             objective: metric_name(objective).to_string(),
-            constraints: constraints
-                .iter()
-                .map(|(m, max)| ConstraintEcho {
-                    metric: metric_name(*m).to_string(),
-                    max: *max,
-                })
-                .collect(),
+            constraints: constraint_echo(constraints),
             grid_configs: grid.len() as u64,
             engine: EngineMode::Analytic.name().to_string(),
             config,
@@ -659,6 +943,210 @@ impl Engine {
             },
         })
         .map_err(|e| ExecError::internal(e.to_string()))
+    }
+
+    /// The `pareto` op: the exact non-dominated set of every requested
+    /// distance, each front sorted by the first metric, the chord-rule
+    /// knee attached when the front is two-dimensional. The golden
+    /// backend ranks closed-form predictions; the analytic backend ranks
+    /// memoized M/G/1 evaluations at each candidate's own operating
+    /// point.
+    fn pareto(
+        &self,
+        metrics: &[Metric],
+        distance_m: Option<f64>,
+        engine: EngineMode,
+        profile: Profile,
+        deadline: Option<Instant>,
+    ) -> Result<String, ExecError> {
+        let mut grid = ParamGrid::paper();
+        if let Some(d) = distance_m {
+            Distance::from_meters(d).map_err(|e| ExecError::bad_request(e.to_string()))?;
+            grid.distances_m = vec![d];
+        }
+        let mut scan = ScanDeadline::new(deadline);
+        let mut distances = Vec::with_capacity(grid.distances_m.len());
+        for &d in &grid.distances_m {
+            let slice = ParamGrid {
+                distances_m: vec![d],
+                ..grid.clone()
+            };
+            let mut configs = Vec::with_capacity(slice.len());
+            let mut values: Vec<Vec<f64>> = Vec::with_capacity(slice.len());
+            for config in slice.iter() {
+                scan.tick()?;
+                let row: Vec<f64> = match engine {
+                    EngineMode::Analytic => {
+                        let m = self
+                            .analytic_run_profile(config, crate::protocol::DEFAULT_PACKETS, profile)
+                            .into_metrics();
+                        metrics
+                            .iter()
+                            .map(|metric| link_metric_value(*metric, &m))
+                            .collect()
+                    }
+                    _ => {
+                        let p = self.profile_optimizer(profile).predictor.evaluate(&config);
+                        metrics.iter().map(|metric| metric.value(&p)).collect()
+                    }
+                };
+                configs.push(config);
+                values.push(row);
+            }
+            let mut front = pareto_front_indices(&values);
+            front.sort_by(|&a, &b| {
+                values[a][0]
+                    .partial_cmp(&values[b][0])
+                    .expect("front values are finite")
+            });
+            let members: Vec<FrontMember> = front
+                .iter()
+                .map(|&i| FrontMember {
+                    config: configs[i],
+                    values: metrics
+                        .iter()
+                        .zip(&values[i])
+                        .map(|(m, v)| display_value(*m, *v))
+                        .collect(),
+                })
+                .collect();
+            let knee = if metrics.len() == 2 {
+                let xy: Vec<(f64, f64)> = front
+                    .iter()
+                    .map(|&i| (values[i][0], values[i][1]))
+                    .collect();
+                knee_of_front(&xy).map(|k| members[k].clone())
+            } else {
+                None
+            };
+            distances.push(DistanceFront {
+                distance_m: d,
+                front: members,
+                knee,
+            });
+        }
+        serde_json::to_string(&ParetoResult {
+            metrics: metrics
+                .iter()
+                .map(|m| metric_name(*m).to_string())
+                .collect(),
+            engine: engine.name().to_string(),
+            profile: profile.name().to_string(),
+            grid_configs: grid.len() as u64,
+            distances,
+        })
+        .map_err(|e| ExecError::internal(e.to_string()))
+    }
+
+    /// The `explore` op: budgeted search through
+    /// [`wsn_models::explore::explore_grid`] (coprime-stride sweep →
+    /// successive halving → hill climb), never spending more candidate
+    /// evaluations than `budget`. The evaluator enforces the constraints
+    /// and the deadline; the winner is re-rendered from the same backend
+    /// that scored it.
+    #[allow(clippy::too_many_arguments)]
+    fn explore(
+        &self,
+        objective: Metric,
+        constraints: &[(Metric, f64)],
+        budget: u64,
+        distance_m: Option<f64>,
+        engine: EngineMode,
+        profile: Profile,
+        deadline: Option<Instant>,
+    ) -> Result<String, ExecError> {
+        let mut grid = ParamGrid::paper();
+        if let Some(d) = distance_m {
+            Distance::from_meters(d).map_err(|e| ExecError::bad_request(e.to_string()))?;
+            grid.distances_m = vec![d];
+        }
+        let mut scan = ScanDeadline::new(deadline);
+        let feasible_value = |metrics_of: &dyn Fn(Metric) -> f64| -> Option<f64> {
+            if !constraints.iter().all(|(m, eps)| metrics_of(*m) <= *eps) {
+                return None;
+            }
+            Some(metrics_of(objective))
+        };
+        let outcome = explore_grid(&grid, budget, |_, config| {
+            scan.tick()?;
+            let value = match engine {
+                EngineMode::Golden => {
+                    let p = self.profile_optimizer(profile).predictor.evaluate(config);
+                    feasible_value(&|m| m.value(&p))
+                }
+                EngineMode::Analytic => {
+                    let lm = self
+                        .analytic_run_profile(*config, crate::protocol::DEFAULT_PACKETS, profile)
+                        .into_metrics();
+                    feasible_value(&|m| link_metric_value(m, &lm))
+                }
+                EngineMode::Fast => {
+                    let lm = self.fast_run_profile(
+                        *config,
+                        crate::protocol::DEFAULT_PACKETS,
+                        crate::protocol::DEFAULT_SEED,
+                        profile,
+                    );
+                    feasible_value(&|m| link_metric_value(m, &lm))
+                }
+            };
+            Ok(value)
+        })?
+        .ok_or_else(|| {
+            ExecError::bad_request("no feasible configuration found within the budget".to_string())
+        })?;
+        let config = grid.config_at(outcome.best_index);
+        let strategy = ExploreStrategy {
+            swept: outcome.swept,
+            refined: outcome.refined,
+            local: outcome.local,
+        };
+        let objective_value = display_value(objective, outcome.best_value);
+        match engine {
+            EngineMode::Golden => serde_json::to_string(&ExploreResult {
+                objective: metric_name(objective).to_string(),
+                constraints: constraint_echo(constraints),
+                budget,
+                evaluations: outcome.evaluations,
+                grid_configs: grid.len() as u64,
+                engine: engine.name().to_string(),
+                profile: profile.name().to_string(),
+                strategy,
+                config,
+                objective_value,
+                predicted: self.profile_optimizer(profile).predictor.evaluate(&config),
+            })
+            .map_err(|e| ExecError::internal(e.to_string())),
+            _ => {
+                // Re-deriving the winner's metrics is free (analytic memo
+                // hit) or deterministic (fast sampler, fixed seed).
+                let metrics = match engine {
+                    EngineMode::Analytic => self
+                        .analytic_run_profile(config, crate::protocol::DEFAULT_PACKETS, profile)
+                        .into_metrics(),
+                    _ => self.fast_run_profile(
+                        config,
+                        crate::protocol::DEFAULT_PACKETS,
+                        crate::protocol::DEFAULT_SEED,
+                        profile,
+                    ),
+                };
+                serde_json::to_string(&ExploreSimResult {
+                    objective: metric_name(objective).to_string(),
+                    constraints: constraint_echo(constraints),
+                    budget,
+                    evaluations: outcome.evaluations,
+                    grid_configs: grid.len() as u64,
+                    engine: engine.name().to_string(),
+                    profile: profile.name().to_string(),
+                    strategy,
+                    config,
+                    objective_value,
+                    metrics,
+                })
+                .map_err(|e| ExecError::internal(e.to_string()))
+            }
+        }
     }
 
     fn scenario(
@@ -1076,6 +1564,268 @@ mod tests {
         assert!(answer.cached, "warmed entry must hit");
         assert_eq!(answer.body.as_str(), live);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inline_tune_matches_the_optimizer_exactly() {
+        // The golden tune loop was inlined from `epsilon_constraint` so it
+        // could check the deadline; a cached pre-inline answer and a fresh
+        // one must pick the same winner, ties included.
+        let engine = Engine::new(4);
+        let optimizer = Optimizer::paper();
+        for (objective, constraints) in [
+            (Metric::Energy, vec![]),
+            (Metric::Goodput, vec![(Metric::Loss, 0.01)]),
+            (Metric::Delay, vec![(Metric::Energy, 5.0)]),
+        ] {
+            let mut grid = ParamGrid::paper();
+            grid.distances_m = vec![20.0];
+            let expected = optimizer
+                .epsilon_constraint(&grid, objective, &constraints)
+                .expect("feasible");
+            let cs: Vec<String> = constraints
+                .iter()
+                .map(|(m, max)| format!(r#"{{"metric":"{}","max":{max}}}"#, metric_name(*m)))
+                .collect();
+            let line = format!(
+                r#"{{"op":"tune","objective":"{}","constraints":[{}],"distance_m":20.0}}"#,
+                metric_name(objective),
+                cs.join(",")
+            );
+            let answer = engine.execute(&body(&line)).unwrap();
+            let v = serde_json::parse(&answer.body).unwrap();
+            let cfg = v.field("config");
+            assert_eq!(
+                cfg.field("power").as_u64(),
+                Some(u64::from(expected.config.power.level())),
+                "{line}"
+            );
+            assert_eq!(
+                cfg.field("payload").as_u64(),
+                Some(u64::from(expected.config.payload.bytes())),
+                "{line}"
+            );
+            assert_eq!(
+                cfg.field("max_tries").as_u64(),
+                Some(u64::from(expected.config.max_tries.get())),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn tune_accepts_off_grid_distances_on_both_engines() {
+        // 17.5 m is between grid rows but a perfectly valid link; both
+        // backends must scan the restricted grid there rather than error.
+        let engine = Engine::new(4);
+        for eng in ["golden", "analytic"] {
+            let line = format!(
+                r#"{{"op":"tune","objective":"energy","distance_m":17.5,"engine":"{eng}"}}"#
+            );
+            let answer = engine.execute(&body(&line)).unwrap();
+            let v = serde_json::parse(&answer.body).unwrap();
+            assert_eq!(
+                v.field("config").field("distance").as_f64(),
+                Some(17.5),
+                "{eng}"
+            );
+            assert_eq!(v.field("grid_configs").as_u64(), Some(8064), "{eng}");
+        }
+        // And an invalid distance fails the same way on both.
+        for eng in ["golden", "analytic"] {
+            let line = format!(
+                r#"{{"op":"tune","objective":"energy","distance_m":-3.0,"engine":"{eng}"}}"#
+            );
+            let err = engine.execute(&body(&line)).unwrap_err();
+            assert_eq!(err.code, ErrCode::BadRequest, "{eng}");
+            assert!(err.message.contains("-3"), "{eng}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_scan_with_the_deadline_code() {
+        let engine = Engine::new(4);
+        let full_grid = body(r#"{"op":"tune","objective":"energy"}"#);
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        let err = engine
+            .execute_with_deadline(&full_grid, Some(past))
+            .unwrap_err();
+        assert_eq!(err.code, ErrCode::Deadline);
+        assert!(
+            err.message.contains("candidate evaluations"),
+            "{}",
+            err.message
+        );
+        // The abort was never cached: without a deadline the same request
+        // computes and answers.
+        let ok = engine.execute(&full_grid).unwrap();
+        assert!(!ok.cached);
+        // …and now that an answer is stored, even an expired deadline is
+        // served from the cache — a stored answer is free.
+        let hit = engine
+            .execute_with_deadline(&full_grid, Some(past))
+            .unwrap();
+        assert!(hit.cached);
+    }
+
+    #[test]
+    fn pareto_fronts_are_non_dominated_sorted_and_kneed() {
+        let engine = Engine::new(4);
+        let answer = engine
+            .execute(&body(r#"{"op":"pareto","distance_m":20.0}"#))
+            .unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        assert_eq!(v.field("grid_configs").as_u64(), Some(8064));
+        let distances = v.field("distances").as_array().unwrap();
+        assert_eq!(distances.len(), 1);
+        let front = distances[0].field("front").as_array().unwrap();
+        assert!(front.len() >= 3, "front has {} members", front.len());
+        // Display sense: energy ascending means goodput must ascend too,
+        // or the later member would be dominated.
+        let rows: Vec<(f64, f64)> = front
+            .iter()
+            .map(|m| {
+                let vals = m.field("values").as_array().unwrap();
+                (vals[0].as_f64().unwrap(), vals[1].as_f64().unwrap())
+            })
+            .collect();
+        for pair in rows.windows(2) {
+            assert!(pair[0].0 <= pair[1].0, "sorted by energy: {rows:?}");
+            assert!(pair[0].1 < pair[1].1, "non-dominated: {rows:?}");
+        }
+        // The knee is one of the front members.
+        let knee = distances[0].field("knee");
+        let knee_vals = knee.field("values").as_array().unwrap();
+        let kv = (
+            knee_vals[0].as_f64().unwrap(),
+            knee_vals[1].as_f64().unwrap(),
+        );
+        assert!(rows.contains(&kv), "knee {kv:?} not on front");
+        // Byte-identical repeat from the cache.
+        let again = engine
+            .execute(&body(r#"{"op":"pareto","distance_m":20.0}"#))
+            .unwrap();
+        assert!(again.cached);
+        assert_eq!(again.body.as_str(), answer.body.as_str());
+    }
+
+    #[test]
+    fn pareto_reproduces_the_table_iv_case_study() {
+        // The paper's Sec. VIII-C joint pick — minimize energy, then take
+        // the best goodput within 20 % of that minimum — applied to the
+        // served front must land on the published shape: Ptx=31, an
+        // interior payload, NmaxTries=3 (examples/analytic_tune.rs runs
+        // the same study through the campaign runner).
+        let engine = Engine::new(4);
+        let answer = engine
+            .execute(&body(
+                r#"{"op":"pareto","distance_m":35.0,"engine":"analytic","profile":"case-study"}"#,
+            ))
+            .unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        assert_eq!(v.field("profile").as_str(), Some("case-study"));
+        let front = v.field("distances").as_array().unwrap()[0]
+            .field("front")
+            .as_array()
+            .unwrap();
+        let energy_of =
+            |m: &serde_json::Value| m.field("values").as_array().unwrap()[0].as_f64().unwrap();
+        let goodput_of =
+            |m: &serde_json::Value| m.field("values").as_array().unwrap()[1].as_f64().unwrap();
+        let best_energy = front.iter().map(energy_of).fold(f64::INFINITY, f64::min);
+        let winner = front
+            .iter()
+            .filter(|m| energy_of(m) <= best_energy * 1.2)
+            .max_by(|a, b| goodput_of(a).total_cmp(&goodput_of(b)))
+            .expect("non-empty front");
+        let cfg = winner.field("config");
+        assert_eq!(cfg.field("power").as_u64(), Some(31));
+        assert_eq!(cfg.field("max_tries").as_u64(), Some(3));
+        let payload = cfg.field("payload").as_u64().unwrap();
+        assert!(
+            payload > 5 && payload < 110,
+            "interior payload, got {payload}"
+        );
+    }
+
+    #[test]
+    fn explore_respects_the_budget_and_stays_near_the_exhaustive_winner() {
+        let engine = Engine::new(4);
+        // Exhaustive truth: the analytic tune scans all 8064 candidates.
+        let tune = engine
+            .execute(&body(
+                r#"{"op":"tune","objective":"energy","distance_m":35.0,"engine":"analytic"}"#,
+            ))
+            .unwrap();
+        let tv = serde_json::parse(&tune.body).unwrap();
+        let exhaustive = tv
+            .field("analytic")
+            .field("metrics")
+            .field("u_eng_uj_per_bit")
+            .as_f64()
+            .unwrap();
+        // A quarter of the grid must land within 5 % objective regret.
+        let budget = 8064 / 4;
+        let line = format!(
+            r#"{{"op":"explore","objective":"energy","budget":{budget},"distance_m":35.0,"engine":"analytic"}}"#
+        );
+        let answer = engine.execute(&body(&line)).unwrap();
+        let v = serde_json::parse(&answer.body).unwrap();
+        let evaluations = v.field("evaluations").as_u64().unwrap();
+        assert!(
+            evaluations <= budget,
+            "spent {evaluations} of budget {budget}"
+        );
+        let found = v.field("objective_value").as_f64().unwrap();
+        assert!(
+            found <= exhaustive * 1.05,
+            "explore {found} vs exhaustive {exhaustive}"
+        );
+        // The strategy breakdown accounts for every evaluation.
+        let strategy = v.field("strategy");
+        let spent = strategy.field("swept").as_u64().unwrap()
+            + strategy.field("refined").as_u64().unwrap()
+            + strategy.field("local").as_u64().unwrap();
+        assert_eq!(spent, evaluations);
+        // Repeat = cache hit, byte-identical.
+        let again = engine.execute(&body(&line)).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.body.as_str(), answer.body.as_str());
+    }
+
+    #[test]
+    fn explore_golden_carries_the_prediction_and_profiles_partition() {
+        let engine = Engine::new(4);
+        let paper = engine
+            .execute(&body(
+                r#"{"op":"explore","objective":"goodput","budget":300,"distance_m":35.0}"#,
+            ))
+            .unwrap();
+        let v = serde_json::parse(&paper.body).unwrap();
+        assert_eq!(v.field("engine").as_str(), Some("golden"));
+        assert!(
+            v.field("predicted")
+                .field("max_goodput_bps")
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        assert!(v.field("objective_value").as_f64().unwrap() > 0.0);
+        // The case-study profile answers from the shadowed channel — a
+        // different cache line and a weaker link.
+        let cs = engine
+            .execute(&body(
+                r#"{"op":"explore","objective":"goodput","budget":300,"distance_m":35.0,"profile":"case-study"}"#,
+            ))
+            .unwrap();
+        assert!(!cs.cached);
+        let vc = serde_json::parse(&cs.body).unwrap();
+        assert_eq!(vc.field("profile").as_str(), Some("case-study"));
+        assert!(
+            vc.field("objective_value").as_f64().unwrap()
+                < v.field("objective_value").as_f64().unwrap(),
+            "shadowed link cannot beat the hallway"
+        );
     }
 
     #[test]

@@ -594,7 +594,7 @@ fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool, ob
             continue;
         }
 
-        match engine.execute(&job.request.body) {
+        match engine.execute_with_deadline(&job.request.body, Some(job.deadline)) {
             Ok(answer) => {
                 let exec_us = popped.elapsed().as_micros() as u64;
                 job.conn.send_line(&envelope_ok(
@@ -628,6 +628,7 @@ fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool, ob
             }
             Err(error) => {
                 let exec_us = popped.elapsed().as_micros() as u64;
+                let expired_mid_scan = error.code == ErrCode::Deadline;
                 job.conn.send_line(&envelope_err(
                     id,
                     Some(op),
@@ -635,8 +636,26 @@ fn worker_loop(engine: &Engine, queue: &JobQueue<Job>, shutdown: &AtomicBool, ob
                     error.code,
                     &error.message,
                 ));
-                engine.stats.record_done(op, false, exec_us);
-                log_request(obs, &job, "error", false, false, queue_wait_us, exec_us, 0);
+                // A scan the engine aborted cooperatively counts with the
+                // jobs that died in the queue, not as an executed error —
+                // both are the same client-visible contract (`deadline`),
+                // and its partial exec time would poison the quantiles.
+                if expired_mid_scan {
+                    engine.stats.record_deadline_exceeded(op);
+                    log_request(
+                        obs,
+                        &job,
+                        "deadline_exceeded",
+                        false,
+                        false,
+                        queue_wait_us,
+                        exec_us,
+                        0,
+                    );
+                } else {
+                    engine.stats.record_done(op, false, exec_us);
+                    log_request(obs, &job, "error", false, false, queue_wait_us, exec_us, 0);
+                }
             }
         }
     }

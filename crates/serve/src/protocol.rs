@@ -92,6 +92,10 @@ pub enum Op {
     Predict,
     /// Constrained multi-objective search over the paper grid.
     Tune,
+    /// The per-distance Pareto front (and knee) over selected metrics.
+    Pareto,
+    /// Budget-bounded search over the paper grid.
+    Explore,
     /// Run a named multi-link scenario from the catalog.
     Scenario,
     /// Report service counters.
@@ -104,7 +108,7 @@ pub enum Op {
 
 impl Op {
     /// Number of operations (sizes the per-op counters).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// The wire name.
     pub fn name(self) -> &'static str {
@@ -112,6 +116,8 @@ impl Op {
             Op::Simulate => "simulate",
             Op::Predict => "predict",
             Op::Tune => "tune",
+            Op::Pareto => "pareto",
+            Op::Explore => "explore",
             Op::Scenario => "scenario",
             Op::Stats => "stats",
             Op::Cache => "cache",
@@ -129,6 +135,8 @@ impl Op {
             Op::Stats => 4,
             Op::Cache => 5,
             Op::Shutdown => 6,
+            Op::Pareto => 7,
+            Op::Explore => 8,
         }
     }
 
@@ -137,10 +145,43 @@ impl Op {
             "simulate" => Op::Simulate,
             "predict" => Op::Predict,
             "tune" => Op::Tune,
+            "pareto" => Op::Pareto,
+            "explore" => Op::Explore,
             "scenario" => Op::Scenario,
             "stats" => Op::Stats,
             "cache" => Op::Cache,
             "shutdown" => Op::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+/// The evaluation context of an optimization op: the paper's default
+/// hallway channel under periodic load, or the Sec. VIII-C case study —
+/// a shadowed 35 m link carrying a bulk transfer (saturating traffic,
+/// `LinkBudget::case_study` for the golden predictor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Profile {
+    /// The hallway channel of Secs. III–VII (the default).
+    #[default]
+    Paper,
+    /// The shadowed bulk-transfer case study of Sec. VIII-C.
+    CaseStudy,
+}
+
+impl Profile {
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Paper => "paper",
+            Profile::CaseStudy => "case-study",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "paper" => Profile::Paper,
+            "case-study" => Profile::CaseStudy,
             _ => return None,
         })
     }
@@ -194,6 +235,32 @@ pub enum RequestBody {
         distance_m: Option<f64>,
         /// Backend validating the winner (`"golden"` default).
         engine: EngineMode,
+    },
+    /// `pareto`: the non-dominated set per distance over chosen metrics.
+    Pareto {
+        /// Metrics spanning the front, in request order (2..=4, distinct).
+        metrics: Vec<Metric>,
+        /// Restrict the grid to one distance (meters).
+        distance_m: Option<f64>,
+        /// Backend evaluating the grid (`"golden"` default; fast rejected).
+        engine: EngineMode,
+        /// Channel/traffic context (`"paper"` default).
+        profile: Profile,
+    },
+    /// `explore`: budget-bounded constrained search over the grid.
+    Explore {
+        /// Metric to minimize (goodput internally maximized).
+        objective: Metric,
+        /// `metric ≤ max` feasibility constraints.
+        constraints: Vec<(Metric, f64)>,
+        /// Hard cap on candidate evaluations.
+        budget: u64,
+        /// Restrict the grid to one distance (meters).
+        distance_m: Option<f64>,
+        /// Backend scoring candidates (`"golden"` default).
+        engine: EngineMode,
+        /// Channel/traffic context (`"paper"` default).
+        profile: Profile,
     },
     /// `scenario`: a named multi-link topology from the catalog.
     Scenario {
@@ -471,7 +538,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         reject_code(
             ErrCode::UnknownOp,
             format!(
-                "unknown op '{op_name}'; known: simulate, predict, tune, scenario, stats, cache, shutdown"
+                "unknown op '{op_name}'; known: simulate, predict, tune, pareto, explore, scenario, stats, cache, shutdown"
             ),
         )
     })?;
@@ -497,6 +564,28 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
             "constraints",
             "distance_m",
             "engine",
+        ],
+        Op::Pareto => &[
+            "id",
+            "op",
+            "proto",
+            "deadline_ms",
+            "metrics",
+            "distance_m",
+            "engine",
+            "profile",
+        ],
+        Op::Explore => &[
+            "id",
+            "op",
+            "proto",
+            "deadline_ms",
+            "objective",
+            "constraints",
+            "budget",
+            "distance_m",
+            "engine",
+            "profile",
         ],
         Op::Scenario => &[
             "id",
@@ -541,6 +630,48 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
                 .ok_or_else(|| "engine must be \"golden\", \"fast\", or \"analytic\"".to_string()),
         }
     };
+    let profile_of = |root: &Value| -> Result<Profile, String> {
+        match root.field("profile") {
+            Value::Null => Ok(Profile::default()),
+            v => v
+                .as_str()
+                .and_then(Profile::from_name)
+                .ok_or_else(|| "profile must be \"paper\" or \"case-study\"".to_string()),
+        }
+    };
+    let objective_of = |root: &Value, op: &str| -> Result<Metric, String> {
+        root.field("objective")
+            .as_str()
+            .ok_or_else(|| format!("{op} needs a string 'objective'"))
+            .and_then(metric_from_name)
+    };
+    let constraints_of = |root: &Value| -> Result<Vec<(Metric, f64)>, String> {
+        let mut constraints = Vec::new();
+        match root.field("constraints") {
+            Value::Null => {}
+            v => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| "constraints must be an array".to_string())?;
+                for item in items {
+                    let metric = item
+                        .field("metric")
+                        .as_str()
+                        .ok_or_else(|| "each constraint needs a string 'metric'".to_string())
+                        .and_then(metric_from_name)?;
+                    let max = require_f64(item.field("max"), "constraint max")?;
+                    constraints.push((metric, max));
+                }
+            }
+        }
+        Ok(constraints)
+    };
+    let distance_of = |root: &Value| -> Result<Option<f64>, String> {
+        match root.field("distance_m") {
+            Value::Null => Ok(None),
+            v => Ok(Some(require_f64(v, "distance_m")?)),
+        }
+    };
 
     let body = match op {
         Op::Simulate => RequestBody::Simulate {
@@ -569,42 +700,76 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
                 engine,
             }
         }
-        Op::Tune => {
-            let objective = root
-                .field("objective")
-                .as_str()
-                .ok_or_else(|| reject("tune needs a string 'objective'".to_string()))
-                .and_then(|name| metric_from_name(name).map_err(&reject))?;
-            let mut constraints = Vec::new();
-            match root.field("constraints") {
-                Value::Null => {}
+        Op::Tune => RequestBody::Tune {
+            objective: objective_of(&root, "tune").map_err(&reject)?,
+            constraints: constraints_of(&root).map_err(&reject)?,
+            distance_m: distance_of(&root).map_err(&reject)?,
+            engine: engine_of(&root).map_err(|e| reject_code(ErrCode::UnknownEngine, e))?,
+        },
+        Op::Pareto => {
+            let engine = engine_of(&root).map_err(|e| reject_code(ErrCode::UnknownEngine, e))?;
+            if engine == EngineMode::Fast {
+                return Err(reject(
+                    "pareto engine must be \"golden\" or \"analytic\"; \
+                     \"fast\" samples one seed per config — use op \"simulate\""
+                        .to_string(),
+                ));
+            }
+            let metrics = match root.field("metrics") {
+                Value::Null => vec![Metric::Energy, Metric::Goodput],
                 v => {
                     let items = v
                         .as_array()
-                        .ok_or_else(|| reject("constraints must be an array".to_string()))?;
+                        .ok_or_else(|| reject("metrics must be an array of names".to_string()))?;
+                    let mut metrics = Vec::new();
                     for item in items {
                         let metric = item
-                            .field("metric")
                             .as_str()
-                            .ok_or_else(|| {
-                                reject("each constraint needs a string 'metric'".to_string())
-                            })
+                            .ok_or_else(|| reject("each metric must be a string".to_string()))
                             .and_then(|name| metric_from_name(name).map_err(&reject))?;
-                        let max =
-                            require_f64(item.field("max"), "constraint max").map_err(&reject)?;
-                        constraints.push((metric, max));
+                        if metrics.contains(&metric) {
+                            return Err(reject(format!(
+                                "duplicate metric '{}'",
+                                metric_name(metric)
+                            )));
+                        }
+                        metrics.push(metric);
                     }
+                    if metrics.len() < 2 {
+                        return Err(reject(
+                            "pareto needs at least 2 metrics (a 1-metric front is op \"tune\")"
+                                .to_string(),
+                        ));
+                    }
+                    metrics
                 }
-            }
-            let distance_m = match root.field("distance_m") {
-                Value::Null => None,
-                v => Some(require_f64(v, "distance_m").map_err(&reject)?),
             };
-            RequestBody::Tune {
-                objective,
-                constraints,
-                distance_m,
+            RequestBody::Pareto {
+                metrics,
+                distance_m: distance_of(&root).map_err(&reject)?,
+                engine,
+                profile: profile_of(&root).map_err(&reject)?,
+            }
+        }
+        Op::Explore => {
+            let budget = match root.field("budget") {
+                Value::Null => {
+                    return Err(reject(
+                        "explore needs a 'budget' (max candidate evaluations)".to_string(),
+                    ))
+                }
+                v => require_u64(v, "budget").map_err(&reject)?,
+            };
+            if budget == 0 {
+                return Err(reject("budget must be at least 1".to_string()));
+            }
+            RequestBody::Explore {
+                objective: objective_of(&root, "explore").map_err(&reject)?,
+                constraints: constraints_of(&root).map_err(&reject)?,
+                budget,
+                distance_m: distance_of(&root).map_err(&reject)?,
                 engine: engine_of(&root).map_err(|e| reject_code(ErrCode::UnknownEngine, e))?,
+                profile: profile_of(&root).map_err(&reject)?,
             }
         }
         Op::Scenario => RequestBody::Scenario {
@@ -670,6 +835,41 @@ fn engine_suffix(engine: EngineMode) -> &'static str {
     }
 }
 
+/// Cache-key suffix partitioning the evaluation profiles: empty for the
+/// paper default so pre-profile keys stay byte-identical.
+fn profile_suffix(profile: Profile) -> &'static str {
+    match profile {
+        Profile::Paper => "",
+        Profile::CaseStudy => "|v:case-study",
+    }
+}
+
+/// The canonical `|c:metric<=bits` run of a constraint list: sorted by
+/// metric name then bound bits, duplicates removed. Permuting (or
+/// repeating) semantically identical constraints must produce the same
+/// cache key, otherwise equal searches miss each other's answers.
+fn constraints_key(constraints: &[(Metric, f64)]) -> String {
+    let mut items: Vec<(&'static str, u64)> = constraints
+        .iter()
+        .map(|(metric, max)| (metric_name(*metric), max.to_bits()))
+        .collect();
+    items.sort_unstable();
+    items.dedup();
+    let mut run = String::new();
+    for (name, bits) in items {
+        run.push_str(&format!("|c:{name}<={bits:016x}"));
+    }
+    run
+}
+
+/// The `|d:bits` or `|d:-` run of an optional distance restriction.
+fn distance_key(distance_m: Option<f64>) -> String {
+    match distance_m {
+        Some(d) => format!("|d:{:016x}", d.to_bits()),
+        None => "|d:-".to_string(),
+    }
+}
+
 /// The canonical cache key of a request body, or `None` for ops whose
 /// answers are live (`stats`, `shutdown`).
 pub fn cache_key(body: &RequestBody) -> Option<String> {
@@ -694,22 +894,46 @@ pub fn cache_key(body: &RequestBody) -> Option<String> {
             constraints,
             distance_m,
             engine,
+        } => Some(format!(
+            "tun|o:{}{}{}{}",
+            metric_name(*objective),
+            constraints_key(constraints),
+            distance_key(*distance_m),
+            engine_suffix(*engine)
+        )),
+        RequestBody::Pareto {
+            metrics,
+            distance_m,
+            engine,
+            profile,
         } => {
-            let mut key = format!("tun|o:{}", metric_name(*objective));
-            for (metric, max) in constraints {
-                key.push_str(&format!(
-                    "|c:{}<={:016x}",
-                    metric_name(*metric),
-                    max.to_bits()
-                ));
-            }
-            match distance_m {
-                Some(d) => key.push_str(&format!("|d:{:016x}", d.to_bits())),
-                None => key.push_str("|d:-"),
-            }
-            key.push_str(engine_suffix(*engine));
-            Some(key)
+            // Metric order stays in the key: it decides the result's value
+            // columns and the front's sort axis, so permutations are
+            // different answers (unlike constraint permutations).
+            let names: Vec<&str> = metrics.iter().map(|m| metric_name(*m)).collect();
+            Some(format!(
+                "par|m:{}{}{}{}",
+                names.join(","),
+                distance_key(*distance_m),
+                profile_suffix(*profile),
+                engine_suffix(*engine)
+            ))
         }
+        RequestBody::Explore {
+            objective,
+            constraints,
+            budget,
+            distance_m,
+            engine,
+            profile,
+        } => Some(format!(
+            "xpl|o:{}{}|b:{budget}{}{}{}",
+            metric_name(*objective),
+            constraints_key(constraints),
+            distance_key(*distance_m),
+            profile_suffix(*profile),
+            engine_suffix(*engine)
+        )),
         RequestBody::Scenario {
             scenario,
             packets,
@@ -884,6 +1108,136 @@ mod tests {
             }
             other => panic!("wrong body {other:?}"),
         }
+    }
+
+    #[test]
+    fn permuted_constraints_share_one_canonical_tune_key() {
+        let ab = parse_request(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.01},{"metric":"delay","max":50.0}]}"#,
+        )
+        .unwrap();
+        let ba = parse_request(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"delay","max":50.0},{"metric":"loss","max":0.01}]}"#,
+        )
+        .unwrap();
+        // Constraint order is irrelevant to the question being asked, so
+        // permutations must hit the same cache line.
+        assert_eq!(cache_key(&ab.body), cache_key(&ba.body));
+
+        // So must a repeated constraint — `loss ≤ 0.01` twice is once.
+        let dup = parse_request(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.01},{"metric":"loss","max":0.01},{"metric":"delay","max":50.0}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cache_key(&dup.body), cache_key(&ab.body));
+
+        // A different bound is a different question.
+        let other = parse_request(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.02},{"metric":"delay","max":50.0}]}"#,
+        )
+        .unwrap();
+        assert_ne!(cache_key(&other.body), cache_key(&ab.body));
+
+        // Single-constraint keys keep the historical byte layout, so
+        // pre-canonicalization cache entries stay valid.
+        let single = parse_request(
+            r#"{"op":"tune","objective":"energy","constraints":[{"metric":"loss","max":0.01}],"distance_m":20.0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cache_key(&single.body).unwrap(),
+            format!(
+                "tun|o:energy|c:loss<={:016x}|d:{:016x}",
+                0.01f64.to_bits(),
+                20.0f64.to_bits()
+            )
+        );
+    }
+
+    #[test]
+    fn pareto_request_parses_metrics_profile_and_keys() {
+        let req = parse_request(r#"{"op":"pareto"}"#).unwrap();
+        match &req.body {
+            RequestBody::Pareto {
+                metrics,
+                distance_m,
+                engine,
+                profile,
+            } => {
+                assert_eq!(metrics, &[Metric::Energy, Metric::Goodput]);
+                assert_eq!(*distance_m, None);
+                assert_eq!(*engine, EngineMode::Golden);
+                assert_eq!(*profile, Profile::Paper);
+            }
+            other => panic!("wrong body {other:?}"),
+        }
+        assert_eq!(
+            cache_key(&req.body).unwrap(),
+            "par|m:energy,goodput|d:-".to_string()
+        );
+
+        // Metric order picks the value columns, so it stays in the key;
+        // profile and engine partition their own cache lines.
+        let swapped = parse_request(r#"{"op":"pareto","metrics":["goodput","energy"]}"#).unwrap();
+        assert_ne!(cache_key(&swapped.body), cache_key(&req.body));
+        let cs = parse_request(
+            r#"{"op":"pareto","engine":"analytic","profile":"case-study","distance_m":35.0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cache_key(&cs.body).unwrap(),
+            format!(
+                "par|m:energy,goodput|d:{:016x}|v:case-study|e:analytic",
+                35.0f64.to_bits()
+            )
+        );
+
+        let rej = parse_request(r#"{"op":"pareto","engine":"fast"}"#).unwrap_err();
+        assert!(rej.error.contains("simulate"), "{}", rej.error);
+        let rej = parse_request(r#"{"op":"pareto","metrics":["energy","energy"]}"#).unwrap_err();
+        assert!(rej.error.contains("duplicate"), "{}", rej.error);
+        let rej = parse_request(r#"{"op":"pareto","metrics":["energy"]}"#).unwrap_err();
+        assert!(rej.error.contains("tune"), "{}", rej.error);
+        let rej = parse_request(r#"{"op":"pareto","profile":"lab"}"#).unwrap_err();
+        assert!(rej.error.contains("case-study"), "{}", rej.error);
+    }
+
+    #[test]
+    fn explore_request_requires_budget_and_canonicalizes_keys() {
+        let rej = parse_request(r#"{"op":"explore","objective":"energy"}"#).unwrap_err();
+        assert!(rej.error.contains("budget"), "{}", rej.error);
+        let rej = parse_request(r#"{"op":"explore","objective":"energy","budget":0}"#).unwrap_err();
+        assert!(rej.error.contains("at least 1"), "{}", rej.error);
+
+        let ab = parse_request(
+            r#"{"op":"explore","objective":"energy","budget":100,"constraints":[{"metric":"loss","max":0.01},{"metric":"delay","max":50.0}]}"#,
+        )
+        .unwrap();
+        let ba = parse_request(
+            r#"{"op":"explore","objective":"energy","budget":100,"constraints":[{"metric":"delay","max":50.0},{"metric":"loss","max":0.01}]}"#,
+        )
+        .unwrap();
+        assert_eq!(cache_key(&ab.body), cache_key(&ba.body));
+        match &ab.body {
+            RequestBody::Explore { budget, .. } => assert_eq!(*budget, 100),
+            other => panic!("wrong body {other:?}"),
+        }
+
+        // The budget bounds the search, so it is part of the question.
+        let wider = parse_request(r#"{"op":"explore","objective":"energy","budget":200,"constraints":[{"metric":"delay","max":50.0},{"metric":"loss","max":0.01}]}"#).unwrap();
+        assert_ne!(cache_key(&wider.body), cache_key(&ab.body));
+
+        let full = parse_request(
+            r#"{"op":"explore","objective":"goodput","budget":64,"engine":"fast","profile":"case-study","distance_m":35.0}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cache_key(&full.body).unwrap(),
+            format!(
+                "xpl|o:goodput|b:64|d:{:016x}|v:case-study|e:fast",
+                35.0f64.to_bits()
+            )
+        );
     }
 
     #[test]

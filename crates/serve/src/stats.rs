@@ -58,6 +58,8 @@ impl ServeStats {
             Op::Stats,
             Op::Cache,
             Op::Shutdown,
+            Op::Pareto,
+            Op::Explore,
         ];
         let by_op =
             std::array::from_fn(|i| registry.counter(&format!("serve.op.{}", ops[i].name())));
@@ -182,6 +184,8 @@ impl ServeStats {
                 simulate: self.by_op[Op::Simulate.index()].get(),
                 predict: self.by_op[Op::Predict.index()].get(),
                 tune: self.by_op[Op::Tune.index()].get(),
+                pareto: self.by_op[Op::Pareto.index()].get(),
+                explore: self.by_op[Op::Explore.index()].get(),
                 scenario: self.by_op[Op::Scenario.index()].get(),
                 stats: self.by_op[Op::Stats.index()].get(),
                 cache: self.by_op[Op::Cache.index()].get(),
@@ -214,6 +218,10 @@ pub struct OpCounts {
     pub predict: u64,
     /// `tune` requests.
     pub tune: u64,
+    /// `pareto` requests.
+    pub pareto: u64,
+    /// `explore` requests.
+    pub explore: u64,
     /// `scenario` requests.
     pub scenario: u64,
     /// `stats` requests.

@@ -660,3 +660,88 @@ fn restart_with_the_same_store_serves_disk_warm_byte_identical_hits() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn tight_deadline_aborts_a_full_grid_tune_mid_scan() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    // 48,384 golden predictions cannot finish inside 1 ms: the worker
+    // must abandon the scan cooperatively and answer with the deadline
+    // code instead of burning the thread to completion.
+    let response = roundtrip(
+        addr,
+        r#"{"id":"hurry","op":"tune","objective":"energy","deadline_ms":1}"#,
+    );
+    assert!(response.contains("\"ok\":false"), "{response}");
+    assert!(response.contains("\"code\":\"deadline\""), "{response}");
+    assert!(response.contains("candidate evaluations"), "{response}");
+
+    // The abort is not cached: with a sane deadline the same question
+    // computes and answers.
+    let response = roundtrip(
+        addr,
+        r#"{"id":"patient","op":"tune","objective":"energy","deadline_ms":60000}"#,
+    );
+    assert!(response.contains("\"ok\":true"), "{response}");
+    assert!(response.contains("\"cached\":false"), "{response}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn permuted_constraints_hit_the_same_cache_line_over_tcp() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let first = roundtrip(
+        addr,
+        r#"{"id":1,"op":"tune","objective":"energy","distance_m":20.0,"constraints":[{"metric":"loss","max":0.02},{"metric":"delay","max":80.0}]}"#,
+    );
+    assert!(first.contains("\"cached\":false"), "{first}");
+
+    // Same question, constraints listed the other way around: must be a
+    // cache hit with a byte-identical result body.
+    let second = roundtrip(
+        addr,
+        r#"{"id":2,"op":"tune","objective":"energy","distance_m":20.0,"constraints":[{"metric":"delay","max":80.0},{"metric":"loss","max":0.02}]}"#,
+    );
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(result_part(&first), result_part(&second));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn pareto_and_explore_answer_over_tcp_and_count_in_stats() {
+    let (addr, handle) = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+
+    let pareto = roundtrip(addr, r#"{"id":1,"op":"pareto","distance_m":25.0}"#);
+    assert!(pareto.contains("\"ok\":true"), "{pareto}");
+    assert!(pareto.contains("\"front\":["), "{pareto}");
+    assert!(pareto.contains("\"knee\":"), "{pareto}");
+
+    let repeat = roundtrip(addr, r#"{"id":2,"op":"pareto","distance_m":25.0}"#);
+    assert!(repeat.contains("\"cached\":true"), "{repeat}");
+    assert_eq!(result_part(&pareto), result_part(&repeat));
+
+    let explore = roundtrip(
+        addr,
+        r#"{"id":3,"op":"explore","objective":"energy","budget":500,"distance_m":25.0}"#,
+    );
+    assert!(explore.contains("\"ok\":true"), "{explore}");
+    assert!(explore.contains("\"budget\":500"), "{explore}");
+
+    let stats = roundtrip(addr, r#"{"id":4,"op":"stats"}"#);
+    assert!(stats.contains("\"pareto\":2"), "{stats}");
+    assert!(stats.contains("\"explore\":1"), "{stats}");
+
+    shutdown(addr, handle);
+}
